@@ -1,0 +1,57 @@
+"""Shared helpers for the figure benchmarks.
+
+Workload results are cached per session (Figure 11 and Figure 12 are two
+presentations of the same Andrew runs), and every harness both prints its
+paper-vs-measured table and appends it to ``benchmarks/results/`` so
+EXPERIMENTS.md can quote the output verbatim.
+"""
+
+from __future__ import annotations
+
+import functools
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a results table and persist it under benchmarks/results/."""
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@functools.lru_cache(maxsize=None)
+def create_list_results(files: int = 500, dirs: int = 25):
+    from repro.workloads import (IMPLEMENTATIONS, make_env,
+                                 run_create_and_list)
+    return {impl: run_create_and_list(make_env(impl), files=files,
+                                      dirs=dirs)
+            for impl in IMPLEMENTATIONS}
+
+
+@functools.lru_cache(maxsize=None)
+def andrew_results():
+    from repro.workloads import make_env, run_andrew
+    impls = ("no-enc-md-d", "no-enc-md", "sharoes", "pub-opt")
+    return {impl: run_andrew(make_env(impl)) for impl in impls}
+
+
+@functools.lru_cache(maxsize=None)
+def postmark_results(files: int = 500, transactions: int = 500):
+    from repro.workloads import (FIG10_CACHE_FRACTIONS, FIG10_IMPLS,
+                                 make_env, run_postmark)
+    out = {}
+    for impl in FIG10_IMPLS:
+        env = make_env(impl)
+        out[impl] = {
+            frac: run_postmark(env, files=files, transactions=transactions,
+                               cache_fraction=frac)
+            for frac in FIG10_CACHE_FRACTIONS}
+    return out
+
+
+@functools.lru_cache(maxsize=None)
+def op_cost_results():
+    from repro.workloads import make_env, run_op_costs
+    return run_op_costs(make_env("sharoes"))

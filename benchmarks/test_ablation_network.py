@@ -1,0 +1,90 @@
+"""Ablation: varying network characteristics.
+
+The paper defers its varying-network analysis to the first author's
+thesis ("Additional experimental analysis of SHAROES with varying network
+characteristics can be found in [6]").  This harness reproduces the
+obvious sweep: as the link improves from home DSL toward LAN, the
+network share of operation cost shrinks and the crypto differences
+between implementations become the bottleneck -- which is precisely why
+minimizing public-key operations matters even more on fast networks.
+"""
+
+import pytest
+
+from repro.sim.profiles import dsl_profile
+from repro.workloads import make_env, run_create_and_list
+from repro.workloads.report import format_table
+
+from .common import emit
+
+#: (label, up kbit/s, down kbit/s, rtt ms)
+LINKS = (
+    ("paper-DSL", 850, 350, 100),
+    ("T1", 1500, 1500, 40),
+    ("10Mbit", 10_000, 10_000, 10),
+    ("LAN-100Mbit", 100_000, 100_000, 1),
+)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    out = {}
+    for label, up, down, rtt in LINKS:
+        profile = dsl_profile(up, down, rtt)
+        per_impl = {}
+        for impl in ("no-enc-md-d", "sharoes", "pub-opt"):
+            env = make_env(impl, profile=profile)
+            result = run_create_and_list(env, files=100, dirs=10)
+            per_impl[impl] = result
+        out[label] = per_impl
+    return out
+
+
+def test_report_network_sweep(sweep):
+    rows = []
+    for label, per_impl in sweep.items():
+        base = per_impl["no-enc-md-d"].list_seconds
+        rows.append([
+            label,
+            f"{per_impl['no-enc-md-d'].list_seconds:.1f}",
+            f"{per_impl['sharoes'].list_seconds:.1f}",
+            f"{per_impl['pub-opt'].list_seconds:.1f}",
+            f"{(per_impl['sharoes'].list_seconds / base - 1) * 100:.0f}%",
+            f"{(per_impl['pub-opt'].list_seconds / base - 1) * 100:.0f}%",
+        ])
+    emit("ablation_network", format_table(
+        "Network sweep -- list-phase seconds (100 files) and overheads",
+        ["link", "NO-ENC", "SHAROES", "PUB-OPT", "SHAROES over",
+         "PUB-OPT over"], rows))
+
+
+class TestShape:
+    def test_faster_network_is_faster(self, sweep):
+        labels = [label for label, *_ in LINKS]
+        for impl in ("no-enc-md-d", "sharoes"):
+            series = [sweep[label][impl].list_seconds for label in labels]
+            assert series == sorted(series, reverse=True)
+
+    def test_crypto_gap_widens_relatively_on_fast_links(self, sweep):
+        """On the LAN, PUB-OPT's private-key stat cost dwarfs the
+        network; its *relative* overhead explodes."""
+        def rel_overhead(label):
+            per = sweep[label]
+            return (per["pub-opt"].list_seconds
+                    / per["no-enc-md-d"].list_seconds)
+        assert rel_overhead("LAN-100Mbit") > 3 * rel_overhead("paper-DSL")
+
+    def test_sharoes_stays_close_everywhere(self, sweep):
+        """Symmetric metadata keeps SHAROES within ~2.5x of plaintext
+        even when the network stops hiding crypto costs."""
+        for label, *_ in LINKS:
+            per = sweep[label]
+            ratio = (per["sharoes"].list_seconds
+                     / per["no-enc-md-d"].list_seconds)
+            assert ratio < 2.5, (label, ratio)
+
+    def test_pubopt_absolute_floor_is_crypto(self, sweep):
+        """PUB-OPT cannot go below ~one private op per stat (~28.6 s for
+        110 stats) no matter how fast the link."""
+        lan = sweep["LAN-100Mbit"]["pub-opt"].list_seconds
+        assert lan > 110 * 0.25  # 110 stats x ~0.26 s private op

@@ -1,0 +1,110 @@
+"""Ablation: immediate vs lazy revocation (paper section IV, chmod).
+
+Immediate revocation re-encrypts the file during the chmod; lazy
+revocation defers the re-encryption to the next content update.  The
+tradeoff: chmod latency vs a window in which a revoked-but-caching user
+could still read updated... nothing (no updates happened yet).  The
+prototype defaults to immediate, like the paper's.
+"""
+
+import pytest
+
+from repro.fs.client import ClientConfig, SharoesFilesystem
+from repro.fs.volume import SharoesVolume
+from repro.principals.registry import PrincipalRegistry
+from repro.sim.costmodel import CostModel
+from repro.sim.profiles import PAPER_2008
+from repro.storage.server import StorageServer
+from repro.workloads.report import format_table
+
+from .common import emit
+
+FILE_SIZES = (10_000, 100_000, 1_000_000)
+
+
+def _stack(immediate: bool):
+    registry = PrincipalRegistry()
+    alice = registry.create_user("alice", key_bits=512)
+    registry.create_user("bob", key_bits=512)
+    registry.create_group("eng", {"alice", "bob"}, key_bits=512)
+    volume = SharoesVolume(StorageServer(), registry)
+    volume.format(root_owner="alice", root_group="eng")
+    cost = CostModel(PAPER_2008)
+    fs = SharoesFilesystem(volume, alice, cost_model=cost,
+                           config=ClientConfig(
+                               immediate_revocation=immediate))
+    fs.mount()
+    return fs, cost
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    out = {}
+    for mode, immediate in (("immediate", True), ("lazy", False)):
+        fs, cost = _stack(immediate)
+        per_size = {}
+        for size in FILE_SIZES:
+            path = f"/f{size}"
+            fs.create_file(path, b"z" * size, mode=0o644)
+            with cost.span() as chmod_span:
+                fs.chmod(path, 0o600)  # revokes world read
+            with cost.span() as write_span:
+                fs.write_file(path, b"y" * size)
+            per_size[size] = (chmod_span.total, write_span.total)
+        out[mode] = per_size
+    return out
+
+
+def test_report_revocation(sweep):
+    rows = []
+    for mode, per_size in sweep.items():
+        for size, (chmod_s, write_s) in per_size.items():
+            rows.append([mode, f"{size // 1000}KB", f"{chmod_s:.2f}",
+                         f"{write_s:.2f}",
+                         f"{chmod_s + write_s:.2f}"])
+    emit("ablation_revocation", format_table(
+        "Immediate vs lazy revocation -- chmod and next-write seconds",
+        ["mode", "file", "chmod s", "next write s", "combined s"], rows))
+
+
+class TestShape:
+    def test_lazy_chmod_much_cheaper(self, sweep):
+        for size in FILE_SIZES:
+            assert sweep["lazy"][size][0] < 0.5 * sweep["immediate"][size][0]
+
+    def test_lazy_chmod_size_independent(self, sweep):
+        small = sweep["lazy"][FILE_SIZES[0]][0]
+        big = sweep["lazy"][FILE_SIZES[-1]][0]
+        assert big < 2 * small
+
+    def test_immediate_chmod_scales_with_size(self, sweep):
+        small = sweep["immediate"][FILE_SIZES[0]][0]
+        big = sweep["immediate"][FILE_SIZES[-1]][0]
+        assert big > 5 * small
+
+    def test_lazy_pays_on_next_write(self, sweep):
+        """The deferred cost shows up in the next write (rekey+rewrite)."""
+        for size in FILE_SIZES[1:]:
+            lazy_write = sweep["lazy"][size][1]
+            immediate_write = sweep["immediate"][size][1]
+            assert lazy_write >= 0.9 * immediate_write
+
+    def test_lazy_wins_when_write_follows(self, sweep):
+        """The paper's motivation for lazy revocation: if the content is
+        about to change anyway, immediate mode re-encrypts twice (once at
+        chmod, once at the write) while lazy re-encrypts once."""
+        size = FILE_SIZES[-1]
+        lazy_total = sum(sweep["lazy"][size])
+        immediate_total = sum(sweep["immediate"][size])
+        assert 0.3 < lazy_total / immediate_total < 0.8
+
+
+def test_benchmark_immediate_revocation_1mb(benchmark):
+    def run():
+        fs, cost = _stack(True)
+        fs.create_file("/f", b"z" * 1_000_000, mode=0o644)
+        start = cost.clock.now
+        fs.chmod("/f", 0o600)
+        return cost.clock.now - start
+    seconds = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert seconds > 0

@@ -1,0 +1,72 @@
+"""Figure 11: Andrew benchmark, per-phase results.
+
+Five phases (mkdir tree / copy source / stat all / read all / compile).
+The shape to reproduce: I/O phases show minimal SHAROES overhead, while
+PUB-OPT's phase 2 and 4 overheads are comparable to its phase 3 (stat)
+overhead -- the private-key decryption per metadata access is what hurts,
+not the data path.
+"""
+
+import pytest
+
+from repro.workloads import LABELS, PHASES, make_env, run_andrew
+from repro.workloads.report import format_table
+
+from .common import andrew_results, emit
+
+IMPLS = ("no-enc-md-d", "no-enc-md", "sharoes", "pub-opt")
+
+
+@pytest.fixture(scope="module")
+def results():
+    return andrew_results()
+
+
+def test_report_fig11(results):
+    headers = ["implementation"] + [f"phase-{i + 1} {name}"
+                                    for i, name in enumerate(PHASES)]
+    rows = []
+    for impl in IMPLS:
+        rows.append([LABELS[impl]] + [
+            f"{results[impl].phase_seconds[p]:.1f}" for p in PHASES])
+    emit("fig11_andrew_phases", format_table(
+        "Figure 11 -- Andrew benchmark phase seconds", headers, rows))
+
+
+class TestShape:
+    def test_sharoes_io_overheads_minimal(self, results):
+        """Paper: 'Phase-2 and Phase-4 results show that I/O overheads
+        for SHAROES are minimal' -- read overhead well under 2x."""
+        base = results["no-enc-md-d"].phase_seconds
+        sharoes = results["sharoes"].phase_seconds
+        assert sharoes["read"] / base["read"] < 1.5
+        assert sharoes["stat"] / base["stat"] < 1.5
+
+    def test_pubopt_io_overheads_match_stat_overhead(self, results):
+        """Paper: 'PUB-OPT overheads for Phase-2 and Phase-4 are almost
+        equal to the Phase-3 overheads'."""
+        base = results["no-enc-md-d"].phase_seconds
+        pubopt = results["pub-opt"].phase_seconds
+        stat_over = pubopt["stat"] - base["stat"]
+        read_over = pubopt["read"] - base["read"]
+        assert read_over == pytest.approx(stat_over, rel=0.6)
+        assert stat_over > 3 * (results["sharoes"].phase_seconds["stat"]
+                                - base["stat"])
+
+    def test_compile_phase_dominated_by_cpu(self, results):
+        """The compile phase is mostly implementation-independent CPU."""
+        from repro.workloads import COMPILE_CPU_SECONDS
+        for impl in IMPLS:
+            assert (results[impl].phase_seconds["compile"]
+                    > COMPILE_CPU_SECONDS)
+
+    def test_every_phase_ordered_noenc_first(self, results):
+        for phase in PHASES:
+            assert (results["no-enc-md-d"].phase_seconds[phase]
+                    <= results["sharoes"].phase_seconds[phase] * 1.02)
+
+
+def test_benchmark_andrew_sharoes(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_andrew(make_env("sharoes")), rounds=1, iterations=1)
+    assert result.total_seconds > 0

@@ -1,0 +1,80 @@
+"""Figure 13: SHAROES per-operation cost breakdown.
+
+getattr, mkdir (per CAP combination), 1 MB read, 1 MB write+close, each
+split into NETWORK / CRYPTO / OTHER.  Anchors from the paper: getattr
+completes "in a little over 100 ms"; CRYPTO stays under 7% for the data
+operations; the 1 MB read is downlink-bound (~23 s) and the write
+uplink-bound (~10 s); exec-only CAPs cost extra inner-table encryption.
+"""
+
+import pytest
+
+from repro.workloads import OPERATIONS, PAPER_FIG13_ANCHORS, make_env, \
+    run_op_costs
+from repro.workloads.report import format_table
+
+from .common import emit, op_cost_results
+
+
+@pytest.fixture(scope="module")
+def costs():
+    return op_cost_results()
+
+
+def test_report_fig13(costs):
+    rows = []
+    for op in OPERATIONS:
+        c = costs[op]
+        rows.append([op, f"{c.network_s * 1000:.0f}",
+                     f"{c.crypto_s * 1000:.0f}",
+                     f"{c.other_s * 1000:.0f}",
+                     f"{c.total_s * 1000:.0f}",
+                     f"{c.crypto_fraction * 100:.1f}%"])
+    emit("fig13_op_costs", format_table(
+        "Figure 13 -- SHAROES operation costs (ms)",
+        ["operation", "NETWORK", "CRYPTO", "OTHER", "total", "crypto%"],
+        rows))
+
+
+class TestAnchors:
+    def test_getattr_a_little_over_100ms(self, costs):
+        low, high = PAPER_FIG13_ANCHORS["getattr_ms"]
+        assert low / 1000 < costs["getattr"].total_s < high / 1000
+
+    def test_read_1mb_downlink_bound(self, costs):
+        low, high = PAPER_FIG13_ANCHORS["read_1mb_s"]
+        assert low < costs["read-1MB"].total_s < high
+
+    def test_write_1mb_uplink_bound(self, costs):
+        low, high = PAPER_FIG13_ANCHORS["write_1mb_s"]
+        assert low < costs["write-1MB"].total_s < high
+
+    def test_crypto_under_7pct_for_data_ops(self, costs):
+        cap = PAPER_FIG13_ANCHORS["crypto_fraction_max"]
+        for op in ("getattr", "read-1MB", "write-1MB"):
+            assert costs[op].crypto_fraction < cap, op
+
+    def test_mkdir_band(self, costs):
+        low, high = PAPER_FIG13_ANCHORS["mkdir_ms"]
+        for op in ("mkdir:rwx", "mkdir:--x", "mkdir:both"):
+            assert low / 1000 < costs[op].total_s < high / 1000, op
+
+    def test_exec_only_mkdir_extra_crypto(self, costs):
+        """Paper: 'creating an exec-only CAP is more expensive as it
+        requires an additional encryption for the inner directory-table
+        structure'."""
+        assert costs["mkdir:--x"].crypto_s > costs["mkdir:rwx"].crypto_s
+
+    def test_multi_cap_mkdir_most_expensive_crypto(self, costs):
+        assert (costs["mkdir:both"].crypto_s
+                >= costs["mkdir:--x"].crypto_s * 0.95)
+
+    def test_network_dominates_every_op(self, costs):
+        for op in OPERATIONS:
+            assert costs[op].network_s > 0.5 * costs[op].total_s, op
+
+
+def test_benchmark_op_costs(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_op_costs(make_env("sharoes")), rounds=1, iterations=1)
+    assert set(result) == set(OPERATIONS)

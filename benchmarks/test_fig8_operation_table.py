@@ -1,0 +1,178 @@
+"""Figure 8: the SHAROES filesystem-operation cost table.
+
+The paper tabulates, per operation, the PROCESSING performed and its
+NETWORK and CRYPTO cost components.  This harness *measures* the same
+decomposition on the implementation -- SSP messages exchanged and
+cryptographic operations performed -- and checks each row:
+
+    getattr  metadata recv;              1 metadata decrypt
+    mknod    md send + parent-dir send;  1 md-enc + 1 parent-enc [*]
+    mkdir    (same, plus the new directory's own tables)
+    chmod    metadata send;              1 md-enc [*]
+    read     data recv;                  1 data decrypt
+    write    (local cache only -- free)
+    close    data send;                  1 data encrypt
+
+    [*] per required CAP
+"""
+
+import pytest
+
+from repro.fs.client import SharoesFilesystem
+from repro.fs.volume import SharoesVolume
+from repro.principals.groups import GroupKeyService
+from repro.principals.registry import PrincipalRegistry
+from repro.crypto.provider import CryptoProvider
+from repro.sim.costmodel import CostModel
+from repro.sim.profiles import PAPER_2008
+from repro.storage.server import StorageServer
+from repro.workloads.report import format_table
+
+from .common import emit
+
+
+@pytest.fixture(scope="module")
+def stack():
+    registry = PrincipalRegistry()
+    alice = registry.create_user("alice", key_bits=512)
+    registry.create_user("bob", key_bits=512)
+    registry.create_group("eng", {"alice", "bob"}, key_bits=512)
+    server = StorageServer()
+    volume = SharoesVolume(server, registry)
+    volume.format(root_owner="alice", root_group="eng")
+    GroupKeyService(registry, server, CryptoProvider()).publish_all()
+    cost = CostModel(PAPER_2008)
+    fs = SharoesFilesystem(volume, alice, cost_model=cost)
+    fs.mount()
+    return fs, server, cost
+
+
+def _measure(fs, server, cost, op):
+    server.stats.reset()
+    fs.provider.counters.reset()
+    requests_before = fs.request_count
+    with cost.span() as span:
+        op()
+    counters = fs.provider.counters
+    return {
+        "requests": fs.request_count - requests_before,
+        "gets": server.stats.gets,
+        "puts": server.stats.puts,
+        "sym_enc": counters.total("sym_encrypt"),
+        "sym_dec": counters.total("sym_decrypt"),
+        "sign": counters.total("sign"),
+        "verify": counters.total("verify"),
+        "pk": (counters.total("pk_encrypt")
+               + counters.total("pk_decrypt")),
+        "ms": span.total * 1000,
+    }
+
+
+@pytest.fixture(scope="module")
+def rows(stack):
+    fs, server, cost = stack
+    fs.mkdir("/w", mode=0o700)
+    fs.create_file("/w/seed", b"seed-content" * 40, mode=0o600)
+    out = {}
+
+    inode = fs.getattr("/w/seed").inode
+    fs.cache.invalidate_prefix(("meta", inode))
+    out["getattr"] = _measure(
+        fs, server, cost, lambda: fs.getattr("/w/seed"))
+
+    out["mknod"] = _measure(
+        fs, server, cost, lambda: fs.mknod("/w/newfile", mode=0o600))
+    out["mkdir"] = _measure(
+        fs, server, cost, lambda: fs.mkdir("/w/newdir", mode=0o700))
+    out["chmod"] = _measure(
+        fs, server, cost, lambda: fs.chmod("/w/seed", 0o640))
+
+    fs.getattr("/w/seed")  # re-warm metadata after the chmod
+    fs.cache.invalidate_prefix(("data", inode))
+    out["read"] = _measure(
+        fs, server, cost, lambda: fs.read_file("/w/seed"))
+
+    handle = fs.open("/w/seed", "w")
+    out["write"] = _measure(
+        fs, server, cost, lambda: handle.pwrite(b"fresh" * 60, 0))
+    out["close"] = _measure(fs, server, cost, handle.close)
+    return out
+
+
+def test_report_fig8(rows):
+    table_rows = []
+    for op in ("getattr", "mknod", "mkdir", "chmod", "read", "write",
+               "close"):
+        r = rows[op]
+        table_rows.append([
+            op, str(r["requests"]), str(r["gets"]), str(r["puts"]),
+            str(r["sym_enc"]), str(r["sym_dec"]),
+            str(r["sign"]), str(r["verify"]), str(r["pk"]),
+            f"{r['ms']:.0f}"])
+    emit("fig8_operation_table", format_table(
+        "Figure 8 -- measured operation decomposition "
+        "(owner-only CAPs; SSP messages and crypto ops)",
+        ["op", "reqs", "recv", "send", "sym-enc", "sym-dec", "sign",
+         "verify", "pk-ops", "ms"], table_rows))
+
+
+class TestRows:
+    def test_getattr_row(self, rows):
+        """getattr: obtain metadata and decrypt -- 1 recv, 1 decrypt."""
+        r = rows["getattr"]
+        assert r["gets"] == 1 and r["puts"] == 0
+        assert r["sym_dec"] == 1 and r["sym_enc"] == 0
+        assert r["pk"] == 0
+
+    def test_mknod_row(self, rows):
+        """mknod: 'metadata send; parent-dir send' = 2 requests; the
+        crypto column multiplies per materialized CAP replica
+        (o/g/w metadata replicas + 1 parent view here)."""
+        r = rows["mknod"]
+        assert r["requests"] == 2   # metadata send + parent-dir send
+        assert r["puts"] == 4       # 3 class replicas + 1 parent view
+        assert r["sym_enc"] == 4    # md-enc per CAP + parentdir-enc
+        assert r["sign"] == 4
+        assert r["pk"] == 0
+
+    def test_mkdir_row(self, rows):
+        """mkdir additionally stores the new directory's own table
+        (one view: the group/world CAPs of a 700 dir are zero)."""
+        r = rows["mkdir"]
+        assert r["requests"] == 3   # md send, own-tables send, parent
+        assert r["puts"] == 5
+        assert r["sym_enc"] == 5
+        assert r["pk"] == 0
+
+    def test_chmod_row(self, rows):
+        """chmod (non-structural): modify metadata, encrypt, send."""
+        r = rows["chmod"]
+        assert r["puts"] >= 1
+        assert r["gets"] <= 1       # parent pointer check may read cache
+        assert r["sym_enc"] >= 1
+        assert r["pk"] == 0
+
+    def test_read_row(self, rows):
+        """read: obtain data and decrypt."""
+        r = rows["read"]
+        assert r["gets"] == 1 and r["puts"] == 0
+        assert r["sym_dec"] == 1
+        assert r["verify"] == 1
+        assert r["requests"] == 1
+
+    def test_write_is_local(self, rows):
+        """write: into the local cache -- zero SSP traffic, zero crypto."""
+        r = rows["write"]
+        assert r["gets"] == 0 and r["puts"] == 0
+        assert r["sym_enc"] == 0 and r["sym_dec"] == 0
+
+    def test_close_row(self, rows):
+        """close: encrypt file, send to server."""
+        r = rows["close"]
+        assert r["puts"] == 1
+        assert r["sym_enc"] == 1
+        assert r["sign"] == 1
+        assert r["pk"] == 0
+
+    def test_no_public_key_ops_anywhere(self, rows):
+        assert all(r["pk"] == 0 for r in rows.values())

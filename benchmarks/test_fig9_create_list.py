@@ -1,0 +1,84 @@
+"""Figure 9: the Create-And-List microbenchmark.
+
+500 empty files in 25 directories; create phase then recursive listing
+(``ls -lR``), across the five implementations.  Reproduces the paper's
+headline metadata result: symmetric-key metadata (SHAROES) stays within
+single-digit percent of the unencrypted baseline while the public-key
+approaches blow up -- PUBLIC's list phase by ~37x.
+"""
+
+import pytest
+
+from repro.workloads import IMPLEMENTATIONS, LABELS, PAPER_FIG9, make_env, \
+    run_create_and_list
+from repro.workloads.report import ComparisonRow, format_comparison
+
+from .common import create_list_results, emit
+
+
+@pytest.fixture(scope="module")
+def results():
+    return create_list_results()
+
+
+def test_report_fig9(results):
+    """Emit the paper-vs-measured table for both phases."""
+    for phase in ("create", "list"):
+        rows = [ComparisonRow(LABELS[impl], PAPER_FIG9[impl][phase],
+                              getattr(results[impl], f"{phase}_seconds"))
+                for impl in IMPLEMENTATIONS]
+        emit(f"fig9_{phase}",
+             format_comparison(f"Figure 9 -- Create-And-List: {phase} "
+                               f"phase (500 files / 25 dirs)", rows))
+
+
+class TestShape:
+    """The qualitative claims of section V-A must hold."""
+
+    def test_public_list_catastrophic(self, results):
+        """Paper: 2253 s vs 60 s -- private-key decrypt per stat."""
+        ratio = (results["public"].list_seconds
+                 / results["no-enc-md-d"].list_seconds)
+        assert ratio > 20
+
+    def test_pubopt_list_over_225pct(self, results):
+        """Paper: PUB-OPT list is over 225% above NO-ENC."""
+        ratio = (results["pub-opt"].list_seconds
+                 / results["no-enc-md-d"].list_seconds)
+        assert ratio > 2.25
+
+    def test_pubopt_create_over_10pct(self, results):
+        ratio = (results["pub-opt"].create_seconds
+                 / results["no-enc-md-d"].create_seconds)
+        assert ratio > 1.10
+
+    def test_sharoes_within_25pct_of_noenc(self, results):
+        """Paper: 5-8% overheads; we allow some slack for the larger
+        metadata objects our ESIGN keys produce."""
+        for phase in ("create_seconds", "list_seconds"):
+            ratio = (getattr(results["sharoes"], phase)
+                     / getattr(results["no-enc-md-d"], phase))
+            assert 1.0 <= ratio < 1.25
+
+    def test_sharoes_beats_both_public_variants(self, results):
+        assert (results["sharoes"].list_seconds
+                < results["pub-opt"].list_seconds
+                < results["public"].list_seconds)
+        assert (results["sharoes"].create_seconds
+                < results["public"].create_seconds)
+
+    def test_absolute_match_within_20pct(self, results):
+        """Measured simulated seconds track the published bars."""
+        for impl in IMPLEMENTATIONS:
+            for phase in ("create", "list"):
+                measured = getattr(results[impl], f"{phase}_seconds")
+                paper = PAPER_FIG9[impl][phase]
+                assert 0.8 < measured / paper < 1.25, (impl, phase)
+
+
+def test_benchmark_sharoes_create_list(benchmark):
+    """Host-time benchmark of the full SHAROES microbenchmark run."""
+    def run():
+        return run_create_and_list(make_env("sharoes"), files=100, dirs=5)
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.create_seconds > 0

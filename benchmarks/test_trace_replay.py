@@ -1,0 +1,74 @@
+"""Trace replay across all five implementations.
+
+Not a paper figure -- methodological tooling: one recorded operation
+stream replayed byte-identically against every implementation, at two
+cache sizes, demonstrating both the Figure 9/10 orderings and the
+cache-dependent crossover between SHAROES and PUB-OPT on a single
+workload.
+"""
+
+import pytest
+
+from repro.fs.client import ClientConfig
+from repro.workloads import (IMPLEMENTATIONS, LABELS, make_env,
+                             replay_timed, synthesize_office_trace)
+from repro.workloads.report import format_table
+
+from .common import emit
+
+SMALL_CACHE = 4096
+TRACE = synthesize_office_trace(users_dirs=4, files_per_dir=6, churn=80)
+
+
+@pytest.fixture(scope="module")
+def results():
+    out = {}
+    for impl in IMPLEMENTATIONS:
+        # A trace creates fixed paths, so each replay gets a fresh volume.
+        cold = replay_timed(make_env(impl), TRACE,
+                            config=ClientConfig(cache_bytes=SMALL_CACHE))
+        warm = replay_timed(make_env(impl), TRACE, config=ClientConfig())
+        out[impl] = (cold, warm)
+    return out
+
+
+def test_report_trace_replay(results):
+    rows = [[LABELS[impl], f"{cold:.1f}", f"{warm:.1f}",
+             f"{cold / warm:.2f}x"]
+            for impl, (cold, warm) in results.items()]
+    emit("trace_replay", format_table(
+        "Office trace replay -- simulated seconds "
+        f"({len(TRACE.ops)} ops; {SMALL_CACHE}B vs unbounded cache)",
+        ["implementation", "small cache", "full cache", "penalty"],
+        rows))
+
+
+class TestShape:
+    def test_ordering_with_small_cache(self, results):
+        cold = {impl: c for impl, (c, _) in results.items()}
+        assert cold["no-enc-md-d"] <= cold["no-enc-md"]
+        assert cold["no-enc-md"] < cold["sharoes"]
+        assert cold["sharoes"] < cold["pub-opt"] < cold["public"]
+
+    def test_public_expensive_even_warm(self, results):
+        """With a full cache PUBLIC only pays public-key *encryption*
+        per create -- still the costliest implementation by far."""
+        warm = {impl: w for impl, (_, w) in results.items()}
+        assert warm["public"] > 1.5 * warm["no-enc-md-d"]
+        assert warm["public"] == max(warm.values())
+
+    def test_pubopt_cache_sensitivity_highest(self, results):
+        """PUB-OPT's small-cache penalty factor exceeds SHAROES's: every
+        metadata miss costs it a private-key operation."""
+        penalties = {impl: cold / warm
+                     for impl, (cold, warm) in results.items()}
+        assert penalties["pub-opt"] > penalties["sharoes"]
+
+    def test_identical_streams(self):
+        """Replaying the same trace twice produces identical content."""
+        env_a = make_env("sharoes")
+        env_b = make_env("public")
+        TRACE.replay(env_a.fs, seed=3)
+        TRACE.replay(env_b.fs, seed=3)
+        assert (env_a.fs.read_file("/proj0/doc0.txt")
+                == env_b.fs.read_file("/proj0/doc0.txt"))

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""A quick tour of every figure in the paper's evaluation, at reduced
+scale so it finishes in under a minute.  Full-scale paper-parameter runs
+live in benchmarks/ (pytest benchmarks/ --benchmark-only).
+
+Run:  python examples/benchmark_tour.py
+"""
+
+from repro.workloads import (FIG10_CACHE_FRACTIONS, LABELS,
+                             OPERATIONS, PAPER_FIG9, make_env, run_andrew,
+                             run_create_and_list, run_op_costs,
+                             run_postmark)
+from repro.workloads.report import ComparisonRow, format_comparison, \
+    format_table
+
+SMALL = dict(files=100, dirs=10)
+
+
+def tour_fig9() -> None:
+    print("\n--- Figure 9: Create-And-List (scaled to 100 files) ---")
+    rows_create, rows_list = [], []
+    for impl in ("no-enc-md-d", "no-enc-md", "sharoes", "public",
+                 "pub-opt"):
+        result = run_create_and_list(make_env(impl), **SMALL)
+        scale = 100 / 500
+        rows_create.append(ComparisonRow(
+            LABELS[impl], PAPER_FIG9[impl]["create"] * scale,
+            result.create_seconds))
+        rows_list.append(ComparisonRow(
+            LABELS[impl], PAPER_FIG9[impl]["list"] * scale,
+            result.list_seconds))
+    print(format_comparison("create phase (paper scaled /5)", rows_create))
+    print(format_comparison("list phase (paper scaled /5)", rows_list))
+
+
+def tour_fig10() -> None:
+    print("\n--- Figure 10: Postmark vs cache size (scaled) ---")
+    fractions = (0.05, 0.25, 1.0)
+    headers = ["implementation"] + [f"{int(f*100)}%" for f in fractions]
+    rows = []
+    for impl in ("no-enc-md-d", "sharoes", "pub-opt"):
+        env = make_env(impl)
+        cells = [f"{run_postmark(env, files=80, transactions=80, cache_fraction=f).total_seconds:.0f}"
+                 for f in fractions]
+        rows.append([LABELS[impl]] + cells)
+    print(format_table("postmark seconds (80 files/80 tx)", headers, rows))
+
+
+def tour_andrew() -> None:
+    print("\n--- Figures 11+12: Andrew benchmark ---")
+    headers = ["implementation", "mkdir", "copy", "stat", "read",
+               "compile", "total"]
+    rows = []
+    for impl in ("no-enc-md-d", "sharoes", "pub-opt"):
+        result = run_andrew(make_env(impl))
+        rows.append([LABELS[impl]]
+                    + [f"{result.phase_seconds[p]:.1f}"
+                       for p in ("mkdir", "copy", "stat", "read",
+                                 "compile")]
+                    + [f"{result.total_seconds:.1f}"])
+    print(format_table("andrew phase seconds", headers, rows))
+
+
+def tour_fig13() -> None:
+    print("\n--- Figure 13: SHAROES operation cost breakdown ---")
+    costs = run_op_costs(make_env("sharoes"))
+    rows = [[op,
+             f"{costs[op].network_s * 1000:.0f}",
+             f"{costs[op].crypto_s * 1000:.0f}",
+             f"{costs[op].other_s * 1000:.0f}",
+             f"{costs[op].crypto_fraction * 100:.1f}%"]
+            for op in OPERATIONS]
+    print(format_table("per-op costs (ms)",
+                       ["operation", "NETWORK", "CRYPTO", "OTHER",
+                        "crypto%"], rows))
+
+
+def main() -> None:
+    tour_fig9()
+    tour_fig10()
+    tour_andrew()
+    tour_fig13()
+    print("\n(benchmarks/ runs the full paper-scale versions)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim for legacy editable installs.
+
+This environment has no ``wheel`` package and no network, so PEP-517
+editable installs (which need bdist_wheel) fail.  ``pip install -e .``
+falls back to ``setup.py develop`` through this shim:
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

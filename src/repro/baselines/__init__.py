@@ -1,0 +1,28 @@
+"""The paper's four comparator filesystems (section V)."""
+
+from .base import (BASELINES, BaselineFilesystem, BaselineVolume, NoEncMd,
+                   NoEncMdD, PubOptFs, PublicFs, make_baseline_volume)
+from .codecs import (PUBLIC_METADATA_BYTES, PUBOPT_LOCKBOX_COUNT, DataCodec,
+                     MetadataCodec, PlainData, PlainMetadata, PubOptMetadata,
+                     PublicMetadata, SharedKeyStore, SymmetricData)
+
+__all__ = [
+    "BaselineFilesystem",
+    "BaselineVolume",
+    "BASELINES",
+    "NoEncMdD",
+    "NoEncMd",
+    "PublicFs",
+    "PubOptFs",
+    "make_baseline_volume",
+    "MetadataCodec",
+    "DataCodec",
+    "PlainMetadata",
+    "PublicMetadata",
+    "PubOptMetadata",
+    "PlainData",
+    "SymmetricData",
+    "SharedKeyStore",
+    "PUBLIC_METADATA_BYTES",
+    "PUBOPT_LOCKBOX_COUNT",
+]

@@ -1,0 +1,184 @@
+"""Metadata/data protection strategies for the comparator filesystems.
+
+The paper's evaluation (section V) compares SHAROES against four
+implementations that differ only in how metadata and data are protected:
+
+* **NO-ENC-MD-D** -- nothing encrypted: the networking/implementation
+  baseline for a wide-area filesystem.
+* **NO-ENC-MD**  -- plaintext metadata, symmetric-encrypted data.
+* **PUBLIC**     -- metadata objects encrypted *with public-key crypto*
+  (representative of SiRiUS/SNAD/Farsite).  A metadata object is a ~4 KB
+  SiRiUS-style structure (per-user lockboxes + signature), so every stat
+  pays ~17 RSA-2048 private-block operations -- the source of the
+  catastrophic "ls -lR" number in Figure 9.
+* **PUB-OPT**    -- metadata sealed with a symmetric key, with only that
+  key wrapped under public keys (three lockboxes: owner/group/other), so a
+  stat pays exactly one private-block operation.
+
+Data (including directory tables, which are directory *data blocks*) is
+symmetric in all but NO-ENC-MD-D.  The comparators distribute their
+symmetric keys through a client-side shared keystore, modelling the
+out-of-band key distribution the related work assumes -- key management is
+exactly what SHAROES improves on, so the baselines get it for free.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from ..crypto import rsa
+from ..crypto.keys import new_symmetric_key
+from ..crypto.provider import CryptoProvider
+from ..errors import CryptoError
+from ..serialize import Reader, Writer
+
+#: Size of a SiRiUS-style public-key metadata object (see module docstring
+#: and DESIGN.md's calibration: 4 KB = 17 nominal RSA-2048 blocks).
+PUBLIC_METADATA_BYTES = 4096
+
+#: PUB-OPT wraps the metadata key for owner, group and other principals.
+PUBOPT_LOCKBOX_COUNT = 3
+
+
+class SharedKeyStore:
+    """Client-side symmetric keys for the baseline implementations.
+
+    Models out-of-band key distribution (email, USB sticks -- what
+    Plutus/CNFS actually proposed): every client of a baseline volume
+    shares this in-memory map.  SHAROES itself never uses it.
+    """
+
+    def __init__(self) -> None:
+        self._keys: dict[tuple[str, int], bytes] = {}
+
+    def key_for(self, kind: str, inode: int) -> bytes:
+        try:
+            return self._keys[(kind, inode)]
+        except KeyError:
+            raise CryptoError(
+                f"no {kind} key distributed for inode {inode}") from None
+
+    def ensure(self, kind: str, inode: int) -> bytes:
+        return self._keys.setdefault((kind, inode), new_symmetric_key())
+
+    def rotate(self, kind: str, inode: int) -> bytes:
+        self._keys[(kind, inode)] = new_symmetric_key()
+        return self._keys[(kind, inode)]
+
+    def forget(self, inode: int) -> None:
+        for key in [k for k in self._keys if k[1] == inode]:
+            del self._keys[key]
+
+
+class MetadataCodec(ABC):
+    """How a baseline protects metadata objects at rest."""
+
+    name: str
+
+    @abstractmethod
+    def encode(self, provider: CryptoProvider, keystore: SharedKeyStore,
+               inode: int, payload: bytes,
+               reader_key: rsa.KeyPair) -> bytes: ...
+
+    @abstractmethod
+    def decode(self, provider: CryptoProvider, keystore: SharedKeyStore,
+               inode: int, blob: bytes,
+               reader_key: rsa.KeyPair) -> bytes: ...
+
+
+class PlainMetadata(MetadataCodec):
+    """No protection (both NO-ENC variants)."""
+
+    name = "plain"
+
+    def encode(self, provider, keystore, inode, payload, reader_key):
+        return payload
+
+    def decode(self, provider, keystore, inode, blob, reader_key):
+        return blob
+
+
+class PublicMetadata(MetadataCodec):
+    """Whole metadata object under public-key crypto (PUBLIC).
+
+    The object is padded to the SiRiUS-style 4 KB before encryption: the
+    real systems carry per-user key lockboxes and signatures inside, and
+    that size is what the paper's numbers imply (DESIGN.md section 4).
+    """
+
+    name = "public"
+
+    def encode(self, provider, keystore, inode, payload, reader_key):
+        if len(payload) > PUBLIC_METADATA_BYTES - 4:
+            raise CryptoError("metadata exceeds the PUBLIC object size")
+        padded = (len(payload).to_bytes(4, "big") + payload).ljust(
+            PUBLIC_METADATA_BYTES, b"\x00")
+        return provider.pk_encrypt(reader_key.public, padded)
+
+    def decode(self, provider, keystore, inode, blob, reader_key):
+        padded = provider.pk_decrypt(reader_key.private, blob)
+        length = int.from_bytes(padded[:4], "big")
+        return padded[4:4 + length]
+
+
+class PubOptMetadata(MetadataCodec):
+    """Symmetric metadata + public-key-wrapped key (PUB-OPT).
+
+    Create wraps the fresh metadata key for the three permission
+    principals (3 public-block ops); a read unwraps one lockbox (1
+    private-block op) and then decrypts symmetrically.
+    """
+
+    name = "pub-opt"
+
+    def encode(self, provider, keystore, inode, payload, reader_key):
+        key = keystore.ensure("meta", inode)
+        sealed = provider.sym_encrypt(key, payload)
+        writer = Writer()
+        writer.put_bytes(sealed)
+        writer.put_int(PUBOPT_LOCKBOX_COUNT)
+        for _ in range(PUBOPT_LOCKBOX_COUNT):
+            writer.put_bytes(provider.pk_encrypt(reader_key.public, key))
+        return writer.getvalue()
+
+    def decode(self, provider, keystore, inode, blob, reader_key):
+        reader = Reader(blob)
+        sealed = reader.get_bytes()
+        count = reader.get_int()
+        lockboxes = [reader.get_bytes() for _ in range(count)]
+        key = provider.pk_decrypt(reader_key.private, lockboxes[0])
+        return provider.sym_decrypt(key, sealed)
+
+
+class DataCodec(ABC):
+    """How a baseline protects data blocks (and directory tables)."""
+
+    name: str
+
+    @abstractmethod
+    def encode(self, provider: CryptoProvider, keystore: SharedKeyStore,
+               inode: int, payload: bytes) -> bytes: ...
+
+    @abstractmethod
+    def decode(self, provider: CryptoProvider, keystore: SharedKeyStore,
+               inode: int, blob: bytes) -> bytes: ...
+
+
+class PlainData(DataCodec):
+    name = "plain"
+
+    def encode(self, provider, keystore, inode, payload):
+        return payload
+
+    def decode(self, provider, keystore, inode, blob):
+        return blob
+
+
+class SymmetricData(DataCodec):
+    name = "symmetric"
+
+    def encode(self, provider, keystore, inode, payload):
+        return provider.sym_encrypt(keystore.ensure("data", inode), payload)
+
+    def decode(self, provider, keystore, inode, blob):
+        return provider.sym_decrypt(keystore.key_for("data", inode), blob)

@@ -1,0 +1,42 @@
+"""Cryptographic Access control Primitives and replication schemes."""
+
+from .model import (ALL_CAPS, D_EXEC_ONLY, D_READ, D_READ_EXEC, D_RWX,
+                    D_ZERO, DIRECTORY_CAPS, F_READ, F_READ_WRITE, F_ZERO,
+                    FILE_CAPS, VIEW_FULL, VIEW_HIDDEN, VIEW_NAMES,
+                    VIEW_NONE, Cap, cap_for_bits, supported_bits)
+from .record import (ObjectRecord, lockbox_payload, open_metadata_blob,
+                     parse_lockbox_payload)
+from .schemes import (SEL_GROUP, SEL_OWNER, SEL_WORLD, ReplicationScheme,
+                      Scheme1, Scheme2, make_scheme)
+
+__all__ = [
+    "Cap",
+    "cap_for_bits",
+    "supported_bits",
+    "ALL_CAPS",
+    "DIRECTORY_CAPS",
+    "FILE_CAPS",
+    "D_ZERO",
+    "D_READ",
+    "D_READ_EXEC",
+    "D_RWX",
+    "D_EXEC_ONLY",
+    "F_ZERO",
+    "F_READ",
+    "F_READ_WRITE",
+    "VIEW_FULL",
+    "VIEW_NAMES",
+    "VIEW_HIDDEN",
+    "VIEW_NONE",
+    "ObjectRecord",
+    "open_metadata_blob",
+    "lockbox_payload",
+    "parse_lockbox_payload",
+    "ReplicationScheme",
+    "Scheme1",
+    "Scheme2",
+    "make_scheme",
+    "SEL_OWNER",
+    "SEL_GROUP",
+    "SEL_WORLD",
+]

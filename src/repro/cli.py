@@ -1,0 +1,260 @@
+"""Command-line interface: ``python -m repro`` (or ``sharoes-repro``).
+
+Subcommands:
+
+* ``selftest``  -- run the cryptographic self-test (AES vectors, RSA,
+  ESIGN, IBE roundtrips);
+* ``demo``      -- a compact end-to-end sharing demo on an in-memory SSP;
+* ``bench``     -- regenerate one of the paper's figures (fig9, fig10,
+  fig11, fig12, fig13) at a chosen scale;
+* ``inspect``   -- build a demo volume and dump what the untrusted SSP
+  actually sees.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_selftest(args: argparse.Namespace) -> int:
+    from .crypto import aes, esign, ibe, rsa, stream
+
+    key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+    plain = bytes.fromhex("00112233445566778899aabbccddeeff")
+    expected = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+    assert aes.AES(key).encrypt_block(plain) == expected
+    print("AES-128 FIPS-197 vector          ok")
+
+    msg = b"selftest payload" * 4
+    assert aes.decrypt_ctr(key, aes.encrypt_ctr(key, msg)) == msg
+    assert stream.open_sealed(key, stream.seal(key, msg)) == msg
+    print("AES-CTR / stream seal roundtrip  ok")
+
+    pair = rsa.generate_keypair(512)
+    assert rsa.decrypt_blob(pair.private,
+                            rsa.encrypt_blob(pair.public, msg)) == msg
+    rsa.verify(pair.public, msg, rsa.sign(pair.private, msg))
+    print("RSA encrypt/sign roundtrip       ok")
+
+    sig_pair = esign.generate_keypair(prime_bits=96)
+    esign.verify(sig_pair.verification, msg,
+                 esign.sign(sig_pair.signing, msg))
+    print("ESIGN sign/verify roundtrip      ok")
+
+    authority = ibe.KeyAuthority(modulus_bits=256)
+    identity = "selftest@example"
+    blob = ibe.encrypt(authority.params, identity, b"bootstrap-key-16")
+    assert ibe.decrypt(authority.params, authority.extract(identity),
+                       blob) == b"bootstrap-key-16"
+    print("Cocks IBE roundtrip              ok")
+    print("all self-tests passed")
+    return 0
+
+
+def _demo_stack():
+    from .crypto.provider import CryptoProvider
+    from .fs.client import SharoesFilesystem
+    from .fs.volume import SharoesVolume
+    from .principals.groups import GroupKeyService
+    from .principals.registry import PrincipalRegistry
+    from .storage.server import StorageServer
+
+    registry = PrincipalRegistry()
+    alice = registry.create_user("alice", key_bits=512)
+    bob = registry.create_user("bob", key_bits=512)
+    registry.create_user("carol", key_bits=512)
+    registry.create_group("eng", {"alice", "bob"}, key_bits=512)
+    server = StorageServer()
+    volume = SharoesVolume(server, registry)
+    volume.format(root_owner="alice", root_group="eng")
+    GroupKeyService(registry, server, CryptoProvider()).publish_all()
+    fs = SharoesFilesystem(volume, alice)
+    fs.mount()
+    return registry, server, volume, fs
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from .errors import PermissionDenied
+    from .fs.client import SharoesFilesystem
+
+    registry, server, volume, alice_fs = _demo_stack()
+    alice_fs.mkdir("/projects", mode=0o750)
+    alice_fs.create_file("/projects/plan.txt", b"ship it", mode=0o640)
+    print("alice created /projects/plan.txt (rw-r----- alice:eng)")
+
+    bob_fs = SharoesFilesystem(volume, registry.user("bob"))
+    bob_fs.mount()
+    print("bob (group eng) reads:",
+          bob_fs.read_file("/projects/plan.txt").decode())
+
+    carol_fs = SharoesFilesystem(volume, registry.user("carol"))
+    carol_fs.mount()
+    try:
+        carol_fs.read_file("/projects/plan.txt")
+    except PermissionDenied:
+        print("carol (other) denied at the 750 directory")
+
+    leaked = any(b"ship it" in payload
+                 for payload in server.raw_blobs().values())
+    print(f"SSP blobs: {server.blob_count()}, plaintext leaked: {leaked}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .workloads import (IMPLEMENTATIONS, LABELS, OPERATIONS,
+                            PAPER_FIG9, PAPER_FIG12, make_env, run_andrew,
+                            run_create_and_list, run_op_costs,
+                            run_postmark)
+    from .workloads.report import (ComparisonRow, format_comparison,
+                                   format_table)
+
+    figure = args.figure
+    scale = args.scale
+    if figure == "fig9":
+        files, dirs = int(500 * scale), max(1, int(25 * scale))
+        for phase in ("create", "list"):
+            rows = []
+            for impl in IMPLEMENTATIONS:
+                result = run_create_and_list(make_env(impl), files=files,
+                                             dirs=dirs)
+                rows.append(ComparisonRow(
+                    LABELS[impl], PAPER_FIG9[impl][phase] * scale,
+                    getattr(result, f"{phase}_seconds")))
+            print(format_comparison(
+                f"Figure 9 {phase} ({files} files; paper scaled "
+                f"x{scale:g})", rows))
+    elif figure == "fig10":
+        from .workloads import FIG10_CACHE_FRACTIONS, FIG10_IMPLS
+        files = tx = int(500 * scale)
+        headers = ["implementation"] + [
+            f"{int(f * 100)}%" for f in FIG10_CACHE_FRACTIONS]
+        rows = []
+        for impl in FIG10_IMPLS:
+            env = make_env(impl)
+            rows.append([LABELS[impl]] + [
+                f"{run_postmark(env, files=files, transactions=tx, cache_fraction=f).total_seconds:.0f}"
+                for f in FIG10_CACHE_FRACTIONS])
+        print(format_table(f"Figure 10 Postmark ({files} files/{tx} tx)",
+                           headers, rows))
+    elif figure in ("fig11", "fig12"):
+        impls = ("no-enc-md-d", "no-enc-md", "sharoes", "pub-opt")
+        results = {impl: run_andrew(make_env(impl)) for impl in impls}
+        if figure == "fig11":
+            headers = ["implementation", "mkdir", "copy", "stat", "read",
+                       "compile"]
+            rows = [[LABELS[i]] + [f"{results[i].phase_seconds[p]:.1f}"
+                                   for p in ("mkdir", "copy", "stat",
+                                             "read", "compile")]
+                    for i in impls]
+            print(format_table("Figure 11 Andrew phases (s)", headers,
+                               rows))
+        else:
+            rows = [ComparisonRow(LABELS[i], PAPER_FIG12[i],
+                                  results[i].total_seconds)
+                    for i in impls]
+            print(format_comparison("Figure 12 Andrew cumulative", rows))
+    elif figure == "fig13":
+        costs = run_op_costs(make_env("sharoes"))
+        rows = [[op, f"{costs[op].network_s * 1000:.0f}",
+                 f"{costs[op].crypto_s * 1000:.0f}",
+                 f"{costs[op].other_s * 1000:.0f}",
+                 f"{costs[op].crypto_fraction * 100:.1f}%"]
+                for op in OPERATIONS]
+        print(format_table("Figure 13 SHAROES op costs (ms)",
+                           ["operation", "NETWORK", "CRYPTO", "OTHER",
+                            "crypto%"], rows))
+    else:
+        print(f"unknown figure {figure!r}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    registry, server, volume, fs = _demo_stack()
+    fs.mkdir("/data", mode=0o755)
+    for i in range(args.files):
+        fs.create_file(f"/data/file{i}.bin", bytes(range(256)) * 4,
+                       mode=0o640)
+    by_kind: dict[str, tuple[int, int]] = {}
+    for blob_id, payload in server.raw_blobs().items():
+        count, size = by_kind.get(blob_id.kind, (0, 0))
+        by_kind[blob_id.kind] = (count + 1, size + len(payload))
+    print(f"SSP view of a {args.files}-file volume "
+          f"({server.blob_count()} blobs, {server.stored_bytes()} B):")
+    for kind in sorted(by_kind):
+        count, size = by_kind[kind]
+        print(f"  {kind:10s} {count:4d} blobs  {size:8d} B")
+    sample_id = next(iter(server.list_kind("meta")))
+    sample = server.get(sample_id)
+    printable = sum(32 <= b < 127 for b in sample) / len(sample)
+    print(f"sample metadata blob {sample_id}: {len(sample)} B, "
+          f"{printable:.0%} printable bytes (ciphertext)")
+    return 0
+
+
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    from .fs.volume import block_blob_id
+    from .tools.fsck import VolumeAuditor
+
+    registry, server, volume, fs = _demo_stack()
+    fs.mkdir("/docs", mode=0o755)
+    fs.create_file("/docs/a.txt", b"content a", mode=0o644)
+    fs.create_file("/docs/b.txt", b"content b", mode=0o600)
+    if args.corrupt:
+        inode = fs.getattr("/docs/a.txt").inode
+        blob = bytearray(server.get(block_blob_id(inode, 0)))
+        blob[10] ^= 1
+        server.put(block_blob_id(inode, 0), bytes(blob))
+        print("injected a bit flip into /docs/a.txt's data block")
+    report = VolumeAuditor(volume).audit()
+    print(report.summary())
+    for err in report.integrity_errors:
+        print("  integrity:", err)
+    for err in report.structural_errors:
+        print("  structure:", err)
+    for blob in report.orphaned_blobs:
+        print("  orphan:", blob)
+    return 0 if report.clean else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="sharoes-repro",
+        description="SHAROES (ICDE 2008) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("selftest", help="cryptographic self-test")
+    p.set_defaults(func=_cmd_selftest)
+
+    p = sub.add_parser("demo", help="end-to-end sharing demo")
+    p.set_defaults(func=_cmd_demo)
+
+    p = sub.add_parser("bench", help="regenerate a paper figure")
+    p.add_argument("figure", choices=["fig9", "fig10", "fig11", "fig12",
+                                      "fig13"])
+    p.add_argument("--scale", type=float, default=0.2,
+                   help="workload scale vs the paper (default 0.2; "
+                        "1.0 = full paper parameters)")
+    p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser("inspect", help="dump the SSP's view of a volume")
+    p.add_argument("--files", type=int, default=10)
+    p.set_defaults(func=_cmd_inspect)
+
+    p = sub.add_parser("fsck",
+                       help="audit a demo volume (with optional injected "
+                            "corruption)")
+    p.add_argument("--corrupt", action="store_true",
+                   help="flip a bit in one data block first")
+    p.set_defaults(func=_cmd_fsck)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,30 @@
+"""Cryptographic substrate for the SHAROES reproduction.
+
+Everything is implemented from scratch (no crypto packages exist in this
+environment): AES (FIPS-197), a fast hashlib-backed stream cipher, RSA,
+ESIGN signatures, prime generation, HMAC/KDF helpers, and the instrumented
+:class:`~repro.crypto.provider.CryptoProvider` facade that the rest of the
+library calls through.
+"""
+
+from . import aes, esign, hashes, ibe, keys, primes, rsa, stream
+from .keys import ObjectKeySet, new_signature_pair, new_symmetric_key
+from .provider import AesEngine, CryptoEvent, CryptoProvider, StreamEngine
+
+__all__ = [
+    "aes",
+    "ibe",
+    "esign",
+    "hashes",
+    "keys",
+    "primes",
+    "rsa",
+    "stream",
+    "ObjectKeySet",
+    "new_signature_pair",
+    "new_symmetric_key",
+    "AesEngine",
+    "CryptoEvent",
+    "CryptoProvider",
+    "StreamEngine",
+]

@@ -1,0 +1,218 @@
+"""Identity-Based Encryption (Cocks' quadratic-residue scheme).
+
+Paper section II-A assumes either a PKI or "usage of Identity-Based
+Encryption schemes in which the email address of the user is a valid
+public key" [Boneh-Franklin].  Boneh-Franklin needs elliptic-curve
+pairings; Cocks' 2001 scheme achieves IBE from quadratic residues alone,
+which is implementable from scratch -- so it is what this reproduction
+ships to discharge the assumption.
+
+Scheme summary (Blum modulus n = p*q with p = q = 3 (mod 4); the key
+authority holds p, q):
+
+* An identity string hashes to ``a`` in Z_n* with Jacobi symbol
+  ``(a/n) = +1`` (counter-hash until it is).
+* Key extraction: the authority computes ``r = a^((n+5-p-q)/8) mod n``;
+  then ``r^2 = a`` (mod n) if ``a`` is a quadratic residue, otherwise
+  ``r^2 = -a`` (mod n).  Which case holds is part of the private key.
+* Encrypting one bit ``m in {+1, -1}``: pick random ``t`` with
+  ``(t/n) = m`` and send ``c = t + a/t`` (and, because the sender does
+  not know which of a, -a is the residue, also ``c' = t' - a/t'`` with a
+  fresh ``t'`` of the same symbol).
+* Decryption: with ``s`` the ciphertext piece matching the private key's
+  case, ``m = Jacobi(s + 2r, n)`` -- since
+  ``s + 2r = t (1 + r/t)^2`` (mod n), whose symbol equals ``(t/n)``.
+
+Cocks encrypts bit-by-bit (two group elements per bit), so it is used
+only to wrap small payloads -- exactly the superblock/group-key lockboxes
+SHAROES needs at enrolment time.
+"""
+
+from __future__ import annotations
+
+import math
+import secrets
+from dataclasses import dataclass
+
+from ..errors import CryptoError
+from ..serialize import Reader, Writer
+from . import hashes
+from .primes import random_prime_3mod4
+
+DEFAULT_MODULUS_BITS = 512
+
+
+def jacobi(a: int, n: int) -> int:
+    """Jacobi symbol (a/n) for odd n > 0."""
+    if n <= 0 or n % 2 == 0:
+        raise CryptoError("Jacobi symbol needs positive odd n")
+    a %= n
+    result = 1
+    while a:
+        while a % 2 == 0:
+            a //= 2
+            if n % 8 in (3, 5):
+                result = -result
+        a, n = n, a
+        if a % 4 == 3 and n % 4 == 3:
+            result = -result
+        a %= n
+    return result if n == 1 else 0
+
+
+@dataclass(frozen=True)
+class PublicParams:
+    """The authority's public parameters: everyone can encrypt with
+    these plus a recipient's identity string."""
+
+    n: int
+
+    @property
+    def byte_length(self) -> int:
+        return (self.n.bit_length() + 7) // 8
+
+    def to_bytes(self) -> bytes:
+        writer = Writer()
+        writer.put_int(self.n)
+        return writer.getvalue()
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "PublicParams":
+        reader = Reader(raw)
+        n = reader.get_int()
+        reader.expect_end()
+        return cls(n=n)
+
+
+@dataclass(frozen=True)
+class IdentityKey:
+    """The extracted private key for one identity."""
+
+    identity: str
+    r: int
+    #: True if a itself is the residue (use c); False for -a (use c').
+    a_is_residue: bool
+
+    def to_bytes(self) -> bytes:
+        writer = Writer()
+        writer.put_str(self.identity)
+        writer.put_int(self.r)
+        writer.put_bool(self.a_is_residue)
+        return writer.getvalue()
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "IdentityKey":
+        reader = Reader(raw)
+        identity = reader.get_str()
+        r = reader.get_int()
+        a_is_residue = reader.get_bool()
+        reader.expect_end()
+        return cls(identity=identity, r=r, a_is_residue=a_is_residue)
+
+
+def identity_element(params: PublicParams, identity: str) -> int:
+    """Hash an identity to ``a`` with Jacobi symbol +1 (counter-hash)."""
+    counter = 0
+    while True:
+        material = hashes.digest(
+            f"sharoes-ibe:{counter}:{identity}".encode("utf-8"))
+        # widen to modulus size
+        stretched = hashes.derive_key(material, "ibe-widen",
+                                      params.byte_length)
+        a = int.from_bytes(stretched, "big") % params.n
+        if a > 1 and math.gcd(a, params.n) == 1 and jacobi(
+                a, params.n) == 1:
+            return a
+        counter += 1
+
+
+class KeyAuthority:
+    """The enterprise's IBE key authority (holds the master secret).
+
+    Lives inside the trust domain -- like the paper's PKI, it is
+    enterprise infrastructure, never the SSP's.
+    """
+
+    def __init__(self, modulus_bits: int = DEFAULT_MODULUS_BITS):
+        half = modulus_bits // 2
+        self._p = random_prime_3mod4(half)
+        self._q = random_prime_3mod4(modulus_bits - half)
+        while self._q == self._p:
+            self._q = random_prime_3mod4(modulus_bits - half)
+        self.params = PublicParams(n=self._p * self._q)
+
+    def extract(self, identity: str) -> IdentityKey:
+        """Compute the private key for an identity (master-key op)."""
+        n = self.params.n
+        a = identity_element(self.params, identity)
+        exponent = (n + 5 - self._p - self._q) // 8
+        r = pow(a, exponent, n)
+        if pow(r, 2, n) == a % n:
+            return IdentityKey(identity=identity, r=r, a_is_residue=True)
+        if pow(r, 2, n) == (-a) % n:
+            return IdentityKey(identity=identity, r=r, a_is_residue=False)
+        raise CryptoError("Cocks extraction failed (non-Blum modulus?)")
+
+
+def _encrypt_bit(params: PublicParams, a: int, bit: int) -> tuple[int, int]:
+    """One plaintext bit -> the (c, c') pair."""
+    symbol = 1 if bit else -1
+    n = params.n
+
+    def sample() -> int:
+        while True:
+            t = secrets.randbelow(n - 2) + 2
+            if math.gcd(t, n) == 1 and jacobi(t, n) == symbol:
+                return t
+
+    t1 = sample()
+    c = (t1 + a * pow(t1, -1, n)) % n
+    t2 = sample()
+    c_prime = (t2 - a * pow(t2, -1, n)) % n
+    return c, c_prime
+
+
+def _decrypt_bit(params: PublicParams, key: IdentityKey,
+                 c: int, c_prime: int) -> int:
+    s = c if key.a_is_residue else c_prime
+    symbol = jacobi((s + 2 * key.r) % params.n, params.n)
+    if symbol == 0:
+        raise CryptoError("degenerate IBE ciphertext")
+    return 1 if symbol == 1 else 0
+
+
+def encrypt(params: PublicParams, identity: str, payload: bytes) -> bytes:
+    """Encrypt ``payload`` to an identity string (no key lookup needed).
+
+    Cocks is bit-by-bit (2 modulus-size elements per bit), so payloads
+    should be small -- wrap a symmetric key, not a file.
+    """
+    if len(payload) > 64:
+        raise CryptoError("IBE payloads are capped at 64 bytes; wrap a "
+                          "symmetric key instead")
+    a = identity_element(params, identity)
+    writer = Writer()
+    writer.put_int(len(payload))
+    for byte in payload:
+        for bit_index in range(8):
+            bit = (byte >> (7 - bit_index)) & 1
+            c, c_prime = _encrypt_bit(params, a, bit)
+            writer.put_int(c)
+            writer.put_int(c_prime)
+    return writer.getvalue()
+
+
+def decrypt(params: PublicParams, key: IdentityKey, blob: bytes) -> bytes:
+    """Decrypt with the extracted identity key."""
+    reader = Reader(blob)
+    length = reader.get_int()
+    out = bytearray()
+    for _ in range(length):
+        byte = 0
+        for _ in range(8):
+            c = reader.get_int()
+            c_prime = reader.get_int()
+            byte = (byte << 1) | _decrypt_bit(params, key, c, c_prime)
+        out.append(byte)
+    reader.expect_end()
+    return bytes(out)

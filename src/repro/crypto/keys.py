@@ -1,0 +1,86 @@
+"""Key generation helpers for SHAROES objects.
+
+Every file or directory carries (paper section II-B):
+
+* **DEK** -- symmetric Data Encryption Key for its data block;
+* **DSK/DVK** -- asymmetric Data Signing / Verification keys distinguishing
+  writers from readers;
+* **MEK** -- symmetric Metadata Encryption Key (held by the parent
+  directory's table, or the superblock for the root);
+* **MSK/MVK** -- asymmetric Metadata Signing / Verification keys
+  (MSK distributed only to owners).
+
+This module generates those keys.  Signature pairs default to ESIGN (the
+paper's fast choice); symmetric keys are 128-bit, matching the paper's
+AES-128 / NIST SP 800-78 configuration.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+
+from . import esign
+
+SYMMETRIC_KEY_BYTES = 16
+
+#: Prime size used for object signature pairs.  96-bit primes keep key
+#: generation cheap enough to mint two pairs per created file while still
+#: exercising the real algebra; production deployments would raise this
+#: (the cost model charges 2008-era ESIGN costs regardless).
+OBJECT_SIGNATURE_PRIME_BITS = 96
+
+
+def new_symmetric_key() -> bytes:
+    """Fresh random 128-bit symmetric key (a DEK or MEK)."""
+    return secrets.token_bytes(SYMMETRIC_KEY_BYTES)
+
+
+def new_signature_pair(prime_bits: int = OBJECT_SIGNATURE_PRIME_BITS
+                       ) -> esign.SignatureKeyPair:
+    """Fresh ESIGN pair for DSK/DVK or MSK/MVK."""
+    return esign.generate_keypair(prime_bits=prime_bits)
+
+
+@dataclass
+class ObjectKeySet:
+    """The complete key material minted for one filesystem object.
+
+    Only the *owner's* CAP ever sees all of these; other CAPs receive a
+    filtered view (see :mod:`repro.caps`).
+    """
+
+    dek: bytes
+    dsk: esign.SigningKey
+    dvk: esign.VerificationKey
+    mek: bytes
+    msk: esign.SigningKey
+    mvk: esign.VerificationKey
+
+    @classmethod
+    def generate(cls, prime_bits: int = OBJECT_SIGNATURE_PRIME_BITS
+                 ) -> "ObjectKeySet":
+        data_pair = new_signature_pair(prime_bits)
+        meta_pair = new_signature_pair(prime_bits)
+        return cls(
+            dek=new_symmetric_key(),
+            dsk=data_pair.signing,
+            dvk=data_pair.verification,
+            mek=new_symmetric_key(),
+            msk=meta_pair.signing,
+            mvk=meta_pair.verification,
+        )
+
+    def rekey_data(self) -> None:
+        """Replace the data keys (used by revocation)."""
+        pair = new_signature_pair(self.dsk.prime_bits)
+        self.dek = new_symmetric_key()
+        self.dsk = pair.signing
+        self.dvk = pair.verification
+
+    def rekey_metadata(self) -> None:
+        """Replace the metadata keys (used by revocation)."""
+        pair = new_signature_pair(self.msk.prime_bits)
+        self.mek = new_symmetric_key()
+        self.msk = pair.signing
+        self.mvk = pair.verification

@@ -1,0 +1,100 @@
+"""Prime generation and primality testing.
+
+RSA and ESIGN key generation both need large random primes.  We implement
+Miller-Rabin with a deterministic witness set for small inputs and a
+configurable number of random rounds for cryptographic sizes, preceded by
+trial division against a small-prime sieve to cheaply reject most
+candidates.
+"""
+
+from __future__ import annotations
+
+import secrets
+
+# Deterministic Miller-Rabin witnesses: sufficient for all n < 3.3 * 10**24.
+_DETERMINISTIC_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+_DETERMINISTIC_LIMIT = 3_317_044_064_679_887_385_961_981
+
+_SIEVE_LIMIT = 2000
+
+
+def _small_primes(limit: int = _SIEVE_LIMIT) -> tuple[int, ...]:
+    """Return all primes below ``limit`` via the sieve of Eratosthenes."""
+    sieve = bytearray([1]) * limit
+    sieve[0:2] = b"\x00\x00"
+    for i in range(2, int(limit ** 0.5) + 1):
+        if sieve[i]:
+            sieve[i * i:limit:i] = b"\x00" * len(range(i * i, limit, i))
+    return tuple(i for i in range(limit) if sieve[i])
+
+
+SMALL_PRIMES = _small_primes()
+
+
+def _miller_rabin_round(n: int, d: int, r: int, witness: int) -> bool:
+    """One Miller-Rabin round; True if ``n`` passes for this witness."""
+    x = pow(witness, d, n)
+    if x in (1, n - 1):
+        return True
+    for _ in range(r - 1):
+        x = (x * x) % n
+        if x == n - 1:
+            return True
+    return False
+
+
+def is_prime(n: int, rounds: int = 40) -> bool:
+    """Probabilistic primality test.
+
+    Deterministic for ``n`` below ~3.3e24 (fixed witness set), otherwise
+    Miller-Rabin with ``rounds`` random witnesses (error probability below
+    4**-rounds).
+    """
+    if n < 2:
+        return False
+    for p in SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+
+    if n < _DETERMINISTIC_LIMIT:
+        witnesses = [w for w in _DETERMINISTIC_WITNESSES if w < n - 1]
+    else:
+        witnesses = [secrets.randbelow(n - 3) + 2 for _ in range(rounds)]
+
+    return all(_miller_rabin_round(n, d, r, w) for w in witnesses)
+
+
+def random_prime(bits: int, rng: secrets.SystemRandom | None = None) -> int:
+    """Return a random prime of exactly ``bits`` bits (top two bits set).
+
+    Setting the top two bits guarantees that the product of two such primes
+    has exactly ``2 * bits`` bits, which RSA key generation relies on.
+    """
+    if bits < 3:
+        raise ValueError("prime must have at least 3 bits")
+    getrandbits = rng.getrandbits if rng is not None else secrets.randbits
+    while True:
+        candidate = getrandbits(bits)
+        candidate |= (1 << (bits - 1)) | (1 << (bits - 2)) | 1
+        if is_prime(candidate):
+            return candidate
+
+
+def random_prime_3mod4(bits: int) -> int:
+    """Return a random ``bits``-bit prime congruent to 3 mod 4.
+
+    ESIGN parameter generation prefers such primes so that small even
+    exponents behave well.
+    """
+    while True:
+        p = random_prime(bits)
+        if p % 4 == 3:
+            return p

@@ -1,0 +1,82 @@
+"""Exception hierarchy for the SHAROES reproduction.
+
+Every error raised by the library derives from :class:`SharoesError` so
+applications can catch library failures with a single handler while still
+being able to distinguish cryptographic failures (which usually indicate an
+attack or a permission problem) from plain filesystem errors.
+"""
+
+from __future__ import annotations
+
+
+class SharoesError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class CryptoError(SharoesError):
+    """A cryptographic operation failed (bad key, bad padding, bad params)."""
+
+
+class IntegrityError(CryptoError):
+    """Signature or MAC verification failed.
+
+    In the SHAROES threat model this means either data corruption or an
+    active attack by the SSP or an unauthorized writer.
+    """
+
+
+class KeyAccessError(CryptoError):
+    """A key field required for the attempted operation is not accessible.
+
+    This is the cryptographic analogue of ``EACCES``: the CAP handed to the
+    caller simply does not contain the key needed.
+    """
+
+
+class FilesystemError(SharoesError):
+    """Base class for filesystem-level failures."""
+
+
+class PermissionDenied(FilesystemError):
+    """The caller's effective permissions do not allow the operation."""
+
+
+class FileNotFound(FilesystemError):
+    """Path component does not exist (``ENOENT``)."""
+
+
+class FileExists(FilesystemError):
+    """Target already exists (``EEXIST``)."""
+
+
+class NotADirectory(FilesystemError):
+    """A path component used as a directory is not one (``ENOTDIR``)."""
+
+
+class IsADirectory(FilesystemError):
+    """File operation attempted on a directory (``EISDIR``)."""
+
+
+class DirectoryNotEmpty(FilesystemError):
+    """rmdir on a non-empty directory (``ENOTEMPTY``)."""
+
+
+class UnsupportedPermission(FilesystemError):
+    """Permission combination the SHAROES design cannot express.
+
+    The paper documents two: write-only / write-exec on objects encrypted
+    with symmetric keys (a writer necessarily holds the decryption key), and
+    exec-only on files (no storage service can run a program it cannot read).
+    """
+
+
+class StorageError(SharoesError):
+    """The SSP failed to store or return a blob."""
+
+
+class BlobNotFound(StorageError):
+    """Requested blob id is not present at the SSP."""
+
+
+class MigrationError(SharoesError):
+    """The migration tool could not transition the local tree."""

@@ -1,0 +1,98 @@
+"""Client-side LRU cache with a byte budget.
+
+The SHAROES filesystem caches *decrypted* metadata, directory tables and
+data blocks; every miss costs an SSP round trip plus decryption, which is
+why the Postmark benchmark (paper Figure 10) sweeps cache size -- the
+smaller the cache, the more the metadata-crypto differences between the
+five implementations show.
+
+Capacity is expressed in bytes of (approximate) decrypted payload, as a
+fraction of the total dataset in the benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    insertions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class LruCache:
+    """Byte-budgeted LRU.  ``capacity_bytes=0`` disables caching entirely;
+    ``capacity_bytes=None`` means unbounded (the 100% point in Figure 10).
+    """
+
+    def __init__(self, capacity_bytes: int | None = None):
+        if capacity_bytes is not None and capacity_bytes < 0:
+            raise ValueError("capacity must be >= 0 (or None for unbounded)")
+        self.capacity_bytes = capacity_bytes
+        self.stats = CacheStats()
+        self._entries: OrderedDict[Hashable, tuple[Any, int]] = OrderedDict()
+        self._used_bytes = 0
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used_bytes
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable) -> Any | None:
+        """Return the cached value or None; refreshes recency on hit."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        self._entries.move_to_end(key)
+        return entry[0]
+
+    def put(self, key: Hashable, value: Any, size_bytes: int) -> None:
+        """Insert/replace; evicts least-recently-used entries to fit.
+
+        Objects larger than the whole budget are simply not cached.
+        """
+        if self.capacity_bytes == 0:
+            return
+        if key in self._entries:
+            self._used_bytes -= self._entries.pop(key)[1]
+        if (self.capacity_bytes is not None
+                and size_bytes > self.capacity_bytes):
+            return
+        self._entries[key] = (value, size_bytes)
+        self._used_bytes += size_bytes
+        self.stats.insertions += 1
+        while (self.capacity_bytes is not None
+               and self._used_bytes > self.capacity_bytes):
+            _, (_, evicted_size) = self._entries.popitem(last=False)
+            self._used_bytes -= evicted_size
+            self.stats.evictions += 1
+
+    def invalidate(self, key: Hashable) -> None:
+        entry = self._entries.pop(key, None)
+        if entry is not None:
+            self._used_bytes -= entry[1]
+
+    def invalidate_prefix(self, prefix: tuple) -> None:
+        """Drop every entry whose (tuple) key starts with ``prefix``."""
+        victims = [k for k in self._entries
+                   if isinstance(k, tuple) and k[:len(prefix)] == prefix]
+        for key in victims:
+            self.invalidate(key)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._used_bytes = 0

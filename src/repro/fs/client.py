@@ -1,0 +1,1398 @@
+"""The SHAROES filesystem client.
+
+This is the component installed at every enterprise client (the paper's
+FUSE filesystem): it mounts the SSP-hosted volume, navigates the
+CAP-based metadata design, performs every cryptographic operation, and
+exposes POSIX-style operations (getattr, readdir, mkdir, mknod, open,
+read, write, close, chmod, chown, rename, unlink, rmdir...).
+
+Design invariants (paper sections II-IV):
+
+* keys never leave the enterprise in plaintext -- the client decrypts the
+  per-user superblock with the user's private key once at mount, then all
+  key distribution is in-band (parent tables carry children's MEK/MVK);
+* metadata operations use symmetric crypto only;
+* the SSP is never asked to enforce anything: "permission denied" here is
+  either an honest-client mode check or, at bottom, the absence of a key;
+* writes are cached locally and encrypted + uploaded on close;
+* every operation charges the simulated cost model (network / crypto /
+  other) so benchmarks reproduce the paper's 2008 testbed numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..caps.model import VIEW_NONE, Cap, cap_for_bits
+from ..caps.record import (ObjectRecord, lockbox_payload, open_metadata_blob,
+                           parse_lockbox_payload)
+from ..crypto import esign
+from ..crypto.provider import CryptoProvider
+from ..errors import (BlobNotFound, CryptoError, DirectoryNotEmpty,
+                      FileExists, FileNotFound, FilesystemError,
+                      IntegrityError, IsADirectory, NotADirectory,
+                      PermissionDenied, SharoesError)
+from ..fs import path as fspath
+from ..principals.groups import UserAgent
+from ..principals.users import User
+from ..sim.costmodel import CostModel
+from ..storage.blobs import (BlobId, group_key_blob, lockbox_blob,
+                             meta_blob, superblock_blob)
+from .cache import LruCache
+from .dirtable import DIRECT, SPLIT, ZERO, DirEntry, DirPointer, TableView
+from .freshness import FreshnessMonitor
+from .metadata import MetadataAttrs, MetadataView, Stat
+from .permissions import DIRECTORY, FILE, SYMLINK, AclEntry
+from .sealed import bind_context, open_verified, seal_and_sign
+from .superblock import Superblock
+from .volume import SharoesVolume, block_blob_id, table_blob_id
+
+_REQUEST_HEADER_BYTES = 64
+_RESPONSE_HEADER_BYTES = 16
+
+#: CAP ids that allow traversing a directory (the *nix x bit).
+_TRAVERSE_CAPS = frozenset({"drx", "drwx", "dx"})
+#: CAP ids that allow listing a directory (the *nix r bit).
+_LIST_CAPS = frozenset({"dr", "drx", "drwx"})
+#: CAP ids that allow modifying a directory (w and x bits).
+_DIR_WRITE_CAPS = frozenset({"drwx"})
+
+
+@dataclass
+class ClientConfig:
+    """Tunables for one mounted client."""
+
+    #: unified decrypted-object cache budget in bytes (None = unbounded,
+    #: 0 = disabled).  The Postmark benchmark sweeps this.
+    cache_bytes: int | None = None
+    #: cache metadata/table objects?  Disabled for close-to-open style
+    #: consistency (each operation revalidates), as the Andrew benchmark
+    #: requires.
+    metadata_cache: bool = True
+    #: cache decrypted file data blocks?
+    data_cache: bool = True
+    #: re-encrypt immediately on revocation (paper's prototype default)
+    #: or lazily on next write (Plutus-style).
+    immediate_revocation: bool = True
+    #: rewrite metadata replicas on close so size/version stay fresh.
+    #: Default False: the paper's Figure 8 prices close as exactly
+    #: "1-dataencrypt, data send", leaving metadata sizes stale until the
+    #: owner next touches the object (block 0 carries the authoritative
+    #: block count, so reads are unaffected).
+    update_metadata_on_close: bool = False
+    #: track metadata version monotonicity to detect SSP rollbacks of
+    #: previously-visited objects (the paper's SUNDR-inspired integrity
+    #: future work; see fs/freshness.py).
+    check_freshness: bool = True
+    #: symmetric engine override ("stream" fast / "aes" real AES).
+    #: None (default) inherits the volume's engine -- sealed blobs from
+    #: different engines do not interoperate.
+    engine: str | None = None
+
+
+@dataclass
+class ResolvedNode:
+    """A path component resolved to its decrypted metadata replica."""
+
+    inode: int
+    selector: str
+    mek: bytes
+    mvk: esign.VerificationKey
+    view: MetadataView
+
+    @property
+    def attrs(self) -> MetadataAttrs:
+        return self.view.attrs
+
+    @property
+    def cap_id(self) -> str:
+        return self.view.cap_id
+
+
+@dataclass
+class OpenFile:
+    """A write-back file handle: writes buffer locally, flush on close.
+
+    This mirrors the paper's prototype ("we cache all writes locally and
+    only encrypt the file before sending it to the SSP as the result of a
+    file close"), and its block layout means a partial update only
+    re-encrypts and re-uploads the touched blocks.
+    """
+
+    fs: "SharoesFilesystem"
+    path: str
+    node: ResolvedNode
+    readable: bool
+    writable: bool
+    _buffer: bytearray = field(default_factory=bytearray)
+    _loaded: bool = False
+    _dirty: bool = False
+    _original_blocks: list[bytes] = field(default_factory=list)
+    _closed: bool = False
+
+    def _ensure_loaded(self) -> None:
+        if self._loaded:
+            return
+        content, blocks = self.fs._read_blocks(self.node)
+        self._buffer = bytearray(content)
+        self._original_blocks = blocks
+        self._loaded = True
+
+    def read(self, size: int | None = None, offset: int = 0) -> bytes:
+        if self._closed:
+            raise FilesystemError("read on closed handle")
+        if not self.readable:
+            raise PermissionDenied(f"{self.path}: not opened for reading")
+        self._ensure_loaded()
+        end = len(self._buffer) if size is None else offset + size
+        return bytes(self._buffer[offset:end])
+
+    def write(self, data: bytes) -> int:
+        """Append ``data`` at the end of the file."""
+        self._ensure_loaded()
+        return self.pwrite(data, len(self._buffer))
+
+    def pwrite(self, data: bytes, offset: int) -> int:
+        if self._closed:
+            raise FilesystemError("write on closed handle")
+        if not self.writable:
+            raise PermissionDenied(f"{self.path}: not opened for writing")
+        self._ensure_loaded()
+        if offset > len(self._buffer):
+            self._buffer.extend(b"\x00" * (offset - len(self._buffer)))
+        self._buffer[offset:offset + len(data)] = data
+        self._dirty = True
+        return len(data)
+
+    def truncate(self, size: int = 0) -> None:
+        if not self.writable:
+            raise PermissionDenied(f"{self.path}: not opened for writing")
+        self._ensure_loaded()
+        del self._buffer[size:]
+        self._dirty = True
+
+    def close(self) -> None:
+        """Encrypt dirty blocks and upload (the paper's ``close`` cost)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._dirty:
+            self.fs._flush_file(self.node, bytes(self._buffer),
+                                self._original_blocks)
+
+    def __enter__(self) -> "OpenFile":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class SharoesFilesystem:
+    """A mounted SHAROES client for one user."""
+
+    def __init__(self, volume: SharoesVolume, user: User,
+                 cost_model: CostModel | None = None,
+                 config: ClientConfig | None = None):
+        self.volume = volume
+        self.config = config or ClientConfig()
+        engine = self.config.engine or getattr(volume, "engine", "stream")
+        self.provider = CryptoProvider(engine)
+        self.cost = cost_model
+        if cost_model is not None:
+            self.provider.add_listener(cost_model.on_crypto_event)
+        self.agent = UserAgent(user, self.provider)
+        self.cache = LruCache(self.config.cache_bytes)
+        self.freshness = FreshnessMonitor()
+        #: optional fork-consistency log (see enable_consistency_log)
+        self.consistency = None
+        #: SSP requests issued by this client (batched puts count once).
+        self.request_count = 0
+        self._superblock: Superblock | None = None
+
+    def enable_consistency_log(self):
+        """Attach a SUNDR-style fork-consistency log (paper section VI).
+
+        Every verified metadata fetch feeds the log; call
+        ``publish_statement()`` periodically and ``sync_statements()``
+        to cross-check peers.  Returns the log.
+        """
+        from .consistency import ConsistencyLog
+        self.consistency = ConsistencyLog(
+            self.agent.user_id, self.agent.user.private_key,
+            self.volume.registry.directory, self.provider)
+        return self.consistency
+
+    def publish_statement(self):
+        """Sign + upload this client's version statement (if enabled)."""
+        if self.consistency is None:
+            raise SharoesError("consistency log not enabled")
+        self._charge_other()
+        statement = self.consistency.publish(self.volume.server)
+        if self.cost is not None:
+            self.cost.charge_request(
+                len(statement.to_bytes()) + _REQUEST_HEADER_BYTES,
+                _RESPONSE_HEADER_BYTES)
+        return statement
+
+    def sync_statements(self, peer_ids: list[str] | None = None):
+        """Fetch + fork-check peers' statements (if enabled).
+
+        Raises :class:`repro.fs.consistency.ForkDetected` when the SSP
+        has shown this client and a peer divergent histories.
+        """
+        if self.consistency is None:
+            raise SharoesError("consistency log not enabled")
+        self._charge_other()
+        if peer_ids is None:
+            peer_ids = [u.user_id
+                        for u in self.volume.registry.users()]
+        accepted = self.consistency.sync(self.volume.server, peer_ids)
+        if self.cost is not None:
+            for statement in accepted:
+                self.cost.charge_request(
+                    _REQUEST_HEADER_BYTES,
+                    len(statement.to_bytes()) + _RESPONSE_HEADER_BYTES)
+        return accepted
+
+    # ------------------------------------------------------------------ wire
+
+    def _charge_other(self) -> None:
+        if self.cost is not None:
+            self.cost.charge_other()
+
+    def _get(self, blob_id: BlobId) -> bytes:
+        self.request_count += 1
+        try:
+            payload = self.volume.server.get(blob_id)
+        except BlobNotFound:
+            if self.cost is not None:
+                self.cost.charge_request(_REQUEST_HEADER_BYTES,
+                                         _RESPONSE_HEADER_BYTES)
+            raise
+        if self.cost is not None:
+            self.cost.charge_request(
+                _REQUEST_HEADER_BYTES,
+                len(payload) + _RESPONSE_HEADER_BYTES)
+        return payload
+
+    def _put(self, blob_id: BlobId, payload: bytes) -> None:
+        self.request_count += 1
+        if self.cost is not None:
+            self.cost.charge_request(
+                len(payload) + _REQUEST_HEADER_BYTES, _RESPONSE_HEADER_BYTES)
+        self.volume.server.put(blob_id, payload)
+
+    def _put_many(self, blobs: list[tuple[BlobId, bytes]]) -> None:
+        """Upload several blobs in one request (one round trip).
+
+        Matches the paper's Figure 8 cost table: a create performs one
+        "metadata send" and one "parent-dir send" even when multiple CAP
+        replicas are involved -- the per-CAP multiplier applies to the
+        crypto column, not the network column.
+        """
+        if not blobs:
+            return
+        self.request_count += 1
+        if self.cost is not None:
+            total = sum(len(payload) for _, payload in blobs)
+            self.cost.charge_request(total + _REQUEST_HEADER_BYTES,
+                                     _RESPONSE_HEADER_BYTES)
+        for blob_id, payload in blobs:
+            self.volume.server.put(blob_id, payload)
+
+    def _delete(self, blob_id: BlobId) -> None:
+        self.request_count += 1
+        if self.cost is not None:
+            self.cost.charge_request(_REQUEST_HEADER_BYTES,
+                                     _RESPONSE_HEADER_BYTES)
+        self.volume.server.delete(blob_id)
+
+    def _delete_many(self, blob_ids: list[BlobId]) -> None:
+        """Batch deletion: one request regardless of blob count."""
+        if not blob_ids:
+            return
+        self.request_count += 1
+        if self.cost is not None:
+            self.cost.charge_request(
+                _REQUEST_HEADER_BYTES * len(blob_ids),
+                _RESPONSE_HEADER_BYTES)
+        for blob_id in blob_ids:
+            self.volume.server.delete(blob_id)
+
+    # ------------------------------------------------------------------ mount
+
+    def mount(self) -> None:
+        """Fetch + decrypt this user's superblock and group keys.
+
+        The single public-key decryption here is the only one on the
+        normal access path (paper section III-C).
+        """
+        self._charge_other()
+        blob = self._get(superblock_blob(self.agent.user_id))
+        self._superblock = Superblock.unwrap(
+            self.provider, self.agent.user.private_key, blob)
+        for group_id in sorted(self.agent.user.groups):
+            try:
+                wrapped = self._get(
+                    group_key_blob(group_id, self.agent.user_id))
+            except BlobNotFound:
+                continue
+            self.agent.install_group_key(group_id, wrapped)
+
+    @property
+    def mounted(self) -> bool:
+        return self._superblock is not None
+
+    def _require_mounted(self) -> Superblock:
+        if self._superblock is None:
+            raise FilesystemError("filesystem is not mounted")
+        return self._superblock
+
+    def unmount(self) -> None:
+        self._superblock = None
+        self.cache.clear()
+        self.agent.group_keys.clear()
+
+    # ------------------------------------------------------------------ fetch
+
+    def _fetch_view(self, inode: int, selector: str, mek: bytes,
+                    mvk: esign.VerificationKey) -> MetadataView:
+        key = ("meta", inode, selector)
+        if self.config.metadata_cache:
+            cached = self.cache.get(key)
+            if cached is not None:
+                return cached
+        try:
+            blob = self._get(meta_blob(inode, selector))
+        except BlobNotFound:
+            raise PermissionDenied(
+                f"inode {inode}: no metadata replica for your permissions"
+            ) from None
+        view = open_metadata_blob(self.provider, inode, selector, mek,
+                                  mvk, blob)
+        if self.config.check_freshness:
+            self.freshness.observe_metadata(
+                inode, view.attrs.version, self._attrs_digest(view.attrs))
+        if self.consistency is not None:
+            self.consistency.observe(inode, view.attrs.version)
+        if self.config.metadata_cache:
+            self.cache.put(key, view, len(blob))
+        return view
+
+    @staticmethod
+    def _attrs_digest(attrs: MetadataAttrs) -> bytes:
+        """Canonical attribute bytes: identical across CAP replicas of
+        one object version, so equivocation between versions is caught
+        without false positives between selectors."""
+        from ..serialize import Writer
+        writer = Writer()
+        attrs.to_writer(writer)
+        return writer.getvalue()
+
+    def _fetch_table(self, node: ResolvedNode) -> TableView:
+        if node.attrs.ftype != DIRECTORY:
+            raise NotADirectory(f"inode {node.inode} is not a directory")
+        key = ("table", node.inode, node.selector)
+        if self.config.metadata_cache:
+            cached = self.cache.get(key)
+            if cached is not None:
+                return cached
+        dek = node.view.require_dek()
+        dvk = node.view.require_dvk()
+        blob = self._get(table_blob_id(node.inode, node.selector))
+        context = bind_context("table", node.inode, node.selector)
+        payload = open_verified(self.provider, dek, dvk, context, blob)
+        view = TableView.from_bytes(payload)
+        if self.config.metadata_cache:
+            self.cache.put(key, view, len(blob))
+        return view
+
+    def _invalidate(self, inode: int) -> None:
+        self.cache.invalidate_prefix(("meta", inode))
+        self.cache.invalidate_prefix(("table", inode))
+        self.cache.invalidate_prefix(("data", inode))
+
+    # ------------------------------------------------------------------ resolve
+
+    def _root_node(self) -> ResolvedNode:
+        sb = self._require_mounted()
+        mvk = esign.VerificationKey.from_bytes(sb.root_mvk)
+        view = self._fetch_view(sb.root_inode, sb.root_selector,
+                                sb.root_mek, mvk)
+        return ResolvedNode(inode=sb.root_inode, selector=sb.root_selector,
+                            mek=sb.root_mek, mvk=mvk, view=view)
+
+    def _resolve_lockbox(self, inode: int) -> tuple[str, bytes, bytes]:
+        """Split-point resolution: try each of this agent's identities."""
+        for principal_id in self.agent.principal_ids():
+            try:
+                blob = self._get(lockbox_blob(inode, principal_id))
+            except BlobNotFound:
+                continue
+            payload = self.agent.unwrap(principal_id, blob)
+            return parse_lockbox_payload(payload)
+        raise PermissionDenied(
+            f"inode {inode}: split point with no lockbox for "
+            f"{self.agent.user_id}")
+
+    def _follow_entry(self, entry: DirEntry) -> ResolvedNode:
+        if entry.kind == ZERO:
+            raise PermissionDenied(
+                f"{entry.name!r}: your permission chain has no access")
+        if entry.kind == SPLIT:
+            selector, mek, mvk_raw = self._resolve_lockbox(entry.inode)
+        else:
+            assert entry.pointer is not None
+            selector = entry.pointer.selector
+            mek = entry.pointer.mek
+            mvk_raw = entry.pointer.mvk
+        mvk = esign.VerificationKey.from_bytes(mvk_raw)
+        view = self._fetch_view(entry.inode, selector, mek, mvk)
+        return ResolvedNode(inode=entry.inode, selector=selector, mek=mek,
+                            mvk=mvk, view=view)
+
+    def _lookup_child(self, dir_node: ResolvedNode,
+                      name: str) -> ResolvedNode:
+        if dir_node.cap_id not in _TRAVERSE_CAPS:
+            raise PermissionDenied(
+                f"inode {dir_node.inode}: traversal requires exec "
+                f"permission (CAP {dir_node.cap_id})")
+        table = self._fetch_table(dir_node)
+        entry = table.lookup(name, provider=self.provider,
+                             table_dek=dir_node.view.require_dek())
+        return self._follow_entry(entry)
+
+    _MAX_SYMLINK_DEPTH = 8
+
+    def _resolve(self, path: str, follow_last: bool = True,
+                 _depth: int = 0) -> ResolvedNode:
+        node = self._root_node()
+        parts = fspath.split_path(path)
+        for index, name in enumerate(parts):
+            node = self._lookup_child(node, name)
+            is_last = index == len(parts) - 1
+            if node.attrs.ftype == SYMLINK and (follow_last or
+                                                not is_last):
+                if _depth >= self._MAX_SYMLINK_DEPTH:
+                    raise FilesystemError(
+                        f"{path}: too many levels of symbolic links")
+                target = self._read_symlink_target(node)
+                remainder = parts[index + 1:]
+                combined = (fspath.join(target, *remainder)
+                            if remainder else fspath.normalize(target))
+                return self._resolve(combined, follow_last=follow_last,
+                                     _depth=_depth + 1)
+        return node
+
+    def _read_symlink_target(self, node: ResolvedNode) -> str:
+        content, _ = self._read_blocks(node)
+        try:
+            return content.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise FilesystemError(
+                f"inode {node.inode}: corrupt symlink target") from exc
+
+    def _resolve_parent(self, path: str) -> tuple[ResolvedNode, str]:
+        parent_path, name = fspath.parent_and_name(path)
+        return self._resolve(parent_path), name
+
+    # ------------------------------------------------------------------ reads
+
+    def getattr(self, path: str) -> Stat:
+        """stat(2): fetch + decrypt the metadata replica (paper Fig. 8).
+
+        Follows symlinks, like stat(2); use :meth:`lstat` not to.
+        """
+        self._charge_other()
+        return Stat.from_attrs(self._resolve(path).attrs)
+
+    def lstat(self, path: str) -> Stat:
+        """stat without following a final symlink (lstat(2))."""
+        self._charge_other()
+        return Stat.from_attrs(
+            self._resolve(path, follow_last=False).attrs)
+
+    def symlink(self, target: str, path: str, mode: int = 0o644) -> Stat:
+        """Create a symbolic link at ``path`` pointing at ``target``.
+
+        Targets are absolute volume paths.  The target string is stored
+        encrypted like file content, so the SSP cannot see link topology.
+        """
+        fspath.split_path(target)  # validates absolute form
+        stat = self._create(path, mode, SYMLINK, None, ())
+        node = self._resolve(path, follow_last=False)
+        self._flush_file(node, target.encode("utf-8"), [])
+        return stat
+
+    def readlink(self, path: str) -> str:
+        """Return a symlink's target (readlink(2))."""
+        self._charge_other()
+        node = self._resolve(path, follow_last=False)
+        if node.attrs.ftype != SYMLINK:
+            raise FilesystemError(f"{path} is not a symbolic link")
+        return self._read_symlink_target(node)
+
+    def link(self, existing_path: str, new_path: str) -> Stat:
+        """Create a hard link (owner only: the link count lives in
+        metadata, which only the MSK holder can update, and the new
+        parent's rows need the object's per-selector MEKs)."""
+        self._charge_other()
+        node = self._resolve(existing_path, follow_last=False)
+        if node.attrs.ftype == DIRECTORY:
+            raise IsADirectory(
+                f"{existing_path}: directories cannot be hard-linked")
+        record = ObjectRecord.from_owner_view(node.view, node.mvk)
+        new_parent, name = self._resolve_parent(new_path)
+        self._require_dir_write(new_parent, new_path)
+        if name in self._fetch_table(new_parent):
+            raise FileExists(new_path)
+        record.attrs.nlink += 1
+        record.attrs.version += 1
+        self._write_metadata_replicas(record)
+
+        split_seen = False
+
+        def add_row(view: TableView, selector: str, dek: bytes) -> None:
+            nonlocal split_seen
+            entry = self._entry_for_selector(new_parent.attrs, record,
+                                             selector, name)
+            split_seen = split_seen or entry.kind == SPLIT
+            view.add(entry, provider=self.provider, table_dek=dek)
+
+        self._update_parent_tables(new_parent, add_row)
+        if split_seen or record.attrs.acl:
+            self._write_lockboxes(record)
+        return Stat.from_attrs(record.attrs)
+
+    def readdir(self, path: str) -> list[str]:
+        """List a directory (requires the read CAP)."""
+        self._charge_other()
+        node = self._resolve(path)
+        if node.attrs.ftype != DIRECTORY:
+            raise NotADirectory(path)
+        if node.cap_id not in _LIST_CAPS:
+            raise PermissionDenied(
+                f"{path}: listing requires read permission "
+                f"(CAP {node.cap_id})")
+        return self._fetch_table(node).list_names()
+
+    def access(self, path: str, want: str) -> bool:
+        """access(2)-style check: ``want`` is a subset of "rwx".
+
+        Evaluates the mode bits for this user's class, exactly like the
+        *nix call; the cryptographic enforcement happens when the
+        operation is actually attempted.
+        """
+        self._charge_other()
+        try:
+            node = self._resolve(path)
+        except (PermissionDenied, FileNotFound):
+            return False
+        bits = node.attrs.perms().bits_for(self.agent.user_id,
+                                           self.agent.user.groups)
+        masks = {"r": 0o4, "w": 0o2, "x": 0o1}
+        return all(bits & masks[ch] for ch in want)
+
+    def _read_blocks(self, node: ResolvedNode) -> tuple[bytes, list[bytes]]:
+        """Fetch, verify and decrypt all data blocks of a file/symlink."""
+        if node.attrs.ftype == DIRECTORY:
+            raise IsADirectory(f"inode {node.inode} is a directory")
+        dek = node.view.require_dek()
+        dvk = node.view.require_dvk()
+        blocks: list[bytes] = []
+        index = 0
+        total = 1  # until block 0 tells us the real count
+        while index < total:
+            cache_key = ("data", node.inode, index)
+            plain: bytes | None = None
+            if self.config.data_cache:
+                plain = self.cache.get(cache_key)
+            if plain is None:
+                try:
+                    blob = self._get(block_blob_id(node.inode, index))
+                except BlobNotFound:
+                    if index == 0:
+                        return b"", []  # empty file: no blocks at all
+                    raise IntegrityError(
+                        f"inode {node.inode}: block {index} missing "
+                        f"(truncation attack?)") from None
+                context = bind_context("data", node.inode, f"b{index}")
+                plain = open_verified(self.provider, dek, dvk, context, blob)
+                if self.config.data_cache:
+                    self.cache.put(cache_key, plain, len(plain))
+            if index == 0:
+                total = int.from_bytes(plain[:4], "big")
+                plain = plain[4:]
+            blocks.append(plain)
+            index += 1
+        return b"".join(blocks), blocks
+
+    def read_file(self, path: str) -> bytes:
+        """Read a whole file (requires the read CAP)."""
+        self._charge_other()
+        node = self._resolve(path)
+        if node.attrs.ftype != FILE:
+            raise IsADirectory(path)
+        if node.cap_id not in ("fr", "frw"):
+            raise PermissionDenied(
+                f"{path}: read requires read permission (CAP {node.cap_id})")
+        content, _ = self._read_blocks(node)
+        return content
+
+    # ------------------------------------------------------------------ writes
+
+    def open(self, path: str, mode: str = "r") -> OpenFile:
+        """Open a file; ``mode`` in {"r", "w", "a", "rw"}.
+
+        "w" truncates.  Writes stay in the local handle until close.
+        """
+        self._charge_other()
+        if mode not in ("r", "w", "a", "rw"):
+            raise FilesystemError(f"bad open mode {mode!r}")
+        node = self._resolve(path)
+        if node.attrs.ftype != FILE:
+            raise IsADirectory(path)
+        readable = "r" in mode
+        writable = mode in ("w", "a", "rw")
+        if readable and node.cap_id not in ("fr", "frw"):
+            raise PermissionDenied(f"{path}: no read permission")
+        if writable and node.cap_id != "frw":
+            raise PermissionDenied(f"{path}: no write permission")
+        handle = OpenFile(fs=self, path=path, node=node,
+                          readable=readable, writable=writable)
+        if mode == "w":
+            handle._loaded = True
+            handle._dirty = True
+            handle._original_blocks = []
+        return handle
+
+    def write_file(self, path: str, data: bytes) -> None:
+        """Truncate + write a whole file."""
+        with self.open(path, "w") as handle:
+            handle.pwrite(data, 0)
+
+    def append_file(self, path: str, data: bytes) -> None:
+        with self.open(path, "a") as handle:
+            handle.write(data)
+
+    def _split_blocks(self, content: bytes) -> list[bytes]:
+        block_size = self.volume.block_size
+        if not content:
+            return []
+        return [content[i:i + block_size]
+                for i in range(0, len(content), block_size)]
+
+    def _flush_file(self, node: ResolvedNode, content: bytes,
+                    original_blocks: list[bytes]) -> None:
+        """Encrypt and upload dirty blocks; update metadata if owner.
+
+        Only blocks whose plaintext changed are re-encrypted and re-sent --
+        the point of the paper's per-block encryption.  Block 0 carries
+        the total block count, so appends rewrite block 0 plus the new
+        blocks, while an in-place change touches exactly one block.
+
+        If a lazy revocation is pending (owner view, needs_rekey), this
+        write is the moment it takes effect: fresh keys, full rewrite.
+        """
+        dek = node.view.require_dek()
+        dsk = node.view.require_dsk()
+        record = None
+        rekeyed = False
+        if node.view.is_owner_view:
+            record = ObjectRecord.from_owner_view(node.view, node.mvk)
+            if record.needs_rekey:
+                record.rekey_data()
+                dek, dsk = record.dek, record.dsk
+                rekeyed = True
+        new_blocks = self._split_blocks(content)
+        old_count = len(original_blocks)
+        new_count = len(new_blocks)
+        outgoing = []
+        for index, block in enumerate(new_blocks):
+            unchanged = (not rekeyed
+                         and index < old_count
+                         and original_blocks[index] == block
+                         and (index > 0 or old_count == new_count))
+            payload = block
+            if index == 0:
+                payload = new_count.to_bytes(4, "big") + block
+            if self.config.data_cache:
+                # Write-through: the plaintext just left this client.
+                self.cache.put(("data", node.inode, index), payload,
+                               len(payload))
+            if unchanged:
+                continue
+            context = bind_context("data", node.inode, f"b{index}")
+            blob = seal_and_sign(self.provider, dek, dsk, context, payload)
+            outgoing.append((block_blob_id(node.inode, index), blob))
+        self._put_many(outgoing)
+        self._delete_tail_blocks(node.inode, new_count,
+                                 max(old_count, node.attrs.block_count))
+        for index in range(new_count, max(old_count,
+                                          node.attrs.block_count) + 1):
+            self.cache.invalidate(("data", node.inode, index))
+        # Per the paper's Figure 8, close costs exactly "1-dataencrypt,
+        # data send": metadata is NOT rewritten on close (writers other
+        # than the owner could not sign it anyway -- MSK is owner-only).
+        # Sizes in metadata may go stale; block 0 carries the
+        # authoritative block count.  Exceptions: a pending lazy
+        # revocation (the fresh DEK must reach the replicas), or the
+        # update_metadata_on_close convenience option.
+        if record is not None and (
+                rekeyed or self.config.update_metadata_on_close):
+            record.attrs.size = len(content)
+            record.attrs.block_count = new_count
+            record.attrs.version += 1
+            self._write_metadata_replicas(record)
+
+    def _delete_tail_blocks(self, inode: int, new_count: int,
+                            known_old_count: int) -> None:
+        """Remove blocks past the new end, sweeping past stale counts."""
+        victims = []
+        index = new_count
+        while index < known_old_count or self.volume.server.exists(
+                block_blob_id(inode, index)):
+            victims.append(block_blob_id(inode, index))
+            index += 1
+        self._delete_many(victims)
+
+    # ------------------------------------------------------------------ create
+
+    def _require_dir_write(self, node: ResolvedNode, path: str) -> None:
+        if node.attrs.ftype != DIRECTORY:
+            raise NotADirectory(path)
+        if node.cap_id not in _DIR_WRITE_CAPS:
+            raise PermissionDenied(
+                f"{path}: modifying a directory requires write+exec "
+                f"(CAP {node.cap_id})")
+
+    def _validate_mode(self, mode: int, ftype: str,
+                       acl: tuple[AclEntry, ...] = ()) -> None:
+        for shift in (6, 3, 0):
+            cap_for_bits((mode >> shift) & 0o7, ftype)  # raises if bad
+        for entry in acl:
+            cap_for_bits(entry.bits, ftype)
+
+    def _write_metadata_replicas(self, record: ObjectRecord) -> None:
+        scheme = self.volume.scheme
+        attrs = record.attrs
+        owner_selector = scheme.owner_selector(attrs)
+        blobs = []
+        for selector in scheme.selectors(attrs):
+            cap = scheme.cap_for_selector(attrs, selector)
+            blob = record.metadata_blob(self.provider, selector, cap,
+                                        selector == owner_selector)
+            blobs.append((meta_blob(attrs.inode, selector), blob))
+        self._put_many(blobs)
+        self.cache.invalidate_prefix(("meta", attrs.inode))
+
+    def _write_empty_tables(self, record: ObjectRecord) -> None:
+        attrs = record.attrs
+        blobs = []
+        for selector in self.volume.scheme.selectors(attrs):
+            style = self.volume.table_style(attrs, selector)
+            if style == VIEW_NONE:
+                continue
+            dek = record.table_deks[selector]
+            view = TableView.build(style, [], provider=self.provider,
+                                   table_dek=dek)
+            context = bind_context("table", attrs.inode, selector)
+            blob = seal_and_sign(self.provider, dek, record.dsk, context,
+                                 view.to_bytes())
+            blobs.append((table_blob_id(attrs.inode, selector), blob))
+            if (self.config.metadata_cache and selector
+                    == self.volume.scheme.owner_selector(attrs)):
+                self.cache.put(("table", attrs.inode, selector), view,
+                               len(blob))
+        self._put_many(blobs)
+
+    def _entry_for_selector(self, parent_attrs: MetadataAttrs,
+                            child_record: ObjectRecord,
+                            parent_selector: str, name: str) -> DirEntry:
+        kind, child_selector = self.volume.scheme.child_pointer(
+            parent_attrs, child_record.attrs, parent_selector)
+        if kind == DIRECT:
+            pointer = DirPointer(
+                selector=child_selector,
+                mek=child_record.selector_meks[child_selector],
+                mvk=child_record.mvk.to_bytes())
+            return DirEntry(name=name, inode=child_record.attrs.inode,
+                            kind=DIRECT, pointer=pointer)
+        return DirEntry(name=name, inode=child_record.attrs.inode, kind=kind)
+
+    def _update_parent_tables(self, parent: ResolvedNode, mutate) -> None:
+        """Rewrite every view of the parent's table through ``mutate``.
+
+        ``mutate(view, selector, dek)`` edits one view in place.  Requires
+        the parent write CAP (table DEK map + DSK), which is how the
+        cryptography enforces the *nix w+x requirement.
+        """
+        scheme = self.volume.scheme
+        attrs = parent.attrs
+        dsk = parent.view.require_dsk()
+        table_deks = parent.view.table_deks
+        if not table_deks:
+            raise PermissionDenied(
+                f"inode {parent.inode}: write CAP carries no table keys")
+        outgoing: list = []
+        for selector in scheme.selectors(attrs):
+            if self.volume.table_style(attrs, selector) == VIEW_NONE:
+                continue
+            dek = table_deks.get(selector)
+            if dek is None:
+                raise PermissionDenied(
+                    f"inode {parent.inode}: missing table key for "
+                    f"{selector!r}")
+            cache_key = ("table", attrs.inode, selector)
+            context = bind_context("table", attrs.inode, selector)
+            view = (self.cache.get(cache_key)
+                    if self.config.metadata_cache else None)
+            if view is None:
+                blob = self._get(table_blob_id(attrs.inode, selector))
+                payload = open_verified(self.provider, dek,
+                                        parent.view.require_dvk(),
+                                        context, blob)
+                view = TableView.from_bytes(payload)
+            mutate(view, selector, dek)
+            new_blob = seal_and_sign(self.provider, dek, dsk, context,
+                                     view.to_bytes())
+            outgoing.append((table_blob_id(attrs.inode, selector),
+                             new_blob))
+            if self.config.metadata_cache:
+                # Write-through: the client just produced this view, no
+                # need to re-fetch and re-verify its own write.
+                self.cache.put(cache_key, view, len(new_blob))
+        self._put_many(outgoing)
+
+    def _write_lockboxes(self, record: ObjectRecord) -> None:
+        scheme = self.volume.scheme
+        for user_id, selector in scheme.lockbox_map(record.attrs).items():
+            public = self.volume.registry.directory.user_key(user_id)
+            payload = lockbox_payload(selector,
+                                      record.selector_meks[selector],
+                                      record.mvk.to_bytes())
+            self._put(lockbox_blob(record.attrs.inode, user_id),
+                      self.provider.pk_encrypt(public, payload))
+
+    def _create(self, path: str, mode: int, ftype: str,
+                group: str | None, acl: tuple[AclEntry, ...]) -> Stat:
+        self._charge_other()
+        parent, name = self._resolve_parent(path)
+        self._require_dir_write(parent, path)
+        self._validate_mode(mode, ftype, acl)
+        table = self._fetch_table(parent)
+        if name in table:
+            raise FileExists(path)
+        inode = self.volume.allocator.allocate()
+        attrs = MetadataAttrs(
+            inode=inode, ftype=ftype, owner=self.agent.user_id,
+            group=group or parent.attrs.group, mode=mode, acl=acl)
+        scheme = self.volume.scheme
+        record = ObjectRecord.create(attrs, scheme.selectors(attrs),
+                                     self.volume.signature_prime_bits)
+        self._write_metadata_replicas(record)
+        if ftype == DIRECTORY:
+            self._write_empty_tables(record)
+        if self.config.metadata_cache:
+            # Write-through: the creator will almost always touch the new
+            # object next (write/readdir); no need to re-fetch its own
+            # freshly uploaded replica.
+            owner_selector = scheme.owner_selector(attrs)
+            cap = scheme.cap_for_selector(attrs, owner_selector)
+            view = record.view_for(owner_selector, cap, True)
+            self.cache.put(("meta", inode, owner_selector), view,
+                           len(view.to_bytes()))
+
+        split_seen = False
+
+        def add_row(view: TableView, selector: str, dek: bytes) -> None:
+            nonlocal split_seen
+            entry = self._entry_for_selector(parent.attrs, record,
+                                             selector, name)
+            split_seen = split_seen or entry.kind == SPLIT
+            view.add(entry, provider=self.provider, table_dek=dek)
+
+        self._update_parent_tables(parent, add_row)
+        if split_seen or attrs.acl:
+            self._write_lockboxes(record)
+        return Stat.from_attrs(attrs)
+
+    def mknod(self, path: str, mode: int = 0o644,
+              group: str | None = None,
+              acl: tuple[AclEntry, ...] = ()) -> Stat:
+        """Create an empty file (paper Fig. 8's mknod)."""
+        return self._create(path, mode, FILE, group, acl)
+
+    def mkdir(self, path: str, mode: int = 0o755,
+              group: str | None = None,
+              acl: tuple[AclEntry, ...] = ()) -> Stat:
+        """Create a directory with all its CAP replicas."""
+        return self._create(path, mode, DIRECTORY, group, acl)
+
+    def create_file(self, path: str, data: bytes = b"",
+                    mode: int = 0o644, group: str | None = None) -> Stat:
+        """mknod + write + close in one call."""
+        stat = self.mknod(path, mode, group)
+        if data:
+            self.write_file(path, data)
+        return stat
+
+    # ------------------------------------------------------------------ remove
+
+    def _delete_object_blobs(self, attrs: MetadataAttrs) -> None:
+        scheme = self.volume.scheme
+        victims = []
+        for selector in scheme.selectors(attrs):
+            victims.append(meta_blob(attrs.inode, selector))
+            if attrs.ftype == DIRECTORY:
+                victims.append(table_blob_id(attrs.inode, selector))
+        if attrs.ftype != DIRECTORY:
+            index = 0
+            while (index < max(attrs.block_count, 1)
+                   or self.volume.server.exists(
+                       block_blob_id(attrs.inode, index))):
+                victims.append(block_blob_id(attrs.inode, index))
+                index += 1
+        if attrs.acl or scheme.supports_splits():
+            for user_id in scheme.lockbox_map(attrs):
+                victims.append(lockbox_blob(attrs.inode, user_id))
+        self._delete_many(victims)
+        self._invalidate(attrs.inode)
+        self.freshness.forget(attrs.inode)
+
+    def unlink(self, path: str) -> None:
+        """Remove a file or symlink: drop its rows from the parent views.
+
+        Blobs are reclaimed when the last link goes (hard-linked objects
+        survive with a decremented link count; only the owner can update
+        the count, so a non-owner unlink of a multi-linked file leaves
+        the stored count stale -- *nix-over-untrusted-storage tradeoff).
+        """
+        self._charge_other()
+        parent, name = self._resolve_parent(path)
+        self._require_dir_write(parent, path)
+        child = self._lookup_child(parent, name)
+        if child.attrs.ftype == DIRECTORY:
+            raise IsADirectory(path)
+        self._update_parent_tables(
+            parent, lambda view, sel, dek: view.remove(
+                name, provider=self.provider, table_dek=dek))
+        if child.attrs.nlink > 1:
+            if child.view.is_owner_view:
+                record = ObjectRecord.from_owner_view(child.view,
+                                                      child.mvk)
+                record.attrs.nlink -= 1
+                record.attrs.version += 1
+                self._write_metadata_replicas(record)
+            return
+        self._delete_object_blobs(child.attrs)
+
+    def rmdir(self, path: str) -> None:
+        self._charge_other()
+        parent, name = self._resolve_parent(path)
+        self._require_dir_write(parent, path)
+        child = self._lookup_child(parent, name)
+        if child.attrs.ftype != DIRECTORY:
+            raise NotADirectory(path)
+        try:
+            table = self._fetch_table(child)
+        except CryptoError:
+            raise PermissionDenied(
+                f"{path}: cannot verify emptiness without read access"
+            ) from None
+        if table.entry_count():
+            raise DirectoryNotEmpty(path)
+        self._update_parent_tables(
+            parent, lambda view, sel, dek: view.remove(
+                name, provider=self.provider, table_dek=dek))
+        self._delete_object_blobs(child.attrs)
+
+    def rename(self, old_path: str, new_path: str) -> None:
+        """Move/rename: child keys are untouched, only rows move."""
+        self._charge_other()
+        old_parent, old_name = self._resolve_parent(old_path)
+        new_parent, new_name = self._resolve_parent(new_path)
+        self._require_dir_write(old_parent, old_path)
+        self._require_dir_write(new_parent, new_path)
+        child = self._lookup_child(old_parent, old_name)
+        new_table = self._fetch_table(new_parent)
+        if new_name in new_table:
+            raise FileExists(new_path)
+        record = self._child_record_for_rows(child)
+
+        def add_row(view: TableView, selector: str, dek: bytes) -> None:
+            entry = self._entry_for_selector(new_parent.attrs, record,
+                                             selector, new_name)
+            view.add(entry, provider=self.provider, table_dek=dek)
+
+        self._update_parent_tables(new_parent, add_row)
+        self._update_parent_tables(
+            old_parent, lambda view, sel, dek: view.remove(
+                old_name, provider=self.provider, table_dek=dek))
+
+    def _child_record_for_rows(self, child: ResolvedNode) -> ObjectRecord:
+        """A record sufficient to mint parent rows for ``child``.
+
+        Owners reconstruct the full record.  Non-owner writers renaming a
+        child can still mint rows for selectors whose MEK they can learn
+        -- which in general they cannot, so rename of objects you do not
+        own requires the owner view (documented limitation; plain *nix
+        has the same flavour with sticky directories).
+        """
+        return ObjectRecord.from_owner_view(child.view, child.mvk)
+
+    # ------------------------------------------------------------------ chmod
+
+    def _is_revocation(self, old_attrs: MetadataAttrs,
+                       new_attrs: MetadataAttrs) -> bool:
+        """Did any permission class lose read or write ability?"""
+        scheme = self.volume.scheme
+        old_map = {s: scheme.cap_for_selector(old_attrs, s)
+                   for s in scheme.selectors(old_attrs)}
+        new_map = {s: scheme.cap_for_selector(new_attrs, s)
+                   for s in scheme.selectors(new_attrs)}
+        for selector, old_cap in old_map.items():
+            new_cap = new_map.get(selector)
+            if new_cap is None:
+                if old_cap.dek or old_cap.dsk:
+                    return True
+                continue
+            if (old_cap.dek and not new_cap.dek) or (
+                    old_cap.dsk and not new_cap.dsk):
+                return True
+        return False
+
+    def _reencrypt_data(self, record: ObjectRecord, node: ResolvedNode,
+                        old_attrs: MetadataAttrs | None = None) -> None:
+        """Re-encrypt a file's blocks (or a dir's tables) under new keys.
+
+        ``node`` still carries the *old* view (old DEK), so the content is
+        readable; ``record`` carries the new keys.  ``old_attrs`` matters
+        for chown under Scheme-1, where the owner's management selector
+        itself changes with the owner.
+        """
+        attrs = record.attrs
+        if attrs.ftype != DIRECTORY:
+            content, _ = self._read_blocks(node)
+            blocks = self._split_blocks(content)
+            for index, block in enumerate(blocks):
+                payload = block
+                if index == 0:
+                    payload = len(blocks).to_bytes(4, "big") + block
+                context = bind_context("data", attrs.inode, f"b{index}")
+                blob = seal_and_sign(self.provider, record.dek, record.dsk,
+                                     context, payload)
+                self._put(block_blob_id(attrs.inode, index), blob)
+        else:
+            self._rebuild_tables(record, node, old_attrs or attrs)
+        self._invalidate(attrs.inode)
+
+    def _rebuild_tables(self, record: ObjectRecord, node: ResolvedNode,
+                        old_attrs: MetadataAttrs) -> None:
+        """Rewrite every table view of a directory under new keys/styles.
+
+        Each view's rows come, in order of preference, from:
+
+        1. that view's *own* previous rows (a rekey or style change never
+           alters which child replica a chain points at);
+        2. for views that did not exist before (a chain upgraded from the
+           zero CAP) -- re-derived pointers, which requires the child's
+           owner replica and therefore works when the caller owns the
+           child; otherwise the row is written as a SPLIT marker, to be
+           resolved through lockboxes once the child's owner refreshes
+           them.
+
+        The canonical (owner, always-FULL) view supplies the name/inode
+        census; crucially, its per-chain key material is *never* copied
+        into other views -- that would hand the owner's MEKs to every
+        reader.
+        """
+        attrs = record.attrs
+        scheme = self.volume.scheme
+        old_record = ObjectRecord.from_owner_view(node.view, node.mvk)
+        old_owner_sel = scheme.owner_selector(old_attrs)
+
+        def fetch_old_view(selector: str, dek: bytes) -> TableView:
+            blob = self._get(table_blob_id(attrs.inode, selector))
+            context = bind_context("table", attrs.inode, selector)
+            payload = open_verified(self.provider, dek, old_record.dvk,
+                                    context, blob)
+            return TableView.from_bytes(payload)
+
+        canonical = fetch_old_view(old_owner_sel,
+                                   old_record.table_deks[old_owner_sel])
+        names = sorted(canonical.entries)
+        child_records: dict[str, ObjectRecord | None] = {}
+
+        def child_record_for(name: str) -> ObjectRecord | None:
+            """Child's full record, fetchable only if the caller owns it."""
+            if name in child_records:
+                return child_records[name]
+            row = canonical.entries[name]
+            result = None
+            if row.kind == DIRECT and row.pointer is not None:
+                child_owner_sel = row.pointer.selector
+                try:
+                    mvk = esign.VerificationKey.from_bytes(row.pointer.mvk)
+                    child_view = self._fetch_view(
+                        row.inode, child_owner_sel, row.pointer.mek, mvk)
+                    if child_view.is_owner_view:
+                        result = ObjectRecord.from_owner_view(child_view,
+                                                              mvk)
+                except (PermissionDenied, CryptoError):
+                    result = None
+            child_records[name] = result
+            return result
+
+        outgoing = []
+        for selector in scheme.selectors(attrs):
+            style = self.volume.table_style(attrs, selector)
+            if style == VIEW_NONE:
+                continue
+            old_style = (self.volume.table_style(old_attrs, selector)
+                         if selector in scheme.selectors(old_attrs)
+                         else VIEW_NONE)
+            old_view = None
+            if old_style not in (VIEW_NONE,):
+                old_dek = old_record.table_deks.get(selector)
+                if old_dek is not None:
+                    try:
+                        old_view = fetch_old_view(selector, old_dek)
+                    except (BlobNotFound, CryptoError):
+                        old_view = None
+
+            dek = record.table_deks[selector]
+            view = TableView.build(style, [], provider=self.provider,
+                                   table_dek=dek)
+            for name in names:
+                entry = self._recover_row(name, canonical, old_view,
+                                          old_record, selector)
+                if entry is None:
+                    entry = self._derive_row(name, canonical,
+                                             child_record_for, selector,
+                                             attrs)
+                view.add(entry, provider=self.provider, table_dek=dek)
+            context = bind_context("table", attrs.inode, selector)
+            blob = seal_and_sign(self.provider, dek, record.dsk, context,
+                                 view.to_bytes())
+            outgoing.append((table_blob_id(attrs.inode, selector), blob))
+        self._put_many(outgoing)
+
+    def _recover_row(self, name: str, canonical: TableView,
+                     old_view: TableView | None, old_record: ObjectRecord,
+                     selector: str) -> DirEntry | None:
+        """Extract this view's previous row for ``name``, if recoverable."""
+        if old_view is None:
+            return None
+        if old_view.style == "full":
+            return old_view.entries.get(name)
+        if old_view.style == "hidden":
+            old_dek = old_record.table_deks.get(selector)
+            if old_dek is None:
+                return None
+            try:
+                return old_view.lookup(name, provider=self.provider,
+                                       table_dek=old_dek)
+            except (FileNotFound, CryptoError):
+                return None
+        return None  # names-only views carry no pointers
+
+    def _derive_row(self, name: str, canonical: TableView,
+                    child_record_for, selector: str,
+                    parent_attrs: MetadataAttrs) -> DirEntry:
+        """Mint a fresh row for a chain that had no previous view."""
+        census_row = canonical.entries[name]
+        child = child_record_for(name)
+        if child is None:
+            # Caller does not own the child: its per-chain MEKs are out
+            # of reach, so readers must go through lockboxes.
+            return DirEntry(name=name, inode=census_row.inode, kind=SPLIT)
+        return self._entry_for_selector(parent_attrs, child, selector,
+                                        name)
+
+    def chmod(self, path: str, mode: int) -> Stat:
+        """Change permissions (owner only -- MSK is the capability).
+
+        Creates/destroys CAP replicas as needed; on revocation the
+        prototype's immediate mode re-encrypts the data under fresh keys
+        right away, the lazy mode defers to the next write (paper
+        section IV discusses both).
+        """
+        self._charge_other()
+        node = self._resolve(path)
+        self._validate_mode(mode, node.attrs.ftype, node.attrs.acl)
+        record = ObjectRecord.from_owner_view(node.view, node.mvk)
+        old_attrs = record.attrs.copy()
+        record.attrs.mode = mode
+        record.attrs.version += 1
+        revoked = self._is_revocation(old_attrs, record.attrs)
+        scheme = self.volume.scheme
+        new_selectors = scheme.selectors(record.attrs)
+        record.ensure_selector_keys(new_selectors)
+        dropped = record.drop_selectors(new_selectors)
+        if revoked:
+            if self.config.immediate_revocation:
+                record.rekey_data()
+                self._reencrypt_data(record, node, old_attrs)
+            else:
+                record.needs_rekey = True
+        elif record.attrs.ftype == DIRECTORY and self._table_layout_changed(
+                old_attrs, record.attrs):
+            # View styles or the view set changed (e.g. o--x -> o-rx):
+            # every table view is rebuilt from the management copy.
+            self._reencrypt_data(record, node, old_attrs)
+        self._write_metadata_replicas(record)
+        for selector in dropped:
+            self._delete(meta_blob(record.attrs.inode, selector))
+            if record.attrs.ftype == DIRECTORY:
+                self._delete(table_blob_id(record.attrs.inode, selector))
+        self._refresh_parent_pointers(path, record, old_attrs)
+        return Stat.from_attrs(record.attrs)
+
+    def _table_layout_changed(self, old_attrs: MetadataAttrs,
+                              new_attrs: MetadataAttrs) -> bool:
+        """Did the set of table views, or any view's style, change?"""
+        scheme = self.volume.scheme
+        old_styles = {s: self.volume.table_style(old_attrs, s)
+                      for s in scheme.selectors(old_attrs)}
+        new_styles = {s: self.volume.table_style(new_attrs, s)
+                      for s in scheme.selectors(new_attrs)}
+        return old_styles != new_styles
+
+    def _refresh_parent_pointers(self, path: str, record: ObjectRecord,
+                                 old_attrs: MetadataAttrs) -> None:
+        """Update parent rows / superblocks if the pointer structure moved.
+
+        Pointers embed the child's MEK and MVK, so rows refresh whenever
+        (a) the scheme maps any parent chain to a different child
+        selector/kind than before, or (b) the child's metadata keys
+        rotated.  A plain permission tweak that keeps structure and keys
+        touches no parent state -- the paper's Fig. 8 chmod cost.
+        """
+        scheme = self.volume.scheme
+        sb = self._require_mounted()
+        if record.attrs.inode == sb.root_inode:
+            self.volume.write_superblocks(self.provider, record)
+            self.volume._root_record = record
+            self.mount()  # refresh our own superblock view
+            return
+        parent_path, name = fspath.parent_and_name(path)
+        parent = self._resolve(parent_path)
+
+        old_pointers = {
+            s: scheme.child_pointer(parent.attrs, old_attrs, s)
+            for s in scheme.selectors(parent.attrs)}
+        new_pointers = {
+            s: scheme.child_pointer(parent.attrs, record.attrs, s)
+            for s in scheme.selectors(parent.attrs)}
+        if (old_pointers != new_pointers
+                or self._pointer_keys_changed(record, parent, name)):
+
+            def refresh_row(view: TableView, selector: str,
+                            dek: bytes) -> None:
+                entry = self._entry_for_selector(parent.attrs, record,
+                                                 selector, name)
+                view.remove(name, provider=self.provider, table_dek=dek)
+                view.add(entry, provider=self.provider, table_dek=dek)
+
+            self._update_parent_tables(parent, refresh_row)
+        if any(kind == SPLIT for kind, _ in new_pointers.values()) or (
+                record.attrs.acl):
+            self._write_lockboxes(record)
+
+    def _pointer_keys_changed(self, record: ObjectRecord,
+                              parent: ResolvedNode, name: str) -> bool:
+        """Do the parent's current rows still carry the right MEK/MVK?"""
+        table = self._fetch_table(parent)
+        if table.style != "full":
+            return True
+        entry = table.entries.get(name)
+        if entry is None or entry.pointer is None:
+            return True
+        expected_mek = record.selector_meks.get(entry.pointer.selector)
+        return (expected_mek != entry.pointer.mek
+                or entry.pointer.mvk != record.mvk.to_bytes())
+
+    # ------------------------------------------------------------------ chown / acl
+
+    def chown(self, path: str, new_owner: str,
+              new_group: str | None = None) -> Stat:
+        """Transfer ownership: full rekey (the old owner knew every key)."""
+        self._charge_other()
+        node = self._resolve(path)
+        record = ObjectRecord.from_owner_view(node.view, node.mvk)
+        old_attrs = record.attrs.copy()
+        self.volume.registry.user(new_owner)  # must exist
+        record.attrs.owner = new_owner
+        if new_group is not None:
+            record.attrs.group = new_group
+        record.attrs.version += 1
+        new_selectors = self.volume.scheme.selectors(record.attrs)
+        record.ensure_selector_keys(new_selectors)
+        dropped = record.drop_selectors(new_selectors)
+        record.rekey_data()
+        record.rekey_metadata()
+        self._reencrypt_data(record, node, old_attrs)
+        self._write_metadata_replicas(record)
+        for selector in dropped:
+            self._delete(meta_blob(record.attrs.inode, selector))
+            if record.attrs.ftype == DIRECTORY:
+                self._delete(table_blob_id(record.attrs.inode, selector))
+        self._refresh_parent_pointers(path, record, old_attrs)
+        return Stat.from_attrs(record.attrs)
+
+    def set_acl(self, path: str, entries: tuple[AclEntry, ...]) -> Stat:
+        """Replace the POSIX-ACL user entries (owner only).
+
+        ACL grants are delivered through public-key lockboxes -- the
+        paper's split-point machinery (section III-D).
+        """
+        self._charge_other()
+        node = self._resolve(path)
+        for entry in entries:
+            self.volume.registry.user(entry.user_id)
+        self._validate_mode(node.attrs.mode, node.attrs.ftype, entries)
+        record = ObjectRecord.from_owner_view(node.view, node.mvk)
+        old_attrs = record.attrs.copy()
+        revoked = any(e.user_id not in {n.user_id for n in entries}
+                      for e in old_attrs.acl)
+        record.attrs.acl = tuple(entries)
+        record.attrs.version += 1
+        new_selectors = self.volume.scheme.selectors(record.attrs)
+        record.ensure_selector_keys(new_selectors)
+        record.drop_selectors(new_selectors)
+        if revoked:
+            if self.config.immediate_revocation:
+                record.rekey_data()
+                self._reencrypt_data(record, node, old_attrs)
+            else:
+                record.needs_rekey = True
+        elif record.attrs.ftype == DIRECTORY and self._table_layout_changed(
+                old_attrs, record.attrs):
+            self._reencrypt_data(record, node, old_attrs)
+        self._write_metadata_replicas(record)
+        removed_users = ({e.user_id for e in old_attrs.acl}
+                         - {e.user_id for e in entries})
+        for user_id in removed_users:
+            self._delete(lockbox_blob(record.attrs.inode, user_id))
+        self._refresh_parent_pointers(path, record, old_attrs)
+        return Stat.from_attrs(record.attrs)
+
+    def rekey(self, path: str) -> Stat:
+        """Rotate every key of an object (owner only).
+
+        Used after group-membership revocation: departed members knew the
+        group replica's MEK, so metadata keys rotate and parent pointers
+        are refreshed.
+        """
+        self._charge_other()
+        node = self._resolve(path)
+        record = ObjectRecord.from_owner_view(node.view, node.mvk)
+        old_attrs = record.attrs.copy()
+        record.attrs.version += 1
+        record.rekey_data()
+        record.rekey_metadata()
+        self._reencrypt_data(record, node)
+        self._write_metadata_replicas(record)
+        self._refresh_parent_pointers(path, record, old_attrs)
+        return Stat.from_attrs(record.attrs)

@@ -1,0 +1,272 @@
+"""Directory tables (paper Figure 3) and their per-CAP views.
+
+The classic ext2 directory table maps names to inode numbers.  SHAROES
+adds two columns -- the child's MEK and MVK -- so the table not only says
+*where* a child's metadata lives but hands over the keys to decrypt and
+verify it.  In this reproduction a row also names the child's *selector*
+(which metadata replica to fetch) and may instead be a **split marker**
+(resolve through a public-key lockbox, paper section III-D) or a **zero
+marker** (this permission chain has no access to the child).
+
+Three serialized view styles realize the directory CAPs:
+
+* ``full``   -- all columns (read-exec and rwx CAPs);
+* ``names``  -- the name column only (read-only CAP: ``ls`` works,
+  traversal does not);
+* ``hidden`` -- the name column removed and each row's (inode, selector,
+  MEK, MVK) encrypted under a key derived from the child's *name*
+  (exec-only CAP: you can ``cd`` to a child you can name, but not list).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..crypto import hashes
+from ..crypto.provider import CryptoProvider
+from ..errors import CryptoError, FileNotFound, PermissionDenied
+from ..serialize import Reader, Writer
+from ..caps.model import VIEW_FULL, VIEW_HIDDEN, VIEW_NAMES
+
+# Row kinds.
+DIRECT = "d"
+SPLIT = "s"
+ZERO = "z"
+
+
+@dataclass(frozen=True)
+class DirPointer:
+    """Keys needed to fetch + open a child's metadata replica."""
+
+    selector: str
+    mek: bytes
+    mvk: bytes  # serialized VerificationKey
+
+
+@dataclass
+class DirEntry:
+    """One row of one view: a named child and how (if) to reach it."""
+
+    name: str
+    inode: int
+    kind: str  # DIRECT | SPLIT | ZERO
+    pointer: DirPointer | None = None
+
+    def to_writer(self, writer: Writer) -> None:
+        writer.put_str(self.name)
+        writer.put_int(self.inode)
+        writer.put_str(self.kind)
+        if self.kind == DIRECT:
+            assert self.pointer is not None
+            writer.put_str(self.pointer.selector)
+            writer.put_bytes(self.pointer.mek)
+            writer.put_bytes(self.pointer.mvk)
+
+    @classmethod
+    def from_reader(cls, reader: Reader) -> "DirEntry":
+        name = reader.get_str()
+        inode = reader.get_int()
+        kind = reader.get_str()
+        pointer = None
+        if kind == DIRECT:
+            pointer = DirPointer(selector=reader.get_str(),
+                                 mek=reader.get_bytes(),
+                                 mvk=reader.get_bytes())
+        return cls(name=name, inode=inode, kind=kind, pointer=pointer)
+
+    def hidden_payload(self) -> bytes:
+        """Row content for the exec-only view: everything but the name."""
+        writer = Writer()
+        writer.put_int(self.inode)
+        writer.put_str(self.kind)
+        if self.kind == DIRECT:
+            assert self.pointer is not None
+            writer.put_str(self.pointer.selector)
+            writer.put_bytes(self.pointer.mek)
+            writer.put_bytes(self.pointer.mvk)
+        return writer.getvalue()
+
+    @classmethod
+    def from_hidden_payload(cls, name: str, raw: bytes) -> "DirEntry":
+        reader = Reader(raw)
+        inode = reader.get_int()
+        kind = reader.get_str()
+        pointer = None
+        if kind == DIRECT:
+            pointer = DirPointer(selector=reader.get_str(),
+                                 mek=reader.get_bytes(),
+                                 mvk=reader.get_bytes())
+        reader.expect_end()
+        return cls(name=name, inode=inode, kind=kind, pointer=pointer)
+
+
+def _locator(row_key: bytes) -> bytes:
+    """Blind index for a hidden row: find-by-name without revealing names."""
+    return hashes.hmac(row_key, b"sharoes-row-locator")[:16]
+
+
+class TableView:
+    """One serialized view of a directory table.
+
+    The in-memory representation depends on the style:
+
+    * full:   ``entries`` dict (name -> DirEntry)
+    * names:  ``names`` list
+    * hidden: ``cells`` dict (locator -> encrypted row)
+    """
+
+    def __init__(self, style: str):
+        if style not in (VIEW_FULL, VIEW_NAMES, VIEW_HIDDEN):
+            raise ValueError(f"unknown table view style {style!r}")
+        self.style = style
+        self.entries: dict[str, DirEntry] = {}
+        self.names: list[str] = []
+        self.cells: dict[bytes, bytes] = {}
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def build(cls, style: str, entries: list[DirEntry],
+              provider: CryptoProvider | None = None,
+              table_dek: bytes | None = None) -> "TableView":
+        """Build a view from per-this-view rows.
+
+        ``provider`` and ``table_dek`` are required for the hidden style
+        (rows are encrypted under name-derived keys, charged as crypto).
+        """
+        view = cls(style)
+        if style == VIEW_FULL:
+            view.entries = {e.name: e for e in entries}
+        elif style == VIEW_NAMES:
+            view.names = sorted(e.name for e in entries)
+        else:
+            if provider is None or table_dek is None:
+                raise CryptoError("hidden view needs provider and table DEK")
+            for entry in entries:
+                view._insert_hidden(entry, provider, table_dek)
+        return view
+
+    def _insert_hidden(self, entry: DirEntry, provider: CryptoProvider,
+                       table_dek: bytes) -> None:
+        row_key = provider.derive_row_key(table_dek, entry.name)
+        cell = provider.sym_encrypt(row_key, entry.hidden_payload())
+        self.cells[_locator(row_key)] = cell
+
+    # -- queries ------------------------------------------------------------------
+
+    def list_names(self) -> list[str]:
+        """The ``ls`` operation on this view."""
+        if self.style == VIEW_FULL:
+            return sorted(self.entries)
+        if self.style == VIEW_NAMES:
+            return list(self.names)
+        raise PermissionDenied(
+            "exec-only directory: listing is not permitted "
+            "(rows are name-keyed)")
+
+    def lookup(self, name: str, provider: CryptoProvider | None = None,
+               table_dek: bytes | None = None) -> DirEntry:
+        """Traversal: find the row for ``name``.
+
+        * full view: direct dictionary lookup;
+        * hidden view: derive the row key from the name, locate and
+          decrypt the row -- exactly the paper's exec-only semantics;
+        * names view: denied (read permission grants listing only).
+        """
+        if self.style == VIEW_FULL:
+            try:
+                return self.entries[name]
+            except KeyError:
+                raise FileNotFound(name) from None
+        if self.style == VIEW_HIDDEN:
+            if provider is None or table_dek is None:
+                raise CryptoError("hidden lookup needs provider and DEK")
+            row_key = provider.derive_row_key(table_dek, name)
+            cell = self.cells.get(_locator(row_key))
+            if cell is None:
+                raise FileNotFound(name)
+            payload = provider.sym_decrypt(row_key, cell)
+            return DirEntry.from_hidden_payload(name, payload)
+        raise PermissionDenied(
+            "read-only directory: traversal requires exec permission")
+
+    def __contains__(self, name: str) -> bool:
+        if self.style == VIEW_FULL:
+            return name in self.entries
+        if self.style == VIEW_NAMES:
+            return name in self.names
+        raise PermissionDenied("exec-only view cannot test membership")
+
+    def entry_count(self) -> int:
+        if self.style == VIEW_FULL:
+            return len(self.entries)
+        if self.style == VIEW_NAMES:
+            return len(self.names)
+        return len(self.cells)
+
+    # -- mutation (writers) ------------------------------------------------------------
+
+    def add(self, entry: DirEntry, provider: CryptoProvider | None = None,
+            table_dek: bytes | None = None) -> None:
+        if self.style == VIEW_FULL:
+            self.entries[entry.name] = entry
+        elif self.style == VIEW_NAMES:
+            if entry.name not in self.names:
+                self.names.append(entry.name)
+                self.names.sort()
+        else:
+            if provider is None or table_dek is None:
+                raise CryptoError("hidden add needs provider and DEK")
+            self._insert_hidden(entry, provider, table_dek)
+
+    def remove(self, name: str, provider: CryptoProvider | None = None,
+               table_dek: bytes | None = None) -> None:
+        if self.style == VIEW_FULL:
+            self.entries.pop(name, None)
+        elif self.style == VIEW_NAMES:
+            if name in self.names:
+                self.names.remove(name)
+        else:
+            if provider is None or table_dek is None:
+                raise CryptoError("hidden remove needs provider and DEK")
+            row_key = provider.derive_row_key(table_dek, name)
+            self.cells.pop(_locator(row_key), None)
+
+    # -- serialization -------------------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        writer = Writer()
+        writer.put_str(self.style)
+        if self.style == VIEW_FULL:
+            writer.put_int(len(self.entries))
+            for name in sorted(self.entries):
+                self.entries[name].to_writer(writer)
+        elif self.style == VIEW_NAMES:
+            writer.put_int(len(self.names))
+            for name in sorted(self.names):
+                writer.put_str(name)
+        else:
+            writer.put_int(len(self.cells))
+            for locator in sorted(self.cells):
+                writer.put_bytes(locator)
+                writer.put_bytes(self.cells[locator])
+        return writer.getvalue()
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "TableView":
+        reader = Reader(raw)
+        style = reader.get_str()
+        view = cls(style)
+        count = reader.get_int()
+        if style == VIEW_FULL:
+            for _ in range(count):
+                entry = DirEntry.from_reader(reader)
+                view.entries[entry.name] = entry
+        elif style == VIEW_NAMES:
+            view.names = [reader.get_str() for _ in range(count)]
+        else:
+            for _ in range(count):
+                locator = reader.get_bytes()
+                view.cells[locator] = reader.get_bytes()
+        reader.expect_end()
+        return view

@@ -1,0 +1,218 @@
+"""Metadata objects: attributes plus embedded keys (paper Figure 2).
+
+A traditional metadata object holds attributes (inode, owner, group,
+permissions, size) and a pointer to the data block.  SHAROES extends it
+with key fields so that *metadata leads to data* also in the cryptographic
+sense: DEK/DSK/DVK for the object's data block, plus the MSK for owners.
+
+In this reproduction a metadata *replica* exists per selector (per user
+under Scheme-1, per permission-class chain under Scheme-2) and carries
+only the key fields its CAP grants -- that selective accessibility IS the
+access control.  The owner's replica additionally carries the management
+key maps (per-selector MEKs, per-selector table DEKs) needed to rebuild
+every replica on chmod/chown/revocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..crypto import esign
+from ..errors import KeyAccessError
+from ..serialize import Reader, Writer
+from .permissions import AclEntry, ObjectPerms
+
+
+@dataclass
+class MetadataAttrs:
+    """Plain (non-key) attributes, present in every replica."""
+
+    inode: int
+    ftype: str  # "file" | "dir"
+    owner: str
+    group: str
+    mode: int
+    size: int = 0
+    nlink: int = 1
+    version: int = 1
+    block_count: int = 0
+    acl: tuple[AclEntry, ...] = ()
+
+    def perms(self) -> ObjectPerms:
+        return ObjectPerms(owner=self.owner, group=self.group,
+                           mode=self.mode, ftype=self.ftype, acl=self.acl)
+
+    def copy(self) -> "MetadataAttrs":
+        return replace(self)
+
+    # -- serialization -----------------------------------------------------
+
+    def to_writer(self, writer: Writer) -> None:
+        writer.put_int(self.inode)
+        writer.put_str(self.ftype)
+        writer.put_str(self.owner)
+        writer.put_str(self.group)
+        writer.put_int(self.mode)
+        writer.put_int(self.size)
+        writer.put_int(self.nlink)
+        writer.put_int(self.version)
+        writer.put_int(self.block_count)
+        writer.put_int(len(self.acl))
+        for entry in self.acl:
+            writer.put_str(entry.user_id)
+            writer.put_int(entry.bits)
+
+    @classmethod
+    def from_reader(cls, reader: Reader) -> "MetadataAttrs":
+        inode = reader.get_int()
+        ftype = reader.get_str()
+        owner = reader.get_str()
+        group = reader.get_str()
+        mode = reader.get_int()
+        size = reader.get_int()
+        nlink = reader.get_int()
+        version = reader.get_int()
+        block_count = reader.get_int()
+        acl = tuple(AclEntry(reader.get_str(), reader.get_int())
+                    for _ in range(reader.get_int()))
+        return cls(inode=inode, ftype=ftype, owner=owner, group=group,
+                   mode=mode, size=size, nlink=nlink, version=version,
+                   block_count=block_count, acl=acl)
+
+
+def _put_key_map(writer: Writer, mapping: dict[str, bytes]) -> None:
+    writer.put_int(len(mapping))
+    for key in sorted(mapping):
+        writer.put_str(key)
+        writer.put_bytes(mapping[key])
+
+
+def _get_key_map(reader: Reader) -> dict[str, bytes]:
+    return {reader.get_str(): reader.get_bytes()
+            for _ in range(reader.get_int())}
+
+
+@dataclass
+class MetadataView:
+    """One decrypted metadata replica, as seen by its CAP's holders.
+
+    Key fields are ``None`` when the CAP does not grant them -- accessing
+    a missing key raises :class:`KeyAccessError`, the cryptographic
+    equivalent of EACCES.
+    """
+
+    attrs: MetadataAttrs
+    cap_id: str
+    selector: str
+    #: data encryption key: the file DEK, or this selector's table DEK
+    dek: bytes | None = None
+    dvk: esign.VerificationKey | None = None
+    dsk: esign.SigningKey | None = None
+    #: owner only: metadata signing key
+    msk: esign.SigningKey | None = None
+    #: owner only: per-selector metadata encryption keys
+    selector_meks: dict[str, bytes] = field(default_factory=dict)
+    #: directory writers/owner: per-selector table DEKs
+    table_deks: dict[str, bytes] = field(default_factory=dict)
+    #: lazy-revocation marker (owner view): data must be rekeyed on write
+    needs_rekey: bool = False
+
+    # -- guarded accessors ---------------------------------------------------
+
+    def require_dek(self) -> bytes:
+        if self.dek is None:
+            raise KeyAccessError(
+                f"CAP {self.cap_id} on inode {self.attrs.inode} grants no "
+                "data encryption key")
+        return self.dek
+
+    def require_dvk(self) -> esign.VerificationKey:
+        if self.dvk is None:
+            raise KeyAccessError(
+                f"CAP {self.cap_id} on inode {self.attrs.inode} grants no "
+                "data verification key")
+        return self.dvk
+
+    def require_dsk(self) -> esign.SigningKey:
+        if self.dsk is None:
+            raise KeyAccessError(
+                f"CAP {self.cap_id} on inode {self.attrs.inode} grants no "
+                "data signing key (read-only access)")
+        return self.dsk
+
+    def require_msk(self) -> esign.SigningKey:
+        if self.msk is None:
+            raise KeyAccessError(
+                f"inode {self.attrs.inode}: only the owner holds the "
+                "metadata signing key")
+        return self.msk
+
+    @property
+    def is_owner_view(self) -> bool:
+        return self.msk is not None
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        writer = Writer()
+        self.attrs.to_writer(writer)
+        writer.put_str(self.cap_id)
+        writer.put_str(self.selector)
+        writer.put_optional_bytes(self.dek)
+        writer.put_optional_bytes(
+            self.dvk.to_bytes() if self.dvk else None)
+        writer.put_optional_bytes(
+            self.dsk.to_bytes() if self.dsk else None)
+        writer.put_optional_bytes(
+            self.msk.to_bytes() if self.msk else None)
+        _put_key_map(writer, self.selector_meks)
+        _put_key_map(writer, self.table_deks)
+        writer.put_bool(self.needs_rekey)
+        return writer.getvalue()
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "MetadataView":
+        reader = Reader(raw)
+        attrs = MetadataAttrs.from_reader(reader)
+        cap_id = reader.get_str()
+        selector = reader.get_str()
+        dek = reader.get_optional_bytes()
+        dvk_raw = reader.get_optional_bytes()
+        dsk_raw = reader.get_optional_bytes()
+        msk_raw = reader.get_optional_bytes()
+        selector_meks = _get_key_map(reader)
+        table_deks = _get_key_map(reader)
+        needs_rekey = reader.get_bool()
+        reader.expect_end()
+        return cls(
+            attrs=attrs,
+            cap_id=cap_id,
+            selector=selector,
+            dek=dek,
+            dvk=esign.VerificationKey.from_bytes(dvk_raw) if dvk_raw else None,
+            dsk=esign.SigningKey.from_bytes(dsk_raw) if dsk_raw else None,
+            msk=esign.SigningKey.from_bytes(msk_raw) if msk_raw else None,
+            selector_meks=selector_meks,
+            table_deks=table_deks,
+            needs_rekey=needs_rekey,
+        )
+
+
+@dataclass(frozen=True)
+class Stat:
+    """What ``getattr`` returns to applications."""
+
+    inode: int
+    ftype: str
+    owner: str
+    group: str
+    mode: int
+    size: int
+    nlink: int
+    version: int
+
+    @classmethod
+    def from_attrs(cls, attrs: MetadataAttrs) -> "Stat":
+        return cls(inode=attrs.inode, ftype=attrs.ftype, owner=attrs.owner,
+                   group=attrs.group, mode=attrs.mode, size=attrs.size,
+                   nlink=attrs.nlink, version=attrs.version)

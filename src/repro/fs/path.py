@@ -1,0 +1,50 @@
+"""Path handling: absolute slash-separated paths, normalized."""
+
+from __future__ import annotations
+
+from ..errors import FilesystemError
+
+
+class InvalidPath(FilesystemError):
+    """Malformed path string."""
+
+
+def split_path(path: str) -> list[str]:
+    """Split an absolute path into components.
+
+    ``"/"`` -> ``[]``; ``"/a//b/"`` -> ``["a", "b"]``.  ``.`` components
+    are dropped; ``..`` is rejected (the client resolves forward only).
+    """
+    if not path or not path.startswith("/"):
+        raise InvalidPath(f"path must be absolute: {path!r}")
+    parts = []
+    for component in path.split("/"):
+        if component in ("", "."):
+            continue
+        if component == "..":
+            raise InvalidPath("'..' components are not supported")
+        if "\x00" in component:
+            raise InvalidPath("NUL byte in path component")
+        parts.append(component)
+    return parts
+
+
+def normalize(path: str) -> str:
+    """Canonical form of an absolute path."""
+    return "/" + "/".join(split_path(path))
+
+
+def parent_and_name(path: str) -> tuple[str, str]:
+    """Split into (parent path, final component)."""
+    parts = split_path(path)
+    if not parts:
+        raise InvalidPath("the root has no parent")
+    return "/" + "/".join(parts[:-1]), parts[-1]
+
+
+def join(base: str, *names: str) -> str:
+    """Join path components onto an absolute base."""
+    combined = base.rstrip("/")
+    for name in names:
+        combined += "/" + name.strip("/")
+    return normalize(combined if combined.startswith("/") else "/" + combined)

@@ -1,0 +1,183 @@
+"""SHAROES volume: enterprise-side deployment state for one filesystem.
+
+A volume ties together the SSP server, the principal registry, the
+replication scheme and the inode allocator, and knows how to *format* the
+filesystem (create the namespace root and the per-user superblocks).  The
+migration tool builds onto a formatted volume; clients mount it.
+
+The volume object itself holds no secret key material -- everything it
+writes is derived on the fly and persisted only in encrypted form at the
+SSP.  It is the in-process stand-in for "the enterprise's provisioning
+workstation".
+"""
+
+from __future__ import annotations
+
+from ..caps.model import VIEW_FULL, VIEW_NONE
+from ..caps.record import ObjectRecord
+from ..caps.schemes import ReplicationScheme, make_scheme
+from ..crypto.keys import OBJECT_SIGNATURE_PRIME_BITS
+from ..crypto.provider import CryptoProvider
+from ..errors import SharoesError
+from ..principals.registry import PrincipalRegistry
+from ..storage.blobs import data_blob, meta_blob, superblock_blob
+from ..storage.server import StorageServer
+from .dirtable import TableView
+from .inode import InodeAllocator
+from .metadata import MetadataAttrs
+from .permissions import DIRECTORY
+from .sealed import bind_context, seal_and_sign
+from .superblock import Superblock
+
+DEFAULT_BLOCK_SIZE = 64 * 1024
+
+
+def table_blob_id(inode: int, selector: str):
+    """Blob id of one directory-table view."""
+    return data_blob(inode, "t:" + selector)
+
+
+def block_blob_id(inode: int, index: int):
+    """Blob id of one file data block."""
+    return data_blob(inode, f"b{index}")
+
+
+class SharoesVolume:
+    """One SHAROES filesystem deployment."""
+
+    def __init__(self, server: StorageServer, registry: PrincipalRegistry,
+                 scheme: str | ReplicationScheme = "scheme2",
+                 block_size: int = DEFAULT_BLOCK_SIZE,
+                 signature_prime_bits: int = OBJECT_SIGNATURE_PRIME_BITS,
+                 engine: str = "stream"):
+        self.server = server
+        self.registry = registry
+        self.scheme = (scheme if isinstance(scheme, ReplicationScheme)
+                       else make_scheme(scheme, registry))
+        self.block_size = block_size
+        self.signature_prime_bits = signature_prime_bits
+        #: symmetric engine every client of this volume must use --
+        #: sealed blobs from different engines do not interoperate, so
+        #: the choice ("stream" or "aes") is a volume-format property.
+        self.engine = engine
+        self.allocator = InodeAllocator()
+        self.root_inode: int | None = None
+        self._root_record: ObjectRecord | None = None
+
+    @property
+    def formatted(self) -> bool:
+        return self.root_inode is not None
+
+    def format(self, root_owner: str, root_group: str,
+               root_mode: int = 0o755,
+               provider: CryptoProvider | None = None) -> ObjectRecord:
+        """Create the namespace root and all user superblocks."""
+        if self.formatted:
+            raise SharoesError("volume is already formatted")
+        provider = provider or CryptoProvider(self.engine)
+        inode = self.allocator.allocate()
+        attrs = MetadataAttrs(inode=inode, ftype=DIRECTORY,
+                              owner=root_owner, group=root_group,
+                              mode=root_mode)
+        selectors = self.scheme.selectors(attrs)
+        record = ObjectRecord.create(attrs, selectors,
+                                     self.signature_prime_bits)
+        self.write_object(provider, record)
+        self.root_inode = inode
+        self._root_record = record
+        self.write_superblocks(provider, record)
+        return record
+
+    def write_object(self, provider: CryptoProvider,
+                     record: ObjectRecord,
+                     table_entries=None) -> None:
+        """Write all metadata replicas (and table views for a directory)."""
+        attrs = record.attrs
+        owner_selector = self.scheme.owner_selector(attrs)
+        for selector in self.scheme.selectors(attrs):
+            cap = self.scheme.cap_for_selector(attrs, selector)
+            blob = record.metadata_blob(provider, selector, cap,
+                                        selector == owner_selector)
+            self.server.put(meta_blob(attrs.inode, selector), blob)
+        if attrs.ftype == DIRECTORY:
+            self.write_tables(provider, record, table_entries or {})
+
+    def table_style(self, attrs: MetadataAttrs, selector: str) -> str:
+        """View style for one table replica.
+
+        The owner's table view is always the full management copy: the
+        owner needs canonical rows to rebuild every view on chmod/chown,
+        and honest-client checks still apply the owner's actual CAP.
+        Zero-CAP selectors have no table view at all (VIEW_NONE) -- their
+        metadata replica exists for stat, but the directory's data block
+        is unreachable.
+        """
+        if selector == self.scheme.owner_selector(attrs):
+            return VIEW_FULL
+        return self.scheme.cap_for_selector(attrs, selector).table_view
+
+    def write_tables(self, provider: CryptoProvider, record: ObjectRecord,
+                     entries_by_selector: dict[str, list]) -> None:
+        """Seal + sign + store every table view of a directory."""
+        attrs = record.attrs
+        for selector in self.scheme.selectors(attrs):
+            style = self.table_style(attrs, selector)
+            if style == VIEW_NONE:
+                continue
+            dek = record.table_deks[selector]
+            view = TableView.build(
+                style, entries_by_selector.get(selector, []),
+                provider=provider, table_dek=dek)
+            context = bind_context("table", attrs.inode, selector)
+            blob = seal_and_sign(provider, dek, record.dsk, context,
+                                 view.to_bytes())
+            self.server.put(table_blob_id(attrs.inode, selector), blob)
+
+    def write_superblocks(self, provider: CryptoProvider,
+                          root_record: ObjectRecord) -> int:
+        """(Re)issue the per-user encrypted superblocks.
+
+        A user whose selector on the root is not materialized (zero CAP)
+        gets no superblock and therefore cannot mount -- the in-band
+        analogue of not being in /etc/passwd.
+        """
+        attrs = root_record.attrs
+        materialized = set(self.scheme.selectors(attrs))
+        count = 0
+        for user in self.registry.users():
+            selector = self.scheme.selector_for_user(attrs, user.user_id)
+            if selector not in materialized:
+                continue
+            superblock = Superblock(
+                root_inode=attrs.inode,
+                root_selector=selector,
+                root_mek=root_record.selector_meks[selector],
+                root_mvk=root_record.mvk.to_bytes(),
+                scheme_name=self.scheme.name,
+                block_size=self.block_size,
+            )
+            blob = superblock.wrap(
+                provider, self.registry.directory.user_key(user.user_id))
+            self.server.put(superblock_blob(user.user_id), blob)
+            count += 1
+        return count
+
+    def provision_user(self, user_id: str,
+                       provider: CryptoProvider | None = None) -> None:
+        """Issue a superblock for a (newly added) user.
+
+        Under Scheme-2 this is all a new user needs: replicas are shared
+        per permission class.  Under Scheme-1 every object would need a
+        new replica built by its owner; that full-tree walk is the
+        scheme's documented enrolment cost and is intentionally not
+        automated here (owners run ``rekey``/migration tooling instead).
+        """
+        if not self.formatted or self._root_record is None:
+            raise SharoesError("volume must be formatted first")
+        if self.scheme.name == "scheme1":
+            raise SharoesError(
+                "Scheme-1 enrolment requires rebuilding every owner's "
+                "replica tree; register users before migration instead "
+                "(this cost asymmetry is the point of Scheme-2)")
+        provider = provider or CryptoProvider()
+        self.write_superblocks(provider, self._root_record)

@@ -1,0 +1,15 @@
+"""Migration tool: transition local storage to the outsourced model."""
+
+from .localfs import LocalNode, LocalTree, make_enterprise_tree
+from .migrate import (MigrationReport, MigrationTool, degrade_bits,
+                      degrade_mode)
+
+__all__ = [
+    "LocalTree",
+    "LocalNode",
+    "make_enterprise_tree",
+    "MigrationTool",
+    "MigrationReport",
+    "degrade_bits",
+    "degrade_mode",
+]

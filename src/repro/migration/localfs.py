@@ -1,0 +1,148 @@
+"""In-memory model of pre-outsourcing local enterprise storage.
+
+The migration tool's input: a *nix filesystem tree with ownership, modes
+and ACLs.  Also provides a deterministic synthetic enterprise-tree
+generator used by tests and the Scheme-1 vs Scheme-2 storage ablation
+(the paper's million-file cost estimate).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..errors import FileExists, FileNotFound, MigrationError, NotADirectory
+from ..fs import path as fspath
+from ..fs.permissions import DIRECTORY, FILE, AclEntry
+
+
+@dataclass
+class LocalNode:
+    """One file or directory in the local tree."""
+
+    name: str
+    ftype: str
+    owner: str
+    group: str
+    mode: int
+    content: bytes = b""
+    acl: tuple[AclEntry, ...] = ()
+    children: dict[str, "LocalNode"] = field(default_factory=dict)
+
+    def is_dir(self) -> bool:
+        return self.ftype == DIRECTORY
+
+
+class LocalTree:
+    """A rooted local filesystem tree."""
+
+    def __init__(self, root_owner: str, root_group: str,
+                 root_mode: int = 0o755):
+        self.root = LocalNode(name="/", ftype=DIRECTORY, owner=root_owner,
+                              group=root_group, mode=root_mode)
+
+    def _lookup(self, path: str) -> LocalNode:
+        node = self.root
+        for name in fspath.split_path(path):
+            if not node.is_dir():
+                raise NotADirectory(path)
+            try:
+                node = node.children[name]
+            except KeyError:
+                raise FileNotFound(path) from None
+        return node
+
+    def _parent(self, path: str) -> tuple[LocalNode, str]:
+        parent_path, name = fspath.parent_and_name(path)
+        parent = self._lookup(parent_path)
+        if not parent.is_dir():
+            raise NotADirectory(parent_path)
+        if name in parent.children:
+            raise FileExists(path)
+        return parent, name
+
+    def add_dir(self, path: str, owner: str, group: str,
+                mode: int = 0o755,
+                acl: tuple[AclEntry, ...] = ()) -> LocalNode:
+        parent, name = self._parent(path)
+        node = LocalNode(name=name, ftype=DIRECTORY, owner=owner,
+                         group=group, mode=mode, acl=acl)
+        parent.children[name] = node
+        return node
+
+    def add_file(self, path: str, content: bytes, owner: str, group: str,
+                 mode: int = 0o644,
+                 acl: tuple[AclEntry, ...] = ()) -> LocalNode:
+        parent, name = self._parent(path)
+        node = LocalNode(name=name, ftype=FILE, owner=owner, group=group,
+                         mode=mode, content=content, acl=acl)
+        parent.children[name] = node
+        return node
+
+    def get(self, path: str) -> LocalNode:
+        return self._lookup(path)
+
+    def walk(self) -> Iterator[tuple[str, LocalNode]]:
+        """Pre-order traversal of (absolute path, node)."""
+        stack = [("/", self.root)]
+        while stack:
+            path, node = stack.pop()
+            yield path, node
+            for name in sorted(node.children, reverse=True):
+                child = node.children[name]
+                child_path = path.rstrip("/") + "/" + name
+                stack.append((child_path, child))
+
+    def count(self) -> tuple[int, int]:
+        """(directories, files) in the tree."""
+        dirs = files = 0
+        for _, node in self.walk():
+            if node.is_dir():
+                dirs += 1
+            else:
+                files += 1
+        return dirs, files
+
+    def total_bytes(self) -> int:
+        return sum(len(node.content) for _, node in self.walk()
+                   if not node.is_dir())
+
+
+def make_enterprise_tree(users: list[str], group: str,
+                         dirs_per_user: int = 3,
+                         files_per_dir: int = 5,
+                         file_bytes: int = 2048,
+                         exec_only_fraction: float = 0.3,
+                         seed: int = 7) -> LocalTree:
+    """Synthetic enterprise home-directory tree.
+
+    Layout models what the paper's privacy study [13] observed: per-user
+    home subtrees (ownership clusters), a shared group area, and a
+    substantial fraction of exec-only directories.
+    """
+    if not users:
+        raise MigrationError("need at least one user")
+    rng = random.Random(seed)
+    admin = users[0]
+    tree = LocalTree(root_owner=admin, root_group=group)
+    tree.add_dir("/home", owner=admin, group=group, mode=0o755)
+    tree.add_dir("/shared", owner=admin, group=group, mode=0o775)
+    for user in users:
+        home_mode = 0o711 if rng.random() < exec_only_fraction else 0o755
+        tree.add_dir(f"/home/{user}", owner=user, group=group,
+                     mode=home_mode)
+        for d in range(dirs_per_user):
+            dpath = f"/home/{user}/dir{d}"
+            tree.add_dir(dpath, owner=user, group=group, mode=0o755)
+            for f in range(files_per_dir):
+                mode = rng.choice((0o644, 0o640, 0o600, 0o664))
+                content = rng.randbytes(rng.randint(64, file_bytes))
+                tree.add_file(f"{dpath}/file{f}.dat", content,
+                              owner=user, group=group, mode=mode)
+    for f in range(files_per_dir):
+        owner = rng.choice(users)
+        tree.add_file(f"/shared/common{f}.dat",
+                      rng.randbytes(rng.randint(64, file_bytes)),
+                      owner=owner, group=group, mode=0o664)
+    return tree

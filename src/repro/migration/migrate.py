@@ -1,0 +1,283 @@
+"""The SHAROES migration tool (paper section IV, first component).
+
+Transitions an existing local filesystem to the outsourced model: walks
+the local tree, mints the complete cryptographic structure (per-object
+keys, per-selector metadata replicas, CAP-styled directory-table views,
+split-point lockboxes, per-user superblocks) and performs the bulk upload
+to the SSP.
+
+Because migration runs inside the enterprise trust domain, it may act on
+behalf of every owner at once -- that is exactly why the paper's
+"seamless transition without significant user involvement" is possible.
+
+Bulk-transfer economics: the tool batches uploads (amortizing round
+trips) and optionally models compression, matching the paper's "more
+efficient bulk data transfers" remark.  Costs are charged to an optional
+:class:`~repro.sim.costmodel.CostModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..caps.model import VIEW_NONE, cap_for_bits
+from ..caps.record import ObjectRecord, lockbox_payload
+from ..crypto.provider import CryptoProvider
+from ..errors import MigrationError, UnsupportedPermission
+from ..fs.dirtable import SPLIT, DirEntry, DirPointer, TableView
+from ..fs.metadata import MetadataAttrs
+from ..fs.permissions import DIRECTORY, EXEC, FILE, READ, WRITE
+from ..fs.sealed import bind_context, seal_and_sign
+from ..fs.volume import SharoesVolume, block_blob_id, table_blob_id
+from ..sim.costmodel import CostModel
+from ..storage.blobs import lockbox_blob, meta_blob
+from .localfs import LocalNode, LocalTree
+
+_BATCH_SIZE = 100
+_REQUEST_HEADER_BYTES = 64
+
+
+def degrade_bits(bits: int, ftype: str) -> int:
+    """Nearest weaker supported permission for an unsupported triple.
+
+    Directories: -wx loses the write bit (--x).  Files: any write or
+    exec without read collapses to no access (the symmetric-DEK
+    restriction of paper sections III-A/B).
+    """
+    r, w, x = bits & READ, bits & WRITE, bits & EXEC
+    if ftype == DIRECTORY:
+        if w and x and not r:
+            return x
+        return bits
+    if not r:
+        return 0
+    return bits
+
+
+def degrade_mode(mode: int, ftype: str) -> int:
+    out = 0
+    for shift in (6, 3, 0):
+        out |= degrade_bits((mode >> shift) & 0o7, ftype) << shift
+    return out
+
+
+@dataclass
+class MigrationReport:
+    """What the migration did, for the operator's eyes."""
+
+    directories: int = 0
+    files: int = 0
+    data_bytes: int = 0
+    uploaded_bytes: int = 0
+    blobs: int = 0
+    replicas: int = 0
+    lockboxes: int = 0
+    splits: int = 0
+    superblocks: int = 0
+    warnings: list[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        return (f"migrated {self.directories} dirs / {self.files} files "
+                f"({self.data_bytes} B data) -> {self.blobs} blobs, "
+                f"{self.replicas} metadata replicas, {self.lockboxes} "
+                f"lockboxes, {self.splits} split rows, "
+                f"{self.superblocks} superblocks; "
+                f"{len(self.warnings)} warnings")
+
+
+class MigrationTool:
+    """Transitions a :class:`LocalTree` onto a fresh SHAROES volume."""
+
+    def __init__(self, volume: SharoesVolume,
+                 provider: CryptoProvider | None = None,
+                 cost_model: CostModel | None = None,
+                 strict_permissions: bool = True,
+                 compression_ratio: float = 1.0):
+        if volume.formatted:
+            raise MigrationError("migration needs an unformatted volume")
+        if not 0.0 < compression_ratio <= 1.0:
+            raise MigrationError("compression_ratio must be in (0, 1]")
+        self.volume = volume
+        self.provider = provider or CryptoProvider(volume.engine)
+        self.cost = cost_model
+        if cost_model is not None:
+            self.provider.add_listener(cost_model.on_crypto_event)
+        self.strict = strict_permissions
+        self.compression_ratio = compression_ratio
+        self._pending_batch_bytes = 0
+        self._batch_count = 0
+        self.report = MigrationReport()
+
+    # -- upload accounting ---------------------------------------------------
+
+    def _upload(self, blob_id, payload: bytes, compressible: bool) -> None:
+        self.volume.server.put(blob_id, payload)
+        self.report.blobs += 1
+        self.report.uploaded_bytes += len(payload)
+        if self.cost is None:
+            return
+        wire = len(payload)
+        if compressible:
+            wire = int(wire * self.compression_ratio)
+        self._pending_batch_bytes += wire + _REQUEST_HEADER_BYTES
+        self._batch_count += 1
+        if self._batch_count >= _BATCH_SIZE:
+            self._flush_batch()
+
+    def _flush_batch(self) -> None:
+        if self.cost is not None and self._batch_count:
+            self.cost.charge_request(self._pending_batch_bytes, 16)
+        self._pending_batch_bytes = 0
+        self._batch_count = 0
+
+    # -- permission preparation -----------------------------------------------
+
+    def _prepare_mode(self, path: str, node: LocalNode) -> int:
+        mode = node.mode
+        for shift in (6, 3, 0):
+            bits = (mode >> shift) & 0o7
+            try:
+                cap_for_bits(bits, node.ftype)
+            except UnsupportedPermission as exc:
+                if self.strict:
+                    raise MigrationError(f"{path}: {exc}") from exc
+                degraded = degrade_mode(mode, node.ftype)
+                self.report.warnings.append(
+                    f"{path}: degraded mode {mode:o} -> {degraded:o} "
+                    f"(unsupported in SHAROES)")
+                return degraded
+        return mode
+
+    # -- tree construction ---------------------------------------------------------
+
+    def migrate(self, tree: LocalTree) -> MigrationReport:
+        """Run the transition; returns the report."""
+        scheme = self.volume.scheme
+        root_record = self._build_node("/", tree.root)
+        self.volume.root_inode = root_record.attrs.inode
+        self.volume._root_record = root_record
+        self.report.superblocks = self.volume.write_superblocks(
+            self.provider, root_record)
+        self._flush_batch()
+        if scheme.name == "scheme1":
+            # Scheme-1 has no shared replicas, hence its storage cost.
+            pass
+        return self.report
+
+    def _build_node(self, path: str, node: LocalNode) -> ObjectRecord:
+        mode = self._prepare_mode(path, node)
+        inode = self.volume.allocator.allocate()
+        attrs = MetadataAttrs(inode=inode, ftype=node.ftype,
+                              owner=node.owner, group=node.group,
+                              mode=mode, acl=node.acl,
+                              size=len(node.content))
+        scheme = self.volume.scheme
+        record = ObjectRecord.create(attrs, scheme.selectors(attrs),
+                                     self.volume.signature_prime_bits)
+        if node.is_dir():
+            self.report.directories += 1
+            children = {
+                name: self._build_node(
+                    path.rstrip("/") + "/" + name, child)
+                for name, child in sorted(node.children.items())}
+            self._write_tables(record, children)
+        else:
+            self.report.files += 1
+            self.report.data_bytes += len(node.content)
+            self._write_file_blocks(record, node.content)
+        self._write_replicas(record)
+        self._maybe_write_lockboxes(record)
+        return record
+
+    def _write_replicas(self, record: ObjectRecord) -> None:
+        scheme = self.volume.scheme
+        attrs = record.attrs
+        owner_selector = scheme.owner_selector(attrs)
+        for selector in scheme.selectors(attrs):
+            cap = scheme.cap_for_selector(attrs, selector)
+            blob = record.metadata_blob(self.provider, selector, cap,
+                                        selector == owner_selector)
+            self._upload(meta_blob(attrs.inode, selector), blob,
+                         compressible=False)
+            self.report.replicas += 1
+
+    def _write_file_blocks(self, record: ObjectRecord,
+                           content: bytes) -> None:
+        attrs = record.attrs
+        block_size = self.volume.block_size
+        blocks = ([content[i:i + block_size]
+                   for i in range(0, len(content), block_size)]
+                  if content else [])
+        attrs.block_count = len(blocks)
+        for index, block in enumerate(blocks):
+            payload = block
+            if index == 0:
+                payload = len(blocks).to_bytes(4, "big") + block
+            context = bind_context("data", attrs.inode, f"b{index}")
+            blob = seal_and_sign(self.provider, record.dek, record.dsk,
+                                 context, payload)
+            self._upload(block_blob_id(attrs.inode, index), blob,
+                         compressible=True)
+
+    def _write_tables(self, record: ObjectRecord,
+                      children: dict[str, ObjectRecord]) -> None:
+        scheme = self.volume.scheme
+        attrs = record.attrs
+        for selector in scheme.selectors(attrs):
+            style = self.volume.table_style(attrs, selector)
+            if style == VIEW_NONE:
+                continue
+            dek = record.table_deks[selector]
+            view = TableView.build(style, [], provider=self.provider,
+                                   table_dek=dek)
+            for name, child in sorted(children.items()):
+                kind, child_selector = scheme.child_pointer(
+                    attrs, child.attrs, selector)
+                if kind == SPLIT:
+                    self.report.splits += 1
+                    # Split discovered at the parent: the child's keys go
+                    # out through per-user lockboxes (paper III-D).
+                    self._write_lockboxes_for(child)
+                    entry = DirEntry(name=name, inode=child.attrs.inode,
+                                     kind=SPLIT)
+                elif child_selector is None:
+                    entry = DirEntry(name=name, inode=child.attrs.inode,
+                                     kind="z")
+                else:
+                    entry = DirEntry(
+                        name=name, inode=child.attrs.inode, kind="d",
+                        pointer=DirPointer(
+                            selector=child_selector,
+                            mek=child.selector_meks[child_selector],
+                            mvk=child.mvk.to_bytes()))
+                view.add(entry, provider=self.provider, table_dek=dek)
+            context = bind_context("table", attrs.inode, selector)
+            blob = seal_and_sign(self.provider, dek, record.dsk, context,
+                                 view.to_bytes())
+            self._upload(table_blob_id(attrs.inode, selector), blob,
+                         compressible=False)
+
+    def _maybe_write_lockboxes(self, record: ObjectRecord) -> None:
+        """ACL entries always need lockboxes, split or not."""
+        if record.attrs.acl:
+            self._write_lockboxes_for(record)
+
+    def _write_lockboxes_for(self, record: ObjectRecord) -> None:
+        if not self.volume.scheme.supports_splits():
+            return
+        inode = record.attrs.inode
+        done: set[int] = getattr(self, "_lockboxed", set())
+        self._lockboxed = done
+        if inode in done:
+            return
+        done.add(inode)
+        for user_id, selector in self.volume.scheme.lockbox_map(
+                record.attrs).items():
+            public = self.volume.registry.directory.user_key(user_id)
+            payload = lockbox_payload(selector,
+                                      record.selector_meks[selector],
+                                      record.mvk.to_bytes())
+            self._upload(lockbox_blob(inode, user_id),
+                         self.provider.pk_encrypt(public, payload),
+                         compressible=False)
+            self.report.lockboxes += 1

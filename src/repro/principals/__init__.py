@@ -1,0 +1,16 @@
+"""Principals: users, groups, the PKI assumption, and key distribution."""
+
+from .groups import GroupKeyService, UserAgent
+from .registry import PrincipalRegistry, PublicKeyDirectory, UnknownPrincipal
+from .users import DEFAULT_USER_KEY_BITS, Group, User
+
+__all__ = [
+    "User",
+    "Group",
+    "DEFAULT_USER_KEY_BITS",
+    "PrincipalRegistry",
+    "PublicKeyDirectory",
+    "UnknownPrincipal",
+    "GroupKeyService",
+    "UserAgent",
+]

@@ -1,0 +1,74 @@
+"""Identity-based enrolment: the paper's PKI-free alternative.
+
+Section II-A: users must know everyone's public keys, which "would imply
+existence of a public key infrastructure or usage of Identity-Based
+Encryption schemes in which the email address of the user is a valid
+public key".  This module provides that second option end to end:
+
+* the enterprise runs a :class:`~repro.crypto.ibe.KeyAuthority`;
+* anyone can wrap a user's RSA key-pair bootstrap (or any small secret)
+  to their *email address* with no directory lookup;
+* the user redeems it once with their extracted identity key.
+
+The flow mirrors how real deployments bridge IBE to the session crypto:
+IBE wraps a symmetric bootstrap key; the bootstrap key seals the actual
+payload.  SHAROES proper keeps using RSA lockboxes after enrolment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..crypto import ibe, stream
+from ..crypto.keys import new_symmetric_key
+from ..errors import CryptoError
+from ..serialize import Reader, Writer
+
+
+@dataclass
+class IdentityEnvelope:
+    """IBE-wrapped bootstrap key + symmetrically sealed payload."""
+
+    identity: str
+    wrapped_key: bytes
+    sealed_payload: bytes
+
+    def to_bytes(self) -> bytes:
+        writer = Writer()
+        writer.put_str(self.identity)
+        writer.put_bytes(self.wrapped_key)
+        writer.put_bytes(self.sealed_payload)
+        return writer.getvalue()
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "IdentityEnvelope":
+        reader = Reader(raw)
+        identity = reader.get_str()
+        wrapped_key = reader.get_bytes()
+        sealed_payload = reader.get_bytes()
+        reader.expect_end()
+        return cls(identity=identity, wrapped_key=wrapped_key,
+                   sealed_payload=sealed_payload)
+
+
+def wrap_for_identity(params: ibe.PublicParams, identity: str,
+                      payload: bytes) -> IdentityEnvelope:
+    """Encrypt any payload to an email address -- no directory needed."""
+    bootstrap = new_symmetric_key()
+    return IdentityEnvelope(
+        identity=identity,
+        wrapped_key=ibe.encrypt(params, identity, bootstrap),
+        sealed_payload=stream.seal(bootstrap, payload),
+    )
+
+
+def unwrap_with_identity_key(params: ibe.PublicParams,
+                             key: ibe.IdentityKey,
+                             envelope: IdentityEnvelope) -> bytes:
+    """Redeem an envelope with the authority-extracted identity key."""
+    if key.identity != envelope.identity:
+        raise CryptoError(
+            f"envelope is addressed to {envelope.identity!r}, "
+            f"not {key.identity!r}")
+    bootstrap = ibe.decrypt(params, key, envelope.wrapped_key)
+    return stream.open_sealed(bootstrap, envelope.sealed_payload)

@@ -1,0 +1,125 @@
+"""Public-key directory and principal registry.
+
+Models the paper's PKI assumption: "we assume that each user knows the
+public keys for all other users" (section II-A).  The directory holds only
+*public* material; private keys stay with their owners (the
+:class:`~repro.principals.groups.UserAgent` wallet).
+"""
+
+from __future__ import annotations
+
+from ..crypto import rsa
+from ..errors import SharoesError
+from .users import Group, User
+
+
+class UnknownPrincipal(SharoesError):
+    """Lookup of a user or group the registry has never seen."""
+
+
+class PublicKeyDirectory:
+    """Maps principal ids to their public keys."""
+
+    def __init__(self) -> None:
+        self._user_keys: dict[str, rsa.PublicKey] = {}
+        self._group_keys: dict[str, rsa.PublicKey] = {}
+
+    def register_user(self, user: User) -> None:
+        self._user_keys[user.user_id] = user.public_key
+
+    def register_group(self, group: Group) -> None:
+        self._group_keys[group.group_id] = group.public_key
+
+    def user_key(self, user_id: str) -> rsa.PublicKey:
+        try:
+            return self._user_keys[user_id]
+        except KeyError:
+            raise UnknownPrincipal(f"user {user_id!r}") from None
+
+    def group_key(self, group_id: str) -> rsa.PublicKey:
+        try:
+            return self._group_keys[group_id]
+        except KeyError:
+            raise UnknownPrincipal(f"group {group_id!r}") from None
+
+    def known_users(self) -> list[str]:
+        return sorted(self._user_keys)
+
+    def known_groups(self) -> list[str]:
+        return sorted(self._group_keys)
+
+
+class PrincipalRegistry:
+    """Enterprise-side roster of users and groups.
+
+    This is *enterprise* infrastructure (it exists before outsourcing and
+    stays inside the trust domain); the SSP never sees it.  It answers the
+    membership questions the filesystem needs: which class (owner, group,
+    other) does user U fall into for an object owned by O with group G?
+    """
+
+    def __init__(self) -> None:
+        self.directory = PublicKeyDirectory()
+        self._users: dict[str, User] = {}
+        self._groups: dict[str, Group] = {}
+
+    # -- enrolment ------------------------------------------------------------
+
+    def add_user(self, user: User) -> User:
+        if user.user_id in self._users:
+            raise SharoesError(f"duplicate user {user.user_id!r}")
+        self._users[user.user_id] = user
+        self.directory.register_user(user)
+        return user
+
+    def add_group(self, group: Group) -> Group:
+        if group.group_id in self._groups:
+            raise SharoesError(f"duplicate group {group.group_id!r}")
+        unknown = group.members - set(self._users)
+        if unknown:
+            raise UnknownPrincipal(f"group members {sorted(unknown)}")
+        self._groups[group.group_id] = group
+        for member in group.members:
+            self._users[member].groups.add(group.group_id)
+        self.directory.register_group(group)
+        return group
+
+    def create_user(self, user_id: str, **kwargs) -> User:
+        return self.add_user(User.create(user_id, **kwargs))
+
+    def create_group(self, group_id: str, members: set[str] | None = None,
+                     **kwargs) -> Group:
+        return self.add_group(Group.create(group_id, members, **kwargs))
+
+    # -- membership -----------------------------------------------------------
+
+    def user(self, user_id: str) -> User:
+        try:
+            return self._users[user_id]
+        except KeyError:
+            raise UnknownPrincipal(f"user {user_id!r}") from None
+
+    def group(self, group_id: str) -> Group:
+        try:
+            return self._groups[group_id]
+        except KeyError:
+            raise UnknownPrincipal(f"group {group_id!r}") from None
+
+    def is_member(self, user_id: str, group_id: str) -> bool:
+        return user_id in self.group(group_id).members
+
+    def add_member(self, group_id: str, user_id: str) -> None:
+        self.group(group_id).members.add(self.user(user_id).user_id)
+        self._users[user_id].groups.add(group_id)
+
+    def remove_member(self, group_id: str, user_id: str) -> None:
+        """Membership revocation; the caller must re-wrap group keys."""
+        self.group(group_id).members.discard(user_id)
+        if user_id in self._users:
+            self._users[user_id].groups.discard(group_id)
+
+    def users(self) -> list[User]:
+        return [self._users[uid] for uid in sorted(self._users)]
+
+    def groups(self) -> list[Group]:
+        return [self._groups[gid] for gid in sorted(self._groups)]

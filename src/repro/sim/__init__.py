@@ -1,0 +1,36 @@
+"""Simulated environment: clock, WAN link and calibrated cost model.
+
+The paper's evaluation ran against a real SSP 150 miles away over home DSL;
+this package substitutes a deterministic simulation of that testbed (see
+DESIGN.md §4 for the substitution rationale and calibration).
+"""
+
+from .clock import SimClock
+from .costmodel import (COMPUTE, CRYPTO, NETWORK, OTHER, CostBreakdown,
+                        CostModel, CostProfile)
+from .network import LAN, PAPER_DSL, NetworkLink, kbits_per_sec
+from .profiles import FREE, PAPER_2008, PAPER_2008_LAN, dsl_profile
+from .stats import Summary, percentile, repeat_runs, summarize
+
+__all__ = [
+    "SimClock",
+    "CostBreakdown",
+    "CostModel",
+    "CostProfile",
+    "NETWORK",
+    "CRYPTO",
+    "OTHER",
+    "COMPUTE",
+    "NetworkLink",
+    "PAPER_DSL",
+    "LAN",
+    "kbits_per_sec",
+    "FREE",
+    "PAPER_2008",
+    "PAPER_2008_LAN",
+    "dsl_profile",
+    "Summary",
+    "summarize",
+    "percentile",
+    "repeat_runs",
+]

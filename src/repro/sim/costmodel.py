@@ -1,0 +1,180 @@
+"""Cost model: converts operation counts into simulated 2008-testbed time.
+
+The paper breaks every filesystem operation into three components
+(Figure 13): **NETWORK** (WAN transfers), **CRYPTO** (cipher and signature
+work) and **OTHER** (FUSE dispatch, serialization, bookkeeping).  The
+:class:`CostModel` accumulates simulated seconds in exactly those buckets.
+
+It plugs into the rest of the library in two ways:
+
+* it is registered as a listener on the :class:`~repro.crypto.provider.
+  CryptoProvider`, so every real cryptographic call automatically charges
+  its simulated cost;
+* filesystem clients call :meth:`charge_request` for SSP round trips and
+  :meth:`charge_other` for fixed per-operation overhead.
+
+Nested :meth:`span` context managers capture per-operation component
+breakdowns, which is how the Figure 13 benchmark reports per-op costs while
+the same model also accumulates whole-benchmark totals for Figures 9-12.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..crypto.provider import CryptoEvent
+from .clock import SimClock
+from .network import NetworkLink
+
+NETWORK = "network"
+CRYPTO = "crypto"
+OTHER = "other"
+COMPUTE = "compute"  # local application CPU (e.g. the Andrew compile phase)
+
+_CATEGORIES = (NETWORK, CRYPTO, OTHER, COMPUTE)
+
+
+@dataclass(frozen=True)
+class CostProfile:
+    """Calibrated per-operation costs of the simulated client.
+
+    The ``paper2008`` instance in :mod:`repro.sim.profiles` documents how
+    each constant was derived from the published figures.
+    """
+
+    name: str
+    link: NetworkLink
+    #: symmetric cipher: fixed per call + per byte (2008 laptop AES-128)
+    sym_fixed_s: float
+    sym_per_byte_s: float
+    #: RSA-2048, per 256-byte block
+    pk_public_block_s: float
+    pk_private_block_s: float
+    #: ESIGN sign/verify (fast scheme, paper footnote 3)
+    esign_sign_s: float
+    esign_verify_s: float
+    #: RSA used as a signature scheme (PUBLIC comparator)
+    rsa_sign_s: float
+    rsa_verify_s: float
+    #: keyed hash (exec-only row key derivation)
+    keyed_hash_s: float
+    #: fixed OTHER overhead per filesystem operation (FUSE + serialization)
+    op_overhead_s: float
+
+    def crypto_time(self, event: CryptoEvent) -> float:
+        """Simulated seconds for one crypto event."""
+        if event.kind in ("sym_encrypt", "sym_decrypt"):
+            return self.sym_fixed_s + event.num_bytes * self.sym_per_byte_s
+        if event.kind == "pk_encrypt":
+            return event.blocks * self.pk_public_block_s
+        if event.kind == "pk_decrypt":
+            return event.blocks * self.pk_private_block_s
+        if event.kind == "sign":
+            return self.esign_sign_s
+        if event.kind == "verify":
+            return self.esign_verify_s
+        if event.kind == "sign_rsa":
+            return self.rsa_sign_s
+        if event.kind == "verify_rsa":
+            return self.rsa_verify_s
+        if event.kind == "keyed_hash":
+            return self.keyed_hash_s
+        raise ValueError(f"unknown crypto event kind {event.kind!r}")
+
+
+@dataclass
+class CostBreakdown:
+    """Accumulated simulated seconds per component."""
+
+    seconds: dict[str, float] = field(
+        default_factory=lambda: {c: 0.0 for c in _CATEGORIES})
+
+    def add(self, category: str, amount: float) -> None:
+        self.seconds[category] += amount
+
+    @property
+    def network(self) -> float:
+        return self.seconds[NETWORK]
+
+    @property
+    def crypto(self) -> float:
+        return self.seconds[CRYPTO]
+
+    @property
+    def other(self) -> float:
+        return self.seconds[OTHER]
+
+    @property
+    def compute(self) -> float:
+        return self.seconds[COMPUTE]
+
+    @property
+    def total(self) -> float:
+        return sum(self.seconds.values())
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(self.seconds)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{k}={v:.3f}" for k, v in self.seconds.items())
+        return f"CostBreakdown({parts}, total={self.total:.3f})"
+
+
+class CostModel:
+    """Charges simulated time into component buckets and the clock."""
+
+    def __init__(self, profile: CostProfile, clock: SimClock | None = None):
+        self.profile = profile
+        self.clock = clock if clock is not None else SimClock()
+        self.totals = CostBreakdown()
+        self._spans: list[CostBreakdown] = []
+
+    # -- charging ------------------------------------------------------------
+
+    def charge(self, category: str, seconds: float) -> None:
+        if category not in _CATEGORIES:
+            raise ValueError(f"unknown cost category {category!r}")
+        if seconds < 0:
+            raise ValueError("negative cost")
+        self.totals.add(category, seconds)
+        for span in self._spans:
+            span.add(category, seconds)
+        self.clock.advance(seconds)
+
+    def charge_request(self, up_bytes: int, down_bytes: int,
+                       round_trips: int = 1) -> None:
+        """One SSP request: RTT(s) plus payload transfer time."""
+        self.charge(NETWORK, self.profile.link.request_time(
+            up_bytes, down_bytes, round_trips))
+
+    def charge_other(self, seconds: float | None = None) -> None:
+        """Fixed per-operation overhead (FUSE dispatch, serialization)."""
+        if seconds is None:
+            seconds = self.profile.op_overhead_s
+        self.charge(OTHER, seconds)
+
+    def charge_compute(self, seconds: float) -> None:
+        """Local application CPU time (e.g. a compile phase)."""
+        self.charge(COMPUTE, seconds)
+
+    def on_crypto_event(self, event: CryptoEvent) -> None:
+        """CryptoProvider listener: charge the event's simulated cost."""
+        self.charge(CRYPTO, self.profile.crypto_time(event))
+
+    # -- measurement ------------------------------------------------------------
+
+    @contextmanager
+    def span(self) -> Iterator[CostBreakdown]:
+        """Capture the costs charged inside the ``with`` block."""
+        breakdown = CostBreakdown()
+        self._spans.append(breakdown)
+        try:
+            yield breakdown
+        finally:
+            self._spans.remove(breakdown)
+
+    def reset(self) -> None:
+        self.totals = CostBreakdown()
+        self.clock.reset()

@@ -1,0 +1,69 @@
+"""Wide-area network model.
+
+The paper's testbed: SSP at Georgia Tech (Atlanta), client in Birmingham AL
+on a home DSL line with measured 850 Kbit/s up and 350 Kbit/s down.  The
+dominant cost of every filesystem operation in the evaluation is this link,
+so the model is simple and explicit: each request pays one round-trip
+latency plus serialized transfer time in each direction.
+
+Bandwidth asymmetry matters for reproducing Figure 13: reading a 1 MB file
+(~23 s on the slow downlink) costs far more than writing one (~10 s on the
+faster uplink), exactly as the paper's bar chart shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def kbits_per_sec(kbits: float) -> float:
+    """Convert link speed in Kbit/s to bytes/s."""
+    return kbits * 1000.0 / 8.0
+
+
+@dataclass(frozen=True)
+class NetworkLink:
+    """A client <-> SSP link with asymmetric bandwidth.
+
+    Attributes
+    ----------
+    upload_bytes_per_s / download_bytes_per_s:
+        Serialized transfer rates, client's perspective.
+    rtt_s:
+        Round-trip latency charged once per request.
+    """
+
+    upload_bytes_per_s: float
+    download_bytes_per_s: float
+    rtt_s: float
+
+    def upload_time(self, num_bytes: int) -> float:
+        return num_bytes / self.upload_bytes_per_s
+
+    def download_time(self, num_bytes: int) -> float:
+        return num_bytes / self.download_bytes_per_s
+
+    def request_time(self, up_bytes: int, down_bytes: int,
+                     round_trips: int = 1) -> float:
+        """Time for one request: RTTs plus payload transfer each way."""
+        return (round_trips * self.rtt_s
+                + self.upload_time(up_bytes)
+                + self.download_time(down_bytes))
+
+
+#: The paper's measured home-DSL link (section V-A).  The 100 ms RTT is
+#: fitted from Figure 9's NO-ENC-MD-D bars (two round trips per create,
+#: one per stat); plausible for 2008 consumer DSL over ~150 miles.
+PAPER_DSL = NetworkLink(
+    upload_bytes_per_s=kbits_per_sec(850),
+    download_bytes_per_s=kbits_per_sec(350),
+    rtt_s=0.100,
+)
+
+#: A LAN-class link, used by ablation benchmarks to show how the
+#: crypto-vs-network balance shifts when the network is fast.
+LAN = NetworkLink(
+    upload_bytes_per_s=kbits_per_sec(100_000),
+    download_bytes_per_s=kbits_per_sec(100_000),
+    rtt_s=0.0005,
+)

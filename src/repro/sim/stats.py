@@ -1,0 +1,77 @@
+"""Summary statistics for repeated benchmark runs.
+
+The paper: "all experiments were repeated ten times and results were
+averaged" (section V-A).  Our simulation is deterministic given a seed,
+so repetition varies the *workload* seed (file sizes, transaction mix,
+payloads) rather than re-rolling measurement noise -- the honest analogue
+for a simulated testbed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean/stdev/extremes of one measured series."""
+
+    n: int
+    mean: float
+    stdev: float
+    minimum: float
+    maximum: float
+
+    @property
+    def stderr(self) -> float:
+        return self.stdev / math.sqrt(self.n) if self.n else 0.0
+
+    def ci95(self) -> tuple[float, float]:
+        """Normal-approximation 95% confidence interval for the mean."""
+        half = 1.96 * self.stderr
+        return self.mean - half, self.mean + half
+
+    def __str__(self) -> str:
+        return (f"{self.mean:.1f} ± {self.stdev:.1f} "
+                f"(n={self.n}, range {self.minimum:.1f}"
+                f"-{self.maximum:.1f})")
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    if not values:
+        raise ValueError("cannot summarize an empty series")
+    n = len(values)
+    mean = sum(values) / n
+    variance = (sum((v - mean) ** 2 for v in values) / (n - 1)
+                if n > 1 else 0.0)
+    return Summary(n=n, mean=mean, stdev=math.sqrt(variance),
+                   minimum=min(values), maximum=max(values))
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile, q in [0, 100]."""
+    if not values:
+        raise ValueError("cannot take a percentile of an empty series")
+    if not 0 <= q <= 100:
+        raise ValueError("percentile must be within [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * q / 100
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = rank - low
+    return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+
+def repeat_runs(run: Callable[[int], float], repetitions: int = 10,
+                base_seed: int = 100) -> Summary:
+    """The paper's protocol: run ``repetitions`` times, average.
+
+    ``run(seed)`` must return the measured value for that seed.
+    """
+    if repetitions < 1:
+        raise ValueError("need at least one repetition")
+    return summarize([run(base_seed + i) for i in range(repetitions)])

@@ -1,0 +1,64 @@
+"""SSP-side accounting.
+
+Tracks request counts, transferred bytes and stored bytes.  Two consumers:
+
+* tests assert that clients perform exactly the expected number of SSP
+  round trips per filesystem operation (Figure 8's cost table);
+* the Scheme-1 vs Scheme-2 ablation converts stored metadata bytes into
+  the paper's "$0.60 per user per month for a million-file filesystem"
+  estimate using 2008 Amazon S3 pricing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Amazon S3 storage price circa the paper's writing, $/GB-month.
+S3_2008_DOLLARS_PER_GB_MONTH = 0.15
+
+
+@dataclass
+class ServerStats:
+    """Running totals of SSP activity."""
+
+    puts: int = 0
+    gets: int = 0
+    deletes: int = 0
+    misses: int = 0
+    bytes_received: int = 0
+    bytes_served: int = 0
+    puts_by_kind: dict[str, int] = field(default_factory=dict)
+    gets_by_kind: dict[str, int] = field(default_factory=dict)
+
+    def record_put(self, kind: str, num_bytes: int) -> None:
+        self.puts += 1
+        self.bytes_received += num_bytes
+        self.puts_by_kind[kind] = self.puts_by_kind.get(kind, 0) + 1
+
+    def record_get(self, kind: str, num_bytes: int) -> None:
+        self.gets += 1
+        self.bytes_served += num_bytes
+        self.gets_by_kind[kind] = self.gets_by_kind.get(kind, 0) + 1
+
+    def record_delete(self) -> None:
+        self.deletes += 1
+
+    def record_miss(self) -> None:
+        self.misses += 1
+
+    def reset(self) -> None:
+        self.puts = 0
+        self.gets = 0
+        self.deletes = 0
+        self.misses = 0
+        self.bytes_received = 0
+        self.bytes_served = 0
+        self.puts_by_kind.clear()
+        self.gets_by_kind.clear()
+
+
+def monthly_storage_dollars(stored_bytes: int,
+                            dollars_per_gb_month: float =
+                            S3_2008_DOLLARS_PER_GB_MONTH) -> float:
+    """Monthly storage cost of ``stored_bytes`` at SSP pricing."""
+    return stored_bytes / (1024 ** 3) * dollars_per_gb_month

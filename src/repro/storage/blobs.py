@@ -1,0 +1,69 @@
+"""Blob identifiers for the SSP's flat store.
+
+The paper's SSP "simply maintains a large hashtable for encrypted metadata
+objects and encrypted data blocks, both indexed by the inode numbers and
+either hash of user/group ID (for Scheme-1) or CAP ID (Scheme-2)"
+(section IV).  This module defines that index space:
+
+* ``meta/<inode>/<selector>``  -- encrypted metadata replicas
+* ``data/<inode>/<selector>``  -- encrypted data blocks / directory tables
+* ``super/<user-hash>``        -- per-user encrypted superblocks
+* ``groupkey/<group>/<user-hash>`` -- group keys wrapped per member
+* ``lockbox/<inode>/<user-hash>``  -- Scheme-2 split-point lockboxes
+
+``selector`` is a CAP id under Scheme-2 or a hashed principal id under
+Scheme-1; baselines that keep a single copy use the selector ``"-"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..crypto import hashes
+
+META = "meta"
+DATA = "data"
+SUPERBLOCK = "super"
+GROUP_KEY = "groupkey"
+LOCKBOX = "lockbox"
+
+#: Selector for single-copy objects (baselines, shared structures).
+SHARED = "-"
+
+
+def principal_hash(principal_id: str) -> str:
+    """Hash of a user/group id: the SSP indexes by this, never the raw id."""
+    return hashes.hexdigest(principal_id.encode("utf-8"))[:16]
+
+
+@dataclass(frozen=True, order=True)
+class BlobId:
+    """A fully-qualified key into the SSP hashtable."""
+
+    kind: str
+    inode: int
+    selector: str
+
+    def __str__(self) -> str:
+        return f"{self.kind}/{self.inode}/{self.selector}"
+
+
+def meta_blob(inode: int, selector: str = SHARED) -> BlobId:
+    return BlobId(META, inode, selector)
+
+
+def data_blob(inode: int, selector: str = SHARED) -> BlobId:
+    return BlobId(DATA, inode, selector)
+
+
+def superblock_blob(user_id: str) -> BlobId:
+    return BlobId(SUPERBLOCK, 0, principal_hash(user_id))
+
+
+def group_key_blob(group_id: str, user_id: str) -> BlobId:
+    return BlobId(GROUP_KEY, 0,
+                  f"{principal_hash(group_id)}/{principal_hash(user_id)}")
+
+
+def lockbox_blob(inode: int, user_id: str) -> BlobId:
+    return BlobId(LOCKBOX, inode, principal_hash(user_id))

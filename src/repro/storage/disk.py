@@ -1,0 +1,98 @@
+"""Disk-backed SSP storage.
+
+The in-memory :class:`~repro.storage.server.StorageServer` is perfect for
+tests and benchmarks; a real SSP persists.  This backend keeps the same
+interface while writing each blob to a file, so a volume survives process
+restarts -- and so one can point a filesystem browser at the store and
+see for oneself that there is nothing but ciphertext in it.
+
+Blob ids map to filesystem paths as ``<root>/<kind>/<inode>/<selector>``
+with the selector percent-encoded (selectors may contain ``/`` for group
+key blobs).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import urllib.parse
+from typing import Iterator
+
+from ..errors import BlobNotFound
+from .blobs import BlobId
+from .server import StorageServer
+
+
+def _selector_to_name(selector: str) -> str:
+    return urllib.parse.quote(selector, safe="")
+
+
+def _name_to_selector(name: str) -> str:
+    return urllib.parse.unquote(name)
+
+
+class DiskStorageServer(StorageServer):
+    """Persistent SSP: one file per encrypted blob."""
+
+    def __init__(self, root: str | pathlib.Path, name: str = "disk-ssp"):
+        super().__init__(name=name)
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, blob_id: BlobId) -> pathlib.Path:
+        return (self.root / blob_id.kind / str(blob_id.inode)
+                / _selector_to_name(blob_id.selector))
+
+    def put(self, blob_id: BlobId, payload: bytes) -> None:
+        self.stats.record_put(blob_id.kind, len(payload))
+        path = self._path(blob_id)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_bytes(payload)
+        tmp.replace(path)  # atomic within one filesystem
+
+    def get(self, blob_id: BlobId) -> bytes:
+        path = self._path(blob_id)
+        try:
+            payload = path.read_bytes()
+        except FileNotFoundError:
+            self.stats.record_miss()
+            raise BlobNotFound(str(blob_id)) from None
+        self.stats.record_get(blob_id.kind, len(payload))
+        return payload
+
+    def delete(self, blob_id: BlobId) -> None:
+        self.stats.record_delete()
+        try:
+            self._path(blob_id).unlink()
+        except FileNotFoundError:
+            pass
+
+    def exists(self, blob_id: BlobId) -> bool:
+        return self._path(blob_id).is_file()
+
+    def _iter_ids(self) -> Iterator[BlobId]:
+        for kind_dir in sorted(self.root.iterdir()):
+            if not kind_dir.is_dir():
+                continue
+            for inode_dir in sorted(kind_dir.iterdir()):
+                for blob_file in sorted(inode_dir.iterdir()):
+                    if blob_file.suffix == ".tmp":
+                        continue
+                    yield BlobId(
+                        kind=kind_dir.name, inode=int(inode_dir.name),
+                        selector=_name_to_selector(blob_file.name))
+
+    def list_kind(self, kind: str) -> Iterator[BlobId]:
+        return (bid for bid in self._iter_ids() if bid.kind == kind)
+
+    def blob_count(self) -> int:
+        return sum(1 for _ in self._iter_ids())
+
+    def stored_bytes(self, kind: str | None = None) -> int:
+        return sum(self._path(bid).stat().st_size
+                   for bid in self._iter_ids()
+                   if kind is None or bid.kind == kind)
+
+    def raw_blobs(self) -> dict[BlobId, bytes]:
+        return {bid: self._path(bid).read_bytes()
+                for bid in self._iter_ids()}

@@ -1,0 +1,97 @@
+"""Fault-injecting SSP variants.
+
+The paper's threat model (section VII) trusts the SSP to faithfully
+store/retrieve data but not with confidentiality or access control; a
+malicious SSP can still tamper, roll back, or fail requests.  These wrappers
+simulate those behaviours so the test suite can assert that every one is
+*detected* by client-side verification (the deterrent the paper pairs with
+SLA penalties).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from ..errors import StorageError
+from .blobs import BlobId
+from .server import StorageServer
+
+
+class TamperingServer(StorageServer):
+    """Flips a bit of selected blobs on the way out.
+
+    ``should_tamper`` picks victim blobs; by default every get is tampered.
+    """
+
+    def __init__(self, name: str = "evil-ssp",
+                 should_tamper: Callable[[BlobId], bool] | None = None,
+                 bit_index: int = 0):
+        super().__init__(name)
+        self._should_tamper = should_tamper or (lambda blob_id: True)
+        self._bit_index = bit_index
+        self.tamper_count = 0
+
+    def get(self, blob_id: BlobId) -> bytes:
+        payload = super().get(blob_id)
+        if not self._should_tamper(blob_id) or not payload:
+            return payload
+        self.tamper_count += 1
+        corrupted = bytearray(payload)
+        byte_index = (self._bit_index // 8) % len(corrupted)
+        corrupted[byte_index] ^= 1 << (self._bit_index % 8)
+        return bytes(corrupted)
+
+
+class RollbackServer(StorageServer):
+    """Serves the *first* version ever written for selected blobs.
+
+    Models a rollback attack: the SSP pretends later updates never
+    happened.  Full fork-consistency defences are SUNDR's contribution
+    (the paper cites it as complementary); SHAROES detects rollback of
+    *individual* objects when their keys were rotated in the meantime.
+    """
+
+    def __init__(self, name: str = "rollback-ssp",
+                 should_rollback: Callable[[BlobId], bool] | None = None):
+        super().__init__(name)
+        self._should_rollback = should_rollback or (lambda blob_id: True)
+        self._first_version: dict[BlobId, bytes] = {}
+
+    def put(self, blob_id: BlobId, payload: bytes) -> None:
+        self._first_version.setdefault(blob_id, bytes(payload))
+        super().put(blob_id, payload)
+
+    def get(self, blob_id: BlobId) -> bytes:
+        payload = super().get(blob_id)
+        if self._should_rollback(blob_id):
+            return self._first_version.get(blob_id, payload)
+        return payload
+
+
+class FlakyServer(StorageServer):
+    """Fails a fraction of requests with :class:`StorageError`.
+
+    Deterministic given the seed, so tests can replay failure sequences.
+    """
+
+    def __init__(self, name: str = "flaky-ssp", failure_rate: float = 0.1,
+                 seed: int = 0):
+        super().__init__(name)
+        if not 0.0 <= failure_rate <= 1.0:
+            raise ValueError("failure_rate must be within [0, 1]")
+        self._failure_rate = failure_rate
+        self._rng = random.Random(seed)
+
+    def _maybe_fail(self, action: str, blob_id: BlobId) -> None:
+        if self._rng.random() < self._failure_rate:
+            raise StorageError(f"{self.name}: injected {action} failure "
+                               f"for {blob_id}")
+
+    def put(self, blob_id: BlobId, payload: bytes) -> None:
+        self._maybe_fail("put", blob_id)
+        super().put(blob_id, payload)
+
+    def get(self, blob_id: BlobId) -> bytes:
+        self._maybe_fail("get", blob_id)
+        return super().get(blob_id)

@@ -1,0 +1,74 @@
+"""The SSP data-serving component.
+
+Per the paper (section IV): "There is no computation involved on the data
+at the SSP and it simply maintains a large hashtable for encrypted metadata
+objects and encrypted data blocks."  The server therefore exposes nothing
+but put/get/delete/list on opaque byte strings keyed by
+:class:`~repro.storage.blobs.BlobId`.
+
+The server is *untrusted*: it stores whatever bytes arrive and returns
+them verbatim.  Confidentiality and integrity live entirely in the client
+(encryption before upload, signature verification after download).  The
+test suite includes an "honest-but-curious audit" that scans everything a
+server has ever stored for plaintext leakage.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..errors import BlobNotFound
+from .accounting import ServerStats
+from .blobs import BlobId
+
+
+class StorageServer:
+    """In-memory SSP: a hashtable of encrypted blobs."""
+
+    def __init__(self, name: str = "ssp"):
+        self.name = name
+        self.stats = ServerStats()
+        self._blobs: dict[BlobId, bytes] = {}
+
+    # -- the wire protocol ---------------------------------------------------
+
+    def put(self, blob_id: BlobId, payload: bytes) -> None:
+        """Store (or overwrite) a blob."""
+        self.stats.record_put(blob_id.kind, len(payload))
+        self._blobs[blob_id] = bytes(payload)
+
+    def get(self, blob_id: BlobId) -> bytes:
+        """Fetch a blob; raises :class:`BlobNotFound` if absent."""
+        try:
+            payload = self._blobs[blob_id]
+        except KeyError:
+            self.stats.record_miss()
+            raise BlobNotFound(str(blob_id)) from None
+        self.stats.record_get(blob_id.kind, len(payload))
+        return payload
+
+    def delete(self, blob_id: BlobId) -> None:
+        """Remove a blob; absent ids are ignored (idempotent delete)."""
+        self.stats.record_delete()
+        self._blobs.pop(blob_id, None)
+
+    def exists(self, blob_id: BlobId) -> bool:
+        return blob_id in self._blobs
+
+    def list_kind(self, kind: str) -> Iterator[BlobId]:
+        """Enumerate stored ids of one kind (used by audits and ablations)."""
+        return (bid for bid in self._blobs if bid.kind == kind)
+
+    # -- capacity / audit helpers ------------------------------------------------
+
+    def blob_count(self) -> int:
+        return len(self._blobs)
+
+    def stored_bytes(self, kind: str | None = None) -> int:
+        """Total stored payload bytes, optionally for one blob kind."""
+        return sum(len(payload) for bid, payload in self._blobs.items()
+                   if kind is None or bid.kind == kind)
+
+    def raw_blobs(self) -> dict[BlobId, bytes]:
+        """Everything the (curious) SSP can see. For audits and attacks."""
+        return dict(self._blobs)

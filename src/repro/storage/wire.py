@@ -1,0 +1,256 @@
+"""The SSP data-serving tool over real TCP sockets (paper section IV).
+
+The paper's second component is "the SSP component for serving data from
+the remote site", which its prototype reaches over TCP/IP.  This module
+provides exactly that: a threaded socket server exposing any
+:class:`~repro.storage.server.StorageServer` (including the fault
+variants), and a client-side proxy implementing the same put/get/delete
+interface so a :class:`~repro.fs.client.SharoesFilesystem` can mount a
+volume whose blobs genuinely cross a network boundary.
+
+Wire format (all integers big-endian):
+
+    request  := u32 length | u8 opcode | fields
+    response := u32 length | u8 status | payload
+
+    PUT    op=1: blob-id, payload      -> status OK
+    GET    op=2: blob-id               -> status OK + payload | MISSING
+    DELETE op=3: blob-id               -> status OK
+    EXISTS op=4: blob-id               -> status OK + 1 byte (0/1)
+
+Blob ids travel as their string form (``kind/inode/selector``).  The
+server performs no computation on payloads -- it cannot: they are
+ciphertext.  Simulated benchmark costs remain the job of the cost model;
+this layer exists to demonstrate the deployment shape, and the test
+suite runs a real loopback server.
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import struct
+import threading
+
+from ..errors import BlobNotFound, StorageError
+from .blobs import BlobId
+from .server import StorageServer
+
+OP_PUT = 1
+OP_GET = 2
+OP_DELETE = 3
+OP_EXISTS = 4
+
+STATUS_OK = 0
+STATUS_MISSING = 1
+STATUS_ERROR = 2
+
+_MAX_MESSAGE = 64 * 1024 * 1024
+
+
+def _pack_fields(*fields: bytes) -> bytes:
+    out = bytearray()
+    for field in fields:
+        out += struct.pack(">I", len(field))
+        out += field
+    return bytes(out)
+
+
+def _unpack_fields(raw: bytes, count: int) -> list[bytes]:
+    fields = []
+    offset = 0
+    for _ in range(count):
+        if offset + 4 > len(raw):
+            raise StorageError("truncated wire message")
+        (length,) = struct.unpack_from(">I", raw, offset)
+        offset += 4
+        if offset + length > len(raw):
+            raise StorageError("truncated wire field")
+        fields.append(raw[offset:offset + length])
+        offset += length
+    return fields
+
+
+def _parse_blob_id(raw: bytes) -> BlobId:
+    try:
+        kind, inode, selector = raw.decode("utf-8").split("/", 2)
+        return BlobId(kind=kind, inode=int(inode), selector=selector)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise StorageError(f"malformed blob id on wire: {raw!r}") from exc
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise StorageError("connection closed mid-message")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def _recv_message(sock: socket.socket) -> bytes:
+    (length,) = struct.unpack(">I", _recv_exact(sock, 4))
+    if length > _MAX_MESSAGE:
+        raise StorageError("wire message exceeds limit")
+    return _recv_exact(sock, length)
+
+
+def _send_message(sock: socket.socket, body: bytes) -> None:
+    sock.sendall(struct.pack(">I", len(body)) + body)
+
+
+class _Handler(socketserver.BaseRequestHandler):
+    def handle(self) -> None:
+        backend: StorageServer = self.server.backend  # type: ignore
+        while True:
+            try:
+                message = _recv_message(self.request)
+            except StorageError:
+                return  # client hung up
+            opcode = message[0]
+            try:
+                response = self._dispatch(backend, opcode, message[1:])
+            except BlobNotFound:
+                response = bytes([STATUS_MISSING])
+            except Exception as exc:  # surfaced to the client as ERROR
+                response = bytes([STATUS_ERROR]) + str(exc).encode()
+            _send_message(self.request, response)
+
+    @staticmethod
+    def _dispatch(backend: StorageServer, opcode: int,
+                  body: bytes) -> bytes:
+        if opcode == OP_PUT:
+            blob_raw, payload = _unpack_fields(body, 2)
+            backend.put(_parse_blob_id(blob_raw), payload)
+            return bytes([STATUS_OK])
+        if opcode == OP_GET:
+            (blob_raw,) = _unpack_fields(body, 1)
+            payload = backend.get(_parse_blob_id(blob_raw))
+            return bytes([STATUS_OK]) + payload
+        if opcode == OP_DELETE:
+            (blob_raw,) = _unpack_fields(body, 1)
+            backend.delete(_parse_blob_id(blob_raw))
+            return bytes([STATUS_OK])
+        if opcode == OP_EXISTS:
+            (blob_raw,) = _unpack_fields(body, 1)
+            present = backend.exists(_parse_blob_id(blob_raw))
+            return bytes([STATUS_OK, 1 if present else 0])
+        raise StorageError(f"unknown opcode {opcode}")
+
+
+class SspServer:
+    """Threaded TCP front-end for a storage backend."""
+
+    def __init__(self, backend: StorageServer, host: str = "127.0.0.1",
+                 port: int = 0):
+        self.backend = backend
+
+        class _Server(socketserver.ThreadingTCPServer):
+            allow_reuse_address = True
+            daemon_threads = True
+
+        self._server = _Server((host, port), _Handler)
+        self._server.backend = backend  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._server.server_address  # type: ignore[return-value]
+
+    def start(self) -> "SspServer":
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, daemon=True,
+            name="ssp-server")
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+
+    def __enter__(self) -> "SspServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+
+class RemoteStorageClient(StorageServer):
+    """Client-side proxy: the StorageServer interface over a socket.
+
+    Subclasses :class:`StorageServer` so everything that takes a server
+    (volumes, clients, migration) works unchanged; local stats track the
+    client's view of its own traffic.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 10.0):
+        super().__init__(name=f"remote-ssp@{host}:{port}")
+        self._lock = threading.Lock()
+        self._sock = socket.create_connection((host, port),
+                                              timeout=timeout)
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def _roundtrip(self, body: bytes) -> bytes:
+        with self._lock:
+            _send_message(self._sock, body)
+            return _recv_message(self._sock)
+
+    @staticmethod
+    def _check(response: bytes) -> bytes:
+        if not response:
+            raise StorageError("empty response from SSP")
+        status, payload = response[0], response[1:]
+        if status == STATUS_OK:
+            return payload
+        if status == STATUS_MISSING:
+            raise BlobNotFound("remote blob missing")
+        raise StorageError(f"SSP error: {payload.decode(errors='replace')}")
+
+    def put(self, blob_id: BlobId, payload: bytes) -> None:
+        self.stats.record_put(blob_id.kind, len(payload))
+        body = bytes([OP_PUT]) + _pack_fields(
+            str(blob_id).encode(), payload)
+        self._check(self._roundtrip(body))
+
+    def get(self, blob_id: BlobId) -> bytes:
+        body = bytes([OP_GET]) + _pack_fields(str(blob_id).encode())
+        try:
+            payload = self._check(self._roundtrip(body))
+        except BlobNotFound:
+            self.stats.record_miss()
+            raise
+        self.stats.record_get(blob_id.kind, len(payload))
+        return payload
+
+    def delete(self, blob_id: BlobId) -> None:
+        self.stats.record_delete()
+        body = bytes([OP_DELETE]) + _pack_fields(str(blob_id).encode())
+        self._check(self._roundtrip(body))
+
+    def exists(self, blob_id: BlobId) -> bool:
+        body = bytes([OP_EXISTS]) + _pack_fields(str(blob_id).encode())
+        payload = self._check(self._roundtrip(body))
+        return bool(payload and payload[0])
+
+    # The proxy cannot enumerate or audit the remote store.
+    def list_kind(self, kind: str):
+        raise StorageError("remote SSP does not support enumeration")
+
+    def blob_count(self) -> int:
+        raise StorageError("remote SSP does not expose its census")
+
+    def stored_bytes(self, kind: str | None = None) -> int:
+        raise StorageError("remote SSP does not expose its census")
+
+    def raw_blobs(self) -> dict:
+        raise StorageError("remote SSP does not expose raw blobs")

@@ -1,0 +1,5 @@
+"""Operational tooling: volume audit (fsck) and storage census."""
+
+from .fsck import AuditReport, VolumeAuditor
+
+__all__ = ["VolumeAuditor", "AuditReport"]

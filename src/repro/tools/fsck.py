@@ -1,0 +1,204 @@
+"""Volume audit (fsck for the outsourced filesystem).
+
+Runs inside the enterprise trust domain: mounts the volume as every
+registered user, walks everything reachable, verifies every signature and
+MAC along the way, and cross-references the SSP's blob census to find
+unreferenced (orphaned) blobs.
+
+What it detects:
+
+* corrupted / tampered metadata, tables and data blocks (signature or
+  MAC failures anywhere in any user's reachable tree);
+* broken pointer structure (rows naming replicas that do not exist);
+* SSP rollbacks of objects visited twice (via the client's freshness
+  monitor);
+* orphaned blobs -- storage the SSP bills for that no user can reach
+  (e.g. left over from interrupted deletes).
+
+What it cannot detect, by design: a consistent, validly-signed *old*
+state served uniformly on first contact (SUNDR's fork-consistency gap,
+which the paper cites as complementary work).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import (FilesystemError, IntegrityError, PermissionDenied,
+                      SharoesError, StorageError)
+from ..fs.client import ClientConfig, SharoesFilesystem
+from ..fs.volume import SharoesVolume
+from ..storage.blobs import BlobId
+from ..storage.server import StorageServer
+
+
+@dataclass
+class AuditReport:
+    """Outcome of one volume audit."""
+
+    users_mounted: int = 0
+    objects_visited: int = 0
+    files_verified: int = 0
+    directories_verified: int = 0
+    symlinks_verified: int = 0
+    integrity_errors: list[str] = field(default_factory=list)
+    structural_errors: list[str] = field(default_factory=list)
+    orphaned_blobs: list[str] = field(default_factory=list)
+    unreachable_users: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not (self.integrity_errors or self.structural_errors)
+
+    def summary(self) -> str:
+        status = "CLEAN" if self.clean else "ERRORS FOUND"
+        return (f"fsck: {status} -- {self.objects_visited} objects via "
+                f"{self.users_mounted} users "
+                f"({self.files_verified} files, "
+                f"{self.directories_verified} dirs, "
+                f"{self.symlinks_verified} symlinks); "
+                f"{len(self.integrity_errors)} integrity, "
+                f"{len(self.structural_errors)} structural, "
+                f"{len(self.orphaned_blobs)} orphaned blobs")
+
+
+class _RecordingServer:
+    """Pass-through server proxy recording every blob id touched."""
+
+    def __init__(self, inner: StorageServer):
+        self._inner = inner
+        self.touched: set[BlobId] = set()
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def get(self, blob_id: BlobId) -> bytes:
+        self.touched.add(blob_id)
+        return self._inner.get(blob_id)
+
+    def put(self, blob_id: BlobId, payload: bytes) -> None:
+        raise SharoesError("fsck is read-only; write attempted")
+
+    def delete(self, blob_id: BlobId) -> None:
+        raise SharoesError("fsck is read-only; delete attempted")
+
+    def exists(self, blob_id: BlobId) -> bool:
+        self.touched.add(blob_id)
+        return self._inner.exists(blob_id)
+
+
+class VolumeAuditor:
+    """Walks and verifies a SHAROES volume as every registered user."""
+
+    def __init__(self, volume: SharoesVolume):
+        self.volume = volume
+
+    def audit(self, check_orphans: bool = True) -> AuditReport:
+        report = AuditReport()
+        recorder = _RecordingServer(self.volume.server)
+        shadow = _ShadowVolume(self.volume, recorder)
+        visited_inodes: set[int] = set()
+
+        for user in self.volume.registry.users():
+            fs = SharoesFilesystem(shadow, user,
+                                   config=ClientConfig())
+            try:
+                fs.mount()
+            except Exception:
+                report.unreachable_users.append(user.user_id)
+                continue
+            report.users_mounted += 1
+            self._walk(fs, "/", report, visited_inodes)
+
+        report.objects_visited = len(visited_inodes)
+        if check_orphans:
+            self._find_orphans(recorder, report, visited_inodes)
+        return report
+
+    # -- traversal --------------------------------------------------------------
+
+    def _walk(self, fs: SharoesFilesystem, path: str,
+              report: AuditReport, visited: set[int]) -> None:
+        try:
+            stat = fs.lstat(path)
+        except (PermissionDenied, FilesystemError):
+            return
+        except IntegrityError as exc:
+            report.integrity_errors.append(f"{path}: {exc}")
+            return
+        first_visit = stat.inode not in visited
+        visited.add(stat.inode)
+
+        if stat.ftype == "dir":
+            try:
+                names = fs.readdir(path)
+            except PermissionDenied:
+                return  # legitimately unlistable for this user
+            except IntegrityError as exc:
+                report.integrity_errors.append(f"{path}: {exc}")
+                return
+            if first_visit:
+                report.directories_verified += 1
+            for name in names:
+                child = path.rstrip("/") + "/" + name
+                try:
+                    self._walk(fs, child, report, visited)
+                except IntegrityError as exc:
+                    report.integrity_errors.append(f"{child}: {exc}")
+                except SharoesError as exc:
+                    report.structural_errors.append(f"{child}: {exc}")
+        elif stat.ftype == "symlink":
+            if first_visit:
+                report.symlinks_verified += 1
+            try:
+                fs.readlink(path)
+            except IntegrityError as exc:
+                report.integrity_errors.append(f"{path}: {exc}")
+        else:
+            try:
+                fs.read_file(path)
+                if first_visit:
+                    report.files_verified += 1
+            except PermissionDenied:
+                pass  # this user cannot read it; another may
+            except IntegrityError as exc:
+                report.integrity_errors.append(f"{path}: {exc}")
+
+    # -- orphan census -------------------------------------------------------------
+
+    def _find_orphans(self, recorder: _RecordingServer,
+                      report: AuditReport,
+                      visited_inodes: set[int]) -> None:
+        """Blobs belonging to no reachable inode.
+
+        Reachability is inode-granular: an exec-only directory's hidden
+        table views and empty-class metadata replicas are legitimately
+        never *read* by a listing walk, but their inode is known.
+        """
+        try:
+            all_ids = set(self.volume.server.raw_blobs())
+        except StorageError:
+            return  # remote SSPs expose no census
+        for blob_id in sorted(all_ids - recorder.touched):
+            # Lockboxes, superblocks and group keys are only read by
+            # their single addressee on specific paths; unread is fine.
+            if blob_id.kind in ("super", "groupkey", "lockbox"):
+                continue
+            if blob_id.inode in visited_inodes:
+                continue
+            report.orphaned_blobs.append(str(blob_id))
+
+
+class _ShadowVolume:
+    """The auditor's volume handle with the recording (read-only) server.
+
+    Delegates everything except the server to the real volume, so scheme,
+    allocator and registry stay shared.
+    """
+
+    def __init__(self, volume: SharoesVolume, server: _RecordingServer):
+        self._volume = volume
+        self.server = server
+
+    def __getattr__(self, name):
+        return getattr(self._volume, name)

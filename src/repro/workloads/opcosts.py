@@ -1,0 +1,100 @@
+"""Per-operation cost breakdown (paper Figure 13).
+
+Measures individual filesystem operations on the SHAROES client, split
+into the paper's three components: NETWORK, CRYPTO, OTHER.
+
+Operations and their CAP mapping (see the paper's discussion of mkdir
+cost varying with the CAPs created):
+
+* ``getattr``      -- stat of a file whose parent chain is warm;
+* ``mkdir:rwx``    -- mode 700: one (owner, rwx) CAP;
+* ``mkdir:--x``    -- mode 711: adds exec-only CAPs whose inner
+  directory-table rows need the extra per-name encryption;
+* ``mkdir:both``   -- mode 751: rwx + read-exec + exec-only CAPs;
+* ``read-1MB``     -- cold read of a 1 MB file (downlink-bound);
+* ``write-1MB``    -- write+close of a 1 MB file (uplink-bound).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..fs.client import ClientConfig
+from .runner import BenchEnv
+
+MEGABYTE = 1_000_000
+
+OPERATIONS = ("getattr", "mkdir:rwx", "mkdir:--x", "mkdir:both",
+              "read-1MB", "write-1MB")
+
+#: Qualitative anchors from the paper's text/figure: getattr completes in
+#: "a little over 100 ms"; CRYPTO stays below 7% for every operation;
+#: a 1 MB read takes ~23 s on the 350 Kbit/s downlink and a 1 MB write
+#: ~10 s on the 850 Kbit/s uplink; mkdir sits in the 200-350 ms band,
+#: rising with the number (and kind) of CAPs created.
+PAPER_FIG13_ANCHORS = {
+    "getattr_ms": (100.0, 160.0),
+    "crypto_fraction_max": 0.07,
+    "read_1mb_s": (20.0, 27.0),
+    "write_1mb_s": (8.0, 13.0),
+    "mkdir_ms": (150.0, 450.0),
+}
+
+
+@dataclass
+class OpCost:
+    op: str
+    network_s: float
+    crypto_s: float
+    other_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.network_s + self.crypto_s + self.other_s
+
+    @property
+    def crypto_fraction(self) -> float:
+        return self.crypto_s / self.total_s if self.total_s else 0.0
+
+
+def run_op_costs(env: BenchEnv, seed: int = 3) -> dict[str, OpCost]:
+    """Measure each operation once on a warm-path client."""
+    rng = random.Random(seed)
+    fs = env.fresh_client(config=ClientConfig())
+    cost = env.cost
+
+    # Setup (not measured): a directory, a small file, a 1 MB file.
+    payload = rng.randbytes(MEGABYTE)
+    fs.mkdir("/bench", mode=0o755)
+    fs.mknod("/bench/small", mode=0o644)
+    fs.mknod("/bench/big", mode=0o644)
+    fs.write_file("/bench/big", payload)
+    fs.getattr("/bench")  # warm the parent chain
+
+    results: dict[str, OpCost] = {}
+
+    def measure(op: str, fn) -> None:
+        with cost.span() as span:
+            fn()
+        results[op] = OpCost(op=op, network_s=span.network,
+                             crypto_s=span.crypto, other_s=span.other)
+
+    # getattr: evict the file's own metadata, keep the parent warm.
+    fs.cache.invalidate_prefix(("meta", fs.getattr("/bench/small").inode))
+    fs.cache.invalidate_prefix(("meta",))
+    fs.getattr("/bench")  # rewarm parent chain only
+    measure("getattr", lambda: fs.getattr("/bench/small"))
+
+    measure("mkdir:rwx", lambda: fs.mkdir("/bench/d-rwx", mode=0o700))
+    measure("mkdir:--x", lambda: fs.mkdir("/bench/d-xonly", mode=0o711))
+    measure("mkdir:both", lambda: fs.mkdir("/bench/d-both", mode=0o751))
+
+    big_inode = fs.getattr("/bench/big").inode
+    fs.cache.invalidate_prefix(("data", big_inode))
+    measure("read-1MB", lambda: fs.read_file("/bench/big"))
+
+    fresh = rng.randbytes(MEGABYTE)
+    measure("write-1MB", lambda: fs.write_file("/bench/big", fresh))
+
+    return results

@@ -1,0 +1,160 @@
+"""AES: FIPS-197 / SP 800-38A vectors, modes, padding, properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import aes
+from repro.errors import CryptoError
+
+
+class TestBlockCipherVectors:
+    """Published test vectors -- the implementation is the real AES."""
+
+    def test_fips197_aes128(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        plain = bytes.fromhex("00112233445566778899aabbccddeeff")
+        expected = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        assert aes.AES(key).encrypt_block(plain) == expected
+
+    def test_fips197_aes192(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f"
+                            "1011121314151617")
+        plain = bytes.fromhex("00112233445566778899aabbccddeeff")
+        expected = bytes.fromhex("dda97ca4864cdfe06eaf70a0ec0d7191")
+        assert aes.AES(key).encrypt_block(plain) == expected
+
+    def test_fips197_aes256(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f"
+                            "101112131415161718191a1b1c1d1e1f")
+        plain = bytes.fromhex("00112233445566778899aabbccddeeff")
+        expected = bytes.fromhex("8ea2b7ca516745bfeafc49904b496089")
+        assert aes.AES(key).encrypt_block(plain) == expected
+
+    def test_sp800_38a_ecb_single_block(self):
+        # SP 800-38A F.1.1 ECB-AES128 block #1
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        plain = bytes.fromhex("6bc1bee22e409f96e93d7e117393172a")
+        expected = bytes.fromhex("3ad77bb40d7a3660a89ecaf32466ef97")
+        assert aes.AES(key).encrypt_block(plain) == expected
+
+    def test_decrypt_inverts_encrypt(self):
+        key = bytes(range(16))
+        cipher = aes.AES(key)
+        block = b"0123456789abcdef"
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    def test_decrypt_vector(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        encrypted = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        expected = bytes.fromhex("00112233445566778899aabbccddeeff")
+        assert aes.AES(key).decrypt_block(encrypted) == expected
+
+
+class TestBlockCipherErrors:
+    def test_bad_key_length(self):
+        with pytest.raises(CryptoError):
+            aes.AES(b"short")
+
+    def test_bad_block_length_encrypt(self):
+        with pytest.raises(CryptoError):
+            aes.AES(bytes(16)).encrypt_block(b"x" * 15)
+
+    def test_bad_block_length_decrypt(self):
+        with pytest.raises(CryptoError):
+            aes.AES(bytes(16)).decrypt_block(b"x" * 17)
+
+
+class TestPadding:
+    def test_pad_roundtrip(self):
+        for size in range(0, 33):
+            data = bytes(range(size % 256))[:size]
+            padded = aes.pkcs7_pad(data)
+            assert len(padded) % 16 == 0
+            assert aes.pkcs7_unpad(padded) == data
+
+    def test_pad_always_adds(self):
+        assert len(aes.pkcs7_pad(bytes(16))) == 32
+
+    def test_unpad_rejects_corrupt(self):
+        padded = aes.pkcs7_pad(b"hello")
+        corrupted = padded[:-1] + bytes([padded[-1] ^ 0xFF])
+        with pytest.raises(CryptoError):
+            aes.pkcs7_unpad(corrupted)
+
+    def test_unpad_rejects_empty(self):
+        with pytest.raises(CryptoError):
+            aes.pkcs7_unpad(b"")
+
+    def test_unpad_rejects_overlong_padding(self):
+        with pytest.raises(CryptoError):
+            aes.pkcs7_unpad(bytes([17]) * 16)
+
+
+class TestModes:
+    def test_cbc_roundtrip(self):
+        key = aes.generate_key()
+        msg = b"attack at dawn" * 11
+        assert aes.decrypt_cbc(key, aes.encrypt_cbc(key, msg)) == msg
+
+    def test_cbc_fresh_iv_randomizes(self):
+        key = aes.generate_key()
+        assert aes.encrypt_cbc(key, b"same") != aes.encrypt_cbc(key, b"same")
+
+    def test_cbc_fixed_iv_deterministic(self):
+        key = aes.generate_key()
+        iv = bytes(16)
+        assert (aes.encrypt_cbc(key, b"same", iv)
+                == aes.encrypt_cbc(key, b"same", iv))
+
+    def test_cbc_rejects_short_ciphertext(self):
+        with pytest.raises(CryptoError):
+            aes.decrypt_cbc(aes.generate_key(), b"x" * 16)
+
+    def test_ctr_roundtrip_empty(self):
+        key = aes.generate_key()
+        assert aes.decrypt_ctr(key, aes.encrypt_ctr(key, b"")) == b""
+
+    def test_ctr_roundtrip_odd_length(self):
+        key = aes.generate_key()
+        msg = b"seventeen bytes!!"
+        assert aes.decrypt_ctr(key, aes.encrypt_ctr(key, msg)) == msg
+
+    def test_ctr_length_preserving_plus_nonce(self):
+        key = aes.generate_key()
+        msg = b"z" * 100
+        assert len(aes.encrypt_ctr(key, msg)) == len(msg) + 8
+
+    def test_wrong_key_garbles(self):
+        msg = b"secret" * 10
+        sealed = aes.encrypt_ctr(aes.generate_key(), msg)
+        assert aes.decrypt_ctr(aes.generate_key(), sealed) != msg
+
+    def test_generate_key_sizes(self):
+        assert len(aes.generate_key(128)) == 16
+        assert len(aes.generate_key(256)) == 32
+        with pytest.raises(CryptoError):
+            aes.generate_key(100)
+
+
+class TestProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.binary(min_size=0, max_size=500),
+           st.binary(min_size=16, max_size=16))
+    def test_cbc_roundtrip_property(self, msg, key):
+        assert aes.decrypt_cbc(key, aes.encrypt_cbc(key, msg)) == msg
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.binary(min_size=0, max_size=500),
+           st.binary(min_size=16, max_size=16))
+    def test_ctr_roundtrip_property(self, msg, key):
+        assert aes.decrypt_ctr(key, aes.encrypt_ctr(key, msg)) == msg
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.binary(min_size=16, max_size=16),
+           st.binary(min_size=16, max_size=16))
+    def test_block_permutation_property(self, block, key):
+        cipher = aes.AES(key)
+        out = cipher.encrypt_block(block)
+        assert len(out) == 16
+        assert cipher.decrypt_block(out) == block

@@ -1,0 +1,66 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_bench_requires_figure(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench"])
+
+    def test_bench_rejects_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "fig99"])
+
+
+class TestCommands:
+    def test_selftest(self, capsys):
+        assert main(["selftest"]) == 0
+        out = capsys.readouterr().out
+        assert "all self-tests passed" in out
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "bob (group eng) reads: ship it" in out
+        assert "plaintext leaked: False" in out
+
+    def test_inspect(self, capsys):
+        assert main(["inspect", "--files", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "SSP view" in out
+        assert "meta" in out
+        assert "ciphertext" in out
+
+    def test_bench_fig13(self, capsys):
+        assert main(["bench", "fig13"]) == 0
+        out = capsys.readouterr().out
+        assert "getattr" in out
+        assert "read-1MB" in out
+
+    def test_bench_fig9_tiny(self, capsys):
+        assert main(["bench", "fig9", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "SHAROES" in out
+        assert "PUBLIC" in out
+
+    def test_bench_fig12(self, capsys):
+        assert main(["bench", "fig12"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 12" in out
+
+    def test_fsck_clean(self, capsys):
+        assert main(["fsck"]) == 0
+        assert "CLEAN" in capsys.readouterr().out
+
+    def test_fsck_corrupt(self, capsys):
+        assert main(["fsck", "--corrupt"]) == 1
+        out = capsys.readouterr().out
+        assert "ERRORS FOUND" in out
+        assert "integrity:" in out

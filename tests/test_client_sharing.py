@@ -1,0 +1,221 @@
+"""Multi-user data sharing: the *nix semantics SHAROES must replicate.
+
+Users (conftest): alice+bob in group eng, carol in hr, dave groupless.
+The volume root is alice:eng mode 755.
+"""
+
+import pytest
+
+from repro.errors import FileNotFound, PermissionDenied
+from repro.fs.client import SharoesFilesystem
+
+
+class TestGroupSharing:
+    def test_group_member_reads(self, alice_fs, bob_fs):
+        alice_fs.create_file("/doc.txt", b"shared", mode=0o640)
+        assert bob_fs.read_file("/doc.txt") == b"shared"
+
+    def test_group_member_cannot_write_640(self, alice_fs, bob_fs):
+        alice_fs.create_file("/doc.txt", b"shared", mode=0o640)
+        with pytest.raises(PermissionDenied):
+            bob_fs.write_file("/doc.txt", b"overwrite")
+
+    def test_group_member_writes_660(self, alice_fs, bob_fs):
+        alice_fs.create_file("/doc.txt", b"shared", mode=0o660)
+        bob_fs.write_file("/doc.txt", b"bob wrote this")
+        alice_fs.cache.clear()  # close-to-open: drop the stale copy
+        assert alice_fs.read_file("/doc.txt") == b"bob wrote this"
+
+    def test_non_member_denied_640(self, alice_fs, carol_fs):
+        alice_fs.create_file("/doc.txt", b"eng only", mode=0o640)
+        with pytest.raises(PermissionDenied):
+            carol_fs.read_file("/doc.txt")
+
+    def test_non_member_stats_640(self, alice_fs, carol_fs):
+        """Zero-permission CAP still allows stat (all keys inaccessible)."""
+        alice_fs.create_file("/doc.txt", b"eng only", mode=0o640)
+        stat = carol_fs.getattr("/doc.txt")
+        assert stat.owner == "alice"
+        assert stat.mode == 0o640
+
+    def test_world_readable(self, alice_fs, carol_fs, dave_fs):
+        alice_fs.create_file("/pub.txt", b"for everyone", mode=0o644)
+        assert carol_fs.read_file("/pub.txt") == b"for everyone"
+        assert dave_fs.read_file("/pub.txt") == b"for everyone"
+
+    def test_other_group_irrelevant(self, alice_fs, carol_fs):
+        """carol's hr membership gives nothing on an eng file."""
+        alice_fs.create_file("/doc.txt", b"x", mode=0o660, group="eng")
+        with pytest.raises(PermissionDenied):
+            carol_fs.read_file("/doc.txt")
+
+    def test_file_grouped_to_hr(self, alice_fs, carol_fs, bob_fs):
+        alice_fs.create_file("/hr.txt", b"hr data", mode=0o640, group="hr")
+        assert carol_fs.read_file("/hr.txt") == b"hr data"
+        with pytest.raises(PermissionDenied):
+            bob_fs.read_file("/hr.txt")
+
+
+class TestDirectoryPermissions:
+    def test_private_dir_blocks_traversal(self, alice_fs, bob_fs):
+        alice_fs.mkdir("/private", mode=0o700)
+        alice_fs.create_file("/private/f", b"secret", mode=0o644)
+        # Even though the file itself is world-readable, bob cannot
+        # traverse the 700 directory to reach it.
+        with pytest.raises(PermissionDenied):
+            bob_fs.read_file("/private/f")
+        with pytest.raises(PermissionDenied):
+            bob_fs.readdir("/private")
+
+    def test_read_only_dir_lists_but_no_traverse(self, alice_fs, bob_fs):
+        alice_fs.mkdir("/listing", mode=0o740)
+        alice_fs.create_file("/listing/f", b"data", mode=0o644)
+        assert bob_fs.readdir("/listing") == ["f"]
+        with pytest.raises(PermissionDenied):
+            bob_fs.read_file("/listing/f")
+        with pytest.raises(PermissionDenied):
+            bob_fs.getattr("/listing/f")
+
+    def test_read_exec_dir_full_access(self, alice_fs, bob_fs):
+        alice_fs.mkdir("/shared", mode=0o750)
+        alice_fs.create_file("/shared/f", b"data", mode=0o644)
+        assert bob_fs.readdir("/shared") == ["f"]
+        assert bob_fs.read_file("/shared/f") == b"data"
+
+    def test_group_cannot_create_without_write(self, alice_fs, bob_fs):
+        alice_fs.mkdir("/shared", mode=0o750)
+        with pytest.raises(PermissionDenied):
+            bob_fs.mknod("/shared/bobsfile")
+
+    def test_group_creates_with_rwx(self, alice_fs, bob_fs):
+        alice_fs.mkdir("/dropbox", mode=0o770)
+        bob_fs.create_file("/dropbox/from-bob", b"hi", mode=0o664)
+        alice_fs.cache.clear()  # alice cached the empty dropbox table
+        assert alice_fs.read_file("/dropbox/from-bob") == b"hi"
+        stat = alice_fs.getattr("/dropbox/from-bob")
+        assert stat.owner == "bob"
+
+    def test_non_owner_writer_can_delete(self, alice_fs, bob_fs):
+        alice_fs.mkdir("/dropbox", mode=0o770)
+        alice_fs.create_file("/dropbox/f", b"x", mode=0o664)
+        bob_fs.unlink("/dropbox/f")
+        alice_fs.cache.clear()
+        assert alice_fs.readdir("/dropbox") == []
+
+    def test_rw_dir_collapses_to_read(self, alice_fs, bob_fs):
+        """Paper Fig. 4: rw- on a directory behaves as read-only."""
+        alice_fs.mkdir("/oddball", mode=0o760)
+        alice_fs.create_file("/oddball/f", b"data", mode=0o644)
+        assert bob_fs.readdir("/oddball") == ["f"]
+        with pytest.raises(PermissionDenied):
+            bob_fs.read_file("/oddball/f")
+        with pytest.raises(PermissionDenied):
+            bob_fs.mknod("/oddball/new")
+
+
+class TestExecOnlyDirectories:
+    """The paper's flagship CAP (>70% of surveyed users employ --x)."""
+
+    @pytest.fixture
+    def dropbox(self, alice_fs):
+        alice_fs.mkdir("/drop", mode=0o711)
+        alice_fs.create_file("/drop/known-name.txt", b"findable",
+                             mode=0o644)
+        alice_fs.mkdir("/drop/subdir", mode=0o755)
+        alice_fs.create_file("/drop/subdir/nested.txt", b"nested",
+                             mode=0o644)
+        return alice_fs
+
+    def test_listing_denied(self, dropbox, carol_fs):
+        with pytest.raises(PermissionDenied):
+            carol_fs.readdir("/drop")
+
+    def test_access_by_exact_name(self, dropbox, carol_fs):
+        assert carol_fs.read_file("/drop/known-name.txt") == b"findable"
+
+    def test_wrong_name_not_found(self, dropbox, carol_fs):
+        with pytest.raises(FileNotFound):
+            carol_fs.read_file("/drop/KNOWN-NAME.txt")
+
+    def test_traversal_through_exec_only(self, dropbox, carol_fs):
+        assert carol_fs.read_file("/drop/subdir/nested.txt") == b"nested"
+        assert carol_fs.readdir("/drop/subdir") == ["nested.txt"]
+
+    def test_owner_still_lists(self, dropbox):
+        assert sorted(dropbox.readdir("/drop")) == ["known-name.txt",
+                                                    "subdir"]
+
+    def test_stat_by_exact_name(self, dropbox, carol_fs):
+        stat = carol_fs.getattr("/drop/known-name.txt")
+        assert stat.owner == "alice"
+
+    def test_create_inside_exec_only_denied(self, dropbox, carol_fs):
+        with pytest.raises(PermissionDenied):
+            carol_fs.mknod("/drop/sneaky")
+
+
+class TestCrossClientVisibility:
+    def test_fresh_client_sees_writes(self, alice_fs, volume, registry):
+        alice_fs.create_file("/f", b"visible")
+        other = SharoesFilesystem(volume, registry.user("bob"))
+        other.mount()
+        assert other.read_file("/f") == b"visible"
+
+    def test_cached_client_needs_refresh(self, alice_fs, bob_fs):
+        """Client caches are not invalidated remotely (close-to-open)."""
+        alice_fs.create_file("/f", b"v1", mode=0o664)
+        assert bob_fs.read_file("/f") == b"v1"
+        alice_fs.write_file("/f", b"v2")
+        assert bob_fs.read_file("/f") == b"v1"  # stale cache
+        bob_fs.cache.clear()
+        assert bob_fs.read_file("/f") == b"v2"
+
+    def test_two_writers_last_close_wins(self, alice_fs, bob_fs):
+        alice_fs.create_file("/f", b"base", mode=0o664)
+        ha = alice_fs.open("/f", "w")
+        hb = bob_fs.open("/f", "w")
+        ha.pwrite(b"alice version", 0)
+        hb.pwrite(b"bob version", 0)
+        ha.close()
+        hb.close()
+        alice_fs.cache.clear()
+        assert alice_fs.read_file("/f") == b"bob version"
+
+
+class TestChmodSemantics:
+    def test_only_owner_can_chmod(self, alice_fs, bob_fs):
+        alice_fs.create_file("/f", b"x", mode=0o664)
+        from repro.errors import KeyAccessError
+        with pytest.raises((PermissionDenied, KeyAccessError)):
+            bob_fs.chmod("/f", 0o600)
+
+    def test_chmod_grants_access(self, alice_fs, carol_fs):
+        alice_fs.create_file("/f", b"now shared", mode=0o600)
+        alice_fs.chmod("/f", 0o644)
+        carol_fs.cache.clear()
+        assert carol_fs.read_file("/f") == b"now shared"
+
+    def test_chmod_dir_style_change(self, alice_fs, bob_fs):
+        """r-x -> --x: the group's table view switches to hidden rows."""
+        alice_fs.mkdir("/d", mode=0o750)
+        alice_fs.create_file("/d/f", b"x", mode=0o644)
+        assert bob_fs.readdir("/d") == ["f"]
+        alice_fs.chmod("/d", 0o710)
+        bob2_fs = SharoesFilesystem(alice_fs.volume,
+                                    bob_fs.agent.user)
+        bob2_fs.mount()
+        with pytest.raises(PermissionDenied):
+            bob2_fs.readdir("/d")
+        assert bob2_fs.read_file("/d/f") == b"x"  # still traversable
+
+    def test_chmod_preserves_content(self, alice_fs):
+        alice_fs.create_file("/f", b"precious", mode=0o644)
+        alice_fs.chmod("/f", 0o600)
+        alice_fs.chmod("/f", 0o640)
+        assert alice_fs.read_file("/f") == b"precious"
+
+    def test_chmod_bumps_version(self, alice_fs):
+        alice_fs.mknod("/f", mode=0o644)
+        v1 = alice_fs.getattr("/f").version
+        alice_fs.chmod("/f", 0o600)
+        assert alice_fs.getattr("/f").version > v1

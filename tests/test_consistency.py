@@ -1,0 +1,230 @@
+"""Fork-consistency log (the paper's SUNDR integration, section VI)."""
+
+import pytest
+
+from repro.crypto.provider import CryptoProvider
+from repro.fs.consistency import (ConsistencyLog, ForkDetected,
+                                  VersionStatement, statement_blob)
+from repro.storage.server import StorageServer
+
+
+@pytest.fixture
+def logs(registry):
+    """A ConsistencyLog per user, sharing the registry's directory."""
+    def make(user_id: str) -> ConsistencyLog:
+        user = registry.user(user_id)
+        return ConsistencyLog(user_id, user.private_key,
+                              registry.directory)
+    return make
+
+
+class TestStatements:
+    def test_roundtrip(self, logs, server):
+        log = logs("alice")
+        log.observe(5, 3)
+        log.observe(7, 1)
+        statement = log.publish(server)
+        restored = VersionStatement.from_bytes(
+            server.get(statement_blob("alice")))
+        assert restored == statement
+        assert restored.observed(5) == 3
+        assert restored.observed(99) is None
+
+    def test_chain_digests(self, logs, server):
+        log = logs("alice")
+        first = log.publish(server)
+        second = log.publish(server)
+        assert second.previous_digest == first.digest()
+        assert second.sequence == first.sequence + 1
+
+    def test_seen_vector_grows(self, logs, server):
+        alice, bob = logs("alice"), logs("bob")
+        bob.publish(server)
+        alice.sync(server, ["bob"])
+        statement = alice.publish(server)
+        assert statement.seen_sequence("bob") == 1
+        assert statement.seen_sequence("carol") == 0
+
+
+class TestHonestOperation:
+    def test_peers_exchange_cleanly(self, logs, server):
+        alice, bob = logs("alice"), logs("bob")
+        alice.observe(10, 4)
+        alice.publish(server)
+        accepted = bob.sync(server, ["alice", "carol"])
+        assert len(accepted) == 1
+        assert bob.known_high[10] == 4  # learned from alice
+
+    def test_lagging_peer_is_legal(self, logs, server):
+        """bob publishes BEFORE seeing alice's newer version: no fork."""
+        alice, bob = logs("alice"), logs("bob")
+        bob.observe(10, 1)
+        bob.publish(server)
+        alice.observe(10, 9)
+        alice.publish(server)
+        alice.sync(server, ["bob"])  # bob's older view: fine
+
+    def test_multi_round_convergence(self, logs, server):
+        alice, bob, carol = logs("alice"), logs("bob"), logs("carol")
+        alice.observe(1, 5)
+        alice.publish(server)
+        for log in (bob, carol):
+            log.sync(server, ["alice", "bob", "carol"])
+            log.publish(server)
+        alice.sync(server, ["bob", "carol"])
+        assert bob.known_high[1] == 5
+        assert carol.known_high[1] == 5
+
+
+class TestForkDetection:
+    def test_sequence_regression_detected(self, logs, server):
+        alice, bob = logs("alice"), logs("bob")
+        old_one = alice.publish(server)
+        old_blob = server.get(statement_blob("alice"))
+        alice.publish(server)
+        bob.sync(server, ["alice"])          # bob saw seq 2
+        server.put(statement_blob("alice"), old_blob)  # SSP rolls back
+        with pytest.raises(ForkDetected):
+            bob.sync(server, ["alice"])
+
+    def test_equivocation_same_sequence_detected(self, logs, server,
+                                                 registry):
+        alice, bob = logs("alice"), logs("bob")
+        alice.observe(3, 1)
+        alice.publish(server)
+        bob.sync(server, ["alice"])
+        # The SSP (or a compromised alice key) crafts a DIFFERENT
+        # statement with the same sequence number.
+        from repro.crypto import rsa
+        forged = VersionStatement(
+            user_id="alice", sequence=1,
+            previous_digest=b"\x00" * 32,
+            observations=((3, 99),), seen=())
+        signature = rsa.sign(registry.user("alice").private_key,
+                             forged.signed_payload())
+        forged = VersionStatement(
+            user_id="alice", sequence=1,
+            previous_digest=b"\x00" * 32,
+            observations=((3, 99),), seen=(), signature=signature)
+        server.put(statement_blob("alice"), forged.to_bytes())
+        with pytest.raises(ForkDetected):
+            bob.sync(server, ["alice"])
+
+    def test_unsigned_statement_rejected(self, logs, server):
+        bob = logs("bob")
+        fake = VersionStatement(
+            user_id="alice", sequence=1, previous_digest=b"\x00" * 32,
+            observations=(), seen=(), signature=b"\x01" * 64)
+        server.put(statement_blob("alice"), fake.to_bytes())
+        with pytest.raises(ForkDetected):
+            bob.sync(server, ["alice"])
+
+    def test_wrong_slot_rejected(self, logs, server):
+        alice, bob = logs("alice"), logs("bob")
+        alice.publish(server)
+        # SSP serves alice's (valid) statement in carol's slot.
+        server.put(statement_blob("carol"),
+                   server.get(statement_blob("alice")))
+        with pytest.raises(ForkDetected):
+            bob.sync(server, ["carol"])
+
+    def test_causal_contradiction_detected(self, logs, server):
+        """The heart of fork consistency: bob acknowledges alice's chain
+        but the SSP fed him a forked history of inode 7."""
+        alice, bob = logs("alice"), logs("bob")
+        alice.observe(7, 5)
+        alice.publish(server)              # alice seq 1: inode7@v5
+        bob.sync(server, ["alice"])        # bob acks alice seq 1 + merges
+        # The fork: bob's client is manipulated to believe inode7@v2,
+        # overriding what the (forked) SSP let him learn.
+        bob.known_high[7] = 2
+        bob.publish(server)                # claims seen alice@1, 7@v2
+        with pytest.raises(ForkDetected):
+            alice.sync(server, ["bob"])
+
+    def test_fork_detected_even_after_delay(self, logs, server):
+        """Statements keep history honest across multiple rounds."""
+        alice, bob = logs("alice"), logs("bob")
+        alice.observe(7, 5)
+        alice.publish(server)
+        bob.sync(server, ["alice"])
+        bob.publish(server)
+        alice.sync(server, ["bob"])        # round 1: clean
+        bob.known_high[7] = 1              # forked view appears later
+        bob.publish(server)
+        with pytest.raises(ForkDetected):
+            alice.sync(server, ["bob"])
+
+
+class TestFilesystemIntegration:
+    def test_wired_to_real_volume(self, volume, registry, server,
+                                  alice_fs, bob_fs):
+        """Drive logs from actual client freshness observations."""
+        alice_log = ConsistencyLog("alice",
+                                   registry.user("alice").private_key,
+                                   registry.directory)
+        bob_log = ConsistencyLog("bob",
+                                 registry.user("bob").private_key,
+                                 registry.directory)
+        alice_fs.create_file("/shared", b"v1", mode=0o664)
+        stat = alice_fs.getattr("/shared")
+        alice_log.observe(stat.inode, stat.version)
+        alice_log.publish(server)
+
+        bob_log.sync(server, ["alice"])
+        bob_stat = bob_fs.getattr("/shared")
+        bob_log.observe(bob_stat.inode, bob_stat.version)
+        bob_log.publish(server)
+        alice_log.sync(server, ["bob"])  # clean: same history
+
+        # chmod bumps the version; alice publishes the new state.
+        alice_fs.chmod("/shared", 0o660)
+        stat = alice_fs.getattr("/shared")
+        alice_log.observe(stat.inode, stat.version)
+        alice_log.publish(server)
+        # bob acknowledges it; if the SSP later hid the chmod from bob's
+        # *statements*, alice would catch the contradiction.
+        bob_log.sync(server, ["alice"])
+        bob_log.publish(server)
+        alice_log.sync(server, ["bob"])
+
+
+class TestClientWiring:
+    def test_enable_and_exchange(self, volume, registry, alice_fs,
+                                 bob_fs):
+        alice_log = alice_fs.enable_consistency_log()
+        bob_log = bob_fs.enable_consistency_log()
+        alice_fs.create_file("/wired", b"v1", mode=0o664)
+        alice_fs.cache.clear()
+        alice_fs.getattr("/wired")         # observation feeds the log
+        assert alice_log.known_high        # something observed
+        alice_fs.publish_statement()
+        bob_fs.sync_statements(["alice"])
+        bob_fs.getattr("/wired")
+        bob_fs.publish_statement()
+        alice_fs.sync_statements(["bob"])  # clean exchange
+
+    def test_wired_fork_detected(self, volume, registry, server,
+                                 alice_fs, bob_fs):
+        from repro.fs.consistency import ForkDetected
+        alice_fs.enable_consistency_log()
+        bob_fs.enable_consistency_log()
+        alice_fs.create_file("/forked", b"v1", mode=0o664)
+        alice_fs.chmod("/forked", 0o660)   # version moves forward
+        alice_fs.cache.clear()
+        alice_fs.getattr("/forked")
+        alice_fs.publish_statement()
+        bob_fs.sync_statements(["alice"])
+        # A forked SSP view makes bob believe an older version.
+        inode = alice_fs.getattr("/forked").inode
+        bob_fs.consistency.known_high[inode] = 1
+        bob_fs.publish_statement()
+        with pytest.raises(ForkDetected):
+            alice_fs.sync_statements(["bob"])
+
+    def test_not_enabled_raises(self, alice_fs):
+        from repro.errors import SharoesError
+        with pytest.raises(SharoesError):
+            alice_fs.publish_statement()
+        with pytest.raises(SharoesError):
+            alice_fs.sync_statements()

@@ -1,0 +1,206 @@
+"""Primes, hashes/KDF, stream cipher, serialization helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import hashes, primes, stream
+from repro.errors import CryptoError, IntegrityError
+from repro.serialize import Reader, SerializationError, Writer
+
+
+class TestPrimes:
+    def test_small_primes_known(self):
+        assert primes.SMALL_PRIMES[:8] == (2, 3, 5, 7, 11, 13, 17, 19)
+
+    def test_is_prime_small(self):
+        known = {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 97, 101}
+        for n in range(2, 102):
+            assert primes.is_prime(n) == (n in known or n in
+                                          primes.SMALL_PRIMES)
+
+    def test_is_prime_edges(self):
+        assert not primes.is_prime(0)
+        assert not primes.is_prime(1)
+        assert not primes.is_prime(-7)
+
+    def test_carmichael_rejected(self):
+        assert not primes.is_prime(561)       # 3 * 11 * 17
+        assert not primes.is_prime(1105)
+        assert not primes.is_prime(41041)
+
+    def test_known_large_prime(self):
+        assert primes.is_prime(2 ** 127 - 1)  # Mersenne
+        assert not primes.is_prime(2 ** 128 - 1)
+
+    def test_random_prime_bit_length(self):
+        for bits in (32, 64, 128):
+            p = primes.random_prime(bits)
+            assert p.bit_length() == bits
+            assert primes.is_prime(p)
+
+    def test_random_prime_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            primes.random_prime(2)
+
+    def test_random_prime_3mod4(self):
+        p = primes.random_prime_3mod4(64)
+        assert p % 4 == 3
+        assert primes.is_prime(p)
+
+
+class TestHashes:
+    def test_digest_sha256_known(self):
+        assert hashes.hexdigest(b"") == (
+            "e3b0c44298fc1c149afbf4c8996fb924"
+            "27ae41e4649b934ca495991b7852b855")
+
+    def test_hmac_verify(self):
+        tag = hashes.hmac(b"key", b"data")
+        assert hashes.hmac_verify(b"key", b"data", tag)
+        assert not hashes.hmac_verify(b"key", b"datA", tag)
+        assert not hashes.hmac_verify(b"kex", b"data", tag)
+
+    def test_derive_key_deterministic(self):
+        a = hashes.derive_key(b"secret", "label")
+        assert a == hashes.derive_key(b"secret", "label")
+        assert a != hashes.derive_key(b"secret", "other")
+        assert a != hashes.derive_key(b"other", "label")
+
+    def test_derive_key_length(self):
+        for length in (1, 16, 32, 48, 100):
+            assert len(hashes.derive_key(b"s", "l", length)) == length
+
+    def test_row_key_name_sensitivity(self):
+        dek = b"k" * 16
+        assert (hashes.derive_row_key(dek, "report.txt")
+                != hashes.derive_row_key(dek, "report.txT"))
+
+    def test_row_key_dek_sensitivity(self):
+        assert (hashes.derive_row_key(b"a" * 16, "f")
+                != hashes.derive_row_key(b"b" * 16, "f"))
+
+    def test_fingerprint_short(self):
+        assert len(hashes.fingerprint(b"data")) == 16
+
+
+class TestStreamCipher:
+    def test_roundtrip(self):
+        key = b"k" * 16
+        msg = b"stream me" * 100
+        assert stream.decrypt(key, stream.encrypt(key, msg)) == msg
+
+    def test_empty_message(self):
+        key = b"k" * 16
+        assert stream.decrypt(key, stream.encrypt(key, b"")) == b""
+
+    def test_nonce_randomizes(self):
+        key = b"k" * 16
+        assert stream.encrypt(key, b"same") != stream.encrypt(key, b"same")
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(CryptoError):
+            stream.encrypt(b"", b"msg")
+
+    def test_seal_open(self):
+        key = b"k" * 16
+        msg = b"sealed payload"
+        assert stream.open_sealed(key, stream.seal(key, msg)) == msg
+
+    def test_seal_detects_bitflip(self):
+        key = b"k" * 16
+        sealed = bytearray(stream.seal(key, b"payload"))
+        sealed[20] ^= 1
+        with pytest.raises(IntegrityError):
+            stream.open_sealed(key, bytes(sealed))
+
+    def test_seal_detects_truncation(self):
+        key = b"k" * 16
+        sealed = stream.seal(key, b"payload")
+        with pytest.raises((IntegrityError, CryptoError)):
+            stream.open_sealed(key, sealed[:-1])
+
+    def test_open_wrong_key_rejected(self):
+        sealed = stream.seal(b"a" * 16, b"payload")
+        with pytest.raises(IntegrityError):
+            stream.open_sealed(b"b" * 16, sealed)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.binary(max_size=2000), st.binary(min_size=1, max_size=32))
+    def test_seal_roundtrip_property(self, msg, key):
+        assert stream.open_sealed(key, stream.seal(key, msg)) == msg
+
+
+class TestSerialize:
+    def test_mixed_roundtrip(self):
+        w = Writer()
+        w.put_bytes(b"abc").put_str("héllo").put_int(12345)
+        w.put_bool(True).put_optional_bytes(None).put_optional_bytes(b"")
+        r = Reader(w.getvalue())
+        assert r.get_bytes() == b"abc"
+        assert r.get_str() == "héllo"
+        assert r.get_int() == 12345
+        assert r.get_bool() is True
+        assert r.get_optional_bytes() is None
+        assert r.get_optional_bytes() == b""
+        r.expect_end()
+
+    def test_int_zero(self):
+        w = Writer()
+        w.put_int(0)
+        assert Reader(w.getvalue()).get_int() == 0
+
+    def test_int_negative_rejected(self):
+        with pytest.raises(SerializationError):
+            Writer().put_int(-1)
+
+    def test_truncated_rejected(self):
+        w = Writer()
+        w.put_bytes(b"hello")
+        raw = w.getvalue()
+        with pytest.raises(SerializationError):
+            Reader(raw[:-1]).get_bytes()
+
+    def test_trailing_rejected(self):
+        w = Writer()
+        w.put_bytes(b"x")
+        r = Reader(w.getvalue() + b"junk")
+        r.get_bytes()
+        with pytest.raises(SerializationError):
+            r.expect_end()
+
+    def test_bad_bool_rejected(self):
+        w = Writer()
+        w.put_bytes(b"\x02")
+        with pytest.raises(SerializationError):
+            Reader(w.getvalue()).get_bool()
+
+    def test_bad_utf8_rejected(self):
+        w = Writer()
+        w.put_bytes(b"\xff\xfe")
+        with pytest.raises(SerializationError):
+            Reader(w.getvalue()).get_str()
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.one_of(
+        st.binary(max_size=100),
+        st.text(max_size=50),
+        st.integers(min_value=0, max_value=2 ** 128)), max_size=12))
+    def test_roundtrip_property(self, fields):
+        w = Writer()
+        for field in fields:
+            if isinstance(field, bytes):
+                w.put_bytes(field)
+            elif isinstance(field, str):
+                w.put_str(field)
+            else:
+                w.put_int(field)
+        r = Reader(w.getvalue())
+        for field in fields:
+            if isinstance(field, bytes):
+                assert r.get_bytes() == field
+            elif isinstance(field, str):
+                assert r.get_str() == field
+            else:
+                assert r.get_int() == field
+        r.expect_end()

@@ -1,0 +1,165 @@
+"""Symbolic links and hard links."""
+
+import pytest
+
+from repro.errors import (FileExists, FileNotFound, FilesystemError,
+                          IsADirectory, PermissionDenied)
+from repro.fs.client import SharoesFilesystem
+
+
+class TestSymlinks:
+    def test_create_and_follow(self, alice_fs):
+        alice_fs.create_file("/real.txt", b"the content", mode=0o640)
+        alice_fs.symlink("/real.txt", "/alias.txt")
+        assert alice_fs.read_file("/alias.txt") == b"the content"
+
+    def test_readlink(self, alice_fs):
+        alice_fs.create_file("/real.txt", b"x")
+        alice_fs.symlink("/real.txt", "/alias.txt")
+        assert alice_fs.readlink("/alias.txt") == "/real.txt"
+
+    def test_readlink_on_file_rejected(self, alice_fs):
+        alice_fs.create_file("/plain", b"x")
+        with pytest.raises(FilesystemError):
+            alice_fs.readlink("/plain")
+
+    def test_stat_follows_lstat_does_not(self, alice_fs):
+        alice_fs.create_file("/real.txt", b"x", mode=0o640)
+        alice_fs.symlink("/real.txt", "/alias.txt")
+        assert alice_fs.getattr("/alias.txt").ftype == "file"
+        assert alice_fs.lstat("/alias.txt").ftype == "symlink"
+
+    def test_symlink_to_directory(self, alice_fs):
+        alice_fs.mkdir("/docs", mode=0o755)
+        alice_fs.create_file("/docs/a.txt", b"a")
+        alice_fs.symlink("/docs", "/shortcut")
+        assert alice_fs.readdir("/shortcut") == ["a.txt"]
+        assert alice_fs.read_file("/shortcut/a.txt") == b"a"
+
+    def test_mid_path_symlink_always_followed(self, alice_fs):
+        alice_fs.mkdir("/deep", mode=0o755)
+        alice_fs.mkdir("/deep/nested", mode=0o755)
+        alice_fs.create_file("/deep/nested/f", b"found")
+        alice_fs.symlink("/deep/nested", "/jump")
+        assert alice_fs.read_file("/jump/f") == b"found"
+        # lstat of a path *through* a link still follows the middle hop.
+        assert alice_fs.lstat("/jump/f").ftype == "file"
+
+    def test_dangling_symlink(self, alice_fs):
+        alice_fs.symlink("/nowhere", "/dangling")
+        with pytest.raises(FileNotFound):
+            alice_fs.read_file("/dangling")
+        assert alice_fs.lstat("/dangling").ftype == "symlink"
+
+    def test_symlink_loop_detected(self, alice_fs):
+        alice_fs.symlink("/b", "/a")
+        alice_fs.symlink("/a", "/b")
+        with pytest.raises(FilesystemError):
+            alice_fs.read_file("/a")
+
+    def test_chain_of_links(self, alice_fs):
+        alice_fs.create_file("/target", b"end")
+        alice_fs.symlink("/target", "/l1")
+        alice_fs.symlink("/l1", "/l2")
+        alice_fs.symlink("/l2", "/l3")
+        assert alice_fs.read_file("/l3") == b"end"
+
+    def test_unlink_symlink_keeps_target(self, alice_fs):
+        alice_fs.create_file("/real.txt", b"keep me")
+        alice_fs.symlink("/real.txt", "/alias.txt")
+        alice_fs.unlink("/alias.txt")
+        assert alice_fs.read_file("/real.txt") == b"keep me"
+        with pytest.raises(FileNotFound):
+            alice_fs.readlink("/alias.txt")
+
+    def test_target_hidden_from_ssp(self, alice_fs, server):
+        alice_fs.symlink("/very/secret/location/file.txt", "/l")
+        everything = b"".join(server.raw_blobs().values())
+        assert b"very/secret/location" not in everything
+
+    def test_relative_target_rejected(self, alice_fs):
+        from repro.fs.path import InvalidPath
+        with pytest.raises(InvalidPath):
+            alice_fs.symlink("relative/target", "/l")
+
+    def test_other_users_follow_links(self, alice_fs, bob_fs):
+        alice_fs.create_file("/shared.txt", b"for eng", mode=0o640)
+        alice_fs.symlink("/shared.txt", "/link")
+        assert bob_fs.read_file("/link") == b"for eng"
+
+    def test_link_readable_but_target_protected(self, alice_fs,
+                                                 carol_fs):
+        alice_fs.create_file("/private.txt", b"mine", mode=0o600)
+        alice_fs.symlink("/private.txt", "/link")
+        assert carol_fs.readlink("/link") == "/private.txt"
+        with pytest.raises(PermissionDenied):
+            carol_fs.read_file("/link")
+
+
+class TestHardLinks:
+    def test_link_shares_content(self, alice_fs):
+        alice_fs.create_file("/a", b"shared bytes", mode=0o640)
+        alice_fs.link("/a", "/b")
+        assert alice_fs.read_file("/b") == b"shared bytes"
+        assert (alice_fs.getattr("/a").inode
+                == alice_fs.getattr("/b").inode)
+
+    def test_nlink_counts(self, alice_fs):
+        alice_fs.create_file("/a", b"x")
+        assert alice_fs.getattr("/a").nlink == 1
+        alice_fs.link("/a", "/b")
+        alice_fs.cache.clear()
+        assert alice_fs.getattr("/a").nlink == 2
+
+    def test_write_visible_through_both_names(self, alice_fs):
+        alice_fs.create_file("/a", b"v1", mode=0o640)
+        alice_fs.link("/a", "/b")
+        alice_fs.write_file("/b", b"v2")
+        assert alice_fs.read_file("/a") == b"v2"
+
+    def test_unlink_one_name_keeps_data(self, alice_fs):
+        alice_fs.create_file("/a", b"persistent", mode=0o640)
+        alice_fs.link("/a", "/b")
+        alice_fs.cache.clear()
+        alice_fs.unlink("/a")
+        assert alice_fs.read_file("/b") == b"persistent"
+        alice_fs.cache.clear()
+        assert alice_fs.getattr("/b").nlink == 1
+
+    def test_unlink_last_name_reclaims(self, alice_fs, server):
+        alice_fs.create_file("/a", b"x" * 500, mode=0o640)
+        alice_fs.link("/a", "/b")
+        alice_fs.cache.clear()
+        alice_fs.unlink("/a")
+        alice_fs.cache.clear()
+        alice_fs.unlink("/b")
+        with pytest.raises(FileNotFound):
+            alice_fs.read_file("/a")
+        with pytest.raises(FileNotFound):
+            alice_fs.read_file("/b")
+
+    def test_link_across_directories(self, alice_fs, bob_fs):
+        alice_fs.mkdir("/d1", mode=0o755)
+        alice_fs.mkdir("/d2", mode=0o750)
+        alice_fs.create_file("/d1/f", b"linked", mode=0o640)
+        alice_fs.link("/d1/f", "/d2/g")
+        assert bob_fs.read_file("/d2/g") == b"linked"
+
+    def test_directory_hardlink_rejected(self, alice_fs):
+        alice_fs.mkdir("/d")
+        with pytest.raises(IsADirectory):
+            alice_fs.link("/d", "/d2")
+
+    def test_link_target_exists_rejected(self, alice_fs):
+        alice_fs.create_file("/a", b"x")
+        alice_fs.create_file("/b", b"y")
+        with pytest.raises(FileExists):
+            alice_fs.link("/a", "/b")
+
+    def test_non_owner_cannot_link(self, alice_fs, bob_fs):
+        """Hard links need the owner's management keys."""
+        from repro.errors import KeyAccessError
+        alice_fs.mkdir("/open", mode=0o777)
+        alice_fs.create_file("/open/f", b"x", mode=0o664)
+        with pytest.raises((KeyAccessError, PermissionDenied)):
+            bob_fs.link("/open/f", "/open/g")

@@ -1,0 +1,264 @@
+"""Migration tool, local tree model, and the four baseline filesystems."""
+
+import pytest
+
+from repro.baselines.base import (BASELINES, BaselineVolume,
+                                  make_baseline_volume)
+from repro.baselines.codecs import (PUBLIC_METADATA_BYTES, SharedKeyStore)
+from repro.crypto.provider import CryptoProvider
+from repro.errors import (CryptoError, FileExists, FileNotFound,
+                          MigrationError, PermissionDenied)
+from repro.fs.client import SharoesFilesystem
+from repro.fs.permissions import AclEntry
+from repro.fs.volume import SharoesVolume
+from repro.migration.localfs import LocalTree, make_enterprise_tree
+from repro.migration.migrate import MigrationTool
+from repro.principals.groups import GroupKeyService
+from repro.sim.costmodel import CostModel
+from repro.sim.profiles import PAPER_2008
+
+
+class TestLocalTree:
+    def test_build_and_walk(self):
+        tree = LocalTree("alice", "eng")
+        tree.add_dir("/home", "alice", "eng")
+        tree.add_file("/home/f", b"data", "alice", "eng")
+        paths = [p for p, _ in tree.walk()]
+        assert paths == ["/", "/home", "/home/f"]
+        assert tree.count() == (2, 1)
+        assert tree.total_bytes() == 4
+
+    def test_duplicate_rejected(self):
+        tree = LocalTree("alice", "eng")
+        tree.add_dir("/home", "alice", "eng")
+        with pytest.raises(FileExists):
+            tree.add_dir("/home", "alice", "eng")
+
+    def test_missing_parent(self):
+        tree = LocalTree("alice", "eng")
+        with pytest.raises(FileNotFound):
+            tree.add_file("/no/f", b"", "alice", "eng")
+
+    def test_enterprise_generator_deterministic(self):
+        a = make_enterprise_tree(["u1", "u2"], "g", seed=3)
+        b = make_enterprise_tree(["u1", "u2"], "g", seed=3)
+        assert ([p for p, _ in a.walk()] == [p for p, _ in b.walk()])
+        assert a.total_bytes() == b.total_bytes()
+
+    def test_enterprise_generator_shape(self):
+        tree = make_enterprise_tree(["u1", "u2", "u3"], "g",
+                                    dirs_per_user=2, files_per_dir=3)
+        dirs, files = tree.count()
+        assert dirs == 3 + 3 + 3 * 2  # /, /home, /shared + homes + dirs
+        assert files == 3 * 2 * 3 + 3
+
+    def test_generator_needs_users(self):
+        with pytest.raises(MigrationError):
+            make_enterprise_tree([], "g")
+
+
+class TestMigration:
+    def _migrate(self, registry, server, tree, **kwargs):
+        volume = SharoesVolume(server, registry)
+        tool = MigrationTool(volume, **kwargs)
+        report = tool.migrate(tree)
+        GroupKeyService(registry, server, CryptoProvider()).publish_all()
+        return volume, report
+
+    def test_roundtrip_contents(self, registry, server):
+        tree = LocalTree("alice", "eng")
+        tree.add_dir("/docs", "alice", "eng", mode=0o755)
+        tree.add_file("/docs/a.txt", b"alpha", "alice", "eng", mode=0o644)
+        tree.add_file("/docs/b.txt", b"beta", "alice", "eng", mode=0o600)
+        volume, report = self._migrate(registry, server, tree)
+        fs = SharoesFilesystem(volume, registry.user("alice"))
+        fs.mount()
+        assert fs.readdir("/docs") == ["a.txt", "b.txt"]
+        assert fs.read_file("/docs/a.txt") == b"alpha"
+        assert fs.read_file("/docs/b.txt") == b"beta"
+        assert report.files == 2
+        assert report.directories == 2
+
+    def test_permissions_preserved(self, registry, server):
+        tree = LocalTree("alice", "eng")
+        tree.add_file("/secret", b"top", "alice", "eng", mode=0o600)
+        tree.add_file("/open", b"pub", "alice", "eng", mode=0o644)
+        volume, _ = self._migrate(registry, server, tree)
+        carol = SharoesFilesystem(volume, registry.user("carol"))
+        carol.mount()
+        assert carol.read_file("/open") == b"pub"
+        with pytest.raises(PermissionDenied):
+            carol.read_file("/secret")
+
+    def test_multi_owner_tree(self, registry, server):
+        tree = make_enterprise_tree(["alice", "bob", "carol"], "eng",
+                                    dirs_per_user=1, files_per_dir=2)
+        volume, report = self._migrate(registry, server, tree)
+        for user in ("alice", "bob", "carol"):
+            fs = SharoesFilesystem(volume, registry.user(user))
+            fs.mount()
+            assert fs.readdir(f"/home/{user}/dir0")
+        assert report.superblocks >= 3
+
+    def test_exec_only_semantics_after_migration(self, registry, server):
+        tree = LocalTree("alice", "eng")
+        tree.add_dir("/drop", "alice", "eng", mode=0o711)
+        tree.add_file("/drop/known", b"by name", "alice", "eng",
+                      mode=0o644)
+        volume, _ = self._migrate(registry, server, tree)
+        dave = SharoesFilesystem(volume, registry.user("dave"))
+        dave.mount()
+        with pytest.raises(PermissionDenied):
+            dave.readdir("/drop")
+        assert dave.read_file("/drop/known") == b"by name"
+
+    def test_acl_migration_via_lockboxes(self, registry, server):
+        tree = LocalTree("alice", "eng")
+        tree.add_file("/f", b"acl data", "alice", "eng", mode=0o600,
+                      acl=(AclEntry("dave", 0o4),))
+        volume, report = self._migrate(registry, server, tree)
+        assert report.lockboxes > 0
+        dave = SharoesFilesystem(volume, registry.user("dave"))
+        dave.mount()
+        assert dave.read_file("/f") == b"acl data"
+
+    def test_strict_rejects_unsupported(self, registry, server):
+        tree = LocalTree("alice", "eng")
+        tree.add_file("/w", b"x", "alice", "eng", mode=0o200)
+        volume = SharoesVolume(server, registry)
+        with pytest.raises(MigrationError):
+            MigrationTool(volume).migrate(tree)
+
+    def test_lenient_degrades_with_warning(self, registry, server):
+        tree = LocalTree("alice", "eng")
+        tree.add_file("/w", b"x", "alice", "eng", mode=0o642)
+        volume, report = self._migrate(registry, server, tree,
+                                       strict_permissions=False)
+        assert report.warnings
+        fs = SharoesFilesystem(volume, registry.user("alice"))
+        fs.mount()
+        assert fs.getattr("/w").mode == 0o640  # other -w- degraded
+
+    def test_formatted_volume_rejected(self, registry, server):
+        volume = SharoesVolume(server, registry)
+        volume.format(root_owner="alice", root_group="eng")
+        with pytest.raises(MigrationError):
+            MigrationTool(volume)
+
+    def test_migration_costs_charged(self, registry, server):
+        tree = make_enterprise_tree(["alice", "bob"], "eng",
+                                    dirs_per_user=1, files_per_dir=2)
+        volume = SharoesVolume(server, registry)
+        cost = CostModel(PAPER_2008)
+        tool = MigrationTool(volume, cost_model=cost,
+                             compression_ratio=0.6)
+        tool.migrate(tree)
+        assert cost.totals.network > 0
+        assert cost.totals.crypto > 0
+
+    def test_compression_reduces_network_cost(self, registry, server):
+        from repro.storage.server import StorageServer
+        times = {}
+        for ratio in (1.0, 0.5):
+            srv = StorageServer()
+            volume = SharoesVolume(srv, registry)
+            cost = CostModel(PAPER_2008)
+            tree = make_enterprise_tree(["alice"], "eng",
+                                        dirs_per_user=2,
+                                        files_per_dir=4,
+                                        file_bytes=8000)
+            MigrationTool(volume, cost_model=cost,
+                          compression_ratio=ratio).migrate(tree)
+            times[ratio] = cost.totals.network
+        assert times[0.5] < times[1.0]
+
+    def test_bad_compression_ratio(self, registry, server):
+        volume = SharoesVolume(server, registry)
+        with pytest.raises(MigrationError):
+            MigrationTool(volume, compression_ratio=0.0)
+
+
+class TestBaselines:
+    @pytest.mark.parametrize("name", sorted(BASELINES))
+    def test_basic_ops(self, name, registry):
+        from repro.storage.server import StorageServer
+        server = StorageServer()
+        admin = registry.user("alice")
+        volume = make_baseline_volume(name, server, admin)
+        fs = BASELINES[name](volume, admin)
+        fs.mount()
+        fs.mkdir("/d")
+        fs.create_file("/d/f", b"hello")
+        assert fs.read_file("/d/f") == b"hello"
+        assert fs.readdir("/d") == ["f"]
+        assert fs.getattr("/d/f").owner == "alice"
+        fs.append_file("/d/f", b" world")
+        assert fs.read_file("/d/f") == b"hello world"
+        fs.chmod("/d/f", 0o600)
+        assert fs.getattr("/d/f").mode == 0o600
+        fs.unlink("/d/f")
+        fs.rmdir("/d")
+        with pytest.raises(FileNotFound):
+            fs.getattr("/d")
+
+    def test_no_enc_stores_plaintext(self, registry):
+        """The baseline is deliberately insecure -- verify it, so the
+        comparison with SHAROES is honest."""
+        from repro.storage.server import StorageServer
+        server = StorageServer()
+        admin = registry.user("alice")
+        volume = make_baseline_volume("no-enc-md-d", server, admin)
+        fs = BASELINES["no-enc-md-d"](volume, admin)
+        fs.create_file("/f", b"VISIBLE-TO-SSP")
+        blobs = b"".join(server.raw_blobs().values())
+        assert b"VISIBLE-TO-SSP" in blobs
+
+    def test_encrypting_baselines_hide_data(self, registry):
+        from repro.storage.server import StorageServer
+        for name in ("no-enc-md", "public", "pub-opt"):
+            server = StorageServer()
+            admin = registry.user("alice")
+            volume = make_baseline_volume(name, server, admin)
+            fs = BASELINES[name](volume, admin)
+            fs.create_file("/f", b"HIDDEN-FROM-SSP")
+            blobs = b"".join(server.raw_blobs().values())
+            assert b"HIDDEN-FROM-SSP" not in blobs, name
+
+    def test_public_metadata_is_heavyweight(self, registry):
+        from repro.storage.server import StorageServer
+        server = StorageServer()
+        admin = registry.user("alice")
+        volume = make_baseline_volume("public", server, admin)
+        fs = BASELINES["public"](volume, admin)
+        fs.mknod("/f")
+        blob = max((payload for bid, payload in server.raw_blobs().items()
+                    if bid.kind == "meta"), key=len)
+        # 4 KB SiRiUS-style object, public-key encrypted block by block.
+        assert len(blob) >= PUBLIC_METADATA_BYTES
+
+    def test_pub_opt_stat_costs_one_private_block(self, registry):
+        from repro.storage.server import StorageServer
+        server = StorageServer()
+        admin = registry.user("alice")
+        volume = make_baseline_volume("pub-opt", server, admin)
+        fs = BASELINES["pub-opt"](volume, admin)
+        fs.mknod("/f")
+        fs.cache.clear()
+        fs.provider.counters.reset()
+        fs.getattr("/f")
+        assert fs.provider.counters.pk_blocks.get("pk_decrypt", 0) >= 1
+        # and no more than path-depth blocks (root + file)
+        assert fs.provider.counters.pk_blocks["pk_decrypt"] <= 2
+
+    def test_keystore_isolation(self):
+        store = SharedKeyStore()
+        k1 = store.ensure("data", 1)
+        assert store.key_for("data", 1) == k1
+        assert store.ensure("meta", 1) != k1
+        with pytest.raises(CryptoError):
+            store.key_for("data", 999)
+        rotated = store.rotate("data", 1)
+        assert rotated != k1
+        store.forget(1)
+        with pytest.raises(CryptoError):
+            store.key_for("data", 1)

@@ -1,0 +1,157 @@
+"""Property-based tests on the core data structures."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.caps.model import VIEW_FULL, VIEW_HIDDEN, VIEW_NAMES
+from repro.crypto.keys import new_symmetric_key
+from repro.crypto.provider import CryptoProvider
+from repro.errors import FileNotFound
+from repro.fs.dirtable import DIRECT, DirEntry, DirPointer, TableView
+
+provider = CryptoProvider()
+
+names = st.text(
+    alphabet=st.characters(blacklist_characters="/\x00",
+                           blacklist_categories=("Cs",)),
+    min_size=1, max_size=24)
+
+
+def _entry(name: str, inode: int) -> DirEntry:
+    return DirEntry(name=name, inode=inode, kind=DIRECT,
+                    pointer=DirPointer(selector="o",
+                                       mek=bytes([inode % 256]) * 16,
+                                       mvk=b"v" * 12))
+
+
+class TestTableViewProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.dictionaries(names, st.integers(2, 10_000), min_size=0,
+                           max_size=15))
+    def test_full_view_roundtrip(self, mapping):
+        entries = [_entry(n, i) for n, i in mapping.items()]
+        view = TableView.from_bytes(
+            TableView.build(VIEW_FULL, entries).to_bytes())
+        assert view.list_names() == sorted(mapping)
+        for name, inode in mapping.items():
+            assert view.lookup(name).inode == inode
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.dictionaries(names, st.integers(2, 10_000), min_size=1,
+                           max_size=10))
+    def test_hidden_view_finds_every_member(self, mapping):
+        dek = new_symmetric_key()
+        entries = [_entry(n, i) for n, i in mapping.items()]
+        view = TableView.from_bytes(
+            TableView.build(VIEW_HIDDEN, entries, provider=provider,
+                            table_dek=dek).to_bytes())
+        for name, inode in mapping.items():
+            found = view.lookup(name, provider=provider, table_dek=dek)
+            assert found.inode == inode
+            assert found.pointer.mek == bytes([inode % 256]) * 16
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.dictionaries(names, st.integers(2, 10_000), min_size=1,
+                           max_size=8),
+           names)
+    def test_hidden_view_rejects_non_members(self, mapping, probe):
+        dek = new_symmetric_key()
+        entries = [_entry(n, i) for n, i in mapping.items()]
+        view = TableView.build(VIEW_HIDDEN, entries, provider=provider,
+                               table_dek=dek)
+        if probe in mapping:
+            return  # only probing absence here
+        with pytest.raises(FileNotFound):
+            view.lookup(probe, provider=provider, table_dek=dek)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.dictionaries(names, st.integers(2, 10_000), min_size=0,
+                           max_size=10))
+    def test_names_view_never_leaks_pointers(self, mapping):
+        entries = [_entry(n, i) for n, i in mapping.items()]
+        raw = TableView.build(VIEW_NAMES, entries).to_bytes()
+        for _, inode in mapping.items():
+            assert bytes([inode % 256]) * 16 not in raw  # MEK absent
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.dictionaries(names, st.integers(2, 10_000), min_size=2,
+                           max_size=10))
+    def test_add_remove_consistency(self, mapping):
+        items = sorted(mapping.items())
+        victim_name, _ = items[0]
+        entries = [_entry(n, i) for n, i in items]
+        view = TableView.build(VIEW_FULL, entries)
+        view.remove(victim_name)
+        assert victim_name not in view
+        assert view.entry_count() == len(items) - 1
+        view.add(_entry(victim_name, 9999))
+        assert view.lookup(victim_name).inode == 9999
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.dictionaries(names, st.integers(2, 10_000), min_size=1,
+                           max_size=8))
+    def test_serialization_is_canonical(self, mapping):
+        """Same entries -> byte-identical encodings (ordering fixed)."""
+        entries = [_entry(n, i) for n, i in sorted(mapping.items())]
+        shuffled = list(reversed(entries))
+        a = TableView.build(VIEW_FULL, entries).to_bytes()
+        b = TableView.build(VIEW_FULL, shuffled).to_bytes()
+        assert a == b
+
+
+class TestSealedProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.binary(max_size=1500))
+    def test_seal_open_identity(self, payload):
+        from repro.crypto.keys import new_signature_pair
+        from repro.fs.sealed import (bind_context, open_verified,
+                                     seal_and_sign)
+        pair = new_signature_pair(64)
+        key = new_symmetric_key()
+        ctx = bind_context("data", 1, "b0")
+        blob = seal_and_sign(provider, key, pair.signing, ctx, payload)
+        assert open_verified(provider, key, pair.verification, ctx,
+                             blob) == payload
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.binary(min_size=1, max_size=400),
+           st.integers(min_value=0, max_value=3199))
+    def test_any_single_bitflip_detected(self, payload, bit):
+        from repro.crypto.keys import new_signature_pair
+        from repro.errors import CryptoError, IntegrityError
+        from repro.fs.sealed import (bind_context, open_verified,
+                                     seal_and_sign)
+        pair = new_signature_pair(64)
+        key = new_symmetric_key()
+        ctx = bind_context("data", 1, "b0")
+        blob = bytearray(seal_and_sign(provider, key, pair.signing, ctx,
+                                       payload))
+        index = bit % (len(blob) * 8)
+        blob[index // 8] ^= 1 << (index % 8)
+        with pytest.raises((IntegrityError, CryptoError)):
+            open_verified(provider, key, pair.verification, ctx,
+                          bytes(blob))
+
+
+class TestFreshnessProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=1, max_value=30), min_size=1,
+                    max_size=30))
+    def test_any_nondecreasing_sequence_accepted(self, versions):
+        from repro.fs.freshness import FreshnessMonitor
+        monitor = FreshnessMonitor()
+        for version in sorted(versions):
+            monitor.observe_metadata(1, version, b"v%d" % version)
+        assert monitor.high_watermark(1) == max(versions)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=1, max_value=30), min_size=2,
+                    max_size=30, unique=True))
+    def test_any_regression_rejected(self, versions):
+        from repro.fs.freshness import FreshnessMonitor, StaleObjectError
+        monitor = FreshnessMonitor()
+        ordered = sorted(versions)
+        monitor.observe_metadata(1, ordered[-1], b"newest")
+        with pytest.raises(StaleObjectError):
+            monitor.observe_metadata(1, ordered[0], b"older")

@@ -1,0 +1,167 @@
+"""ObjectRecord view filtering: the Figure 4 / Figure 5 matrices.
+
+For every CAP, the metadata replica must expose exactly the key fields
+the paper's figures shade as accessible -- nothing more (confidentiality)
+and nothing less (functionality).
+"""
+
+import pytest
+
+from repro.caps.model import (ALL_CAPS, D_EXEC_ONLY, D_READ, D_READ_EXEC,
+                              D_RWX, D_ZERO, F_READ, F_READ_WRITE, F_ZERO)
+from repro.caps.record import ObjectRecord, open_metadata_blob
+from repro.crypto.provider import CryptoProvider
+from repro.errors import KeyAccessError
+from repro.fs.metadata import MetadataAttrs
+
+SELECTORS = ["o", "g", "w"]
+
+
+def _record(ftype: str) -> ObjectRecord:
+    attrs = MetadataAttrs(inode=42, ftype=ftype, owner="alice",
+                          group="eng", mode=0o640)
+    return ObjectRecord.create(attrs, SELECTORS, prime_bits=64)
+
+
+class TestFileCapMatrix:
+    """Figure 5, row by row, at the replica level."""
+
+    @pytest.mark.parametrize("cap,dek,dvk,dsk", [
+        (F_ZERO, False, False, False),
+        (F_READ, True, True, False),
+        (F_READ_WRITE, True, True, True),
+    ])
+    def test_non_owner_fields(self, cap, dek, dvk, dsk):
+        record = _record("file")
+        view = record.view_for("g", cap, is_owner=False)
+        assert (view.dek is not None) == dek
+        assert (view.dvk is not None) == dvk
+        assert (view.dsk is not None) == dsk
+        # Never: owner-only management material.
+        assert view.msk is None
+        assert view.selector_meks == {}
+        assert view.table_deks == {}
+
+    def test_owner_always_full(self):
+        record = _record("file")
+        for cap in (F_ZERO, F_READ, F_READ_WRITE):
+            view = record.view_for("o", cap, is_owner=True)
+            assert view.msk is not None
+            assert view.dek == record.dek
+            assert view.dsk is not None
+            assert set(view.selector_meks) == set(SELECTORS)
+
+    def test_attrs_present_even_in_zero_cap(self):
+        record = _record("file")
+        view = record.view_for("w", F_ZERO, is_owner=False)
+        assert view.attrs.owner == "alice"
+        assert view.attrs.mode == 0o640
+        with pytest.raises(KeyAccessError):
+            view.require_dek()
+
+
+class TestDirectoryCapMatrix:
+    """Figure 4, row by row."""
+
+    @pytest.mark.parametrize("cap,dek,dsk", [
+        (D_ZERO, False, False),
+        (D_READ, True, False),
+        (D_READ_EXEC, True, False),
+        (D_EXEC_ONLY, True, False),
+        (D_RWX, True, True),
+    ])
+    def test_non_owner_fields(self, cap, dek, dsk):
+        record = _record("dir")
+        view = record.view_for("g", cap, is_owner=False)
+        if dek:
+            # Directory DEKs are per-selector table keys.
+            assert view.dek == record.table_deks["g"]
+        else:
+            assert view.dek is None
+        assert (view.dsk is not None) == dsk
+        assert view.msk is None
+
+    def test_writer_gets_all_table_deks(self):
+        """rwx holders rewrite every table view on create/delete."""
+        record = _record("dir")
+        view = record.view_for("g", D_RWX, is_owner=False)
+        assert set(view.table_deks) == set(SELECTORS)
+
+    def test_reader_gets_no_table_dek_map(self):
+        record = _record("dir")
+        for cap in (D_READ, D_READ_EXEC, D_EXEC_ONLY):
+            view = record.view_for("g", cap, is_owner=False)
+            assert view.table_deks == {}
+
+    def test_selector_isolation(self):
+        """The g replica must not carry the w table key and vice versa."""
+        record = _record("dir")
+        g_view = record.view_for("g", D_READ_EXEC, is_owner=False)
+        w_view = record.view_for("w", D_READ_EXEC, is_owner=False)
+        assert g_view.dek == record.table_deks["g"]
+        assert w_view.dek == record.table_deks["w"]
+        assert g_view.dek != w_view.dek
+
+
+class TestRecordLifecycle:
+    def test_blob_roundtrip(self):
+        provider = CryptoProvider()
+        record = _record("file")
+        blob = record.metadata_blob(provider, "g", F_READ, is_owner=False)
+        view = open_metadata_blob(provider, 42, "g",
+                                  record.selector_meks["g"], record.mvk,
+                                  blob)
+        assert view.attrs == record.attrs
+        assert view.dek == record.dek
+        assert view.dsk is None
+
+    def test_from_owner_view_reconstructs(self):
+        provider = CryptoProvider()
+        record = _record("dir")
+        blob = record.metadata_blob(provider, "o", D_RWX, is_owner=True)
+        view = open_metadata_blob(provider, 42, "o",
+                                  record.selector_meks["o"], record.mvk,
+                                  blob)
+        rebuilt = ObjectRecord.from_owner_view(view, record.mvk)
+        assert rebuilt.selector_meks == record.selector_meks
+        assert rebuilt.table_deks == record.table_deks
+        assert rebuilt.msk.to_bytes() == record.msk.to_bytes()
+
+    def test_from_non_owner_view_refused(self):
+        record = _record("file")
+        view = record.view_for("g", F_READ_WRITE, is_owner=False)
+        with pytest.raises(KeyAccessError):
+            ObjectRecord.from_owner_view(view, record.mvk)
+
+    def test_rekey_data_rotates(self):
+        record = _record("file")
+        old = (record.dek, record.dsk.to_bytes(), record.dvk.to_bytes())
+        record.rekey_data()
+        assert record.dek != old[0]
+        assert record.dsk.to_bytes() != old[1]
+        assert record.dvk.to_bytes() != old[2]
+        assert record.needs_rekey is False
+
+    def test_rekey_data_dir_rotates_table_deks(self):
+        record = _record("dir")
+        old = dict(record.table_deks)
+        record.rekey_data()
+        for selector in SELECTORS:
+            assert record.table_deks[selector] != old[selector]
+
+    def test_rekey_metadata_rotates_meks_and_msk(self):
+        record = _record("file")
+        old_meks = dict(record.selector_meks)
+        old_msk = record.msk.to_bytes()
+        record.rekey_metadata()
+        assert record.msk.to_bytes() != old_msk
+        for selector in SELECTORS:
+            assert record.selector_meks[selector] != old_meks[selector]
+
+    def test_ensure_and_drop_selectors(self):
+        record = _record("file")
+        record.ensure_selector_keys(["o", "g", "w", "a:xyz"])
+        assert "a:xyz" in record.selector_meks
+        dropped = record.drop_selectors(["o", "g", "w"])
+        assert dropped == ["a:xyz"]
+        assert "a:xyz" not in record.selector_meks

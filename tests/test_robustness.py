@@ -1,0 +1,226 @@
+"""Robustness: AES-engine volumes, malformed-input fuzzing, flaky SSPs,
+multi-group membership, engine consistency."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.provider import CryptoProvider
+from repro.errors import (IntegrityError, SharoesError, StorageError)
+from repro.fs.client import ClientConfig, SharoesFilesystem
+from repro.fs.dirtable import TableView
+from repro.fs.metadata import MetadataAttrs, MetadataView
+from repro.fs.superblock import Superblock
+from repro.fs.volume import SharoesVolume
+from repro.principals.groups import GroupKeyService
+from repro.principals.registry import PrincipalRegistry
+from repro.serialize import SerializationError
+from repro.storage.faults import FlakyServer
+from repro.storage.server import StorageServer
+
+
+class TestAesEngineVolume:
+    """End-to-end over the real FIPS-197 AES implementation."""
+
+    @pytest.fixture
+    def aes_volume(self, server, registry):
+        volume = SharoesVolume(server, registry, engine="aes")
+        volume.format(root_owner="alice", root_group="eng")
+        GroupKeyService(registry, server, CryptoProvider()).publish_all()
+        return volume
+
+    def test_full_flow_under_aes(self, aes_volume, registry):
+        fs = SharoesFilesystem(aes_volume, registry.user("alice"))
+        fs.mount()
+        assert fs.provider.engine_name == "aes"
+        fs.mkdir("/d", mode=0o750)
+        fs.create_file("/d/f", b"real AES all the way down", mode=0o640)
+        fs.cache.clear()
+        assert fs.read_file("/d/f") == b"real AES all the way down"
+        bob = SharoesFilesystem(aes_volume, registry.user("bob"))
+        bob.mount()
+        assert bob.read_file("/d/f") == b"real AES all the way down"
+
+    def test_client_engine_override_breaks_interop(self, aes_volume,
+                                                   registry):
+        """A client forcing the wrong engine cannot open volume blobs --
+        which is why the engine is a volume property."""
+        fs = SharoesFilesystem(aes_volume, registry.user("alice"),
+                               config=ClientConfig(engine="stream"))
+        fs.mount()  # superblock is public-key wrapped: engine-agnostic
+        with pytest.raises(Exception):
+            fs.getattr("/")
+
+    def test_clients_inherit_volume_engine(self, aes_volume, registry):
+        fs = SharoesFilesystem(aes_volume, registry.user("alice"))
+        assert fs.provider.engine_name == "aes"
+
+
+class TestMalformedInputs:
+    """Random bytes must produce clean library errors, never crashes."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.binary(min_size=0, max_size=300))
+    def test_metadata_view_from_bytes_never_crashes(self, raw):
+        try:
+            MetadataView.from_bytes(raw)
+        except (SerializationError, SharoesError, ValueError,
+                OverflowError):
+            pass
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.binary(min_size=0, max_size=300))
+    def test_table_view_from_bytes_never_crashes(self, raw):
+        try:
+            TableView.from_bytes(raw)
+        except (SerializationError, SharoesError, ValueError):
+            pass
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.binary(min_size=0, max_size=200))
+    def test_superblock_from_bytes_never_crashes(self, raw):
+        try:
+            Superblock.from_bytes(raw)
+        except (SerializationError, SharoesError, ValueError):
+            pass
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.binary(min_size=0, max_size=200))
+    def test_sealed_open_never_crashes(self, raw):
+        from repro.crypto.keys import new_signature_pair
+        from repro.fs.sealed import bind_context, open_verified
+        pair = new_signature_pair(64)
+        provider = CryptoProvider()
+        try:
+            open_verified(provider, b"k" * 16, pair.verification,
+                          bind_context("meta", 1, "o"), raw)
+        except (IntegrityError, SharoesError, ValueError):
+            pass
+
+    def test_attrs_reader_rejects_garbage(self):
+        from repro.serialize import Reader
+        with pytest.raises(SerializationError):
+            MetadataAttrs.from_reader(Reader(b"\x00\x01\x02"))
+
+
+class TestFlakySsp:
+    def _stack(self, registry, failure_rate, seed=3):
+        server = FlakyServer(failure_rate=failure_rate, seed=seed)
+        # format must succeed: disable failures during provisioning
+        server._failure_rate = 0.0
+        volume = SharoesVolume(server, registry)
+        volume.format(root_owner="alice", root_group="eng")
+        GroupKeyService(registry, server, CryptoProvider()).publish_all()
+        server._failure_rate = failure_rate
+        return server, volume
+
+    def test_errors_propagate_cleanly(self, registry):
+        server, volume = self._stack(registry, failure_rate=1.0)
+        fs = SharoesFilesystem(volume, registry.user("alice"))
+        with pytest.raises(StorageError):
+            fs.mount()
+
+    def test_retry_succeeds_after_transient_failure(self, registry):
+        server, volume = self._stack(registry, failure_rate=0.4, seed=9)
+        fs = SharoesFilesystem(volume, registry.user("alice"))
+        for _ in range(50):
+            try:
+                fs.mount()
+                break
+            except StorageError:
+                continue
+        else:
+            pytest.fail("mount never succeeded")
+        for _ in range(100):
+            try:
+                fs.create_file("/f", b"eventually", mode=0o600)
+                break
+            except StorageError:
+                # partial create may have happened; a fresh name retries
+                try:
+                    fs.unlink("/f")
+                except Exception:
+                    pass
+                continue
+        server._failure_rate = 0.0
+        fs.cache.clear()
+        assert fs.read_file("/f") == b"eventually"
+
+
+class TestMultiGroupUsers:
+    @pytest.fixture
+    def multi_registry(self, session_keypairs):
+        from repro.principals.users import User
+        reg = PrincipalRegistry()
+        for name in ("alice", "bob", "carol", "dave"):
+            reg.add_user(User(user_id=name,
+                              keypair=session_keypairs[name]))
+        reg.create_group("eng", {"alice", "bob"}, key_bits=512)
+        reg.create_group("ops", {"bob", "carol"}, key_bits=512)
+        return reg
+
+    @pytest.fixture
+    def multi_volume(self, multi_registry):
+        server = StorageServer()
+        volume = SharoesVolume(server, multi_registry)
+        volume.format(root_owner="alice", root_group="eng")
+        GroupKeyService(multi_registry, server,
+                        CryptoProvider()).publish_all()
+        return volume
+
+    def test_user_in_two_groups(self, multi_volume, multi_registry):
+        """bob is in eng and ops; he reads group files of both."""
+        alice = SharoesFilesystem(multi_volume,
+                                  multi_registry.user("alice"))
+        alice.mount()
+        alice.create_file("/eng.txt", b"eng", mode=0o640, group="eng")
+        alice.create_file("/ops.txt", b"ops", mode=0o640, group="ops")
+        bob = SharoesFilesystem(multi_volume, multi_registry.user("bob"))
+        bob.mount()
+        assert bob.agent.principal_ids() == ["bob", "eng", "ops"]
+        assert bob.read_file("/eng.txt") == b"eng"
+        assert bob.read_file("/ops.txt") == b"ops"
+
+    def test_single_group_user_partitioned(self, multi_volume,
+                                           multi_registry):
+        from repro.errors import PermissionDenied
+        alice = SharoesFilesystem(multi_volume,
+                                  multi_registry.user("alice"))
+        alice.mount()
+        alice.create_file("/ops.txt", b"ops", mode=0o640, group="ops")
+        alice2 = SharoesFilesystem(multi_volume,
+                                   multi_registry.user("alice"))
+        alice2.mount()
+        # alice owns it, so she reads it regardless of group.
+        assert alice2.read_file("/ops.txt") == b"ops"
+        carol = SharoesFilesystem(multi_volume,
+                                  multi_registry.user("carol"))
+        carol.mount()
+        assert carol.read_file("/ops.txt") == b"ops"  # carol in ops
+        dave = SharoesFilesystem(multi_volume, multi_registry.user("dave"))
+        dave.mount()
+        with pytest.raises(PermissionDenied):
+            dave.read_file("/ops.txt")
+
+
+class TestUnicodeAndOddNames:
+    def test_unicode_filenames(self, alice_fs):
+        alice_fs.create_file("/ファイル名.txt", b"unicode", mode=0o600)
+        assert alice_fs.read_file("/ファイル名.txt") == b"unicode"
+        assert "ファイル名.txt" in alice_fs.readdir("/")
+
+    def test_unicode_in_exec_only_lookup(self, alice_fs, carol_fs):
+        alice_fs.mkdir("/drop", mode=0o711)
+        alice_fs.create_file("/drop/tâche-№42", b"exact", mode=0o644)
+        assert carol_fs.read_file("/drop/tâche-№42") == b"exact"
+
+    def test_long_names(self, alice_fs):
+        name = "n" * 200
+        alice_fs.create_file(f"/{name}", b"long", mode=0o600)
+        assert alice_fs.read_file(f"/{name}") == b"long"
+
+    def test_names_differing_only_by_case(self, alice_fs):
+        alice_fs.create_file("/File", b"upper", mode=0o600)
+        alice_fs.create_file("/file", b"lower", mode=0o600)
+        assert alice_fs.read_file("/File") == b"upper"
+        assert alice_fs.read_file("/file") == b"lower"

@@ -1,0 +1,224 @@
+"""Scheme-1 vs Scheme-2 replication (paper section III-D).
+
+Scheme-1: a replica tree per user.  Scheme-2: replicas per permission
+chain, with split-point lockboxes.  Both must produce the same observable
+semantics; they differ in storage, update cost and access cost.
+"""
+
+import pytest
+
+from repro.caps.schemes import (SEL_GROUP, SEL_OWNER, SEL_WORLD, Scheme1,
+                                Scheme2, make_scheme)
+from repro.crypto.provider import CryptoProvider
+from repro.errors import PermissionDenied, SharoesError
+from repro.fs.client import SharoesFilesystem
+from repro.fs.dirtable import DIRECT, SPLIT
+from repro.fs.metadata import MetadataAttrs
+from repro.fs.permissions import AclEntry
+from repro.fs.volume import SharoesVolume
+from repro.principals.groups import GroupKeyService
+from repro.storage.blobs import principal_hash
+
+
+def _attrs(owner="alice", group="eng", mode=0o640, ftype="file",
+           inode=9, acl=()) -> MetadataAttrs:
+    return MetadataAttrs(inode=inode, ftype=ftype, owner=owner,
+                         group=group, mode=mode, acl=tuple(acl))
+
+
+class TestScheme2Selectors:
+    def test_selector_for_user_classes(self, registry):
+        scheme = Scheme2(registry)
+        attrs = _attrs()
+        assert scheme.selector_for_user(attrs, "alice") == SEL_OWNER
+        assert scheme.selector_for_user(attrs, "bob") == SEL_GROUP
+        assert scheme.selector_for_user(attrs, "carol") == SEL_WORLD
+
+    def test_acl_selector(self, registry):
+        scheme = Scheme2(registry)
+        attrs = _attrs(acl=(AclEntry("dave", 0o4),))
+        assert (scheme.selector_for_user(attrs, "dave")
+                == "a:" + principal_hash("dave"))
+
+    def test_selectors_always_include_classes(self, registry):
+        scheme = Scheme2(registry)
+        assert scheme.selectors(_attrs(mode=0o600)) == [
+            SEL_OWNER, SEL_GROUP, SEL_WORLD]
+
+    def test_cap_for_selector(self, registry):
+        scheme = Scheme2(registry)
+        attrs = _attrs(mode=0o640)
+        assert scheme.cap_for_selector(attrs, SEL_OWNER).cap_id == "frw"
+        assert scheme.cap_for_selector(attrs, SEL_GROUP).cap_id == "fr"
+        assert scheme.cap_for_selector(attrs, SEL_WORLD).cap_id == "f0"
+
+    def test_users_of_selector(self, registry):
+        scheme = Scheme2(registry)
+        attrs = _attrs()
+        assert scheme.users_of_selector(attrs, SEL_OWNER) == {"alice"}
+        assert scheme.users_of_selector(attrs, SEL_GROUP) == {"bob"}
+        assert scheme.users_of_selector(attrs, SEL_WORLD) == {"carol",
+                                                              "dave"}
+
+    def test_unknown_selector_rejected(self, registry):
+        with pytest.raises(SharoesError):
+            Scheme2(registry).cap_for_selector(_attrs(), "a:deadbeef")
+
+
+class TestScheme2Pointers:
+    def test_uniform_chain_direct(self, registry):
+        scheme = Scheme2(registry)
+        parent = _attrs(ftype="dir", mode=0o755, inode=1)
+        child = _attrs(mode=0o640, inode=2)
+        for selector in (SEL_OWNER, SEL_GROUP, SEL_WORLD):
+            kind, child_sel = scheme.child_pointer(parent, child, selector)
+            assert kind == DIRECT
+            assert child_sel == selector
+
+    def test_owner_change_splits_owner_chain(self, registry):
+        scheme = Scheme2(registry)
+        parent = _attrs(ftype="dir", mode=0o755, owner="alice", inode=1)
+        child = _attrs(mode=0o640, owner="bob", inode=2)
+        kind, _ = scheme.child_pointer(parent, child, SEL_OWNER)
+        # alice is the only o-class user of the parent; on the child she
+        # is group class -> single-user chain stays DIRECT to "g".
+        assert kind == DIRECT
+
+    def test_divergent_world_chain_splits(self, registry):
+        """carol and dave are both w-class on the parent; an ACL for
+        dave on the child makes their child classes diverge -> SPLIT."""
+        scheme = Scheme2(registry)
+        parent = _attrs(ftype="dir", mode=0o755, inode=1)
+        child = _attrs(mode=0o640, inode=2, acl=(AclEntry("dave", 0o4),))
+        kind, _ = scheme.child_pointer(parent, child, SEL_WORLD)
+        assert kind == SPLIT
+
+    def test_group_boundary(self, registry):
+        """Parent grouped eng, child grouped hr: bob (g on parent) is w
+        on the child -> DIRECT to the child's w selector."""
+        scheme = Scheme2(registry)
+        parent = _attrs(ftype="dir", mode=0o755, group="eng", inode=1)
+        child = _attrs(mode=0o640, group="hr", inode=2)
+        kind, child_sel = scheme.child_pointer(parent, child, SEL_GROUP)
+        assert (kind, child_sel) == (DIRECT, SEL_WORLD)
+
+    def test_lockbox_map_covers_all_classes(self, registry):
+        scheme = Scheme2(registry)
+        attrs = _attrs(acl=(AclEntry("dave", 0o4),))
+        lockboxes = scheme.lockbox_map(attrs)
+        assert lockboxes["alice"] == SEL_OWNER
+        assert lockboxes["bob"] == SEL_GROUP
+        assert lockboxes["carol"] == SEL_WORLD
+        assert lockboxes["dave"] == "a:" + principal_hash("dave")
+
+
+class TestScheme1:
+    def test_selector_per_user(self, registry):
+        scheme = Scheme1(registry)
+        attrs = _attrs()
+        sel_alice = scheme.selector_for_user(attrs, "alice")
+        sel_bob = scheme.selector_for_user(attrs, "bob")
+        assert sel_alice != sel_bob
+        assert sel_alice.startswith("u:")
+
+    def test_selectors_cover_every_user(self, registry):
+        scheme = Scheme1(registry)
+        assert len(scheme.selectors(_attrs())) == 4
+
+    def test_owner_selector_first(self, registry):
+        scheme = Scheme1(registry)
+        attrs = _attrs(owner="carol")
+        assert (scheme.selectors(attrs)[0]
+                == scheme.selector_for_user(attrs, "carol"))
+
+    def test_never_splits(self, registry):
+        scheme = Scheme1(registry)
+        parent = _attrs(ftype="dir", mode=0o755, inode=1)
+        child = _attrs(mode=0o640, inode=2,
+                       acl=(AclEntry("dave", 0o4),))
+        for user in ("alice", "bob", "carol", "dave"):
+            selector = scheme.selector_for_user(parent, user)
+            kind, child_sel = scheme.child_pointer(parent, child, selector)
+            assert kind == DIRECT
+            assert child_sel == scheme.selector_for_user(child, user)
+
+    def test_no_lockboxes(self, registry):
+        assert Scheme1(registry).lockbox_map(_attrs()) == {}
+
+    def test_factory(self, registry):
+        assert make_scheme("scheme1", registry).name == "scheme1"
+        assert make_scheme("scheme2", registry).name == "scheme2"
+        with pytest.raises(SharoesError):
+            make_scheme("scheme3", registry)
+
+
+class TestScheme1EndToEnd:
+    """The full filesystem over per-user replication."""
+
+    @pytest.fixture
+    def s1_volume(self, server, registry):
+        vol = SharoesVolume(server, registry, scheme="scheme1")
+        vol.format(root_owner="alice", root_group="eng")
+        GroupKeyService(registry, server, CryptoProvider()).publish_all()
+        return vol
+
+    def _fs(self, volume, registry, user):
+        fs = SharoesFilesystem(volume, registry.user(user))
+        fs.mount()
+        return fs
+
+    def test_basic_sharing(self, s1_volume, registry):
+        alice = self._fs(s1_volume, registry, "alice")
+        alice.create_file("/doc", b"scheme1 data", mode=0o640)
+        bob = self._fs(s1_volume, registry, "bob")
+        assert bob.read_file("/doc") == b"scheme1 data"
+        carol = self._fs(s1_volume, registry, "carol")
+        with pytest.raises(PermissionDenied):
+            carol.read_file("/doc")
+
+    def test_exec_only_dir(self, s1_volume, registry):
+        alice = self._fs(s1_volume, registry, "alice")
+        alice.mkdir("/drop", mode=0o711)
+        alice.create_file("/drop/known", b"found", mode=0o644)
+        carol = self._fs(s1_volume, registry, "carol")
+        with pytest.raises(PermissionDenied):
+            carol.readdir("/drop")
+        assert carol.read_file("/drop/known") == b"found"
+
+    def test_acl_without_lockboxes(self, s1_volume, registry):
+        """Scheme-1 expresses ACLs as just another per-user replica."""
+        alice = self._fs(s1_volume, registry, "alice")
+        alice.create_file("/f", b"x", mode=0o600)
+        alice.set_acl("/f", (AclEntry("dave", 0o4),))
+        dave = self._fs(s1_volume, registry, "dave")
+        assert dave.read_file("/f") == b"x"
+
+    def test_revocation(self, s1_volume, registry):
+        alice = self._fs(s1_volume, registry, "alice")
+        alice.create_file("/f", b"x", mode=0o644)
+        alice.chmod("/f", 0o600)
+        carol = self._fs(s1_volume, registry, "carol")
+        with pytest.raises(PermissionDenied):
+            carol.read_file("/f")
+
+    def test_storage_scales_with_users(self, server, registry):
+        """The paper's core observation: Scheme-1 metadata grows with the
+        user population, Scheme-2 with the number of CAP chains."""
+        from repro.storage.server import StorageServer
+        sizes = {}
+        for scheme_name in ("scheme1", "scheme2"):
+            srv = StorageServer()
+            vol = SharoesVolume(srv, registry, scheme=scheme_name)
+            vol.format(root_owner="alice", root_group="eng")
+            fs = SharoesFilesystem(vol, registry.user("alice"))
+            # No group blobs published; mount still works for alice.
+            fs.mount()
+            for i in range(10):
+                fs.create_file(f"/f{i}", b"payload", mode=0o644)
+            sizes[scheme_name] = srv.stored_bytes("meta")
+        # 4 users vs 3 chains -> scheme1 strictly bigger.
+        assert sizes["scheme1"] > sizes["scheme2"]
+
+    def test_scheme1_provision_user_refused(self, s1_volume):
+        with pytest.raises(SharoesError):
+            s1_volume.provision_user("dave")

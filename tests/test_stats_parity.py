@@ -1,0 +1,175 @@
+"""Summary statistics + Scheme-1/Scheme-2 behavioural parity battery."""
+
+import pytest
+
+from repro.crypto.provider import CryptoProvider
+from repro.errors import PermissionDenied
+from repro.fs.client import SharoesFilesystem
+from repro.fs.permissions import AclEntry
+from repro.fs.volume import SharoesVolume
+from repro.principals.groups import GroupKeyService
+from repro.sim.stats import Summary, percentile, repeat_runs, summarize
+from repro.storage.server import StorageServer
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.mean == 2.5
+        assert s.n == 4
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+        assert s.stdev == pytest.approx(1.2909944, rel=1e-6)
+
+    def test_single_value(self):
+        s = summarize([7.0])
+        assert s.stdev == 0.0
+        assert s.stderr == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_ci95_brackets_mean(self):
+        s = summarize([10.0, 11.0, 9.0, 10.5, 9.5])
+        low, high = s.ci95()
+        assert low < s.mean < high
+
+    def test_str_rendering(self):
+        assert "±" in str(summarize([1.0, 2.0]))
+
+
+class TestPercentile:
+    def test_interpolation(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 4.0
+        assert percentile(values, 50) == 2.5
+
+    def test_unsorted_input(self):
+        assert percentile([4.0, 1.0, 3.0, 2.0], 50) == 2.5
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+
+class TestRepeatRuns:
+    def test_paper_protocol(self):
+        """Ten repetitions over varied seeds, averaged."""
+        seeds_seen = []
+
+        def run(seed: int) -> float:
+            seeds_seen.append(seed)
+            return float(seed % 7)
+
+        summary = repeat_runs(run, repetitions=10, base_seed=100)
+        assert summary.n == 10
+        assert len(set(seeds_seen)) == 10
+
+    def test_workload_variation_is_modest(self):
+        """Postmark totals across seeds: spread well below the
+        implementation differences the figures report."""
+        from repro.workloads import make_env, run_postmark
+        env = make_env("sharoes")
+
+        def run(seed: int) -> float:
+            return run_postmark(env, files=40, transactions=40,
+                                cache_fraction=0.25,
+                                seed=seed).total_seconds
+
+        summary = repeat_runs(run, repetitions=5)
+        assert summary.stdev < 0.25 * summary.mean
+
+
+SCHEMES = ("scheme1", "scheme2")
+
+
+@pytest.fixture(params=SCHEMES)
+def scheme_stack(request, server, registry):
+    volume = SharoesVolume(StorageServer(), registry,
+                           scheme=request.param)
+    volume.format(root_owner="alice", root_group="eng")
+    GroupKeyService(registry, volume.server,
+                    CryptoProvider()).publish_all()
+
+    def mount(user_id: str) -> SharoesFilesystem:
+        fs = SharoesFilesystem(volume, registry.user(user_id))
+        fs.mount()
+        return fs
+
+    return request.param, volume, mount
+
+
+class TestSchemeParity:
+    """The same observable behaviour must hold under both replication
+    schemes -- they are a storage/update tradeoff, not a semantics one."""
+
+    def test_battery(self, scheme_stack):
+        scheme, volume, mount = scheme_stack
+        alice, bob, carol = mount("alice"), mount("bob"), mount("carol")
+
+        # create + group sharing
+        alice.mkdir("/work", mode=0o750)
+        alice.create_file("/work/spec", b"shared", mode=0o640)
+        assert bob.read_file("/work/spec") == b"shared"
+        with pytest.raises(PermissionDenied):
+            carol.read_file("/work/spec")
+
+        # exec-only (close-to-open: carol revalidates her cached root)
+        alice.mkdir("/drop", mode=0o711)
+        alice.create_file("/drop/known", b"found", mode=0o644)
+        carol.cache.clear()
+        with pytest.raises(PermissionDenied):
+            carol.readdir("/drop")
+        assert carol.read_file("/drop/known") == b"found"
+
+        # symlink + hard link
+        alice.symlink("/work/spec", "/work/alias")
+        bob.cache.clear()
+        assert bob.read_file("/work/alias") == b"shared"
+        alice.link("/work/spec", "/work/spec2")
+        bob.cache.clear()
+        assert bob.read_file("/work/spec2") == b"shared"
+
+        # rename across dirs
+        alice.mkdir("/attic", mode=0o755)
+        alice.rename("/work/spec2", "/attic/spec2")
+        bob.cache.clear()
+        assert bob.read_file("/attic/spec2") == b"shared"
+
+        # chmod revocation + regrant
+        alice.chmod("/work/spec", 0o600)
+        bob2 = mount("bob")
+        with pytest.raises(PermissionDenied):
+            bob2.read_file("/work/spec")
+        alice.chmod("/work/spec", 0o640)
+        assert mount("bob").read_file("/work/spec") == b"shared"
+
+        # ACL grant: dave needs traversal on the 750 parent too (plain
+        # *nix), so he gets an exec-only ACL on /work plus read on spec.
+        alice.set_acl("/work", (AclEntry("dave", 0o1),))
+        alice.set_acl("/work/spec", (AclEntry("dave", 0o4),))
+        assert mount("dave").read_file("/work/spec") == b"shared"
+
+        # chown
+        alice.create_file("/work/gift", b"present", mode=0o600)
+        alice.chown("/work/gift", "bob")
+        assert mount("bob").read_file("/work/gift") == b"present"
+
+        # deletion
+        alice.unlink("/work/alias")
+        alice.unlink("/attic/spec2")
+        alice.rmdir("/attic")
+        assert "attic" not in alice.readdir("/")
+
+    def test_audit_clean_under_both(self, scheme_stack):
+        scheme, volume, mount = scheme_stack
+        alice = mount("alice")
+        alice.mkdir("/a", mode=0o755)
+        alice.create_file("/a/f", b"x", mode=0o644)
+        from repro.tools.fsck import VolumeAuditor
+        report = VolumeAuditor(volume).audit()
+        assert report.clean, scheme

@@ -1,0 +1,190 @@
+"""Workload harnesses: small-scale runs validating structure and shape.
+
+Full-size paper-parameter runs live in benchmarks/; these tests verify
+the harnesses produce sane, ordered results quickly.
+"""
+
+import pytest
+
+from repro.sim.profiles import PAPER_2008
+from repro.workloads import (IMPLEMENTATIONS, LABELS, dataset_bytes,
+                             make_env, run_andrew, run_create_and_list,
+                             run_op_costs, run_postmark)
+from repro.workloads.report import (ComparisonRow, format_comparison,
+                                    format_table, overhead_pct)
+
+
+class TestRunner:
+    def test_make_env_all_impls(self):
+        for impl in IMPLEMENTATIONS:
+            env = make_env(impl)
+            assert env.fs is not None
+            assert env.cost.totals.total == 0.0  # reset after setup
+            env.fs.mkdir("/smoke")
+            assert env.cost.totals.total > 0
+
+    def test_unknown_impl_rejected(self):
+        from repro.errors import SharoesError
+        with pytest.raises(SharoesError):
+            make_env("quantum-fs")
+
+    def test_fresh_client_resets_costs(self):
+        env = make_env("sharoes")
+        env.fs.mkdir("/d")
+        accrued = env.cost.totals.total
+        assert accrued > 0
+        env.fresh_client()
+        # Reset, then only the new client's mount cost remains.
+        assert env.cost.totals.total < 1.0
+
+    def test_labels_cover_impls(self):
+        assert set(LABELS) == set(IMPLEMENTATIONS)
+
+
+class TestCreateListSmall:
+    def test_orderings_hold(self):
+        """Small run (40 files): SHAROES beats both public-key variants
+        on list; NO-ENC variants bound everything from below."""
+        results = {}
+        for impl in IMPLEMENTATIONS:
+            env = make_env(impl)
+            results[impl] = run_create_and_list(env, files=40, dirs=4)
+        baseline = results["no-enc-md-d"]
+        sharoes = results["sharoes"]
+        public = results["public"]
+        pubopt = results["pub-opt"]
+        # List phase: PUBLIC >> PUB-OPT > SHAROES >= baseline.
+        assert public.list_seconds > 5 * pubopt.list_seconds
+        assert pubopt.list_seconds > 1.5 * sharoes.list_seconds
+        assert sharoes.list_seconds >= baseline.list_seconds
+        # SHAROES stays within ~25% of the unencrypted baseline.
+        assert sharoes.list_seconds < 1.25 * baseline.list_seconds
+        # Create phase: PUBLIC most expensive.
+        assert public.create_seconds > sharoes.create_seconds
+        assert public.create_seconds > baseline.create_seconds
+
+    def test_result_fields(self):
+        env = make_env("sharoes")
+        r = run_create_and_list(env, files=20, dirs=4)
+        assert r.files == 20
+        assert r.dirs == 4
+        assert r.create_seconds > 0
+        assert r.list_seconds > 0
+
+
+class TestPostmarkSmall:
+    def test_cache_monotonicity(self):
+        """More cache -> less simulated time, for every implementation."""
+        env = make_env("sharoes")
+        small = run_postmark(env, files=60, transactions=60,
+                             cache_fraction=0.05)
+        large = run_postmark(env, files=60, transactions=60,
+                             cache_fraction=1.0)
+        assert large.total_seconds < small.total_seconds
+
+    def test_pubopt_penalized_at_small_cache(self):
+        results = {}
+        for impl in ("no-enc-md-d", "sharoes", "pub-opt"):
+            env = make_env(impl)
+            results[impl] = run_postmark(env, files=60, transactions=60,
+                                         cache_fraction=0.05)
+        assert (results["pub-opt"].total_seconds
+                > results["sharoes"].total_seconds)
+        assert (results["sharoes"].total_seconds
+                > results["no-enc-md-d"].total_seconds)
+
+    def test_dataset_bytes_deterministic(self):
+        assert dataset_bytes(100, seed=1) == dataset_bytes(100, seed=1)
+        assert dataset_bytes(100, seed=1) != dataset_bytes(100, seed=2)
+
+    def test_reruns_on_same_env_are_isolated(self):
+        env = make_env("no-enc-md")
+        a = run_postmark(env, files=30, transactions=30,
+                         cache_fraction=0.5)
+        b = run_postmark(env, files=30, transactions=30,
+                         cache_fraction=0.5)
+        assert abs(a.total_seconds - b.total_seconds) < 0.3 * max(
+            a.total_seconds, b.total_seconds)
+
+
+class TestAndrewSmall:
+    def test_phases_present_and_positive(self):
+        env = make_env("sharoes")
+        r = run_andrew(env)
+        assert set(r.phase_seconds) == {"mkdir", "copy", "stat", "read",
+                                        "compile"}
+        assert all(v > 0 for v in r.phase_seconds.values())
+
+    def test_cumulative_ordering(self):
+        totals = {}
+        for impl in ("no-enc-md-d", "sharoes", "pub-opt"):
+            env = make_env(impl)
+            totals[impl] = run_andrew(env).total_seconds
+        assert (totals["no-enc-md-d"] < totals["sharoes"]
+                < totals["pub-opt"])
+
+    def test_pubopt_stat_overhead_dominates(self):
+        """The paper: PUB-OPT's phase 2/4 overheads mirror phase 3 --
+        private-key decryption per stat is the bottleneck."""
+        base = run_andrew(make_env("no-enc-md-d")).phase_seconds
+        pubopt = run_andrew(make_env("pub-opt")).phase_seconds
+        stat_overhead = pubopt["stat"] - base["stat"]
+        read_overhead = pubopt["read"] - base["read"]
+        assert stat_overhead > 0
+        assert read_overhead == pytest.approx(stat_overhead, rel=0.6)
+
+
+class TestOpCosts:
+    def test_all_ops_measured(self):
+        env = make_env("sharoes")
+        costs = run_op_costs(env)
+        assert set(costs) == {"getattr", "mkdir:rwx", "mkdir:--x",
+                              "mkdir:both", "read-1MB", "write-1MB"}
+
+    def test_paper_anchors(self):
+        env = make_env("sharoes")
+        costs = run_op_costs(env)
+        # getattr "a little over 100 ms"
+        assert 0.100 < costs["getattr"].total_s < 0.160
+        # 1 MB read downlink-bound (~23 s on 350 Kbit/s)
+        assert 20 < costs["read-1MB"].total_s < 27
+        # 1 MB write uplink-bound (~10 s on 850 Kbit/s)
+        assert 8 < costs["write-1MB"].total_s < 13
+        # crypto below 7% for the I/O operations
+        assert costs["read-1MB"].crypto_fraction < 0.07
+        assert costs["write-1MB"].crypto_fraction < 0.07
+        assert costs["getattr"].crypto_fraction < 0.07
+
+    def test_exec_only_mkdir_costs_more_crypto(self):
+        env = make_env("sharoes")
+        costs = run_op_costs(env)
+        assert (costs["mkdir:--x"].crypto_s
+                > costs["mkdir:rwx"].crypto_s)
+
+    def test_network_dominates_everywhere(self):
+        env = make_env("sharoes")
+        for cost in run_op_costs(env).values():
+            assert cost.network_s > cost.crypto_s
+
+
+class TestReport:
+    def test_comparison_row_ratio(self):
+        row = ComparisonRow("x", paper=100.0, measured=110.0)
+        assert row.ratio == pytest.approx(1.1)
+        assert ComparisonRow("x", None, 5.0).ratio is None
+
+    def test_format_comparison_renders(self):
+        text = format_comparison("Fig 9", [
+            ComparisonRow("SHAROES", 131.0, 128.1)])
+        assert "SHAROES" in text
+        assert "0.98x" in text
+
+    def test_format_table_alignment(self):
+        text = format_table("T", ["a", "bb"], [["1", "2"], ["33", "4"]])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert len(lines) == 6
+
+    def test_overhead_pct(self):
+        assert overhead_pct(110, 100) == pytest.approx(0.10)
+        assert overhead_pct(5, 0) == 0.0
