@@ -9,6 +9,7 @@ EXPERIMENTS.md can quote the output verbatim.
 from __future__ import annotations
 
 import functools
+import json
 import pathlib
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -19,6 +20,19 @@ def emit(name: str, text: str) -> None:
     print("\n" + text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def emit_json(name: str, payload: dict) -> pathlib.Path:
+    """Persist a machine-readable ``BENCH_<name>.json`` under results/.
+
+    These are the documents CI uploads as artifacts so the perf
+    trajectory (op -> mean/percentiles + phase breakdown) is diffable
+    across PRs.  See docs/OBSERVABILITY.md.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 @functools.lru_cache(maxsize=None)

@@ -127,6 +127,38 @@ class TestUpdateCost:
         assert gets["scheme1"] <= gets["scheme2"] <= gets["scheme1"] + 2
 
 
+class TestDeleteCost:
+    def test_unlink_reclaims_more_replicas_under_scheme1(self,
+                                                         deployments):
+        """Deletion mirrors creation: Scheme-1 reclaims one metadata
+        replica per user, Scheme-2 one per permission chain -- visible
+        in the SSP's per-kind delete counts and bytes_freed."""
+        rows = []
+        meta_deletes = {}
+        freed = {}
+        for scheme, entry in deployments.items():
+            volume = entry["volume"]
+            registry = entry["registry"]
+            fs = SharoesFilesystem(volume, registry.user("user0"))
+            fs.mount()
+            stats = entry["server"].stats
+            stats.reset()
+            fs.unlink("/home/user0/dir1/file1.dat")
+            meta_deletes[scheme] = stats.deletes_by_kind.get("meta", 0)
+            freed[scheme] = stats.bytes_freed
+            rows.append([scheme, str(stats.deletes),
+                         str(meta_deletes[scheme]),
+                         str(stats.deletes_by_kind.get("data", 0)),
+                         f"{freed[scheme]} B"])
+        emit("ablation_deletes", format_table(
+            "Scheme-1 vs Scheme-2 -- blobs reclaimed by one unlink",
+            ["scheme", "blobs deleted", "meta replicas", "data blocks",
+             "bytes freed"], rows))
+        assert meta_deletes["scheme1"] >= N_USERS
+        assert meta_deletes["scheme2"] <= 4
+        assert freed["scheme1"] > freed["scheme2"] > 0
+
+
 def test_benchmark_scheme2_migration(benchmark):
     def run():
         registry = PrincipalRegistry()

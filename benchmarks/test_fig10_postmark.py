@@ -12,7 +12,7 @@ from repro.workloads import (FIG10_CACHE_FRACTIONS, FIG10_IMPLS, LABELS,
                              make_env, run_postmark)
 from repro.workloads.report import format_table
 
-from .common import emit, postmark_results
+from .common import emit, emit_json, postmark_results
 
 
 @pytest.fixture(scope="module")
@@ -73,6 +73,22 @@ class TestShape:
         but loses once metadata misses carry private-key costs."""
         assert (results["pub-opt"][0.05].total_seconds
                 > results["sharoes"][0.05].total_seconds)
+
+
+def test_emit_bench_json():
+    """Machine-readable Postmark report, self-reconciling to 1%.
+
+    The per-op phase decomposition comes from the span tracer; summed
+    across every operation it must land within 1% of what the cost
+    model charged for the whole run (it is exact by construction -- the
+    tolerance only absorbs float accumulation)."""
+    from repro.workloads import run_observed
+    payload, _spans = run_observed(
+        "postmark", params={"files": 150, "transactions": 150})
+    emit_json("postmark", payload)
+    total = payload["cost_model"]["total"]
+    phase_sum = sum(payload["totals"]["phases"].values())
+    assert abs(phase_sum - total) <= 0.01 * total
 
 
 def test_benchmark_postmark_sharoes(benchmark):

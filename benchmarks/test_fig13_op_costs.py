@@ -13,7 +13,7 @@ from repro.workloads import OPERATIONS, PAPER_FIG13_ANCHORS, make_env, \
     run_op_costs
 from repro.workloads.report import format_table
 
-from .common import emit, op_cost_results
+from .common import emit, emit_json, op_cost_results
 
 
 @pytest.fixture(scope="module")
@@ -72,6 +72,18 @@ class TestAnchors:
     def test_network_dominates_every_op(self, costs):
         for op in OPERATIONS:
             assert costs[op].network_s > 0.5 * costs[op].total_s, op
+
+
+def test_emit_bench_json(costs):
+    payload = {
+        "schema": 1,
+        "name": "fig13_opcosts",
+        "ops": {op: {"network_s": c.network_s, "crypto_s": c.crypto_s,
+                     "other_s": c.other_s, "total_s": c.total_s,
+                     "crypto_fraction": c.crypto_fraction}
+                for op, c in costs.items()},
+    }
+    emit_json("fig13_opcosts", payload)
 
 
 def test_benchmark_op_costs(benchmark):

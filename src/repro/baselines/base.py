@@ -23,6 +23,10 @@ from ..fs.client import ClientConfig
 from ..fs.inode import InodeAllocator
 from ..fs.metadata import MetadataAttrs, Stat
 from ..fs.permissions import DIRECTORY, FILE
+from ..obs.metrics import (MetricsRegistry, bind_cache_stats,
+                           bind_cost_model, bind_crypto_counters,
+                           bind_server_stats)
+from ..obs.tracing import Tracer, traced
 from ..principals.users import User
 from ..serialize import Reader, Writer
 from ..sim.costmodel import CostModel
@@ -108,6 +112,18 @@ class BaselineFilesystem:
         self.cache = LruCache(self.config.cache_bytes)
         self._meta = self.metadata_codec_cls()
         self._data = self.data_codec_cls()
+        #: same observability surface as the SHAROES client, so the
+        #: comparator figures carry identical per-phase breakdowns.
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(
+            clock=cost_model.clock if cost_model is not None else None,
+            registry=self.metrics)
+        if cost_model is not None:
+            cost_model.tracer = self.tracer
+            bind_cost_model(self.metrics, cost_model)
+        bind_cache_stats(self.metrics, self.cache)
+        bind_crypto_counters(self.metrics, self.provider)
+        bind_server_stats(self.metrics, volume.server)
 
     # -- wire -----------------------------------------------------------------
 
@@ -116,33 +132,38 @@ class BaselineFilesystem:
             self.cost.charge_other()
 
     def _get(self, blob_id: BlobId) -> bytes:
-        try:
-            payload = self.volume.server.get(blob_id)
-        except BlobNotFound:
+        with self.tracer.span("network", op="get", kind=blob_id.kind):
+            try:
+                payload = self.volume.server.get(blob_id)
+            except BlobNotFound:
+                if self.cost is not None:
+                    self.cost.charge_request(_REQUEST_HEADER_BYTES,
+                                             _RESPONSE_HEADER_BYTES)
+                raise
+            if self.cost is not None:
+                self.cost.charge_request(
+                    _REQUEST_HEADER_BYTES,
+                    len(payload) + _RESPONSE_HEADER_BYTES)
+            return payload
+
+    def _put(self, blob_id: BlobId, payload: bytes) -> None:
+        with self.tracer.span("network", op="put", kind=blob_id.kind):
+            if self.cost is not None:
+                self.cost.charge_request(
+                    len(payload) + _REQUEST_HEADER_BYTES,
+                    _RESPONSE_HEADER_BYTES)
+            self.volume.server.put(blob_id, payload)
+
+    def _delete(self, blob_id: BlobId) -> None:
+        with self.tracer.span("network", op="delete", kind=blob_id.kind):
             if self.cost is not None:
                 self.cost.charge_request(_REQUEST_HEADER_BYTES,
                                          _RESPONSE_HEADER_BYTES)
-            raise
-        if self.cost is not None:
-            self.cost.charge_request(
-                _REQUEST_HEADER_BYTES,
-                len(payload) + _RESPONSE_HEADER_BYTES)
-        return payload
-
-    def _put(self, blob_id: BlobId, payload: bytes) -> None:
-        if self.cost is not None:
-            self.cost.charge_request(
-                len(payload) + _REQUEST_HEADER_BYTES, _RESPONSE_HEADER_BYTES)
-        self.volume.server.put(blob_id, payload)
-
-    def _delete(self, blob_id: BlobId) -> None:
-        if self.cost is not None:
-            self.cost.charge_request(_REQUEST_HEADER_BYTES,
-                                     _RESPONSE_HEADER_BYTES)
-        self.volume.server.delete(blob_id)
+            self.volume.server.delete(blob_id)
 
     # -- internals ---------------------------------------------------------------
 
+    @traced("mount", path_arg=None)
     def mount(self) -> None:
         """Baselines have no superblock handshake; mount is a no-op hook."""
 
@@ -156,7 +177,8 @@ class BaselineFilesystem:
         if self.config.metadata_cache:
             cached = self.cache.get(key)
             if cached is not None:
-                return cached
+                with self.tracer.span("cache", hit=True, kind="meta"):
+                    return cached
         blob = self._get(meta_blob(inode, "-"))
         payload = self._meta.decode(self.provider, self.volume.keystore,
                                     inode, blob, self.user.keypair)
@@ -181,7 +203,8 @@ class BaselineFilesystem:
         if self.config.metadata_cache:
             cached = self.cache.get(key)
             if cached is not None:
-                return cached
+                with self.tracer.span("cache", hit=True, kind="table"):
+                    return cached
         blob = self._get(data_blob(inode, "t"))
         entries = _parse_table(self._data.decode(
             self.provider, self.volume.keystore, inode, blob))
@@ -198,16 +221,17 @@ class BaselineFilesystem:
             self.cache.put(("table", inode), entries, len(blob))
 
     def _resolve(self, path: str) -> MetadataAttrs:
-        inode = self._root()
-        attrs = self._fetch_attrs(inode)
-        for name in fspath.split_path(path):
-            if attrs.ftype != DIRECTORY:
-                raise NotADirectory(path)
-            entries = self._fetch_table(attrs.inode)
-            if name not in entries:
-                raise FileNotFound(path)
-            attrs = self._fetch_attrs(entries[name])
-        return attrs
+        with self.tracer.span("resolve", path=path):
+            inode = self._root()
+            attrs = self._fetch_attrs(inode)
+            for name in fspath.split_path(path):
+                if attrs.ftype != DIRECTORY:
+                    raise NotADirectory(path)
+                entries = self._fetch_table(attrs.inode)
+                if name not in entries:
+                    raise FileNotFound(path)
+                attrs = self._fetch_attrs(entries[name])
+            return attrs
 
     def _resolve_parent(self, path: str) -> tuple[MetadataAttrs, str]:
         parent_path, name = fspath.parent_and_name(path)
@@ -218,10 +242,12 @@ class BaselineFilesystem:
 
     # -- operations ---------------------------------------------------------------
 
+    @traced("getattr")
     def getattr(self, path: str) -> Stat:
         self._charge_other()
         return Stat.from_attrs(self._resolve(path))
 
+    @traced("readdir")
     def readdir(self, path: str) -> list[str]:
         self._charge_other()
         attrs = self._resolve(path)
@@ -247,12 +273,15 @@ class BaselineFilesystem:
         self._write_table(parent.inode, entries)
         return Stat.from_attrs(attrs)
 
+    @traced("mknod")
     def mknod(self, path: str, mode: int = 0o644) -> Stat:
         return self._create(path, mode, FILE)
 
+    @traced("mkdir")
     def mkdir(self, path: str, mode: int = 0o755) -> Stat:
         return self._create(path, mode, DIRECTORY)
 
+    @traced("read_file")
     def read_file(self, path: str) -> bytes:
         self._charge_other()
         attrs = self._resolve(path)
@@ -273,6 +302,7 @@ class BaselineFilesystem:
             self.cache.put(key, content, len(content))
         return content
 
+    @traced("write_file")
     def write_file(self, path: str, content: bytes) -> None:
         """Write + close: encrypt the file and send it (paper Fig. 8)."""
         self._charge_other()
@@ -285,10 +315,12 @@ class BaselineFilesystem:
         if self.config.data_cache:
             self.cache.put(("data", attrs.inode), content, len(content))
 
+    @traced("append_file")
     def append_file(self, path: str, content: bytes) -> None:
         existing = self.read_file(path)
         self.write_file(path, existing + content)
 
+    @traced("create_file")
     def create_file(self, path: str, content: bytes = b"",
                     mode: int = 0o644) -> Stat:
         stat = self.mknod(path, mode)
@@ -296,6 +328,7 @@ class BaselineFilesystem:
             self.write_file(path, content)
         return stat
 
+    @traced("chmod")
     def chmod(self, path: str, mode: int) -> Stat:
         """Modify metadata, re-encode, send (paper Fig. 8's chmod)."""
         self._charge_other()
@@ -306,6 +339,7 @@ class BaselineFilesystem:
         self._write_attrs(attrs)
         return Stat.from_attrs(attrs)
 
+    @traced("unlink")
     def unlink(self, path: str) -> None:
         self._charge_other()
         parent, name = self._resolve_parent(path)
@@ -327,6 +361,7 @@ class BaselineFilesystem:
         self.cache.invalidate(("meta", inode))
         self.cache.invalidate(("data", inode))
 
+    @traced("rmdir")
     def rmdir(self, path: str) -> None:
         self._charge_other()
         parent, name = self._resolve_parent(path)

@@ -6,7 +6,12 @@ Subcommands:
   ESIGN, IBE roundtrips);
 * ``demo``      -- a compact end-to-end sharing demo on an in-memory SSP;
 * ``bench``     -- regenerate one of the paper's figures (fig9, fig10,
-  fig11, fig12, fig13) at a chosen scale;
+  fig11, fig12, fig13) at a chosen scale, or run a named workload with
+  ``--workload`` and write a machine-readable ``BENCH_<name>.json``;
+* ``stats``     -- run a workload and dump the unified metrics registry
+  (human table or Prometheus text) plus the per-operation cost table;
+* ``trace``     -- run a workload and emit its operation spans as
+  JSON-lines (one root span per line, child phases nested);
 * ``inspect``   -- build a demo volume and dump what the untrusted SSP
   actually sees.
 """
@@ -101,6 +106,32 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _workload_params(workload: str, scale: float) -> dict:
+    """Scaled parameters for one named workload (andrew has none)."""
+    if workload == "postmark":
+        return {"files": max(10, int(500 * scale)),
+                "transactions": max(10, int(500 * scale))}
+    if workload == "createlist":
+        return {"files": max(4, int(500 * scale)),
+                "dirs": max(1, int(25 * scale))}
+    return {}
+
+
+def _cmd_bench_workload(args: argparse.Namespace) -> int:
+    from .obs.bench import write_bench_json
+    from .obs.export import op_table
+    from .workloads import run_observed
+
+    payload, _spans = run_observed(
+        args.workload, impl=args.impl,
+        params=_workload_params(args.workload, args.scale))
+    print(op_table(payload, title=f"{args.workload} per-operation costs "
+                                  f"({args.impl})"))
+    path = write_bench_json(payload, args.out_dir)
+    print(f"wrote {path}")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .workloads import (IMPLEMENTATIONS, LABELS, OPERATIONS,
                             PAPER_FIG9, PAPER_FIG12, make_env, run_andrew,
@@ -109,8 +140,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from .workloads.report import (ComparisonRow, format_comparison,
                                    format_table)
 
+    if args.workload is not None:
+        return _cmd_bench_workload(args)
     figure = args.figure
     scale = args.scale
+    if figure is None:
+        print("bench: provide a figure (fig9..fig13) or --workload",
+              file=sys.stderr)
+        return 2
     if figure == "fig9":
         files, dirs = int(500 * scale), max(1, int(25 * scale))
         for phase in ("create", "list"):
@@ -167,6 +204,46 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     else:
         print(f"unknown figure {figure!r}", file=sys.stderr)
         return 2
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .obs.export import metrics_table, op_table, prometheus_text
+    from .obs.metrics import MetricsRegistry
+    from .workloads import run_observed
+
+    payload, _spans = run_observed(
+        args.workload, impl=args.impl,
+        params=_workload_params(args.workload, args.scale))
+    # The run's registry snapshot travels in the payload; rehydrate it
+    # as plain gauges so every exporter renders the same numbers.
+    registry = MetricsRegistry()
+    for name, value in payload["metrics"].items():
+        registry.gauge(name).set(value)
+    if args.format == "prom":
+        print(prometheus_text(registry), end="")
+        return 0
+    print(op_table(payload, title=f"{args.workload} per-operation costs "
+                                  f"({args.impl})"))
+    print(metrics_table(registry,
+                        title=f"{args.workload} metrics snapshot"))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs.export import spans_to_jsonl
+    from .workloads import run_observed
+
+    _payload, spans = run_observed(
+        args.workload, impl=args.impl,
+        params=_workload_params(args.workload, args.scale))
+    text = spans_to_jsonl(spans)
+    if args.out is not None:
+        import pathlib
+        pathlib.Path(args.out).write_text(text + "\n")
+        print(f"wrote {len(spans)} spans to {args.out}")
+    else:
+        print(text)
     return 0
 
 
@@ -230,13 +307,46 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("demo", help="end-to-end sharing demo")
     p.set_defaults(func=_cmd_demo)
 
-    p = sub.add_parser("bench", help="regenerate a paper figure")
-    p.add_argument("figure", choices=["fig9", "fig10", "fig11", "fig12",
-                                      "fig13"])
+    workloads = ["postmark", "andrew", "createlist", "office"]
+    impls = ["sharoes", "no-enc-md-d", "no-enc-md", "public", "pub-opt"]
+
+    p = sub.add_parser("bench",
+                       help="regenerate a paper figure, or run a named "
+                            "workload and write BENCH_<name>.json")
+    p.add_argument("figure", nargs="?",
+                   choices=["fig9", "fig10", "fig11", "fig12", "fig13"])
     p.add_argument("--scale", type=float, default=0.2,
                    help="workload scale vs the paper (default 0.2; "
                         "1.0 = full paper parameters)")
+    p.add_argument("--workload", choices=workloads,
+                   help="run this workload with span tracing and write a "
+                        "machine-readable BENCH_<workload>.json instead "
+                        "of a figure")
+    p.add_argument("--impl", choices=impls, default="sharoes",
+                   help="implementation for --workload (default sharoes)")
+    p.add_argument("--out-dir", default="benchmarks/results",
+                   help="directory for BENCH_*.json "
+                        "(default benchmarks/results)")
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser("stats",
+                       help="run a workload, dump the metrics registry "
+                            "and per-op cost table")
+    p.add_argument("--workload", choices=workloads, default="postmark")
+    p.add_argument("--impl", choices=impls, default="sharoes")
+    p.add_argument("--scale", type=float, default=0.1)
+    p.add_argument("--format", choices=["table", "prom"], default="table",
+                   help="human table (default) or Prometheus text")
+    p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser("trace",
+                       help="run a workload, emit operation spans as "
+                            "JSON-lines")
+    p.add_argument("--workload", choices=workloads, default="office")
+    p.add_argument("--impl", choices=impls, default="sharoes")
+    p.add_argument("--scale", type=float, default=0.1)
+    p.add_argument("--out", help="write spans here instead of stdout")
+    p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser("inspect", help="dump the SSP's view of a volume")
     p.add_argument("--files", type=int, default=10)

@@ -22,7 +22,14 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    #: first-time inserts only; overwrites of a live key count below.
     insertions: int = 0
+    #: puts that replaced an existing entry (write-through refreshes).
+    replacements: int = 0
+    #: puts dropped without caching: zero-capacity cache, or an object
+    #: larger than the whole byte budget.  Without this counter those
+    #: drops were silent and skewed hit-rate analyses.
+    rejected: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -66,15 +73,22 @@ class LruCache:
         Objects larger than the whole budget are simply not cached.
         """
         if self.capacity_bytes == 0:
+            self.stats.rejected += 1
             return
-        if key in self._entries:
+        replacing = key in self._entries
+        if replacing:
             self._used_bytes -= self._entries.pop(key)[1]
         if (self.capacity_bytes is not None
                 and size_bytes > self.capacity_bytes):
+            # Too big to ever fit; any stale entry stays evicted.
+            self.stats.rejected += 1
             return
         self._entries[key] = (value, size_bytes)
         self._used_bytes += size_bytes
-        self.stats.insertions += 1
+        if replacing:
+            self.stats.replacements += 1
+        else:
+            self.stats.insertions += 1
         while (self.capacity_bytes is not None
                and self._used_bytes > self.capacity_bytes):
             _, (_, evicted_size) = self._entries.popitem(last=False)

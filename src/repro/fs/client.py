@@ -33,6 +33,10 @@ from ..errors import (BlobNotFound, CryptoError, DirectoryNotEmpty,
                       IntegrityError, IsADirectory, NotADirectory,
                       PermissionDenied, SharoesError)
 from ..fs import path as fspath
+from ..obs.metrics import (MetricsRegistry, bind_cache_stats,
+                           bind_cost_model, bind_crypto_counters,
+                           bind_server_stats)
+from ..obs.tracing import Tracer, traced
 from ..principals.groups import UserAgent
 from ..principals.users import User
 from ..sim.costmodel import CostModel
@@ -139,13 +143,15 @@ class OpenFile:
         self._loaded = True
 
     def read(self, size: int | None = None, offset: int = 0) -> bytes:
-        if self._closed:
-            raise FilesystemError("read on closed handle")
-        if not self.readable:
-            raise PermissionDenied(f"{self.path}: not opened for reading")
-        self._ensure_loaded()
-        end = len(self._buffer) if size is None else offset + size
-        return bytes(self._buffer[offset:end])
+        with self.fs.tracer.span("read", path=self.path):
+            if self._closed:
+                raise FilesystemError("read on closed handle")
+            if not self.readable:
+                raise PermissionDenied(
+                    f"{self.path}: not opened for reading")
+            self._ensure_loaded()
+            end = len(self._buffer) if size is None else offset + size
+            return bytes(self._buffer[offset:end])
 
     def write(self, data: bytes) -> int:
         """Append ``data`` at the end of the file."""
@@ -153,16 +159,19 @@ class OpenFile:
         return self.pwrite(data, len(self._buffer))
 
     def pwrite(self, data: bytes, offset: int) -> int:
-        if self._closed:
-            raise FilesystemError("write on closed handle")
-        if not self.writable:
-            raise PermissionDenied(f"{self.path}: not opened for writing")
-        self._ensure_loaded()
-        if offset > len(self._buffer):
-            self._buffer.extend(b"\x00" * (offset - len(self._buffer)))
-        self._buffer[offset:offset + len(data)] = data
-        self._dirty = True
-        return len(data)
+        with self.fs.tracer.span("write", path=self.path):
+            if self._closed:
+                raise FilesystemError("write on closed handle")
+            if not self.writable:
+                raise PermissionDenied(
+                    f"{self.path}: not opened for writing")
+            self._ensure_loaded()
+            if offset > len(self._buffer):
+                self._buffer.extend(
+                    b"\x00" * (offset - len(self._buffer)))
+            self._buffer[offset:offset + len(data)] = data
+            self._dirty = True
+            return len(data)
 
     def truncate(self, size: int = 0) -> None:
         if not self.writable:
@@ -176,9 +185,11 @@ class OpenFile:
         if self._closed:
             return
         self._closed = True
-        if self._dirty:
-            self.fs._flush_file(self.node, bytes(self._buffer),
-                                self._original_blocks)
+        with self.fs.tracer.span("close", path=self.path,
+                                 dirty=self._dirty):
+            if self._dirty:
+                self.fs._flush_file(self.node, bytes(self._buffer),
+                                    self._original_blocks)
 
     def __enter__(self) -> "OpenFile":
         return self
@@ -208,6 +219,23 @@ class SharoesFilesystem:
         #: SSP requests issued by this client (batched puts count once).
         self.request_count = 0
         self._superblock: Superblock | None = None
+        #: unified observability: one registry tree + a span tracer on
+        #: the simulated clock.  The legacy stats structs (CacheStats,
+        #: OpCounters, CostBreakdown, ServerStats) are adapted in as
+        #: pull-based sources -- see docs/OBSERVABILITY.md.
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(
+            clock=cost_model.clock if cost_model is not None else None,
+            registry=self.metrics)
+        if cost_model is not None:
+            cost_model.tracer = self.tracer
+            bind_cost_model(self.metrics, cost_model)
+        bind_cache_stats(self.metrics, self.cache)
+        bind_crypto_counters(self.metrics, self.provider)
+        bind_server_stats(self.metrics, volume.server)
+        self.metrics.gauge("client.requests",
+                           help="SSP requests issued by this client",
+                           fn=lambda: self.request_count)
 
     def enable_consistency_log(self):
         """Attach a SUNDR-style fork-consistency log (paper section VI).
@@ -222,6 +250,7 @@ class SharoesFilesystem:
             self.volume.registry.directory, self.provider)
         return self.consistency
 
+    @traced("publish_statement", path_arg=None)
     def publish_statement(self):
         """Sign + upload this client's version statement (if enabled)."""
         if self.consistency is None:
@@ -234,6 +263,7 @@ class SharoesFilesystem:
                 _RESPONSE_HEADER_BYTES)
         return statement
 
+    @traced("sync_statements", path_arg=None)
     def sync_statements(self, peer_ids: list[str] | None = None):
         """Fetch + fork-check peers' statements (if enabled).
 
@@ -262,25 +292,28 @@ class SharoesFilesystem:
 
     def _get(self, blob_id: BlobId) -> bytes:
         self.request_count += 1
-        try:
-            payload = self.volume.server.get(blob_id)
-        except BlobNotFound:
+        with self.tracer.span("network", op="get", kind=blob_id.kind):
+            try:
+                payload = self.volume.server.get(blob_id)
+            except BlobNotFound:
+                if self.cost is not None:
+                    self.cost.charge_request(_REQUEST_HEADER_BYTES,
+                                             _RESPONSE_HEADER_BYTES)
+                raise
             if self.cost is not None:
-                self.cost.charge_request(_REQUEST_HEADER_BYTES,
-                                         _RESPONSE_HEADER_BYTES)
-            raise
-        if self.cost is not None:
-            self.cost.charge_request(
-                _REQUEST_HEADER_BYTES,
-                len(payload) + _RESPONSE_HEADER_BYTES)
-        return payload
+                self.cost.charge_request(
+                    _REQUEST_HEADER_BYTES,
+                    len(payload) + _RESPONSE_HEADER_BYTES)
+            return payload
 
     def _put(self, blob_id: BlobId, payload: bytes) -> None:
         self.request_count += 1
-        if self.cost is not None:
-            self.cost.charge_request(
-                len(payload) + _REQUEST_HEADER_BYTES, _RESPONSE_HEADER_BYTES)
-        self.volume.server.put(blob_id, payload)
+        with self.tracer.span("network", op="put", kind=blob_id.kind):
+            if self.cost is not None:
+                self.cost.charge_request(
+                    len(payload) + _REQUEST_HEADER_BYTES,
+                    _RESPONSE_HEADER_BYTES)
+            self.volume.server.put(blob_id, payload)
 
     def _put_many(self, blobs: list[tuple[BlobId, bytes]]) -> None:
         """Upload several blobs in one request (one round trip).
@@ -293,34 +326,39 @@ class SharoesFilesystem:
         if not blobs:
             return
         self.request_count += 1
-        if self.cost is not None:
-            total = sum(len(payload) for _, payload in blobs)
-            self.cost.charge_request(total + _REQUEST_HEADER_BYTES,
-                                     _RESPONSE_HEADER_BYTES)
-        for blob_id, payload in blobs:
-            self.volume.server.put(blob_id, payload)
+        with self.tracer.span("network", op="put_many", count=len(blobs)):
+            if self.cost is not None:
+                total = sum(len(payload) for _, payload in blobs)
+                self.cost.charge_request(total + _REQUEST_HEADER_BYTES,
+                                         _RESPONSE_HEADER_BYTES)
+            for blob_id, payload in blobs:
+                self.volume.server.put(blob_id, payload)
 
     def _delete(self, blob_id: BlobId) -> None:
         self.request_count += 1
-        if self.cost is not None:
-            self.cost.charge_request(_REQUEST_HEADER_BYTES,
-                                     _RESPONSE_HEADER_BYTES)
-        self.volume.server.delete(blob_id)
+        with self.tracer.span("network", op="delete", kind=blob_id.kind):
+            if self.cost is not None:
+                self.cost.charge_request(_REQUEST_HEADER_BYTES,
+                                         _RESPONSE_HEADER_BYTES)
+            self.volume.server.delete(blob_id)
 
     def _delete_many(self, blob_ids: list[BlobId]) -> None:
         """Batch deletion: one request regardless of blob count."""
         if not blob_ids:
             return
         self.request_count += 1
-        if self.cost is not None:
-            self.cost.charge_request(
-                _REQUEST_HEADER_BYTES * len(blob_ids),
-                _RESPONSE_HEADER_BYTES)
-        for blob_id in blob_ids:
-            self.volume.server.delete(blob_id)
+        with self.tracer.span("network", op="delete_many",
+                              count=len(blob_ids)):
+            if self.cost is not None:
+                self.cost.charge_request(
+                    _REQUEST_HEADER_BYTES * len(blob_ids),
+                    _RESPONSE_HEADER_BYTES)
+            for blob_id in blob_ids:
+                self.volume.server.delete(blob_id)
 
     # ------------------------------------------------------------------ mount
 
+    @traced("mount", path_arg=None)
     def mount(self) -> None:
         """Fetch + decrypt this user's superblock and group keys.
 
@@ -361,15 +399,17 @@ class SharoesFilesystem:
         if self.config.metadata_cache:
             cached = self.cache.get(key)
             if cached is not None:
-                return cached
+                with self.tracer.span("cache", hit=True, kind="meta"):
+                    return cached
         try:
             blob = self._get(meta_blob(inode, selector))
         except BlobNotFound:
             raise PermissionDenied(
                 f"inode {inode}: no metadata replica for your permissions"
             ) from None
-        view = open_metadata_blob(self.provider, inode, selector, mek,
-                                  mvk, blob)
+        with self.tracer.span("crypto", op="open_metadata"):
+            view = open_metadata_blob(self.provider, inode, selector, mek,
+                                      mvk, blob)
         if self.config.check_freshness:
             self.freshness.observe_metadata(
                 inode, view.attrs.version, self._attrs_digest(view.attrs))
@@ -396,12 +436,15 @@ class SharoesFilesystem:
         if self.config.metadata_cache:
             cached = self.cache.get(key)
             if cached is not None:
-                return cached
+                with self.tracer.span("cache", hit=True, kind="table"):
+                    return cached
         dek = node.view.require_dek()
         dvk = node.view.require_dvk()
         blob = self._get(table_blob_id(node.inode, node.selector))
-        context = bind_context("table", node.inode, node.selector)
-        payload = open_verified(self.provider, dek, dvk, context, blob)
+        with self.tracer.span("crypto", op="open_table"):
+            payload = open_verified(
+                self.provider, dek, dvk,
+                bind_context("table", node.inode, node.selector), blob)
         view = TableView.from_bytes(payload)
         if self.config.metadata_cache:
             self.cache.put(key, view, len(blob))
@@ -466,23 +509,25 @@ class SharoesFilesystem:
 
     def _resolve(self, path: str, follow_last: bool = True,
                  _depth: int = 0) -> ResolvedNode:
-        node = self._root_node()
-        parts = fspath.split_path(path)
-        for index, name in enumerate(parts):
-            node = self._lookup_child(node, name)
-            is_last = index == len(parts) - 1
-            if node.attrs.ftype == SYMLINK and (follow_last or
-                                                not is_last):
-                if _depth >= self._MAX_SYMLINK_DEPTH:
-                    raise FilesystemError(
-                        f"{path}: too many levels of symbolic links")
-                target = self._read_symlink_target(node)
-                remainder = parts[index + 1:]
-                combined = (fspath.join(target, *remainder)
-                            if remainder else fspath.normalize(target))
-                return self._resolve(combined, follow_last=follow_last,
-                                     _depth=_depth + 1)
-        return node
+        with self.tracer.span("resolve", path=path):
+            node = self._root_node()
+            parts = fspath.split_path(path)
+            for index, name in enumerate(parts):
+                node = self._lookup_child(node, name)
+                is_last = index == len(parts) - 1
+                if node.attrs.ftype == SYMLINK and (follow_last or
+                                                    not is_last):
+                    if _depth >= self._MAX_SYMLINK_DEPTH:
+                        raise FilesystemError(
+                            f"{path}: too many levels of symbolic links")
+                    target = self._read_symlink_target(node)
+                    remainder = parts[index + 1:]
+                    combined = (fspath.join(target, *remainder)
+                                if remainder else fspath.normalize(target))
+                    return self._resolve(combined,
+                                         follow_last=follow_last,
+                                         _depth=_depth + 1)
+            return node
 
     def _read_symlink_target(self, node: ResolvedNode) -> str:
         content, _ = self._read_blocks(node)
@@ -498,6 +543,7 @@ class SharoesFilesystem:
 
     # ------------------------------------------------------------------ reads
 
+    @traced("getattr")
     def getattr(self, path: str) -> Stat:
         """stat(2): fetch + decrypt the metadata replica (paper Fig. 8).
 
@@ -506,12 +552,14 @@ class SharoesFilesystem:
         self._charge_other()
         return Stat.from_attrs(self._resolve(path).attrs)
 
+    @traced("lstat")
     def lstat(self, path: str) -> Stat:
         """stat without following a final symlink (lstat(2))."""
         self._charge_other()
         return Stat.from_attrs(
             self._resolve(path, follow_last=False).attrs)
 
+    @traced("symlink", path_arg=1)
     def symlink(self, target: str, path: str, mode: int = 0o644) -> Stat:
         """Create a symbolic link at ``path`` pointing at ``target``.
 
@@ -524,6 +572,7 @@ class SharoesFilesystem:
         self._flush_file(node, target.encode("utf-8"), [])
         return stat
 
+    @traced("readlink")
     def readlink(self, path: str) -> str:
         """Return a symlink's target (readlink(2))."""
         self._charge_other()
@@ -532,6 +581,7 @@ class SharoesFilesystem:
             raise FilesystemError(f"{path} is not a symbolic link")
         return self._read_symlink_target(node)
 
+    @traced("link", path_arg=1)
     def link(self, existing_path: str, new_path: str) -> Stat:
         """Create a hard link (owner only: the link count lives in
         metadata, which only the MSK holder can update, and the new
@@ -564,6 +614,7 @@ class SharoesFilesystem:
             self._write_lockboxes(record)
         return Stat.from_attrs(record.attrs)
 
+    @traced("readdir")
     def readdir(self, path: str) -> list[str]:
         """List a directory (requires the read CAP)."""
         self._charge_other()
@@ -576,6 +627,7 @@ class SharoesFilesystem:
                 f"(CAP {node.cap_id})")
         return self._fetch_table(node).list_names()
 
+    @traced("access")
     def access(self, path: str, want: str) -> bool:
         """access(2)-style check: ``want`` is a subset of "rwx".
 
@@ -606,7 +658,9 @@ class SharoesFilesystem:
             cache_key = ("data", node.inode, index)
             plain: bytes | None = None
             if self.config.data_cache:
-                plain = self.cache.get(cache_key)
+                with self.tracer.span("cache", kind="data") as cspan:
+                    plain = self.cache.get(cache_key)
+                    cspan.attrs["hit"] = plain is not None
             if plain is None:
                 try:
                     blob = self._get(block_blob_id(node.inode, index))
@@ -617,7 +671,9 @@ class SharoesFilesystem:
                         f"inode {node.inode}: block {index} missing "
                         f"(truncation attack?)") from None
                 context = bind_context("data", node.inode, f"b{index}")
-                plain = open_verified(self.provider, dek, dvk, context, blob)
+                with self.tracer.span("crypto", op="decrypt_block"):
+                    plain = open_verified(self.provider, dek, dvk,
+                                          context, blob)
                 if self.config.data_cache:
                     self.cache.put(cache_key, plain, len(plain))
             if index == 0:
@@ -627,6 +683,7 @@ class SharoesFilesystem:
             index += 1
         return b"".join(blocks), blocks
 
+    @traced("read_file")
     def read_file(self, path: str) -> bytes:
         """Read a whole file (requires the read CAP)."""
         self._charge_other()
@@ -641,6 +698,7 @@ class SharoesFilesystem:
 
     # ------------------------------------------------------------------ writes
 
+    @traced("open")
     def open(self, path: str, mode: str = "r") -> OpenFile:
         """Open a file; ``mode`` in {"r", "w", "a", "rw"}.
 
@@ -666,11 +724,13 @@ class SharoesFilesystem:
             handle._original_blocks = []
         return handle
 
+    @traced("write_file")
     def write_file(self, path: str, data: bytes) -> None:
         """Truncate + write a whole file."""
         with self.open(path, "w") as handle:
             handle.pwrite(data, 0)
 
+    @traced("append_file")
     def append_file(self, path: str, data: bytes) -> None:
         with self.open(path, "a") as handle:
             handle.write(data)
@@ -708,23 +768,25 @@ class SharoesFilesystem:
         old_count = len(original_blocks)
         new_count = len(new_blocks)
         outgoing = []
-        for index, block in enumerate(new_blocks):
-            unchanged = (not rekeyed
-                         and index < old_count
-                         and original_blocks[index] == block
-                         and (index > 0 or old_count == new_count))
-            payload = block
-            if index == 0:
-                payload = new_count.to_bytes(4, "big") + block
-            if self.config.data_cache:
-                # Write-through: the plaintext just left this client.
-                self.cache.put(("data", node.inode, index), payload,
-                               len(payload))
-            if unchanged:
-                continue
-            context = bind_context("data", node.inode, f"b{index}")
-            blob = seal_and_sign(self.provider, dek, dsk, context, payload)
-            outgoing.append((block_blob_id(node.inode, index), blob))
+        with self.tracer.span("crypto", op="encrypt_blocks"):
+            for index, block in enumerate(new_blocks):
+                unchanged = (not rekeyed
+                             and index < old_count
+                             and original_blocks[index] == block
+                             and (index > 0 or old_count == new_count))
+                payload = block
+                if index == 0:
+                    payload = new_count.to_bytes(4, "big") + block
+                if self.config.data_cache:
+                    # Write-through: the plaintext just left this client.
+                    self.cache.put(("data", node.inode, index), payload,
+                                   len(payload))
+                if unchanged:
+                    continue
+                context = bind_context("data", node.inode, f"b{index}")
+                blob = seal_and_sign(self.provider, dek, dsk, context,
+                                     payload)
+                outgoing.append((block_blob_id(node.inode, index), blob))
         self._put_many(outgoing)
         self._delete_tail_blocks(node.inode, new_count,
                                  max(old_count, node.attrs.block_count))
@@ -917,18 +979,21 @@ class SharoesFilesystem:
             self._write_lockboxes(record)
         return Stat.from_attrs(attrs)
 
+    @traced("mknod")
     def mknod(self, path: str, mode: int = 0o644,
               group: str | None = None,
               acl: tuple[AclEntry, ...] = ()) -> Stat:
         """Create an empty file (paper Fig. 8's mknod)."""
         return self._create(path, mode, FILE, group, acl)
 
+    @traced("mkdir")
     def mkdir(self, path: str, mode: int = 0o755,
               group: str | None = None,
               acl: tuple[AclEntry, ...] = ()) -> Stat:
         """Create a directory with all its CAP replicas."""
         return self._create(path, mode, DIRECTORY, group, acl)
 
+    @traced("create_file")
     def create_file(self, path: str, data: bytes = b"",
                     mode: int = 0o644, group: str | None = None) -> Stat:
         """mknod + write + close in one call."""
@@ -960,6 +1025,7 @@ class SharoesFilesystem:
         self._invalidate(attrs.inode)
         self.freshness.forget(attrs.inode)
 
+    @traced("unlink")
     def unlink(self, path: str) -> None:
         """Remove a file or symlink: drop its rows from the parent views.
 
@@ -987,6 +1053,7 @@ class SharoesFilesystem:
             return
         self._delete_object_blobs(child.attrs)
 
+    @traced("rmdir")
     def rmdir(self, path: str) -> None:
         self._charge_other()
         parent, name = self._resolve_parent(path)
@@ -1007,6 +1074,7 @@ class SharoesFilesystem:
                 name, provider=self.provider, table_dek=dek))
         self._delete_object_blobs(child.attrs)
 
+    @traced("rename")
     def rename(self, old_path: str, new_path: str) -> None:
         """Move/rename: child keys are untouched, only rows move."""
         self._charge_other()
@@ -1210,6 +1278,7 @@ class SharoesFilesystem:
         return self._entry_for_selector(parent_attrs, child, selector,
                                         name)
 
+    @traced("chmod")
     def chmod(self, path: str, mode: int) -> Stat:
         """Change permissions (owner only -- MSK is the capability).
 
@@ -1315,6 +1384,7 @@ class SharoesFilesystem:
 
     # ------------------------------------------------------------------ chown / acl
 
+    @traced("chown")
     def chown(self, path: str, new_owner: str,
               new_group: str | None = None) -> Stat:
         """Transfer ownership: full rekey (the old owner knew every key)."""
@@ -1341,6 +1411,7 @@ class SharoesFilesystem:
         self._refresh_parent_pointers(path, record, old_attrs)
         return Stat.from_attrs(record.attrs)
 
+    @traced("set_acl")
     def set_acl(self, path: str, entries: tuple[AclEntry, ...]) -> Stat:
         """Replace the POSIX-ACL user entries (owner only).
 
@@ -1378,6 +1449,7 @@ class SharoesFilesystem:
         self._refresh_parent_pointers(path, record, old_attrs)
         return Stat.from_attrs(record.attrs)
 
+    @traced("rekey")
     def rekey(self, path: str) -> Stat:
         """Rotate every key of an object (owner only).
 

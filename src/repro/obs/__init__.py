@@ -1,0 +1,34 @@
+"""Observability: unified metrics registry + operation span tracing.
+
+The simulated analogue of the paper's evaluation instrumentation: every
+filesystem operation decomposes into resolve / crypto / network / cache
+phases (Figure 13), every component's counters hang off one registry
+tree, and exporters turn both into JSON-lines span logs, Prometheus text
+or human tables (``repro stats`` / ``repro trace``).
+
+Import layering: this package sits *below* fs/ and workloads/ -- the
+client imports the tracer, so nothing here may import the client at
+module scope (export/bench use lazy imports where needed).
+"""
+
+from .metrics import (DEFAULT_LATENCY_BUCKETS, Counter, Gauge, Histogram,
+                      MetricsRegistry, bind_cache_stats, bind_cost_model,
+                      bind_crypto_counters, bind_server_stats)
+from .tracing import PHASES, Span, Tracer, phase_breakdown, traced
+
+__all__ = [
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_LATENCY_BUCKETS",
+    "bind_cache_stats",
+    "bind_server_stats",
+    "bind_crypto_counters",
+    "bind_cost_model",
+    "Tracer",
+    "Span",
+    "PHASES",
+    "phase_breakdown",
+    "traced",
+]

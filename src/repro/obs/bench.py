@@ -1,0 +1,89 @@
+"""Machine-readable benchmark reports (``BENCH_*.json``).
+
+Aggregates a run's finished root spans into the per-operation summary the
+perf trajectory tracks across PRs:
+
+* ``op -> {seconds: {n, mean, stdev, min, max, p50, p95, p99},
+  phases: {resolve, network, crypto, cache, other}, errors}``;
+* run totals (span count, simulated seconds, phase sums);
+* the cost model's own whole-run breakdown, so a report is
+  self-reconciling: phase totals must sum to ``cost_model.total`` to
+  within float noise (the acceptance invariant, asserted in tests).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Iterable
+
+from ..sim.stats import summarize
+from .metrics import MetricsRegistry
+from .tracing import PHASES, Span, phase_breakdown
+
+#: Schema version stamped into every BENCH_*.json.
+BENCH_SCHEMA = 1
+
+
+def op_report(spans: Iterable[Span]) -> dict[str, Any]:
+    """Aggregate finished root spans by operation name."""
+    durations: dict[str, list[float]] = {}
+    phases: dict[str, dict[str, float]] = {}
+    errors: dict[str, int] = {}
+    total_spans = 0
+    total_seconds = 0.0
+    total_phases = {phase: 0.0 for phase in PHASES}
+    for span in spans:
+        total_spans += 1
+        total_seconds += span.duration
+        durations.setdefault(span.name, []).append(span.duration)
+        breakdown = phase_breakdown(span)
+        sink = phases.setdefault(span.name,
+                                 {phase: 0.0 for phase in PHASES})
+        for phase, seconds in breakdown.items():
+            sink[phase] += seconds
+            total_phases[phase] += seconds
+        if span.error is not None:
+            errors[span.name] = errors.get(span.name, 0) + 1
+    ops = {}
+    for name, series in durations.items():
+        ops[name] = {
+            "seconds": summarize(series).as_dict(),
+            "phases": phases[name],
+            "errors": errors.get(name, 0),
+        }
+    return {
+        "ops": ops,
+        "totals": {"spans": total_spans, "seconds": total_seconds,
+                   "phases": total_phases},
+    }
+
+
+def bench_payload(name: str, report: dict[str, Any],
+                  registry: MetricsRegistry | None = None,
+                  cost=None, params: dict[str, Any] | None = None
+                  ) -> dict[str, Any]:
+    """Assemble one BENCH_*.json document."""
+    payload: dict[str, Any] = {
+        "schema": BENCH_SCHEMA,
+        "name": name,
+        "params": params or {},
+        "ops": report["ops"],
+        "totals": report["totals"],
+    }
+    if cost is not None:
+        payload["cost_model"] = dict(cost.totals.as_dict(),
+                                     total=cost.totals.total)
+    if registry is not None:
+        payload["metrics"] = registry.snapshot()
+    return payload
+
+
+def write_bench_json(payload: dict[str, Any],
+                     out_dir: str | pathlib.Path) -> pathlib.Path:
+    """Write ``BENCH_<name>.json`` under ``out_dir`` (created if needed)."""
+    out_dir = pathlib.Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{payload['name']}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

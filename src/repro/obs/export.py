@@ -1,0 +1,140 @@
+"""Pluggable exporters: JSON-lines spans, Prometheus text, tables.
+
+Three consumers of the same observability tree:
+
+* machines replaying a run read the **JSON-lines span log** (one root
+  span per line, children nested);
+* scrape-style tooling reads the **Prometheus text dump** of a
+  :class:`~repro.obs.metrics.MetricsRegistry`;
+* humans read the **tables** (``repro stats``).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import re
+from typing import IO, Iterable
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .tracing import PHASES, Span
+
+
+class JsonLinesSpanExporter:
+    """Collects finished root spans as JSON-lines.
+
+    Attach with ``tracer.add_sink(exporter)``; read back ``.lines`` (in
+    memory) or stream to a file object passed as ``stream``.
+    """
+
+    def __init__(self, stream: IO[str] | None = None):
+        self.lines: list[str] = []
+        self._stream = stream
+
+    def __call__(self, span: Span) -> None:
+        line = json.dumps(span.to_dict(), separators=(",", ":"),
+                          sort_keys=True)
+        self.lines.append(line)
+        if self._stream is not None:
+            self._stream.write(line + "\n")
+
+    def records(self) -> list[dict]:
+        return [json.loads(line) for line in self.lines]
+
+    def write(self, path: str | pathlib.Path) -> pathlib.Path:
+        path = pathlib.Path(path)
+        path.write_text("\n".join(self.lines) + ("\n" if self.lines
+                                                 else ""))
+        return path
+
+
+def spans_to_jsonl(spans: Iterable[Span]) -> str:
+    """Render already-finished root spans as a JSON-lines document."""
+    return "\n".join(json.dumps(span.to_dict(), separators=(",", ":"),
+                                sort_keys=True) for span in spans)
+
+
+_PROM_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    return _PROM_BAD.sub("_", name.replace(".", "_"))
+
+
+def prometheus_text(registry: MetricsRegistry,
+                    namespace: str = "sharoes") -> str:
+    """Prometheus exposition-format dump of the registry.
+
+    Pull sources are exported as gauges (their legacy structs do not
+    distinguish counters from gauges); histograms use the standard
+    ``_bucket``/``_sum``/``_count`` triplet with ``le`` labels.
+    """
+    lines: list[str] = []
+
+    def emit(name: str, kind: str, value_lines: list[str],
+             help: str = "") -> None:
+        if help:
+            lines.append(f"# HELP {name} {help}")
+        lines.append(f"# TYPE {name} {kind}")
+        lines.extend(value_lines)
+
+    for metric in registry.metrics():
+        name = f"{namespace}_{_prom_name(metric.name)}"
+        if isinstance(metric, Counter):
+            emit(name, "counter", [f"{name} {metric.value}"], metric.help)
+        elif isinstance(metric, Gauge):
+            emit(name, "gauge", [f"{name} {metric.value}"], metric.help)
+        elif isinstance(metric, Histogram):
+            rows = []
+            cumulative = 0
+            for bound, count in zip(metric.bounds, metric.counts):
+                cumulative += count
+                rows.append(f'{name}_bucket{{le="{bound}"}} {cumulative}')
+            rows.append(f'{name}_bucket{{le="+Inf"}} {metric.count}')
+            rows.append(f"{name}_sum {metric.total}")
+            rows.append(f"{name}_count {metric.count}")
+            emit(name, "histogram", rows, metric.help)
+    for prefix, collect in registry._sources.items():
+        for suffix, value in sorted(collect().items()):
+            name = f"{namespace}_{_prom_name(prefix)}_{_prom_name(suffix)}"
+            emit(name, "gauge", [f"{name} {value}"])
+    return "\n".join(lines) + "\n"
+
+
+def metrics_table(registry: MetricsRegistry,
+                  title: str = "metrics") -> str:
+    """Human-readable two-column dump of the full snapshot tree."""
+    # Imported lazily: the workloads package pulls in the filesystem
+    # client, which itself imports repro.obs.
+    from ..workloads.report import format_table
+    rows = []
+    for name, value in registry.snapshot().items():
+        if isinstance(value, float) and not value.is_integer():
+            rows.append([name, f"{value:.6g}"])
+        else:
+            rows.append([name, str(int(value))])
+    return format_table(title, ["metric", "value"], rows)
+
+
+def op_table(report: dict, title: str = "per-operation costs") -> str:
+    """Render an op report (see obs.bench) as the ``repro stats`` table.
+
+    Shows the same numbers the ``BENCH_*.json`` carries: per-op count,
+    mean/p50/p95/p99 latency (ms) and the phase decomposition (ms).
+    """
+    from ..workloads.report import format_table
+    headers = (["operation", "n", "mean ms", "p50", "p95", "p99"]
+               + [f"{p} ms" for p in PHASES])
+    rows = []
+    for op, entry in sorted(report["ops"].items()):
+        summary = entry["seconds"]
+        rows.append(
+            [op, str(summary["n"])]
+            + [f"{summary[k] * 1000:.1f}"
+               for k in ("mean", "p50", "p95", "p99")]
+            + [f"{entry['phases'][p] * 1000:.1f}" for p in PHASES])
+    totals = report["totals"]
+    rows.append(["TOTAL", str(totals["spans"]),
+                 f"{totals['seconds'] * 1000:.1f}", "-", "-", "-"]
+                + [f"{totals['phases'][p] * 1000:.1f}" for p in PHASES])
+    return format_table(title, headers, rows)

@@ -1,0 +1,258 @@
+"""Hierarchical operation span tracing on the simulated clock.
+
+Every public filesystem operation opens a *root span*; internals open
+child spans ("resolve", "network", "cache", ...).  Span timestamps come
+from the :class:`~repro.sim.clock.SimClock`, and the cost model forwards
+every charge to the innermost open span -- so a span's duration equals
+the simulated seconds charged inside it, and the per-phase decomposition
+of an operation reconciles *exactly* with the whole-run
+:class:`~repro.sim.costmodel.CostBreakdown` (the acceptance invariant of
+the paper's Figure 13 reproduction).
+
+Phase attribution rules (see :func:`phase_breakdown`):
+
+* any charge under a ``resolve`` span is the path-walk phase (metadata
+  fetch + decrypt + verify while resolving a path);
+* any charge under a ``cache`` span is cache bookkeeping (zero simulated
+  seconds today -- cache hits are free in the 2008 model -- but the slot
+  exists so a future cost model can price deserialization);
+* remaining charges split by cost category: network / crypto / other.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Iterator
+
+from ..errors import IntegrityError
+from ..sim.clock import SimClock
+from ..sim.costmodel import CRYPTO, NETWORK
+from .metrics import MetricsRegistry
+
+#: The phase keys of a per-operation breakdown, in reporting order.
+PHASES = ("resolve", "network", "crypto", "cache", "other")
+
+
+class Span:
+    """One timed region; durations are simulated seconds."""
+
+    __slots__ = ("name", "attrs", "span_id", "parent_id", "start", "end",
+                 "children", "self_costs", "error")
+
+    def __init__(self, name: str, span_id: int, parent_id: int | None,
+                 start: float, attrs: dict[str, Any]):
+        self.name = name
+        self.attrs = attrs
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = start
+        self.end: float | None = None
+        self.children: list[Span] = []
+        self.self_costs: dict[str, float] = {}
+        self.error: str | None = None
+
+    @property
+    def duration(self) -> float:
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    def add_cost(self, category: str, seconds: float) -> None:
+        self.self_costs[category] = (
+            self.self_costs.get(category, 0.0) + seconds)
+
+    def total_costs(self) -> dict[str, float]:
+        """Category -> seconds over this span and all descendants."""
+        out = dict(self.self_costs)
+        for child in self.children:
+            for category, seconds in child.total_costs().items():
+                out[category] = out.get(category, 0.0) + seconds
+        return out
+
+    def walk(self) -> Iterator["Span"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "name": self.name,
+            "span_id": self.span_id,
+            "start": round(self.start, 9),
+            "end": round(self.end, 9) if self.end is not None else None,
+            "duration": round(self.duration, 9),
+        }
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.self_costs:
+            out["costs"] = {k: round(v, 9)
+                            for k, v in self.self_costs.items()}
+        if self.error is not None:
+            out["error"] = self.error
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+    def __repr__(self) -> str:
+        return (f"Span({self.name!r}, {self.duration:.6f}s, "
+                f"children={len(self.children)})")
+
+
+def phase_breakdown(span: Span) -> dict[str, float]:
+    """Decompose one root span into the PHASES buckets.
+
+    Every simulated second charged inside the span lands in exactly one
+    bucket, so ``sum(phase_breakdown(s).values()) == s.duration``.
+    """
+    out = {phase: 0.0 for phase in PHASES}
+
+    def visit(node: Span, phase: str | None) -> None:
+        here = phase
+        if here is None and node.name in ("resolve", "cache"):
+            here = node.name
+        for category, seconds in node.self_costs.items():
+            if here is not None:
+                out[here] += seconds
+            elif category == NETWORK:
+                out["network"] += seconds
+            elif category == CRYPTO:
+                out["crypto"] += seconds
+            else:
+                out["other"] += seconds
+        for child in node.children:
+            visit(child, here)
+
+    visit(span, None)
+    return out
+
+
+class _SpanScope:
+    """Class-based context manager for one span.
+
+    Hot path: a hand-rolled ``__enter__``/``__exit__`` pair costs a
+    fraction of the generator-``contextmanager`` machinery, and spans
+    open for every cache lookup and block decrypt.
+    """
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_span")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict[str, Any]):
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+        self._span: Span | None = None
+
+    def __enter__(self) -> Span:
+        tracer = self._tracer
+        stack = tracer._stack
+        span = Span(name=self._name, span_id=tracer._next_id,
+                    parent_id=stack[-1].span_id if stack else None,
+                    start=tracer.clock.now, attrs=self._attrs)
+        tracer._next_id += 1
+        if stack:
+            stack[-1].children.append(span)
+        stack.append(span)
+        self._span = span
+        return span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        span = self._span
+        tracer = self._tracer
+        span.end = tracer.clock.now
+        tracer._stack.pop()
+        integrity_failure = False
+        if exc is not None:
+            span.error = type(exc).__name__
+            integrity_failure = isinstance(exc, IntegrityError)
+        if not tracer._stack:
+            tracer._finish_root(span, integrity_failure)
+        return False
+
+
+class Tracer:
+    """Produces spans on a shared simulated clock.
+
+    Finished *root* spans are retained in a bounded deque (``finished``)
+    and forwarded to any registered sinks (exporters).  When a registry
+    is attached, each finished root span feeds a per-operation latency
+    histogram plus op/error counters -- that is the entire push-side
+    coupling, one histogram observe per filesystem operation.
+    """
+
+    def __init__(self, clock: SimClock | None = None,
+                 registry: MetricsRegistry | None = None,
+                 max_finished: int = 100_000):
+        self.clock = clock if clock is not None else SimClock()
+        self.registry = registry
+        self.finished: deque[Span] = deque(maxlen=max_finished)
+        self._stack: list[Span] = []
+        self._sinks: list[Callable[[Span], None]] = []
+        self._next_id = 1
+        self._op_histograms: dict[str, Any] = {}
+
+    def add_sink(self, sink: Callable[[Span], None]) -> None:
+        """Register an exporter callback for finished root spans."""
+        self._sinks.append(sink)
+
+    @property
+    def current(self) -> Span | None:
+        return self._stack[-1] if self._stack else None
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    def span(self, name: str, **attrs: Any) -> _SpanScope:
+        """Open a span: ``with tracer.span("resolve", path=p) as s:``."""
+        return _SpanScope(self, name, attrs)
+
+    def on_charge(self, category: str, seconds: float) -> None:
+        """Cost-model hook: attribute a charge to the innermost span."""
+        if self._stack:
+            self._stack[-1].add_cost(category, seconds)
+
+    def _finish_root(self, span: Span, integrity_failure: bool) -> None:
+        self.finished.append(span)
+        if self.registry is not None:
+            histogram = self._op_histograms.get(span.name)
+            if histogram is None:
+                histogram = self.registry.histogram(
+                    f"ops.{span.name}.seconds",
+                    help=f"latency of {span.name}")
+                self._op_histograms[span.name] = histogram
+            histogram.observe(span.duration)
+            self.registry.counter("ops.count").inc()
+            if span.error is not None:
+                self.registry.counter("ops.errors").inc()
+            if integrity_failure:
+                self.registry.counter(
+                    "client.integrity_failures",
+                    help="SSP tampering/rollback detections").inc()
+        for sink in self._sinks:
+            sink(span)
+
+    def reset(self) -> None:
+        """Drop finished spans (open spans are left untouched)."""
+        self.finished.clear()
+
+
+def traced(name: str, path_arg: int | None = 0):
+    """Decorator: wrap a filesystem method in a root-or-child span.
+
+    ``path_arg`` names the positional index (after ``self``) of a path
+    argument to record on the span; ``None`` records no attrs.  The
+    wrapped object must expose ``self.tracer``.
+    """
+
+    def decorate(fn):
+        def wrapper(self, *args, **kwargs):
+            attrs = {}
+            if (path_arg is not None and len(args) > path_arg
+                    and isinstance(args[path_arg], str)):
+                attrs["path"] = args[path_arg]
+            with self.tracer.span(name, **attrs):
+                return fn(self, *args, **kwargs)
+        wrapper.__name__ = fn.__name__
+        wrapper.__doc__ = fn.__doc__
+        wrapper.__wrapped__ = fn
+        return wrapper
+
+    return decorate

@@ -130,6 +130,13 @@ class CostModel:
         self.clock = clock if clock is not None else SimClock()
         self.totals = CostBreakdown()
         self._spans: list[CostBreakdown] = []
+        #: observability hook (see repro.obs.tracing.Tracer.on_charge):
+        #: the mounted client installs its tracer here so every charge is
+        #: attributed to the innermost open operation span.  A single
+        #: slot, not a listener list -- cache-sweep harnesses mint many
+        #: short-lived clients against one cost model, and only the
+        #: newest client's tracer should observe charges.
+        self.tracer = None
 
     # -- charging ------------------------------------------------------------
 
@@ -141,6 +148,8 @@ class CostModel:
         self.totals.add(category, seconds)
         for span in self._spans:
             span.add(category, seconds)
+        if self.tracer is not None:
+            self.tracer.on_charge(category, seconds)
         self.clock.advance(seconds)
 
     def charge_request(self, up_bytes: int, down_bytes: int,

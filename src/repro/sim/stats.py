@@ -14,24 +14,87 @@ from dataclasses import dataclass
 from typing import Callable, Sequence
 
 
+def _percentile_sorted(ordered: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile of an already-sorted series."""
+    if not ordered:
+        raise ValueError("cannot take a percentile of an empty series")
+    if not 0 <= q <= 100:
+        raise ValueError("percentile must be within [0, 100]")
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * q / 100
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = rank - low
+    return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+
+@dataclass(frozen=True)
+class Percentiles:
+    """The three tail quantiles every report in this repo quotes.
+
+    Shared by :class:`Summary` (exact, from raw values, one sort) and the
+    observability histograms (estimated from fixed buckets), so the txt
+    tables and the ``BENCH_*.json`` files agree on definitions.
+    """
+
+    p50: float
+    p95: float
+    p99: float
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "Percentiles":
+        ordered = sorted(values)
+        return cls(p50=_percentile_sorted(ordered, 50),
+                   p95=_percentile_sorted(ordered, 95),
+                   p99=_percentile_sorted(ordered, 99))
+
+    def as_dict(self) -> dict[str, float]:
+        return {"p50": self.p50, "p95": self.p95, "p99": self.p99}
+
+    def __str__(self) -> str:
+        return (f"p50={self.p50:.3g} p95={self.p95:.3g} "
+                f"p99={self.p99:.3g}")
+
+
 @dataclass(frozen=True)
 class Summary:
-    """Mean/stdev/extremes of one measured series."""
+    """Mean/stdev/extremes (and tail quantiles) of one measured series."""
 
     n: int
     mean: float
     stdev: float
     minimum: float
     maximum: float
+    percentiles: Percentiles | None = None
 
     @property
     def stderr(self) -> float:
         return self.stdev / math.sqrt(self.n) if self.n else 0.0
 
+    @property
+    def p50(self) -> float:
+        return self.percentiles.p50 if self.percentiles else self.mean
+
+    @property
+    def p95(self) -> float:
+        return self.percentiles.p95 if self.percentiles else self.maximum
+
+    @property
+    def p99(self) -> float:
+        return self.percentiles.p99 if self.percentiles else self.maximum
+
     def ci95(self) -> tuple[float, float]:
         """Normal-approximation 95% confidence interval for the mean."""
         half = 1.96 * self.stderr
         return self.mean - half, self.mean + half
+
+    def as_dict(self) -> dict[str, float]:
+        out = {"n": self.n, "mean": self.mean, "stdev": self.stdev,
+               "min": self.minimum, "max": self.maximum}
+        if self.percentiles is not None:
+            out.update(self.percentiles.as_dict())
+        return out
 
     def __str__(self) -> str:
         return (f"{self.mean:.1f} ± {self.stdev:.1f} "
@@ -47,23 +110,13 @@ def summarize(values: Sequence[float]) -> Summary:
     variance = (sum((v - mean) ** 2 for v in values) / (n - 1)
                 if n > 1 else 0.0)
     return Summary(n=n, mean=mean, stdev=math.sqrt(variance),
-                   minimum=min(values), maximum=max(values))
+                   minimum=min(values), maximum=max(values),
+                   percentiles=Percentiles.from_values(values))
 
 
 def percentile(values: Sequence[float], q: float) -> float:
     """Linear-interpolated percentile, q in [0, 100]."""
-    if not values:
-        raise ValueError("cannot take a percentile of an empty series")
-    if not 0 <= q <= 100:
-        raise ValueError("percentile must be within [0, 100]")
-    ordered = sorted(values)
-    if len(ordered) == 1:
-        return ordered[0]
-    rank = (len(ordered) - 1) * q / 100
-    low = int(rank)
-    high = min(low + 1, len(ordered) - 1)
-    fraction = rank - low
-    return ordered[low] * (1 - fraction) + ordered[high] * fraction
+    return _percentile_sorted(sorted(values), q)
 
 
 def repeat_runs(run: Callable[[int], float], repetitions: int = 10,

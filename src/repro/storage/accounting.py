@@ -27,8 +27,10 @@ class ServerStats:
     misses: int = 0
     bytes_received: int = 0
     bytes_served: int = 0
+    bytes_freed: int = 0
     puts_by_kind: dict[str, int] = field(default_factory=dict)
     gets_by_kind: dict[str, int] = field(default_factory=dict)
+    deletes_by_kind: dict[str, int] = field(default_factory=dict)
 
     def record_put(self, kind: str, num_bytes: int) -> None:
         self.puts += 1
@@ -40,8 +42,16 @@ class ServerStats:
         self.bytes_served += num_bytes
         self.gets_by_kind[kind] = self.gets_by_kind.get(kind, 0) + 1
 
-    def record_delete(self) -> None:
+    def record_delete(self, kind: str = "?", num_bytes: int = 0) -> None:
+        """Same parity as put/get: per-kind counts and bytes freed.
+
+        ``num_bytes`` is the stored size reclaimed (0 for idempotent
+        deletes of absent blobs, or backends that cannot know, like the
+        remote wire proxy).
+        """
         self.deletes += 1
+        self.bytes_freed += num_bytes
+        self.deletes_by_kind[kind] = self.deletes_by_kind.get(kind, 0) + 1
 
     def record_miss(self) -> None:
         self.misses += 1
@@ -53,8 +63,10 @@ class ServerStats:
         self.misses = 0
         self.bytes_received = 0
         self.bytes_served = 0
+        self.bytes_freed = 0
         self.puts_by_kind.clear()
         self.gets_by_kind.clear()
+        self.deletes_by_kind.clear()
 
 
 def monthly_storage_dollars(stored_bytes: int,

@@ -61,11 +61,14 @@ class DiskStorageServer(StorageServer):
         return payload
 
     def delete(self, blob_id: BlobId) -> None:
-        self.stats.record_delete()
+        path = self._path(blob_id)
+        freed = 0
         try:
-            self._path(blob_id).unlink()
+            freed = path.stat().st_size
+            path.unlink()
         except FileNotFoundError:
-            pass
+            freed = 0
+        self.stats.record_delete(blob_id.kind, freed)
 
     def exists(self, blob_id: BlobId) -> bool:
         return self._path(blob_id).is_file()

@@ -49,8 +49,9 @@ class StorageServer:
 
     def delete(self, blob_id: BlobId) -> None:
         """Remove a blob; absent ids are ignored (idempotent delete)."""
-        self.stats.record_delete()
-        self._blobs.pop(blob_id, None)
+        removed = self._blobs.pop(blob_id, None)
+        self.stats.record_delete(blob_id.kind,
+                                 len(removed) if removed else 0)
 
     def exists(self, blob_id: BlobId) -> bool:
         return blob_id in self._blobs

@@ -233,7 +233,8 @@ class RemoteStorageClient(StorageServer):
         return payload
 
     def delete(self, blob_id: BlobId) -> None:
-        self.stats.record_delete()
+        # Bytes freed are unknowable through the wire protocol: 0.
+        self.stats.record_delete(blob_id.kind)
         body = bytes([OP_DELETE]) + _pack_fields(str(blob_id).encode())
         self._check(self._roundtrip(body))
 

@@ -9,15 +9,18 @@ from .postmark import (FIG10_CACHE_FRACTIONS, FIG10_IMPLS,
                        run_postmark)
 from .report import (ComparisonRow, fmt_seconds, format_comparison,
                      format_table, overhead_pct)
-from .runner import IMPLEMENTATIONS, LABELS, BenchEnv, make_env
+from .runner import (IMPLEMENTATIONS, LABELS, OBSERVED_WORKLOADS, BenchEnv,
+                     make_env, run_observed)
 from .trace import (Trace, TraceOp, replay_timed,
                     synthesize_office_trace)
 
 __all__ = [
     "make_env",
+    "run_observed",
     "BenchEnv",
     "IMPLEMENTATIONS",
     "LABELS",
+    "OBSERVED_WORKLOADS",
     "run_create_and_list",
     "CreateListResult",
     "PAPER_FIG9",

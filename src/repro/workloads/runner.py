@@ -28,6 +28,10 @@ from ..storage.server import StorageServer
 IMPLEMENTATIONS = ("no-enc-md-d", "no-enc-md", "sharoes", "public",
                    "pub-opt")
 
+#: Workloads runnable through :func:`run_observed` (and the CLI's
+#: ``bench --workload`` / ``trace`` subcommands).
+OBSERVED_WORKLOADS = ("postmark", "andrew", "createlist", "office")
+
 #: Pretty labels used in benchmark output, matching the paper's figures.
 LABELS = {
     "no-enc-md-d": "NO-ENC-MD-D",
@@ -100,3 +104,45 @@ def make_env(impl: str, profile: CostProfile = PAPER_2008,
     cost.reset()
     return BenchEnv(impl=impl, user=user, registry=registry, server=server,
                     cost=cost, fs=fs, _volume=volume)
+
+
+def run_observed(workload: str, impl: str = "sharoes",
+                 profile: CostProfile = PAPER_2008,
+                 params: dict | None = None):
+    """Run one named workload with full span/metrics capture.
+
+    Returns ``(payload, spans)``: the machine-readable ``BENCH_*``
+    payload (see :mod:`repro.obs.bench`) and the finished root spans of
+    the client that ran the workload.  Workload modules are imported
+    lazily so plain benchmark runs never pay for harnesses they skip.
+    """
+    from ..obs.bench import bench_payload, op_report
+
+    params = dict(params or {})
+    env = make_env(impl, profile=profile)
+    if workload == "postmark":
+        from .postmark import run_postmark
+        run_postmark(env, **params)
+    elif workload == "andrew":
+        from .andrew import run_andrew
+        run_andrew(env, **params)
+    elif workload == "createlist":
+        from .createlist import run_create_and_list
+        run_create_and_list(env, **params)
+    elif workload == "office":
+        from .trace import replay_timed, synthesize_office_trace
+        trace_params = {k: params.pop(k) for k in
+                        ("users_dirs", "files_per_dir", "churn")
+                        if k in params}
+        replay_timed(env, synthesize_office_trace(**trace_params),
+                     **params)
+    else:
+        raise SharoesError(f"unknown workload {workload!r}; "
+                           f"choose from {OBSERVED_WORKLOADS}")
+    # The workload ran on env.fs (fresh_client rebinds it); its tracer
+    # holds every finished root span since the post-mount cost reset.
+    spans = list(env.fs.tracer.finished)
+    payload = bench_payload(
+        workload, op_report(spans), registry=env.fs.metrics,
+        cost=env.cost, params=dict(params, impl=impl))
+    return payload, spans

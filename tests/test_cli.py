@@ -1,5 +1,7 @@
 """The command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -10,9 +12,11 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
-    def test_bench_requires_figure(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["bench"])
+    def test_bench_requires_figure_or_workload(self, capsys):
+        # The figure positional became optional when --workload arrived;
+        # asking for neither is still an error.
+        assert main(["bench"]) == 2
+        assert "figure" in capsys.readouterr().err
 
     def test_bench_rejects_unknown_figure(self):
         with pytest.raises(SystemExit):
@@ -54,6 +58,37 @@ class TestCommands:
         assert main(["bench", "fig12"]) == 0
         out = capsys.readouterr().out
         assert "Figure 12" in out
+
+    def test_bench_workload_writes_json(self, capsys, tmp_path):
+        assert main(["bench", "--workload", "postmark", "--scale", "0.02",
+                     "--out-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "per-operation costs" in out
+        data = json.loads((tmp_path / "BENCH_postmark.json").read_text())
+        assert data["name"] == "postmark"
+        assert "mknod" in data["ops"]
+        assert data["cost_model"]["total"] > 0
+
+    def test_stats_prometheus(self, capsys):
+        assert main(["stats", "--workload", "office",
+                     "--format", "prom"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE sharoes_client_cache_hits gauge" in out
+        assert "sharoes_ops_count" in out
+
+    def test_stats_table(self, capsys):
+        assert main(["stats", "--workload", "office"]) == 0
+        out = capsys.readouterr().out
+        assert "per-operation costs" in out
+        assert "metrics snapshot" in out
+
+    def test_trace_jsonl(self, capsys):
+        assert main(["trace", "--workload", "office"]) == 0
+        lines = [line for line in capsys.readouterr().out.splitlines()
+                 if line.strip()]
+        records = [json.loads(line) for line in lines]
+        assert records and all("name" in r and "duration" in r
+                               for r in records)
 
     def test_fsck_clean(self, capsys):
         assert main(["fsck"]) == 0

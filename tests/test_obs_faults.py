@@ -1,0 +1,114 @@
+"""Fault-injecting SSPs through the observability surface.
+
+test_security.py proves tampering/rollback are *detected* (the right
+exception escapes).  These tests prove they are *observable*: every
+detection increments the client's ``client.integrity_failures`` counter,
+marks the failing operation's root span, and reconciles with the
+fault-injecting server's own accounting.
+"""
+
+import pytest
+
+from repro.crypto.provider import CryptoProvider
+from repro.errors import CryptoError, IntegrityError
+from repro.fs.client import SharoesFilesystem
+from repro.fs.volume import SharoesVolume
+from repro.principals.groups import GroupKeyService
+from repro.storage.faults import TamperingServer, RollbackServer
+
+
+def _stack(registry, server):
+    volume = SharoesVolume(server, registry)
+    volume.format(root_owner="alice", root_group="eng")
+    GroupKeyService(registry, server, CryptoProvider()).publish_all()
+    fs = SharoesFilesystem(volume, registry.user("alice"))
+    fs.mount()
+    return fs
+
+
+def _counter(fs, name):
+    metric = fs.metrics.get(name)
+    return metric.value if metric is not None else 0
+
+
+class TestTamperingObservability:
+    def test_data_tampering_counted_and_reconciled(self, registry):
+        server = TamperingServer(should_tamper=lambda bid: False)
+        fs = _stack(registry, server)
+        fs.create_file("/f", b"integrity matters", mode=0o600)
+        server._should_tamper = lambda bid: bid.kind == "data"
+        fs.cache.clear()
+        data_gets_before = fs.metrics.value("ssp.gets_by_kind.data")
+
+        attempts = 3
+        for _ in range(attempts):
+            with pytest.raises(IntegrityError):
+                fs.read_file("/f")
+
+        # client-side counters...
+        assert _counter(fs, "client.integrity_failures") == attempts
+        assert _counter(fs, "ops.errors") == attempts
+        # ...reconcile with the malicious server's own accounting: the
+        # single-block file costs one tampered data get per attempt.
+        assert server.tamper_count == attempts
+        assert (fs.metrics.value("ssp.gets_by_kind.data")
+                - data_gets_before == attempts)
+
+    def test_failing_root_spans_are_marked(self, registry):
+        server = TamperingServer(should_tamper=lambda bid: False)
+        fs = _stack(registry, server)
+        fs.create_file("/f", b"x", mode=0o600)
+        server._should_tamper = lambda bid: bid.kind == "data"
+        fs.cache.clear()
+        with pytest.raises(IntegrityError):
+            fs.read_file("/f")
+        root = fs.tracer.finished[-1]
+        assert root.name == "read_file"
+        assert root.error == "IntegrityError"
+        assert root.attrs.get("path") == "/f"
+
+    def test_metadata_tampering_counted(self, registry):
+        server = TamperingServer(should_tamper=lambda bid: False)
+        fs = _stack(registry, server)
+        fs.mknod("/f")
+        server._should_tamper = lambda bid: bid.kind == "meta"
+        fs.cache.clear()
+        with pytest.raises(IntegrityError):
+            fs.getattr("/f")
+        assert _counter(fs, "client.integrity_failures") == 1
+        assert fs.tracer.finished[-1].error == "IntegrityError"
+
+    def test_clean_run_counts_nothing(self, registry):
+        server = TamperingServer(should_tamper=lambda bid: False)
+        fs = _stack(registry, server)
+        fs.create_file("/f", b"fine", mode=0o600)
+        assert fs.read_file("/f") == b"fine"
+        assert server.tamper_count == 0
+        assert _counter(fs, "client.integrity_failures") == 0
+        assert _counter(fs, "ops.errors") == 0
+
+
+class TestRollbackObservability:
+    def test_rekeyed_rollback_marks_span(self, registry):
+        server = RollbackServer(should_rollback=lambda bid: False)
+        fs = _stack(registry, server)
+        fs.create_file("/f", b"version 1", mode=0o600)
+        fs.rekey("/f")
+        fs.cache.clear()
+        inode = fs.getattr("/f").inode
+        server._should_rollback = (
+            lambda bid: bid.kind == "data" and bid.inode == inode)
+        fs.cache.clear()
+        errors_before = _counter(fs, "ops.errors")
+
+        with pytest.raises(CryptoError) as excinfo:
+            fs.read_file("/f")
+
+        root = fs.tracer.finished[-1]
+        assert root.name == "read_file"
+        assert root.error == type(excinfo.value).__name__
+        assert _counter(fs, "ops.errors") == errors_before + 1
+        # rollback of a rekeyed object surfaces as a crypto failure; only
+        # a MAC/signature mismatch counts as an integrity detection.
+        if isinstance(excinfo.value, IntegrityError):
+            assert _counter(fs, "client.integrity_failures") == 1

@@ -1,0 +1,221 @@
+"""Operation span tracing: nesting, phase attribution, exporters.
+
+The acceptance invariant: every simulated second the cost model charges
+lands in exactly one phase of exactly one root span, so the per-op phase
+decomposition reconciles with the whole-run CostBreakdown.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import IntegrityError
+from repro.obs.export import JsonLinesSpanExporter, spans_to_jsonl
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import PHASES, Tracer, phase_breakdown, traced
+from repro.sim.costmodel import CRYPTO, NETWORK, OTHER, CostModel
+from repro.sim.profiles import PAPER_2008
+
+
+@pytest.fixture
+def traced_cost():
+    """A cost model whose charges feed a tracer on the shared clock."""
+    cost = CostModel(PAPER_2008)
+    tracer = Tracer(clock=cost.clock, registry=MetricsRegistry())
+    cost.tracer = tracer
+    return cost, tracer
+
+
+class TestSpanTree:
+    def test_nesting_and_ids(self, traced_cost):
+        _, tracer = traced_cost
+        with tracer.span("outer") as outer:
+            assert tracer.current is outer
+            assert tracer.depth == 1
+            with tracer.span("inner") as inner:
+                assert tracer.depth == 2
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert outer.children == [inner]
+        assert list(outer.walk()) == [outer, inner]
+        # only the root lands in the finished deque
+        assert list(tracer.finished) == [outer]
+
+    def test_charges_go_to_innermost_span(self, traced_cost):
+        cost, tracer = traced_cost
+        with tracer.span("op") as root:
+            cost.charge(NETWORK, 1.0)
+            with tracer.span("child"):
+                cost.charge(NETWORK, 2.0)
+        assert root.self_costs == {NETWORK: 1.0}
+        assert root.children[0].self_costs == {NETWORK: 2.0}
+        assert root.total_costs() == {NETWORK: 3.0}
+        assert root.duration == 3.0
+
+    def test_charge_outside_any_span_is_dropped(self, traced_cost):
+        cost, tracer = traced_cost
+        cost.charge(NETWORK, 1.0)
+        assert tracer.depth == 0
+        assert cost.totals.total == 1.0  # the model still accounts for it
+
+    def test_to_dict_is_json_serializable(self, traced_cost):
+        cost, tracer = traced_cost
+        with tracer.span("op", path="/f") as root:
+            with tracer.span("network", op="get"):
+                cost.charge(NETWORK, 0.5)
+        doc = json.loads(json.dumps(root.to_dict()))
+        assert doc["name"] == "op"
+        assert doc["attrs"]["path"] == "/f"
+        assert doc["children"][0]["costs"][NETWORK] == 0.5
+        assert doc["duration"] == 0.5
+
+
+class TestPhaseBreakdown:
+    def test_attribution_rules(self, traced_cost):
+        cost, tracer = traced_cost
+        with tracer.span("op") as root:
+            with tracer.span("resolve", path="/f"):
+                cost.charge(NETWORK, 1.0)   # resolve wins over category
+                cost.charge(CRYPTO, 0.25)
+            with tracer.span("network", op="put"):
+                cost.charge(NETWORK, 2.0)
+            with tracer.span("crypto", op="encrypt"):
+                cost.charge(CRYPTO, 0.5)
+            with tracer.span("cache", kind="data"):
+                cost.charge(OTHER, 0.125)
+            cost.charge(OTHER, 0.0625)
+        phases = phase_breakdown(root)
+        assert phases["resolve"] == 1.25
+        assert phases["network"] == 2.0
+        assert phases["crypto"] == 0.5
+        assert phases["cache"] == 0.125
+        assert phases["other"] == 0.0625
+
+    def test_every_second_lands_in_exactly_one_phase(self, traced_cost):
+        cost, tracer = traced_cost
+        with tracer.span("op") as root:
+            with tracer.span("resolve"):
+                cost.charge(NETWORK, 0.3)
+                with tracer.span("crypto"):  # nested under resolve: resolve
+                    cost.charge(CRYPTO, 0.7)
+            cost.charge(CRYPTO, 0.11)
+        phases = phase_breakdown(root)
+        assert set(phases) == set(PHASES)
+        assert sum(phases.values()) == pytest.approx(root.duration)
+        assert phases["resolve"] == pytest.approx(1.0)
+        assert phases["crypto"] == pytest.approx(0.11)
+
+
+class TestRegistryCoupling:
+    def test_root_span_feeds_histogram_and_counters(self, traced_cost):
+        cost, tracer = traced_cost
+        for _ in range(3):
+            with tracer.span("read_file"):
+                cost.charge(NETWORK, 1.0)
+        reg = tracer.registry
+        assert reg.value("ops.count") == 3
+        assert reg.value("ops.read_file.seconds.count") == 3
+        assert reg.value("ops.read_file.seconds.mean") == pytest.approx(1.0)
+
+    def test_error_spans_counted(self, traced_cost):
+        _, tracer = traced_cost
+        with pytest.raises(RuntimeError):
+            with tracer.span("write_file"):
+                raise RuntimeError("boom")
+        span = tracer.finished[-1]
+        assert span.error == "RuntimeError"
+        assert tracer.registry.value("ops.errors") == 1
+        assert tracer.registry.get("client.integrity_failures") is None
+
+    def test_integrity_error_counted_separately(self, traced_cost):
+        _, tracer = traced_cost
+        with pytest.raises(IntegrityError):
+            with tracer.span("read_file"):
+                raise IntegrityError("bad MAC")
+        assert tracer.registry.value("ops.errors") == 1
+        assert tracer.registry.value("client.integrity_failures") == 1
+
+
+class TestTracedDecorator:
+    class Thing:
+        def __init__(self, tracer):
+            self.tracer = tracer
+
+        @traced("frob")
+        def frob(self, path, flag=False):
+            return path.upper()
+
+        @traced("tick", path_arg=None)
+        def tick(self):
+            return 42
+
+    def test_records_path_attr(self, traced_cost):
+        _, tracer = traced_cost
+        thing = self.Thing(tracer)
+        assert thing.frob("/a/b") == "/A/B"
+        span = tracer.finished[-1]
+        assert span.name == "frob"
+        assert span.attrs == {"path": "/a/b"}
+
+    def test_path_arg_none_records_no_attrs(self, traced_cost):
+        _, tracer = traced_cost
+        thing = self.Thing(tracer)
+        assert thing.tick() == 42
+        assert tracer.finished[-1].attrs == {}
+
+    def test_wrapped_is_exposed(self):
+        assert self.Thing.frob.__wrapped__.__name__ == "frob"
+
+
+class TestFilesystemIntegration:
+    """Replay a mixed workload through a real client and reconcile."""
+
+    def _workout(self, fs):
+        fs.mkdir("/obs", mode=0o755)
+        fs.create_file("/obs/a", b"alpha" * 100, mode=0o644)
+        fs.create_file("/obs/b", b"beta" * 2000, mode=0o600)
+        assert fs.read_file("/obs/a") == b"alpha" * 100
+        fs.readdir("/obs")
+        fs.getattr("/obs/b")
+        fs.append_file("/obs/a", b"-tail")
+        fs.rename("/obs/b", "/obs/c")
+        fs.unlink("/obs/c")
+
+    def test_every_root_span_has_a_child_phase(self, make_fs):
+        fs = make_fs("alice", with_costs=True)
+        self._workout(fs)
+        roots = list(fs.tracer.finished)
+        assert {"mount", "mkdir", "create_file", "read_file", "readdir",
+                "getattr", "append_file", "rename",
+                "unlink"} <= {s.name for s in roots}
+        childless = [s.name for s in roots if not s.children]
+        assert childless == []
+
+    def test_phase_totals_reconcile_with_cost_model(self, make_fs):
+        fs = make_fs("alice", with_costs=True)
+        self._workout(fs)
+        phase_total = sum(
+            sum(phase_breakdown(span).values())
+            for span in fs.tracer.finished)
+        assert fs.cost.totals.total > 0
+        assert phase_total == pytest.approx(fs.cost.totals.total, rel=0.01)
+
+    def test_jsonl_export_replays_the_run(self, make_fs):
+        fs = make_fs("alice", with_costs=True)
+        exporter = JsonLinesSpanExporter()
+        fs.tracer.add_sink(exporter)
+        self._workout(fs)
+        records = exporter.records()
+        # one record per finished root span since the sink was attached
+        assert [r["name"] for r in records] == \
+            [s.name for s in fs.tracer.finished][-len(records):]
+        for record in records:
+            assert record["children"], record["name"]
+            assert record["duration"] >= 0
+
+    def test_spans_to_jsonl_round_trip(self, make_fs):
+        fs = make_fs("alice", with_costs=True)
+        fs.create_file("/f", b"x", mode=0o644)
+        text = spans_to_jsonl(fs.tracer.finished)
+        names = [json.loads(line)["name"] for line in text.splitlines()]
+        assert names == [s.name for s in fs.tracer.finished]

@@ -8,7 +8,8 @@ from repro.fs.client import SharoesFilesystem
 from repro.fs.permissions import AclEntry
 from repro.fs.volume import SharoesVolume
 from repro.principals.groups import GroupKeyService
-from repro.sim.stats import Summary, percentile, repeat_runs, summarize
+from repro.sim.stats import (Percentiles, Summary, percentile, repeat_runs,
+                             summarize)
 from repro.storage.server import StorageServer
 
 
@@ -37,6 +38,51 @@ class TestSummarize:
 
     def test_str_rendering(self):
         assert "±" in str(summarize([1.0, 2.0]))
+
+
+class TestPercentiles:
+    """The shared quantile triple (Summary + observability histograms)."""
+
+    def test_from_values(self):
+        p = Percentiles.from_values(list(range(101)))
+        assert p.p50 == 50
+        assert p.p95 == 95
+        assert p.p99 == 99
+
+    def test_from_unsorted_values(self):
+        assert Percentiles.from_values([3.0, 1.0, 2.0]).p50 == 2.0
+
+    def test_as_dict_and_str(self):
+        p = Percentiles(p50=1.0, p95=2.0, p99=3.0)
+        assert p.as_dict() == {"p50": 1.0, "p95": 2.0, "p99": 3.0}
+        assert "p95=2" in str(p)
+
+    def test_summarize_attaches_percentiles(self):
+        s = summarize([float(v) for v in range(1, 101)])
+        assert s.percentiles is not None
+        assert s.p50 == pytest.approx(50.5)
+        assert s.p95 == pytest.approx(95.05)
+        assert s.p99 == pytest.approx(99.01)
+        assert s.as_dict()["p99"] == s.p99
+
+    def test_summary_without_percentiles_falls_back(self):
+        s = Summary(n=2, mean=1.5, stdev=0.5, minimum=1.0, maximum=2.0)
+        assert s.p50 == s.mean
+        assert s.p95 == s.maximum
+        assert s.p99 == s.maximum
+        assert "p99" not in s.as_dict()
+
+    def test_histogram_agrees_with_exact_definition(self):
+        """The two percentile implementations (exact sort-based vs
+        bucket-interpolated) must agree on a well-populated series."""
+        from repro.obs.metrics import Histogram
+        values = [i / 50 for i in range(1, 500)]
+        h = Histogram("h")
+        for v in values:
+            h.observe(v)
+        exact = Percentiles.from_values(values)
+        assert h.percentiles().p50 == pytest.approx(exact.p50, abs=0.5)
+        assert h.percentiles().p99 == pytest.approx(exact.p99, abs=1.0)
 
 
 class TestPercentile:
