@@ -25,19 +25,21 @@ Quickstart::
     print(fs.read_file("/projects/plan.txt"))
 """
 
-from .errors import (BlobNotFound, CryptoError, DirectoryNotEmpty,
-                     FileExists, FileNotFound, FilesystemError,
-                     IntegrityError, IsADirectory, KeyAccessError,
-                     MigrationError, NotADirectory, PermissionDenied,
-                     SharoesError, StorageError, UnsupportedPermission)
+from .errors import (BlobNotFound, CircuitOpenError, CryptoError,
+                     DirectoryNotEmpty, FileExists, FileNotFound,
+                     FilesystemError, IntegrityError, IsADirectory,
+                     KeyAccessError, MigrationError, NotADirectory,
+                     PermissionDenied, SharoesError, StorageError,
+                     TransientStorageError, UnsupportedPermission)
 from .fs import (AclEntry, ClientConfig, SharoesFilesystem, SharoesVolume,
                  Stat, format_mode, parse_mode)
 from .principals import (Group, GroupKeyService, PrincipalRegistry, User,
                          UserAgent)
 from .sim import (FREE, PAPER_2008, CostModel, CostProfile, NetworkLink,
                   SimClock)
-from .storage import (FlakyServer, RollbackServer, StorageServer,
-                      TamperingServer)
+from .storage import (FlakyServer, OutageServer, ResilientTransport,
+                      RetryPolicy, RollbackServer, SlowServer,
+                      StorageServer, TamperingServer)
 
 __version__ = "1.0.0"
 
@@ -58,6 +60,10 @@ __all__ = [
     "TamperingServer",
     "RollbackServer",
     "FlakyServer",
+    "SlowServer",
+    "OutageServer",
+    "ResilientTransport",
+    "RetryPolicy",
     "CostModel",
     "CostProfile",
     "SimClock",
@@ -77,6 +83,8 @@ __all__ = [
     "DirectoryNotEmpty",
     "UnsupportedPermission",
     "StorageError",
+    "TransientStorageError",
+    "CircuitOpenError",
     "BlobNotFound",
     "MigrationError",
     "__version__",

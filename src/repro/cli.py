@@ -124,7 +124,8 @@ def _cmd_bench_workload(args: argparse.Namespace) -> int:
 
     payload, _spans = run_observed(
         args.workload, impl=args.impl,
-        params=_workload_params(args.workload, args.scale))
+        params=_workload_params(args.workload, args.scale),
+        flaky_p=args.flaky_p, flaky_seed=args.flaky_seed)
     print(op_table(payload, title=f"{args.workload} per-operation costs "
                                   f"({args.impl})"))
     path = write_bench_json(payload, args.out_dir)
@@ -214,7 +215,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
     payload, _spans = run_observed(
         args.workload, impl=args.impl,
-        params=_workload_params(args.workload, args.scale))
+        params=_workload_params(args.workload, args.scale),
+        flaky_p=args.flaky_p, flaky_seed=args.flaky_seed)
     # The run's registry snapshot travels in the payload; rehydrate it
     # as plain gauges so every exporter renders the same numbers.
     registry = MetricsRegistry()
@@ -324,6 +326,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "of a figure")
     p.add_argument("--impl", choices=impls, default="sharoes",
                    help="implementation for --workload (default sharoes)")
+    p.add_argument("--flaky-p", type=float, default=0.0,
+                   help="inject transient SSP faults at this per-request "
+                        "probability (with --workload; sharoes only)")
+    p.add_argument("--flaky-seed", type=int, default=0,
+                   help="seed for fault injection + retry jitter")
     p.add_argument("--out-dir", default="benchmarks/results",
                    help="directory for BENCH_*.json "
                         "(default benchmarks/results)")
@@ -335,6 +342,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workload", choices=workloads, default="postmark")
     p.add_argument("--impl", choices=impls, default="sharoes")
     p.add_argument("--scale", type=float, default=0.1)
+    p.add_argument("--flaky-p", type=float, default=0.0,
+                   help="inject transient SSP faults at this per-request "
+                        "probability (sharoes only)")
+    p.add_argument("--flaky-seed", type=int, default=0,
+                   help="seed for fault injection + retry jitter")
     p.add_argument("--format", choices=["table", "prom"], default="table",
                    help="human table (default) or Prometheus text")
     p.set_defaults(func=_cmd_stats)

@@ -74,6 +74,23 @@ class StorageError(SharoesError):
     """The SSP failed to store or return a blob."""
 
 
+class TransientStorageError(StorageError):
+    """A retryable SSP failure: timeout, dropped connection, 5xx-style
+    refusal.
+
+    Distinct from plain :class:`StorageError` (protocol corruption,
+    unsupported operation) and from :class:`BlobNotFound` (a definitive
+    answer): only transient errors are eligible for the retry/backoff
+    machinery in :mod:`repro.storage.resilient`.
+    """
+
+
+class CircuitOpenError(TransientStorageError):
+    """The resilient transport's circuit breaker is open: the SSP has
+    failed enough consecutive requests that the client fails fast
+    instead of waiting out another deadline."""
+
+
 class BlobNotFound(StorageError):
     """Requested blob id is not present at the SSP."""
 

@@ -35,7 +35,7 @@ from ..errors import (BlobNotFound, CryptoError, DirectoryNotEmpty,
 from ..fs import path as fspath
 from ..obs.metrics import (MetricsRegistry, bind_cache_stats,
                            bind_cost_model, bind_crypto_counters,
-                           bind_server_stats)
+                           bind_server_stats, bind_transport)
 from ..obs.tracing import Tracer, traced
 from ..principals.groups import UserAgent
 from ..principals.users import User
@@ -92,6 +92,12 @@ class ClientConfig:
     #: None (default) inherits the volume's engine -- sealed blobs from
     #: different engines do not interoperate.
     engine: str | None = None
+    #: wrap SSP traffic in a :class:`ResilientTransport` with this
+    #: :class:`~repro.storage.resilient.RetryPolicy` (retries, backoff,
+    #: circuit breaker, stale-read fallback -- see docs/ROBUSTNESS.md).
+    #: None (default) inherits the volume's ``retry_policy``; if that is
+    #: also None the client talks to the server directly.
+    retry_policy: "RetryPolicy | None" = None
 
 
 @dataclass
@@ -203,7 +209,8 @@ class SharoesFilesystem:
 
     def __init__(self, volume: SharoesVolume, user: User,
                  cost_model: CostModel | None = None,
-                 config: ClientConfig | None = None):
+                 config: ClientConfig | None = None,
+                 server=None):
         self.volume = volume
         self.config = config or ClientConfig()
         engine = self.config.engine or getattr(volume, "engine", "stream")
@@ -236,6 +243,23 @@ class SharoesFilesystem:
         self.metrics.gauge("client.requests",
                            help="SSP requests issued by this client",
                            fn=lambda: self.request_count)
+        #: the server this client actually talks to.  ``server`` (if
+        #: given) overrides ``volume.server`` -- benchmarks use it to
+        #: inject per-client fault wrappers.  A retry policy (from the
+        #: config, else the volume) wraps it in a ResilientTransport
+        #: that retries transient faults with backoff on the simulated
+        #: clock -- see docs/ROBUSTNESS.md.
+        raw = server if server is not None else volume.server
+        policy = self.config.retry_policy
+        if policy is None:
+            policy = getattr(volume, "retry_policy", None)
+        if policy is not None:
+            from ..storage.resilient import ResilientTransport
+            self.server = ResilientTransport(raw, policy, cost=cost_model,
+                                             tracer=self.tracer)
+            bind_transport(self.metrics, self.server)
+        else:
+            self.server = raw
 
     def enable_consistency_log(self):
         """Attach a SUNDR-style fork-consistency log (paper section VI).
@@ -256,7 +280,7 @@ class SharoesFilesystem:
         if self.consistency is None:
             raise SharoesError("consistency log not enabled")
         self._charge_other()
-        statement = self.consistency.publish(self.volume.server)
+        statement = self.consistency.publish(self.server)
         if self.cost is not None:
             self.cost.charge_request(
                 len(statement.to_bytes()) + _REQUEST_HEADER_BYTES,
@@ -276,7 +300,7 @@ class SharoesFilesystem:
         if peer_ids is None:
             peer_ids = [u.user_id
                         for u in self.volume.registry.users()]
-        accepted = self.consistency.sync(self.volume.server, peer_ids)
+        accepted = self.consistency.sync(self.server, peer_ids)
         if self.cost is not None:
             for statement in accepted:
                 self.cost.charge_request(
@@ -294,7 +318,7 @@ class SharoesFilesystem:
         self.request_count += 1
         with self.tracer.span("network", op="get", kind=blob_id.kind):
             try:
-                payload = self.volume.server.get(blob_id)
+                payload = self.server.get(blob_id)
             except BlobNotFound:
                 if self.cost is not None:
                     self.cost.charge_request(_REQUEST_HEADER_BYTES,
@@ -313,7 +337,7 @@ class SharoesFilesystem:
                 self.cost.charge_request(
                     len(payload) + _REQUEST_HEADER_BYTES,
                     _RESPONSE_HEADER_BYTES)
-            self.volume.server.put(blob_id, payload)
+            self.server.put(blob_id, payload)
 
     def _put_many(self, blobs: list[tuple[BlobId, bytes]]) -> None:
         """Upload several blobs in one request (one round trip).
@@ -332,7 +356,7 @@ class SharoesFilesystem:
                 self.cost.charge_request(total + _REQUEST_HEADER_BYTES,
                                          _RESPONSE_HEADER_BYTES)
             for blob_id, payload in blobs:
-                self.volume.server.put(blob_id, payload)
+                self.server.put(blob_id, payload)
 
     def _delete(self, blob_id: BlobId) -> None:
         self.request_count += 1
@@ -340,7 +364,7 @@ class SharoesFilesystem:
             if self.cost is not None:
                 self.cost.charge_request(_REQUEST_HEADER_BYTES,
                                          _RESPONSE_HEADER_BYTES)
-            self.volume.server.delete(blob_id)
+            self.server.delete(blob_id)
 
     def _delete_many(self, blob_ids: list[BlobId]) -> None:
         """Batch deletion: one request regardless of blob count."""
@@ -354,7 +378,7 @@ class SharoesFilesystem:
                     _REQUEST_HEADER_BYTES * len(blob_ids),
                     _RESPONSE_HEADER_BYTES)
             for blob_id in blob_ids:
-                self.volume.server.delete(blob_id)
+                self.server.delete(blob_id)
 
     # ------------------------------------------------------------------ mount
 
@@ -812,7 +836,7 @@ class SharoesFilesystem:
         """Remove blocks past the new end, sweeping past stale counts."""
         victims = []
         index = new_count
-        while index < known_old_count or self.volume.server.exists(
+        while index < known_old_count or self.server.exists(
                 block_blob_id(inode, index)):
             victims.append(block_blob_id(inode, index))
             index += 1
@@ -1014,7 +1038,7 @@ class SharoesFilesystem:
         if attrs.ftype != DIRECTORY:
             index = 0
             while (index < max(attrs.block_count, 1)
-                   or self.volume.server.exists(
+                   or self.server.exists(
                        block_blob_id(attrs.inode, index))):
                 victims.append(block_blob_id(attrs.inode, index))
                 index += 1

@@ -49,7 +49,7 @@ class SharoesVolume:
                  scheme: str | ReplicationScheme = "scheme2",
                  block_size: int = DEFAULT_BLOCK_SIZE,
                  signature_prime_bits: int = OBJECT_SIGNATURE_PRIME_BITS,
-                 engine: str = "stream"):
+                 engine: str = "stream", retry_policy=None):
         self.server = server
         self.registry = registry
         self.scheme = (scheme if isinstance(scheme, ReplicationScheme)
@@ -60,6 +60,11 @@ class SharoesVolume:
         #: sealed blobs from different engines do not interoperate, so
         #: the choice ("stream" or "aes") is a volume-format property.
         self.engine = engine
+        #: default :class:`~repro.storage.resilient.RetryPolicy` clients
+        #: of this volume mount with (None = direct, no retry layer).
+        #: Volume-internal writes (format/write_object) go straight to
+        #: ``self.server``; the transport wraps only *client* traffic.
+        self.retry_policy = retry_policy
         self.allocator = InodeAllocator()
         self.root_inode: int | None = None
         self._root_record: ObjectRecord | None = None

@@ -290,6 +290,30 @@ def bind_crypto_counters(registry: MetricsRegistry, provider,
     registry.register_source(prefix, collect)
 
 
+def bind_transport(registry: MetricsRegistry, transport,
+                   prefix: str = "transport") -> None:
+    """Adapt a :class:`~repro.storage.resilient.ResilientTransport`.
+
+    Exposes the retry/backoff/breaker counters under ``transport.*``;
+    ``breaker.state`` is 0 closed / 1 half-open / 2 open.  See
+    docs/ROBUSTNESS.md for how these reconcile with injected faults.
+    """
+    from ..storage.resilient import _BREAKER_GAUGE
+
+    def collect() -> dict[str, float]:
+        return {"attempts": transport.attempts,
+                "retries": transport.retries,
+                "failures": transport.failed_attempts,
+                "giveups": transport.giveups,
+                "degraded_reads": transport.degraded_reads,
+                "backoff_seconds": transport.backoff_seconds,
+                "breaker.opens": transport.breaker_opens,
+                "breaker.rejections": transport.breaker_rejections,
+                "breaker.state": _BREAKER_GAUGE[transport.breaker_state]}
+
+    registry.register_source(prefix, collect)
+
+
 def bind_cost_model(registry: MetricsRegistry, cost,
                     prefix: str = "client.cost") -> None:
     """Adapt a :class:`CostModel`'s running CostBreakdown + clock."""

@@ -7,6 +7,8 @@ from .blobs import (DATA, GROUP_KEY, LOCKBOX, META, SHARED, SUPERBLOCK,
                     meta_blob, principal_hash, superblock_blob)
 from .faults import FlakyServer, RollbackServer, TamperingServer
 from .disk import DiskStorageServer
+from .resilient import (OutageServer, ResilientTransport, RetryPolicy,
+                        ServerWrapper, SlowServer)
 from .server import StorageServer
 from .wire import RemoteStorageClient, SspServer
 
@@ -19,6 +21,11 @@ __all__ = [
     "TamperingServer",
     "RollbackServer",
     "FlakyServer",
+    "ServerWrapper",
+    "SlowServer",
+    "OutageServer",
+    "ResilientTransport",
+    "RetryPolicy",
     "ServerStats",
     "monthly_storage_dollars",
     "S3_2008_DOLLARS_PER_GB_MONTH",

@@ -13,7 +13,7 @@ from __future__ import annotations
 import random
 from typing import Callable
 
-from ..errors import StorageError
+from ..errors import TransientStorageError
 from .blobs import BlobId
 from .server import StorageServer
 
@@ -70,9 +70,12 @@ class RollbackServer(StorageServer):
 
 
 class FlakyServer(StorageServer):
-    """Fails a fraction of requests with :class:`StorageError`.
+    """Fails a fraction of requests with :class:`TransientStorageError`.
 
     Deterministic given the seed, so tests can replay failure sequences.
+    A standalone in-memory flaky SSP; the delegating wrapper variant
+    (composable with any backend) lives in
+    :mod:`repro.storage.resilient`.
     """
 
     def __init__(self, name: str = "flaky-ssp", failure_rate: float = 0.1,
@@ -85,8 +88,8 @@ class FlakyServer(StorageServer):
 
     def _maybe_fail(self, action: str, blob_id: BlobId) -> None:
         if self._rng.random() < self._failure_rate:
-            raise StorageError(f"{self.name}: injected {action} failure "
-                               f"for {blob_id}")
+            raise TransientStorageError(
+                f"{self.name}: injected {action} failure for {blob_id}")
 
     def put(self, blob_id: BlobId, payload: bytes) -> None:
         self._maybe_fail("put", blob_id)

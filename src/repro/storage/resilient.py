@@ -1,0 +1,483 @@
+"""Resilient SSP transport: surviving an *unreliable* storage provider.
+
+The paper's threat model (section VII) worries about a malicious SSP --
+tampering, rollback -- and :mod:`repro.storage.faults` models those.  A
+production client mounted over a WAN must also survive an SSP that is
+merely flaky: dropped connections, slow responses, transient refusals.
+This module supplies both halves of that story:
+
+* **transient-fault injectors** -- delegating server wrappers that make
+  any :class:`~repro.storage.server.StorageServer` unreliable on demand:
+  :class:`FlakyServer` (seeded per-op failure probability),
+  :class:`SlowServer` (extra simulated latency per request) and
+  :class:`OutageServer` (a hard failure window on the simulated clock);
+
+* :class:`ResilientTransport` -- the client-side wrapper that masks those
+  faults: deadline-bounded retries with exponential backoff and
+  decorrelated jitter charged *on the simulated clock* (so retry cost
+  shows up in :class:`~repro.sim.costmodel.CostBreakdown` and span
+  traces), a circuit breaker (open after N consecutive failures,
+  half-open probe after a cooldown), and graceful degradation: a read
+  that exhausts its retries falls back to the last blob this client
+  verified-and-cached, flagged stale.
+
+Only :class:`~repro.errors.TransientStorageError` is retried.  A plain
+:class:`~repro.errors.StorageError` (protocol corruption) or
+:class:`~repro.errors.BlobNotFound` (a definitive answer) propagates
+immediately -- retrying cannot change either.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..errors import CircuitOpenError, TransientStorageError
+from ..fs.cache import LruCache
+from ..sim.clock import SimClock
+from ..sim.costmodel import NETWORK, CostModel
+from .blobs import BlobId
+from .server import StorageServer
+
+
+class ServerWrapper:
+    """Delegating base for transparent StorageServer decorators.
+
+    Unlike the subclass-style fault servers in :mod:`repro.storage.
+    faults`, a wrapper composes with *any* backend -- in-memory, disk,
+    remote proxy, or another wrapper -- without owning blob state.
+    """
+
+    def __init__(self, inner: StorageServer, name: str | None = None):
+        self.inner = inner
+        self.name = name or f"wrapped({inner.name})"
+
+    def __getattr__(self, attr):
+        return getattr(self.inner, attr)
+
+    def put(self, blob_id: BlobId, payload: bytes) -> None:
+        self.inner.put(blob_id, payload)
+
+    def get(self, blob_id: BlobId) -> bytes:
+        return self.inner.get(blob_id)
+
+    def delete(self, blob_id: BlobId) -> None:
+        self.inner.delete(blob_id)
+
+    def exists(self, blob_id: BlobId) -> bool:
+        return self.inner.exists(blob_id)
+
+
+# -- transient-fault injectors ------------------------------------------------
+
+
+class FlakyServer(ServerWrapper):
+    """Fails a seeded fraction of requests with TransientStorageError.
+
+    ``failure_rate`` is either one probability for every operation or a
+    ``{op: probability}`` map over ``"put" | "get" | "delete" |
+    "exists"`` (missing ops never fail).  Deterministic given the seed,
+    so chaos tests can replay exact failure sequences.
+    """
+
+    OPS = ("put", "get", "delete", "exists")
+
+    def __init__(self, inner: StorageServer,
+                 failure_rate: float | dict[str, float] = 0.1,
+                 seed: int = 0, name: str = "flaky-ssp"):
+        super().__init__(inner, name)
+        if isinstance(failure_rate, dict):
+            rates = {op: float(failure_rate.get(op, 0.0))
+                     for op in self.OPS}
+        else:
+            rates = {op: float(failure_rate) for op in self.OPS}
+        for op, rate in rates.items():
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(
+                    f"failure rate for {op!r} must be within [0, 1]")
+        self.rates = rates
+        self._rng = random.Random(seed)
+        self.injected_faults = 0
+        self.faults_by_op = {op: 0 for op in self.OPS}
+
+    def _maybe_fail(self, op: str, blob_id: BlobId) -> None:
+        if self._rng.random() < self.rates[op]:
+            self.injected_faults += 1
+            self.faults_by_op[op] += 1
+            raise TransientStorageError(
+                f"{self.name}: injected {op} failure for {blob_id}")
+
+    def put(self, blob_id: BlobId, payload: bytes) -> None:
+        self._maybe_fail("put", blob_id)
+        self.inner.put(blob_id, payload)
+
+    def get(self, blob_id: BlobId) -> bytes:
+        self._maybe_fail("get", blob_id)
+        return self.inner.get(blob_id)
+
+    def delete(self, blob_id: BlobId) -> None:
+        self._maybe_fail("delete", blob_id)
+        self.inner.delete(blob_id)
+
+    def exists(self, blob_id: BlobId) -> bool:
+        self._maybe_fail("exists", blob_id)
+        return self.inner.exists(blob_id)
+
+
+class SlowServer(ServerWrapper):
+    """Charges extra simulated latency on every request.
+
+    With a cost model the delay lands in the NETWORK bucket (and in the
+    innermost open span); with only a clock it just advances time --
+    enough for deadline and breaker-cooldown tests.
+    """
+
+    def __init__(self, inner: StorageServer, delay_s: float,
+                 cost: CostModel | None = None,
+                 clock: SimClock | None = None, name: str = "slow-ssp"):
+        super().__init__(inner, name)
+        if delay_s < 0:
+            raise ValueError("delay must be >= 0")
+        self.delay_s = delay_s
+        self._cost = cost
+        self._clock = clock if clock is not None else (
+            cost.clock if cost is not None else None)
+        self.delayed_requests = 0
+
+    def _stall(self) -> None:
+        self.delayed_requests += 1
+        if self._cost is not None:
+            self._cost.charge(NETWORK, self.delay_s)
+        elif self._clock is not None:
+            self._clock.advance(self.delay_s)
+
+    def put(self, blob_id: BlobId, payload: bytes) -> None:
+        self._stall()
+        self.inner.put(blob_id, payload)
+
+    def get(self, blob_id: BlobId) -> bytes:
+        self._stall()
+        return self.inner.get(blob_id)
+
+    def delete(self, blob_id: BlobId) -> None:
+        self._stall()
+        self.inner.delete(blob_id)
+
+    def exists(self, blob_id: BlobId) -> bool:
+        self._stall()
+        return self.inner.exists(blob_id)
+
+
+class OutageServer(ServerWrapper):
+    """Fails every request inside a simulated-clock time window."""
+
+    def __init__(self, inner: StorageServer, clock: SimClock,
+                 start_s: float, end_s: float, name: str = "outage-ssp"):
+        super().__init__(inner, name)
+        if end_s < start_s:
+            raise ValueError("outage window must not end before it starts")
+        self._clock = clock
+        self.start_s = start_s
+        self.end_s = end_s
+        self.rejected_requests = 0
+
+    @property
+    def in_outage(self) -> bool:
+        return self.start_s <= self._clock.now < self.end_s
+
+    def _gate(self, op: str, blob_id: BlobId) -> None:
+        if self.in_outage:
+            self.rejected_requests += 1
+            raise TransientStorageError(
+                f"{self.name}: outage until t={self.end_s:g}s "
+                f"(now {self._clock.now:g}s, {op} {blob_id})")
+
+    def put(self, blob_id: BlobId, payload: bytes) -> None:
+        self._gate("put", blob_id)
+        self.inner.put(blob_id, payload)
+
+    def get(self, blob_id: BlobId) -> bytes:
+        self._gate("get", blob_id)
+        return self.inner.get(blob_id)
+
+    def delete(self, blob_id: BlobId) -> None:
+        self._gate("delete", blob_id)
+        self.inner.delete(blob_id)
+
+    def exists(self, blob_id: BlobId) -> bool:
+        self._gate("exists", blob_id)
+        return self.inner.exists(blob_id)
+
+
+# -- the retry / breaker / degradation layer ----------------------------------
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Knobs for one client's resilient transport.
+
+    Delays are *simulated* seconds.  ``deadline_s`` bounds the total
+    backoff spent on one request; attempts themselves are priced by the
+    cost model like any other request, so the deadline is a promise
+    about added waiting, not total operation latency.
+    """
+
+    #: total tries per request (first attempt included).
+    max_attempts: int = 4
+    #: first backoff delay; subsequent delays grow exponentially.
+    base_delay_s: float = 0.05
+    #: cap on any single backoff delay.
+    max_delay_s: float = 2.0
+    #: total backoff budget per request; exhausted -> give up early.
+    deadline_s: float = 10.0
+    #: decorrelated jitter (uniform in [base, 3*previous]) on by default;
+    #: False gives pure exponential doubling for byte-reproducible tests.
+    jitter: bool = True
+    #: consecutive failed attempts that open the circuit breaker.
+    breaker_threshold: int = 5
+    #: simulated seconds the breaker stays open before a half-open probe.
+    breaker_cooldown_s: float = 5.0
+    #: serve the last-known-good cached blob (flagged stale) when a read
+    #: exhausts its retries or hits an open breaker.
+    cache_fallback: bool = True
+    #: byte budget of the last-known-good blob cache (None = unbounded).
+    fallback_cache_bytes: int | None = 8 * 1024 * 1024
+    #: seeds the jitter RNG: same seed -> identical retry schedule.
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay_s < 0 or self.max_delay_s < self.base_delay_s:
+            raise ValueError("need 0 <= base_delay_s <= max_delay_s")
+        if self.breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1")
+
+
+#: Circuit-breaker states, in escalation order (gauge values 0/1/2).
+BREAKER_CLOSED = "closed"
+BREAKER_HALF_OPEN = "half-open"
+BREAKER_OPEN = "open"
+_BREAKER_GAUGE = {BREAKER_CLOSED: 0, BREAKER_HALF_OPEN: 1, BREAKER_OPEN: 2}
+
+
+class _NullScope:
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_SCOPE = _NullScope()
+
+
+class ResilientTransport(ServerWrapper):
+    """Deadline-bounded retries + circuit breaker + degraded reads.
+
+    Sits between a :class:`~repro.fs.client.SharoesFilesystem` and any
+    backend (including the fault injectors above).  All waiting happens
+    on the *simulated* clock via the cost model's NETWORK bucket, so
+    chaos runs report retry cost exactly like any other network time.
+
+    Instrumentation: plain integer counters on the instance (adapted
+    into a :class:`~repro.obs.metrics.MetricsRegistry` by
+    ``bind_transport``) and, when a tracer is attached, a ``retry``
+    child span per extra attempt carrying the backoff charge.
+    """
+
+    def __init__(self, inner: StorageServer,
+                 policy: RetryPolicy | None = None,
+                 cost: CostModel | None = None, tracer=None,
+                 name: str | None = None):
+        super().__init__(inner, name or f"resilient({inner.name})")
+        self.policy = policy or RetryPolicy()
+        self._cost = cost
+        self._clock = cost.clock if cost is not None else SimClock()
+        self._tracer = tracer
+        self._rng = random.Random(self.policy.seed)
+        self._fallback = LruCache(self.policy.fallback_cache_bytes
+                                  if self.policy.cache_fallback else 0)
+        # breaker state
+        self.breaker_state = BREAKER_CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        # counters (see obs.metrics.bind_transport for the exported names)
+        self.attempts = 0
+        self.retries = 0
+        self.failed_attempts = 0
+        self.giveups = 0
+        self.degraded_reads = 0
+        self.breaker_opens = 0
+        self.breaker_rejections = 0
+        self.backoff_seconds = 0.0
+        #: blob ids ever served from the stale fallback path.
+        self.stale_blob_ids: set[BlobId] = set()
+
+    # -- clock / instrumentation helpers -----------------------------------
+
+    def _now(self) -> float:
+        return self._clock.now
+
+    def _sleep(self, seconds: float) -> None:
+        """Backoff on the simulated clock; charged as NETWORK time so it
+        lands in the CostBreakdown and the innermost open span."""
+        self.backoff_seconds += seconds
+        if self._cost is not None:
+            self._cost.charge(NETWORK, seconds)
+        else:
+            self._clock.advance(seconds)
+
+    def _retry_scope(self, op: str, attempt: int, delay: float):
+        if self._tracer is None:
+            return _NULL_SCOPE
+        return self._tracer.span("retry", op=op, attempt=attempt,
+                                 delay=round(delay, 6))
+
+    # -- circuit breaker ----------------------------------------------------
+
+    def _breaker_allows(self) -> bool:
+        if self.breaker_state != BREAKER_OPEN:
+            return True
+        if self._now() - self._opened_at >= self.policy.breaker_cooldown_s:
+            self.breaker_state = BREAKER_HALF_OPEN
+            return True
+        return False
+
+    def _record_success(self) -> None:
+        self._consecutive_failures = 0
+        self.breaker_state = BREAKER_CLOSED
+
+    def _record_failure(self) -> None:
+        self.failed_attempts += 1
+        self._consecutive_failures += 1
+        if (self.breaker_state == BREAKER_HALF_OPEN
+                or self._consecutive_failures
+                >= self.policy.breaker_threshold):
+            if self.breaker_state != BREAKER_OPEN:
+                self.breaker_opens += 1
+            self.breaker_state = BREAKER_OPEN
+            self._opened_at = self._now()
+
+    # -- the retry loop -----------------------------------------------------
+
+    def _execute(self, op: str, blob_id: BlobId, attempt_fn,
+                 fallback_fn=None):
+        policy = self.policy
+        if not self._breaker_allows():
+            self.breaker_rejections += 1
+            if fallback_fn is not None:
+                served = fallback_fn()
+                if served is not None:
+                    return served
+            raise CircuitOpenError(
+                f"{self.name}: circuit open for another "
+                f"{self._opened_at + policy.breaker_cooldown_s - self._now():.3f}s "
+                f"({op} {blob_id})")
+
+        backoff_spent = 0.0
+        delay = policy.base_delay_s
+        last_error: TransientStorageError | None = None
+        for attempt in range(1, policy.max_attempts + 1):
+            if attempt > 1:
+                if backoff_spent + delay > policy.deadline_s:
+                    break  # deadline: give up before sleeping again
+                self.retries += 1
+                with self._retry_scope(op, attempt, delay):
+                    self._sleep(delay)
+                    backoff_spent += delay
+                    try:
+                        self.attempts += 1
+                        result = attempt_fn()
+                    except TransientStorageError as exc:
+                        last_error = exc
+                        self._record_failure()
+                        delay = self._next_delay(delay)
+                        continue
+                self._record_success()
+                return result
+            try:
+                self.attempts += 1
+                result = attempt_fn()
+            except TransientStorageError as exc:
+                last_error = exc
+                self._record_failure()
+                continue
+            self._record_success()
+            return result
+
+        self.giveups += 1
+        if fallback_fn is not None:
+            served = fallback_fn()
+            if served is not None:
+                return served
+        raise TransientStorageError(
+            f"{self.name}: {op} {blob_id} failed after "
+            f"{policy.max_attempts} attempts "
+            f"({backoff_spent:.3f}s backoff)") from last_error
+
+    def _next_delay(self, previous: float) -> float:
+        policy = self.policy
+        if policy.base_delay_s == 0:
+            return 0.0
+        if policy.jitter:
+            # Decorrelated jitter (Brooker, AWS architecture blog):
+            # uniform in [base, 3 * previous], capped.
+            candidate = self._rng.uniform(policy.base_delay_s,
+                                          max(policy.base_delay_s,
+                                              previous * 3.0))
+        else:
+            candidate = previous * 2.0
+        return min(policy.max_delay_s, candidate)
+
+    # -- degraded reads -----------------------------------------------------
+
+    def _serve_stale(self, blob_id: BlobId):
+        if not self.policy.cache_fallback:
+            return None
+        payload = self._fallback.get(blob_id)
+        if payload is None:
+            return None
+        self.degraded_reads += 1
+        self.stale_blob_ids.add(blob_id)
+        return payload
+
+    def consume_stale_flags(self) -> int:
+        """Degraded reads served since the last call (for callers that
+        must flag results stale, e.g. the chaos harness)."""
+        count = self.degraded_reads - getattr(self, "_stale_mark", 0)
+        self._stale_mark = self.degraded_reads
+        return count
+
+    # -- the StorageServer interface ----------------------------------------
+
+    def put(self, blob_id: BlobId, payload: bytes) -> None:
+        self._execute("put", blob_id,
+                      lambda: self.inner.put(blob_id, payload))
+        if self.policy.cache_fallback:
+            # Write-through: this client's own upload is the freshest
+            # possible fallback copy.
+            self._fallback.put(blob_id, bytes(payload), len(payload))
+
+    def get(self, blob_id: BlobId) -> bytes:
+        degraded_before = self.degraded_reads
+        payload = self._execute(
+            "get", blob_id, lambda: self.inner.get(blob_id),
+            fallback_fn=lambda: self._serve_stale(blob_id))
+        if (self.policy.cache_fallback
+                and self.degraded_reads == degraded_before):
+            # A genuinely fresh fetch: refresh the fallback copy and
+            # clear any stale mark from an earlier degraded serve.
+            self._fallback.put(blob_id, payload, len(payload))
+            self.stale_blob_ids.discard(blob_id)
+        return payload
+
+    def delete(self, blob_id: BlobId) -> None:
+        self._fallback.invalidate(blob_id)
+        self.stale_blob_ids.discard(blob_id)
+        self._execute("delete", blob_id,
+                      lambda: self.inner.delete(blob_id))
+
+    def exists(self, blob_id: BlobId) -> bool:
+        return self._execute("exists", blob_id,
+                             lambda: self.inner.exists(blob_id))

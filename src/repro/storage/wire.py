@@ -32,7 +32,7 @@ import socketserver
 import struct
 import threading
 
-from ..errors import BlobNotFound, StorageError
+from ..errors import BlobNotFound, StorageError, TransientStorageError
 from .blobs import BlobId
 from .server import StorageServer
 
@@ -85,7 +85,9 @@ def _recv_exact(sock: socket.socket, count: int) -> bytes:
     while remaining:
         chunk = sock.recv(remaining)
         if not chunk:
-            raise StorageError("connection closed mid-message")
+            # Transient: the peer (or the network) dropped the
+            # connection; a fresh connection may well succeed.
+            raise TransientStorageError("connection closed mid-message")
         chunks.append(chunk)
         remaining -= len(chunk)
     return b"".join(chunks)
@@ -108,16 +110,24 @@ class _Handler(socketserver.BaseRequestHandler):
         while True:
             try:
                 message = _recv_message(self.request)
-            except StorageError:
-                return  # client hung up
-            opcode = message[0]
+            except (StorageError, OSError):
+                return  # client hung up / sent garbage framing
+            if not message:
+                # A length-0 frame has no opcode byte; reply ERROR
+                # rather than dying on message[0].
+                response = bytes([STATUS_ERROR]) + b"empty request frame"
+            else:
+                try:
+                    response = self._dispatch(backend, message[0],
+                                              message[1:])
+                except BlobNotFound:
+                    response = bytes([STATUS_MISSING])
+                except Exception as exc:  # surfaced to client as ERROR
+                    response = bytes([STATUS_ERROR]) + str(exc).encode()
             try:
-                response = self._dispatch(backend, opcode, message[1:])
-            except BlobNotFound:
-                response = bytes([STATUS_MISSING])
-            except Exception as exc:  # surfaced to the client as ERROR
-                response = bytes([STATUS_ERROR]) + str(exc).encode()
-            _send_message(self.request, response)
+                _send_message(self.request, response)
+            except OSError:
+                return  # client vanished mid-reply; thread stays clean
 
     @staticmethod
     def _dispatch(backend: StorageServer, opcode: int,
@@ -191,19 +201,52 @@ class RemoteStorageClient(StorageServer):
     def __init__(self, host: str, port: int, timeout: float = 10.0):
         super().__init__(name=f"remote-ssp@{host}:{port}")
         self._lock = threading.Lock()
-        self._sock = socket.create_connection((host, port),
-                                              timeout=timeout)
+        self._addr = (host, port)
+        self._timeout = timeout
+        # Connect eagerly so misconfiguration fails at construction; the
+        # socket reconnects lazily after any transient failure.
+        self._sock: socket.socket | None = socket.create_connection(
+            self._addr, timeout=timeout)
 
     def close(self) -> None:
-        try:
-            self._sock.close()
-        except OSError:
-            pass
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def _drop_sock(self) -> None:
+        """Discard a socket whose request/response stream is suspect.
+
+        After a timeout or mid-message disconnect the stream position is
+        unknown (a late response would be mis-framed as the next reply),
+        so the only safe recovery is a fresh connection.
+        """
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
 
     def _roundtrip(self, body: bytes) -> bytes:
         with self._lock:
-            _send_message(self._sock, body)
-            return _recv_message(self._sock)
+            try:
+                if self._sock is None:
+                    self._sock = socket.create_connection(
+                        self._addr, timeout=self._timeout)
+                _send_message(self._sock, body)
+                return _recv_message(self._sock)
+            except TransientStorageError:
+                self._drop_sock()
+                raise
+            except OSError as exc:
+                # Covers socket.timeout and connection resets: report as
+                # retryable instead of crashing the filesystem client.
+                self._drop_sock()
+                raise TransientStorageError(
+                    f"{self.name}: {exc}") from exc
 
     @staticmethod
     def _check(response: bytes) -> bytes:

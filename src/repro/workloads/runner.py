@@ -53,6 +53,9 @@ class BenchEnv:
     cost: CostModel
     fs: SharoesFilesystem | BaselineFilesystem
     _volume: object = None
+    #: fault-injecting wrapper clients mount through (chaos benchmarks);
+    #: None = clients talk to ``server`` directly.
+    _client_server: object = None
 
     def fresh_client(self, config: ClientConfig | None = None,
                      reset_cost: bool = True
@@ -62,7 +65,8 @@ class BenchEnv:
             self.cost.reset()
         if self.impl == "sharoes":
             fs = SharoesFilesystem(self._volume, self.user,
-                                   cost_model=self.cost, config=config)
+                                   cost_model=self.cost, config=config,
+                                   server=self._client_server)
         else:
             fs = BASELINES[self.impl](self._volume, self.user,
                                       cost_model=self.cost, config=config)
@@ -73,11 +77,24 @@ class BenchEnv:
 
 def make_env(impl: str, profile: CostProfile = PAPER_2008,
              config: ClientConfig | None = None,
-             extra_users: tuple[str, ...] = ()) -> BenchEnv:
-    """Build a formatted volume + mounted client for one implementation."""
+             extra_users: tuple[str, ...] = (),
+             flaky_p: float = 0.0, flaky_seed: int = 0) -> BenchEnv:
+    """Build a formatted volume + mounted client for one implementation.
+
+    ``flaky_p`` > 0 interposes a transient-fault injector between the
+    client and the SSP, failing that fraction of requests (seeded, so
+    runs replay); the client then mounts with a default
+    :class:`~repro.storage.resilient.RetryPolicy` unless the config
+    already carries one.  Formatting bypasses the injector so every
+    environment starts from an intact volume.
+    """
     if impl not in IMPLEMENTATIONS:
         raise SharoesError(f"unknown implementation {impl!r}; "
                            f"choose from {IMPLEMENTATIONS}")
+    if flaky_p and impl != "sharoes":
+        raise SharoesError(
+            "fault injection (flaky_p) requires the sharoes "
+            "implementation; baselines have no retry layer")
     registry = PrincipalRegistry()
     user = registry.create_user("alice")
     for name in extra_users:
@@ -85,11 +102,21 @@ def make_env(impl: str, profile: CostProfile = PAPER_2008,
     registry.create_group("eng", {"alice", *extra_users})
     server = StorageServer()
     cost = CostModel(profile, SimClock())
+    client_server = None
 
     if impl == "sharoes":
         volume = SharoesVolume(server, registry)
         volume.format(root_owner="alice", root_group="eng")
-        fs = SharoesFilesystem(volume, user, cost_model=cost, config=config)
+        if flaky_p:
+            from ..storage.resilient import FlakyServer, RetryPolicy
+            client_server = FlakyServer(server, failure_rate=flaky_p,
+                                        seed=flaky_seed)
+            # Volume-level default so every client -- including the
+            # fresh ones workloads mount for cache sweeps -- retries.
+            if volume.retry_policy is None:
+                volume.retry_policy = RetryPolicy(seed=flaky_seed)
+        fs = SharoesFilesystem(volume, user, cost_model=cost, config=config,
+                               server=client_server)
     else:
         cls = BASELINES[impl]
         volume = BaselineVolume(server=server)
@@ -103,12 +130,14 @@ def make_env(impl: str, profile: CostProfile = PAPER_2008,
     # benchmarks measure steady-state operations, not provisioning.
     cost.reset()
     return BenchEnv(impl=impl, user=user, registry=registry, server=server,
-                    cost=cost, fs=fs, _volume=volume)
+                    cost=cost, fs=fs, _volume=volume,
+                    _client_server=client_server)
 
 
 def run_observed(workload: str, impl: str = "sharoes",
                  profile: CostProfile = PAPER_2008,
-                 params: dict | None = None):
+                 params: dict | None = None,
+                 flaky_p: float = 0.0, flaky_seed: int = 0):
     """Run one named workload with full span/metrics capture.
 
     Returns ``(payload, spans)``: the machine-readable ``BENCH_*``
@@ -119,7 +148,8 @@ def run_observed(workload: str, impl: str = "sharoes",
     from ..obs.bench import bench_payload, op_report
 
     params = dict(params or {})
-    env = make_env(impl, profile=profile)
+    env = make_env(impl, profile=profile, flaky_p=flaky_p,
+                   flaky_seed=flaky_seed)
     if workload == "postmark":
         from .postmark import run_postmark
         run_postmark(env, **params)
@@ -142,7 +172,10 @@ def run_observed(workload: str, impl: str = "sharoes",
     # The workload ran on env.fs (fresh_client rebinds it); its tracer
     # holds every finished root span since the post-mount cost reset.
     spans = list(env.fs.tracer.finished)
+    run_params = dict(params, impl=impl)
+    if flaky_p:
+        run_params.update(flaky_p=flaky_p, flaky_seed=flaky_seed)
     payload = bench_payload(
         workload, op_report(spans), registry=env.fs.metrics,
-        cost=env.cost, params=dict(params, impl=impl))
+        cost=env.cost, params=run_params)
     return payload, spans

@@ -1,0 +1,207 @@
+"""Chaos suite: a full filesystem workload against a flaky SSP.
+
+A seeded random workload (creates, overwrites, reads, deletes, listings)
+runs through the resilient transport against a :class:`FlakyServer`
+injecting transient faults at p in {0.05, 0.2}.  The invariants:
+
+* every operation either succeeds or raises the *typed*
+  :class:`TransientStorageError` -- nothing else escapes, nothing hangs;
+* no undetected corruption: reads of paths whose every mutation fully
+  succeeded must return exactly the modelled bytes (a giveup mid-write
+  legitimately leaves old/new/mixed content, so those paths are
+  quarantined until repaired);
+* after healing the SSP and repairing quarantined paths, a full
+  :class:`VolumeAuditor` fsck is clean (orphaned blobs from interrupted
+  operations are allowed; integrity/structural errors are not);
+* the transport's retry/backoff/breaker counters reconcile exactly with
+  the injector's fault count, and total backoff shows up in the
+  simulated-clock :class:`CostBreakdown` (FREE profile: the NETWORK
+  bucket is *only* backoff);
+* the same seed replays the same run, event for event.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto.provider import CryptoProvider
+from repro.errors import (FileNotFound, SharoesError,
+                          TransientStorageError)
+from repro.fs.client import ClientConfig, SharoesFilesystem
+from repro.fs.volume import SharoesVolume
+from repro.principals.groups import GroupKeyService
+from repro.sim.costmodel import CostModel
+from repro.sim.profiles import FREE
+from repro.storage.resilient import FlakyServer, RetryPolicy
+from repro.storage.server import StorageServer
+from repro.tools.fsck import VolumeAuditor
+
+DIRS = ("/d0", "/d1", "/d2")
+OPS = ("create", "read", "overwrite", "read", "delete", "readdir")
+
+
+def _no_faults(flaky: FlakyServer) -> dict[str, float]:
+    previous = dict(flaky.rates)
+    flaky.rates = {op: 0.0 for op in FlakyServer.OPS}
+    return previous
+
+
+def run_chaos(registry, p: float, seed: int, ops: int = 120):
+    """One full chaos run; returns the replay-comparable event log."""
+    server = StorageServer()
+    volume = SharoesVolume(server, registry)
+    volume.format(root_owner="alice", root_group="eng")
+    GroupKeyService(registry, server, CryptoProvider()).publish_all()
+
+    flaky = FlakyServer(server, failure_rate=p, seed=seed)
+    cost = CostModel(FREE)
+    # cache_bytes=0: every read genuinely crosses the (flaky) transport.
+    config = ClientConfig(cache_bytes=0,
+                          retry_policy=RetryPolicy(seed=seed))
+    fs = SharoesFilesystem(volume, registry.user("alice"),
+                           cost_model=cost, config=config, server=flaky)
+
+    # Deterministic fault-free setup: mount + a few work directories.
+    saved_rates = _no_faults(flaky)
+    fs.mount()
+    for directory in DIRS:
+        fs.mkdir(directory)
+    flaky.rates = saved_rates
+    transport = fs.server
+    assert transport is not server  # the resilient layer is in place
+
+    rng = random.Random(seed)
+    model: dict[str, bytes] = {}  # path -> bytes the SSP must hold
+    uncertain: set[str] = set()  # a mutation gave up: content unknown
+    events: list[tuple] = []
+    max_size = volume.block_size * 3
+
+    for index in range(ops):
+        op = rng.choice(OPS)
+        certain = sorted(model)
+        if op == "create" or not certain:
+            op, path = "create", f"{rng.choice(DIRS)}/f{index}"
+            data = rng.randbytes(rng.randrange(0, max_size))
+        elif op == "overwrite":
+            path = rng.choice(certain)
+            data = rng.randbytes(rng.randrange(0, max_size))
+        elif op == "readdir":
+            path, data = rng.choice(DIRS), b""
+        else:
+            path, data = rng.choice(certain), b""
+        try:
+            if op == "create":
+                fs.create_file(path, data)
+                model[path] = data
+            elif op == "overwrite":
+                fs.write_file(path, data)
+                model[path] = data
+            elif op == "delete":
+                fs.unlink(path)
+                del model[path]
+            elif op == "readdir":
+                listed = set(fs.readdir(path))
+                for known in model:
+                    parent, name = known.rsplit("/", 1)
+                    if parent == path:
+                        assert name in listed, (
+                            f"{known}: committed file missing from "
+                            f"readdir -- undetected corruption")
+            else:
+                degraded_before = transport.degraded_reads
+                content = fs.read_file(path)
+                if transport.degraded_reads == degraded_before:
+                    assert content == model[path], (
+                        f"{path}: fresh read diverged from model -- "
+                        f"undetected corruption")
+            events.append((index, op, path, "ok"))
+        except TransientStorageError:
+            # The one failure every caller must be prepared for.  A
+            # mutation that gave up leaves the path indeterminate (the
+            # SSP may hold old, new or partially-uploaded state), so it
+            # is quarantined until the repair phase.
+            events.append((index, op, path, "transient"))
+            if op in ("create", "overwrite", "delete"):
+                model.pop(path, None)
+                uncertain.add(path)
+        # Any other exception type is an undetected-corruption bug (or
+        # a typing bug) and propagates to fail the test.
+
+    # -- reconcile observability with ground truth ------------------------
+    assert transport.failed_attempts == flaky.injected_faults
+    assert (transport.failed_attempts
+            == transport.retries + transport.giveups)
+    assert transport.attempts >= flaky.injected_faults
+    if flaky.injected_faults:
+        assert transport.backoff_seconds > 0
+    # FREE profile: requests cost zero, so NETWORK time *is* backoff.
+    assert cost.totals.seconds["network"] == pytest.approx(
+        transport.backoff_seconds)
+    snap = fs.metrics.snapshot()
+    assert snap["transport.failures"] == flaky.injected_faults
+    assert snap["transport.backoff_seconds"] == pytest.approx(
+        transport.backoff_seconds)
+
+    # -- heal, repair quarantined paths, verify survivors ------------------
+    _no_faults(flaky)
+    healed = SharoesFilesystem(volume, registry.user("alice"),
+                               config=ClientConfig(cache_bytes=0),
+                               server=flaky)
+    healed.mount()
+    for path in sorted(uncertain):
+        try:
+            healed.read_file(path)
+        except (FileNotFound, TransientStorageError):
+            pass  # never materialized (or no entry in alice's replica)
+        except SharoesError:
+            # Partially-uploaded state: readable metadata pointing at
+            # incomplete content.  Repair by removal.
+            healed.unlink(path)
+    for path, expected in sorted(model.items()):
+        assert healed.read_file(path) == expected, (
+            f"{path}: post-heal content diverged -- undetected "
+            f"corruption")
+
+    report = VolumeAuditor(volume).audit()
+    assert report.clean, (report.summary(), report.integrity_errors,
+                          report.structural_errors)
+
+    counters = {"attempts": transport.attempts,
+                "retries": transport.retries,
+                "failed": transport.failed_attempts,
+                "giveups": transport.giveups,
+                "degraded": transport.degraded_reads,
+                "breaker_opens": transport.breaker_opens,
+                "backoff": transport.backoff_seconds,
+                "injected": flaky.injected_faults,
+                "faults_by_op": dict(flaky.faults_by_op)}
+    return events, counters
+
+
+@pytest.mark.parametrize("p", [0.05, 0.2])
+def test_chaos_workload_survives(registry, p):
+    events, counters = run_chaos(registry, p=p, seed=2008, ops=120)
+    assert counters["injected"] > 0  # the run actually hurt
+    assert counters["retries"] > 0  # and the transport actually healed
+    outcomes = {outcome for *_rest, outcome in events}
+    assert "ok" in outcomes
+
+
+def test_chaos_is_deterministic_per_seed(registry):
+    first = run_chaos(registry, p=0.2, seed=77, ops=60)
+    second = run_chaos(registry, p=0.2, seed=77, ops=60)
+    assert first[0] == second[0]  # identical event logs
+    assert first[1] == second[1]  # identical counters, backoff included
+    third = run_chaos(registry, p=0.2, seed=78, ops=60)
+    assert third[0] != first[0]  # a different seed is a different run
+
+
+def test_chaos_high_rate_mostly_transient_not_crash(registry):
+    # At p=0.5 with few attempts the transport gives up often; the
+    # contract (typed error or success) must still hold.
+    events, counters = run_chaos(registry, p=0.5, seed=5, ops=40)
+    assert counters["giveups"] > 0
+    transients = [e for e in events if e[-1] == "transient"]
+    assert transients  # plenty of typed failures, zero crashes

@@ -228,3 +228,66 @@ class TestClientWiring:
             alice_fs.publish_statement()
         with pytest.raises(SharoesError):
             alice_fs.sync_statements()
+
+
+class TestForkEdges:
+    """Boundary cases of the causal cross-check (robustness satellite)."""
+
+    def test_fork_detected_on_first_cross_read_after_partition_heal(
+            self, logs, server):
+        # Alice asserts inode 7 at version 5; bob acknowledges her chain
+        # before the SSP partitions them into divergent views.
+        alice, bob = logs("alice"), logs("bob")
+        alice.observe(7, 5)
+        alice.publish(server)
+        bob.sync(server, ["alice"])  # bob now acks alice@1
+        # Partition: the SSP feeds bob a forked history where inode 7
+        # never went past version 2.  Bob's own chain stays perfectly
+        # linear while he keeps working and publishing.
+        bob.known_high[7] = 2
+        bob.publish(server)
+        bob.observe(11, 1)
+        bob.publish(server)
+        # Alice also keeps working during the partition.
+        alice.observe(3, 1)
+        alice.publish(server)
+        # Heal: the very FIRST cross-read of bob's statements must expose
+        # the fork -- bob acknowledged alice@1 (which asserted 7@5) yet
+        # reports 7@2.
+        with pytest.raises(ForkDetected):
+            alice.sync(server, ["bob"])
+
+    def test_stale_but_linear_peer_is_legal(self, logs, server):
+        # A peer that merely LAGS -- acknowledging an old statement and
+        # reporting old versions consistent with it -- is not a fork.
+        alice, bob = logs("alice"), logs("bob")
+        alice.observe(7, 1)
+        alice.publish(server)  # seq 1 asserts 7@1
+        bob.sync(server, ["alice"])  # bob acks alice@1
+        # Alice advances to 7@9 in seq 2; bob never sees it (stale SSP
+        # cache, slow replication -- all benign).
+        alice.observe(7, 9)
+        alice.publish(server)
+        bob.publish(server)  # seen alice@1, observations {7: 1}
+        accepted = alice.sync(server, ["bob"])  # must NOT raise
+        assert len(accepted) == 1
+        assert accepted[0].observed(7) == 1
+        # Bob keeps publishing stale-but-linear statements; still legal.
+        bob.publish(server)
+        assert alice.sync(server, ["bob"])
+
+    def test_stale_peer_becomes_fork_once_it_acks_the_new_chain(
+            self, logs, server):
+        # The moment the laggard acknowledges the NEWER statement while
+        # still contradicting it, legality flips to fork.
+        alice, bob = logs("alice"), logs("bob")
+        alice.observe(7, 1)
+        alice.publish(server)
+        bob.sync(server, ["alice"])
+        alice.observe(7, 9)
+        alice.publish(server)  # seq 2 asserts 7@9
+        bob.sync(server, ["alice"])  # bob acks alice@2 ...
+        bob.known_high[7] = 1  # ... but the SSP forks his view back
+        bob.publish(server)
+        with pytest.raises(ForkDetected):
+            alice.sync(server, ["bob"])

@@ -1,0 +1,461 @@
+"""Unit tests for the resilient SSP transport (the tentpole layer).
+
+Covers the three transient-fault injectors (Flaky / Slow / Outage), the
+retry loop (backoff, jitter determinism, deadline), the circuit breaker
+state machine, graceful degradation through the last-known-good cache,
+and the observability wiring (cost-model charges, retry spans,
+``bind_transport`` metrics).  Whole-filesystem chaos lives in
+``test_chaos.py``; this file isolates each mechanism.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (BlobNotFound, CircuitOpenError, StorageError,
+                          TransientStorageError)
+from repro.obs.metrics import MetricsRegistry, bind_transport
+from repro.obs.tracing import Tracer
+from repro.sim.clock import SimClock
+from repro.sim.costmodel import CostModel
+from repro.sim.profiles import FREE
+from repro.storage.blobs import data_blob
+from repro.storage.resilient import (BREAKER_CLOSED, BREAKER_HALF_OPEN,
+                                     BREAKER_OPEN, FlakyServer,
+                                     OutageServer, ResilientTransport,
+                                     RetryPolicy, ServerWrapper,
+                                     SlowServer)
+from repro.storage.server import StorageServer
+
+BLOB = data_blob(1, "b0")
+OTHER = data_blob(2, "b0")
+
+
+class FailNTimes(ServerWrapper):
+    """Fails the first ``fails`` requests, then behaves."""
+
+    def __init__(self, inner, fails: int, exc=TransientStorageError):
+        super().__init__(inner, name="fail-n")
+        self.remaining = fails
+        self._exc = exc
+
+    def _gate(self):
+        if self.remaining > 0:
+            self.remaining -= 1
+            raise self._exc("injected failure")
+
+    def put(self, blob_id, payload):
+        self._gate()
+        self.inner.put(blob_id, payload)
+
+    def get(self, blob_id):
+        self._gate()
+        return self.inner.get(blob_id)
+
+    def delete(self, blob_id):
+        self._gate()
+        self.inner.delete(blob_id)
+
+    def exists(self, blob_id):
+        self._gate()
+        return self.inner.exists(blob_id)
+
+
+def seeded_backend() -> StorageServer:
+    backend = StorageServer()
+    backend.put(BLOB, b"payload-v1")
+    return backend
+
+
+# -- fault injectors ----------------------------------------------------------
+
+
+class TestFlakyServer:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            FlakyServer(StorageServer(), failure_rate=1.5)
+        with pytest.raises(ValueError):
+            FlakyServer(StorageServer(), failure_rate={"get": -0.1})
+
+    def test_per_op_rates(self):
+        flaky = FlakyServer(seeded_backend(),
+                            failure_rate={"get": 1.0}, seed=1)
+        flaky.put(OTHER, b"x")  # put rate defaults to 0: never fails
+        with pytest.raises(TransientStorageError):
+            flaky.get(BLOB)
+        assert flaky.injected_faults == 1
+        assert flaky.faults_by_op == {"put": 0, "get": 1, "delete": 0,
+                                      "exists": 0}
+
+    def test_seeded_determinism(self):
+        def fault_pattern(seed):
+            flaky = FlakyServer(seeded_backend(), failure_rate=0.5,
+                                seed=seed)
+            pattern = []
+            for _ in range(40):
+                try:
+                    flaky.get(BLOB)
+                    pattern.append(False)
+                except TransientStorageError:
+                    pattern.append(True)
+            return pattern
+
+        assert fault_pattern(7) == fault_pattern(7)
+        assert fault_pattern(7) != fault_pattern(8)
+
+    def test_delegates_unknown_attrs(self):
+        backend = seeded_backend()
+        flaky = FlakyServer(backend, failure_rate=0.0)
+        assert flaky.blob_count() == backend.blob_count()
+        assert flaky.stats is backend.stats
+
+
+class TestSlowServer:
+    def test_charges_network_time(self):
+        cost = CostModel(FREE)
+        slow = SlowServer(seeded_backend(), delay_s=0.25, cost=cost)
+        slow.get(BLOB)
+        slow.exists(BLOB)
+        assert slow.delayed_requests == 2
+        assert cost.totals.seconds["network"] == pytest.approx(0.5)
+        assert cost.clock.now == pytest.approx(0.5)
+
+    def test_clock_only_mode(self):
+        clock = SimClock()
+        slow = SlowServer(seeded_backend(), delay_s=1.5, clock=clock)
+        slow.get(BLOB)
+        assert clock.now == pytest.approx(1.5)
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            SlowServer(StorageServer(), delay_s=-1.0)
+
+
+class TestOutageServer:
+    def test_fails_only_inside_window(self):
+        clock = SimClock()
+        outage = OutageServer(seeded_backend(), clock,
+                              start_s=10.0, end_s=20.0)
+        assert outage.get(BLOB) == b"payload-v1"  # before the window
+        clock.advance(15.0)
+        assert outage.in_outage
+        with pytest.raises(TransientStorageError):
+            outage.get(BLOB)
+        clock.advance(5.0)  # t=20: window is half-open [start, end)
+        assert outage.get(BLOB) == b"payload-v1"
+        assert outage.rejected_requests == 1
+
+    def test_rejects_inverted_window(self):
+        with pytest.raises(ValueError):
+            OutageServer(StorageServer(), SimClock(), 5.0, 1.0)
+
+
+# -- RetryPolicy --------------------------------------------------------------
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_s=2.0, max_delay_s=1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(breaker_threshold=0)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            RetryPolicy().max_attempts = 9
+
+
+# -- retry loop ---------------------------------------------------------------
+
+
+class TestRetryLoop:
+    def test_success_needs_no_retry(self):
+        transport = ResilientTransport(seeded_backend())
+        assert transport.get(BLOB) == b"payload-v1"
+        assert (transport.attempts, transport.retries,
+                transport.failed_attempts) == (1, 0, 0)
+
+    def test_masks_transient_failures(self):
+        transport = ResilientTransport(
+            FailNTimes(seeded_backend(), fails=2),
+            RetryPolicy(max_attempts=4))
+        assert transport.get(BLOB) == b"payload-v1"
+        assert transport.retries == 2
+        assert transport.failed_attempts == 2
+        assert transport.giveups == 0
+        assert transport.backoff_seconds > 0
+
+    def test_exhaustion_raises_with_cause(self):
+        transport = ResilientTransport(
+            FailNTimes(seeded_backend(), fails=99),
+            RetryPolicy(max_attempts=3, cache_fallback=False))
+        with pytest.raises(TransientStorageError) as excinfo:
+            transport.get(BLOB)
+        assert isinstance(excinfo.value.__cause__, TransientStorageError)
+        assert transport.giveups == 1
+        assert transport.failed_attempts == 3
+        assert transport.retries == 2
+        # invariant the chaos suite reconciles against injected faults:
+        assert (transport.failed_attempts
+                == transport.retries + transport.giveups)
+
+    def test_blob_not_found_is_not_retried(self):
+        transport = ResilientTransport(StorageServer())
+        with pytest.raises(BlobNotFound):
+            transport.get(BLOB)
+        assert transport.attempts == 1
+        assert transport.retries == 0
+
+    def test_plain_storage_error_is_not_retried(self):
+        transport = ResilientTransport(
+            FailNTimes(seeded_backend(), fails=99, exc=StorageError),
+            RetryPolicy(cache_fallback=False))
+        with pytest.raises(StorageError):
+            transport.get(BLOB)
+        assert transport.attempts == 1
+
+    def test_jitter_off_doubles_deterministically(self):
+        transport = ResilientTransport(
+            FailNTimes(seeded_backend(), fails=3),
+            RetryPolicy(max_attempts=4, base_delay_s=0.1,
+                        max_delay_s=10.0, jitter=False))
+        transport.get(BLOB)
+        # delays: 0.1 + 0.2 + 0.4
+        assert transport.backoff_seconds == pytest.approx(0.7)
+
+    def test_jitter_is_seed_deterministic(self):
+        def total_backoff(seed):
+            transport = ResilientTransport(
+                FailNTimes(seeded_backend(), fails=5),
+                RetryPolicy(max_attempts=8, seed=seed))
+            transport.get(BLOB)
+            return transport.backoff_seconds
+
+        assert total_backoff(3) == total_backoff(3)
+        assert total_backoff(3) != total_backoff(4)
+
+    def test_jitter_delays_respect_bounds(self):
+        policy = RetryPolicy(base_delay_s=0.05, max_delay_s=0.4, seed=11)
+        transport = ResilientTransport(StorageServer(), policy)
+        delay = policy.base_delay_s
+        for _ in range(200):
+            delay = transport._next_delay(delay)
+            assert policy.base_delay_s <= delay <= policy.max_delay_s
+
+    def test_deadline_caps_total_backoff(self):
+        transport = ResilientTransport(
+            FailNTimes(seeded_backend(), fails=99),
+            RetryPolicy(max_attempts=50, base_delay_s=1.0,
+                        max_delay_s=4.0, deadline_s=3.0, jitter=False,
+                        breaker_threshold=1000, cache_fallback=False))
+        with pytest.raises(TransientStorageError):
+            transport.get(BLOB)
+        # 1 + 2 = 3s spent; the next 4s delay would blow the deadline.
+        assert transport.backoff_seconds == pytest.approx(3.0)
+        assert transport.attempts == 3  # far fewer than max_attempts
+
+    def test_put_and_delete_retry_too(self):
+        backend = seeded_backend()
+        transport = ResilientTransport(FailNTimes(backend, fails=1))
+        transport.put(OTHER, b"fresh")
+        assert backend.get(OTHER) == b"fresh"
+        inner = FailNTimes(backend, fails=1)
+        transport2 = ResilientTransport(inner)
+        transport2.delete(OTHER)
+        assert not backend.exists(OTHER)
+        assert transport.retries == transport2.retries == 1
+
+
+# -- circuit breaker ----------------------------------------------------------
+
+
+def _down_transport(policy=None, cost=None):
+    """Transport over a permanently-failing backend."""
+    return ResilientTransport(FailNTimes(seeded_backend(), fails=10**9),
+                              policy, cost=cost)
+
+
+class TestCircuitBreaker:
+    POLICY = RetryPolicy(max_attempts=2, base_delay_s=0.01,
+                         breaker_threshold=3, breaker_cooldown_s=5.0,
+                         cache_fallback=False, jitter=False)
+
+    def test_opens_after_consecutive_failures(self):
+        transport = _down_transport(self.POLICY)
+        assert transport.breaker_state == BREAKER_CLOSED
+        with pytest.raises(TransientStorageError):
+            transport.get(BLOB)  # 2 failed attempts
+        with pytest.raises(TransientStorageError):
+            transport.get(BLOB)  # 2 more: threshold crossed at 3
+        assert transport.breaker_state == BREAKER_OPEN
+        assert transport.breaker_opens == 1
+
+    def test_open_breaker_rejects_without_touching_server(self):
+        transport = _down_transport(self.POLICY)
+        for _ in range(2):
+            with pytest.raises(TransientStorageError):
+                transport.get(BLOB)
+        attempts_when_open = transport.attempts
+        with pytest.raises(CircuitOpenError):
+            transport.get(BLOB)
+        assert transport.attempts == attempts_when_open
+        assert transport.breaker_rejections == 1
+
+    def test_half_open_probe_closes_on_success(self):
+        cost = CostModel(FREE)
+        inner = FailNTimes(seeded_backend(), fails=4)
+        transport = ResilientTransport(inner, self.POLICY, cost=cost)
+        for _ in range(2):
+            with pytest.raises(TransientStorageError):
+                transport.get(BLOB)
+        assert transport.breaker_state == BREAKER_OPEN
+        cost.clock.advance(5.0)  # cooldown elapses on the sim clock
+        assert transport.get(BLOB) == b"payload-v1"  # half-open probe
+        assert transport.breaker_state == BREAKER_CLOSED
+
+    def test_half_open_probe_failure_reopens(self):
+        cost = CostModel(FREE)
+        policy = RetryPolicy(max_attempts=1, breaker_threshold=3,
+                             breaker_cooldown_s=5.0, cache_fallback=False,
+                             jitter=False)
+        transport = ResilientTransport(
+            FailNTimes(seeded_backend(), fails=10**9), policy, cost=cost)
+        for _ in range(3):
+            with pytest.raises(TransientStorageError):
+                transport.get(BLOB)
+        assert transport.breaker_state == BREAKER_OPEN
+        cost.clock.advance(5.0)
+        with pytest.raises(TransientStorageError):
+            transport.get(BLOB)  # the probe fails -> snap back open
+        assert transport.breaker_state == BREAKER_OPEN
+        assert transport.breaker_opens == 2
+
+    def test_half_open_state_is_reachable(self):
+        cost = CostModel(FREE)
+        transport = _down_transport(self.POLICY, cost=cost)
+        for _ in range(2):
+            with pytest.raises(TransientStorageError):
+                transport.get(BLOB)
+        cost.clock.advance(5.0)
+        assert transport._breaker_allows()
+        assert transport.breaker_state == BREAKER_HALF_OPEN
+
+
+# -- graceful degradation -----------------------------------------------------
+
+
+class TestDegradedReads:
+    def test_stale_serve_after_retry_exhaustion(self):
+        backend = seeded_backend()
+        gate = FailNTimes(backend, fails=0)
+        transport = ResilientTransport(
+            gate, RetryPolicy(max_attempts=2, base_delay_s=0.0))
+        assert transport.get(BLOB) == b"payload-v1"  # caches fallback
+        gate.remaining = 10**9  # SSP goes dark
+        assert transport.get(BLOB) == b"payload-v1"  # stale, not raise
+        assert transport.degraded_reads == 1
+        assert BLOB in transport.stale_blob_ids
+        assert transport.consume_stale_flags() == 1
+        assert transport.consume_stale_flags() == 0
+
+    def test_put_write_through_feeds_fallback(self):
+        backend = seeded_backend()
+        gate = FailNTimes(backend, fails=0)
+        transport = ResilientTransport(
+            gate, RetryPolicy(max_attempts=2, base_delay_s=0.0))
+        transport.put(OTHER, b"my own write")
+        gate.remaining = 10**9
+        assert transport.get(OTHER) == b"my own write"
+        assert transport.degraded_reads == 1
+
+    def test_fresh_fetch_clears_stale_mark(self):
+        backend = seeded_backend()
+        gate = FailNTimes(backend, fails=0)
+        transport = ResilientTransport(
+            gate, RetryPolicy(max_attempts=2, base_delay_s=0.0))
+        transport.get(BLOB)
+        gate.remaining = 10**9
+        transport.get(BLOB)  # stale
+        gate.remaining = 0  # SSP heals
+        assert transport.get(BLOB) == b"payload-v1"
+        assert BLOB not in transport.stale_blob_ids
+
+    def test_delete_invalidates_fallback(self):
+        backend = seeded_backend()
+        gate = FailNTimes(backend, fails=0)
+        transport = ResilientTransport(
+            gate, RetryPolicy(max_attempts=2, base_delay_s=0.0))
+        transport.get(BLOB)
+        transport.delete(BLOB)
+        gate.remaining = 10**9
+        with pytest.raises(TransientStorageError):
+            transport.get(BLOB)  # no fallback copy survives a delete
+        assert transport.degraded_reads == 0
+
+    def test_open_breaker_serves_stale(self):
+        policy = RetryPolicy(max_attempts=1, breaker_threshold=2,
+                             breaker_cooldown_s=100.0)
+        backend = seeded_backend()
+        gate = FailNTimes(backend, fails=0)
+        transport = ResilientTransport(gate, policy)
+        transport.get(BLOB)
+        gate.remaining = 10**9
+        for _ in range(2):
+            with pytest.raises(TransientStorageError):
+                transport.get(OTHER)  # never cached: must raise
+        assert transport.breaker_state == BREAKER_OPEN
+        assert transport.get(BLOB) == b"payload-v1"  # rejected -> stale
+        assert transport.breaker_rejections == 1
+        assert transport.degraded_reads == 1
+
+    def test_fallback_disabled(self):
+        gate = FailNTimes(seeded_backend(), fails=0)
+        transport = ResilientTransport(
+            gate, RetryPolicy(max_attempts=2, base_delay_s=0.0,
+                              cache_fallback=False))
+        transport.get(BLOB)
+        gate.remaining = 10**9
+        with pytest.raises(TransientStorageError):
+            transport.get(BLOB)
+
+
+# -- observability wiring -----------------------------------------------------
+
+
+class TestObservability:
+    def test_backoff_charged_to_network_bucket(self):
+        cost = CostModel(FREE)  # zero request costs: only backoff lands
+        transport = ResilientTransport(
+            FailNTimes(seeded_backend(), fails=2),
+            RetryPolicy(base_delay_s=0.1, jitter=False), cost=cost)
+        transport.get(BLOB)
+        assert cost.totals.seconds["network"] == pytest.approx(
+            transport.backoff_seconds)
+        assert transport.backoff_seconds == pytest.approx(0.3)
+
+    def test_retry_spans_emitted(self):
+        tracer = Tracer()
+        transport = ResilientTransport(
+            FailNTimes(seeded_backend(), fails=2),
+            RetryPolicy(base_delay_s=0.1, jitter=False), tracer=tracer)
+        transport.get(BLOB)
+        retry_spans = [s for s in tracer.finished if s.name == "retry"]
+        assert [s.attrs["attempt"] for s in retry_spans] == [2, 3]
+        assert retry_spans[0].attrs["delay"] == pytest.approx(0.1)
+
+    def test_bind_transport_snapshot(self):
+        registry = MetricsRegistry()
+        transport = ResilientTransport(
+            FailNTimes(seeded_backend(), fails=2),
+            RetryPolicy(base_delay_s=0.0))
+        bind_transport(registry, transport)
+        transport.get(BLOB)
+        snap = registry.snapshot()
+        assert snap["transport.attempts"] == 3
+        assert snap["transport.retries"] == 2
+        assert snap["transport.failures"] == 2
+        assert snap["transport.giveups"] == 0
+        assert snap["transport.breaker.state"] == 0
+        assert snap["transport.degraded_reads"] == 0

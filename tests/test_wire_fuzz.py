@@ -1,0 +1,192 @@
+"""Fuzzing the SSP wire protocol (robustness satellite).
+
+The TCP front-end (:mod:`repro.storage.wire`) faces the network: any
+byte sequence can arrive.  These tests throw malformed framing at a live
+:class:`SspServer` -- truncated headers, empty frames, oversized length
+prefixes, unknown opcodes, mid-message disconnects, and seeded random
+garbage -- and assert the invariant that matters: the server keeps
+serving well-formed clients afterwards.  The client proxy is exercised
+the other way around: timeouts and dead sockets must surface as
+:class:`TransientStorageError` (so the resilient transport can retry),
+never as a crash or a hung filesystem.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import struct
+
+import pytest
+
+from repro.errors import StorageError, TransientStorageError
+from repro.storage.blobs import data_blob
+from repro.storage.resilient import ResilientTransport, RetryPolicy
+from repro.storage.server import StorageServer
+from repro.storage.wire import (OP_GET, OP_PUT, STATUS_ERROR, STATUS_OK,
+                                RemoteStorageClient, SspServer,
+                                _pack_fields, _recv_message)
+
+BLOB = data_blob(7, "b0")
+PAYLOAD = b"sealed ciphertext bytes"
+
+
+@pytest.fixture()
+def live_server():
+    backend = StorageServer()
+    backend.put(BLOB, PAYLOAD)
+    with SspServer(backend) as ssp:
+        yield ssp
+
+
+def _frame(body: bytes) -> bytes:
+    return struct.pack(">I", len(body)) + body
+
+
+def _exchange(address, data: bytes, expect_reply: bool = True):
+    """Send raw bytes on a fresh connection; return the reply or None."""
+    with socket.create_connection(address, timeout=2.0) as sock:
+        sock.sendall(data)
+        if not expect_reply:
+            return None
+        return _recv_message(sock)
+
+
+def _server_still_serves(ssp: SspServer) -> bool:
+    """The canary: a well-formed GET on a fresh connection round-trips."""
+    body = bytes([OP_GET]) + _pack_fields(str(BLOB).encode())
+    reply = _exchange(ssp.address, _frame(body))
+    return reply[0] == STATUS_OK and reply[1:] == PAYLOAD
+
+
+class TestServerSurvivesMalformedFrames:
+    def test_empty_frame_gets_error_not_handler_death(self, live_server):
+        # A length-0 frame has no opcode byte; the original handler did
+        # message[0] before its try block and the thread died on
+        # IndexError.  Now it must answer ERROR and keep the connection.
+        with socket.create_connection(live_server.address, 2.0) as sock:
+            sock.sendall(_frame(b""))
+            reply = _recv_message(sock)
+            assert reply[0] == STATUS_ERROR
+            # Same connection still works after the bad frame.
+            body = bytes([OP_GET]) + _pack_fields(str(BLOB).encode())
+            sock.sendall(_frame(body))
+            reply = _recv_message(sock)
+            assert reply[0] == STATUS_OK and reply[1:] == PAYLOAD
+
+    def test_unknown_opcode(self, live_server):
+        reply = _exchange(live_server.address, _frame(bytes([250])))
+        assert reply[0] == STATUS_ERROR
+        assert b"unknown opcode" in reply[1:]
+        assert _server_still_serves(live_server)
+
+    def test_truncated_length_header(self, live_server):
+        _exchange(live_server.address, b"\x00\x00", expect_reply=False)
+        assert _server_still_serves(live_server)
+
+    def test_oversized_length_prefix(self, live_server):
+        # Claims a 1 GiB message: the server must refuse (it cannot
+        # resync, so dropping the connection is the correct move) and
+        # other connections must be unaffected.
+        _exchange(live_server.address,
+                  struct.pack(">I", 1 << 30) + b"garbage",
+                  expect_reply=False)
+        assert _server_still_serves(live_server)
+
+    def test_mid_message_disconnect(self, live_server):
+        # Header promises 1000 body bytes, connection dies after 10.
+        with socket.create_connection(live_server.address, 2.0) as sock:
+            sock.sendall(struct.pack(">I", 1000) + b"x" * 10)
+        assert _server_still_serves(live_server)
+
+    def test_truncated_field_inside_body(self, live_server):
+        # Valid opcode, but the field declares more bytes than follow.
+        body = bytes([OP_GET]) + struct.pack(">I", 500) + b"short"
+        reply = _exchange(live_server.address, _frame(body))
+        assert reply[0] == STATUS_ERROR
+        assert _server_still_serves(live_server)
+
+    def test_malformed_blob_id(self, live_server):
+        body = bytes([OP_GET]) + _pack_fields(b"\xff\xfe not/an-int/x")
+        reply = _exchange(live_server.address, _frame(body))
+        assert reply[0] == STATUS_ERROR
+        assert _server_still_serves(live_server)
+
+    def test_put_with_missing_field(self, live_server):
+        # PUT wants two fields; send one.
+        body = bytes([OP_PUT]) + _pack_fields(str(BLOB).encode())
+        reply = _exchange(live_server.address, _frame(body))
+        assert reply[0] == STATUS_ERROR
+        assert _server_still_serves(live_server)
+
+    def test_seeded_random_garbage_storm(self, live_server):
+        rng = random.Random(0xF00D)
+        for _ in range(80):
+            body = rng.randbytes(rng.randrange(0, 64))
+            data = _frame(body)
+            if rng.random() < 0.3:  # randomly truncate the frame too
+                data = data[:rng.randrange(len(data) + 1)]
+            try:
+                _exchange(live_server.address, data,
+                          expect_reply=bool(data) and rng.random() < 0.5)
+            except (StorageError, OSError):
+                pass  # replies to garbage may be anything; crashes not
+        assert _server_still_serves(live_server)
+
+
+class TestClientTransientFaults:
+    def test_timeout_is_transient_error(self):
+        # A server that accepts but never replies: the proxy must raise
+        # the retryable error, not hang or crash (regression for the
+        # socket-timeout crash).
+        with socket.socket() as listener:
+            listener.bind(("127.0.0.1", 0))
+            listener.listen(1)
+            client = RemoteStorageClient(*listener.getsockname(),
+                                         timeout=0.2)
+            with pytest.raises(TransientStorageError):
+                client.get(BLOB)
+            client.close()
+
+    def test_dead_socket_is_transient_and_reconnects(self, live_server):
+        client = RemoteStorageClient(*live_server.address, timeout=2.0)
+        assert client.get(BLOB) == PAYLOAD
+        client._sock.close()  # the OS yanks the connection
+        with pytest.raises(TransientStorageError):
+            client.get(BLOB)
+        # Lazy reconnect: the very next call opens a new socket.
+        assert client.get(BLOB) == PAYLOAD
+        client.close()
+
+    def test_resilient_transport_rides_over_reconnect(self, live_server):
+        # Composed stack: transport + remote proxy.  A dead socket costs
+        # one retry, not an exception to the filesystem above.
+        client = RemoteStorageClient(*live_server.address, timeout=2.0)
+        transport = ResilientTransport(
+            client, RetryPolicy(base_delay_s=0.0, jitter=False))
+        client._sock.close()
+        assert transport.get(BLOB) == PAYLOAD
+        assert transport.retries == 1
+        client.close()
+
+    def test_server_restart_window(self):
+        # Outage: server goes away entirely, comes back on the same
+        # port; the proxy reconnects instead of staying wedged.
+        backend = StorageServer()
+        backend.put(BLOB, PAYLOAD)
+        ssp = SspServer(backend).start()
+        host, port = ssp.address
+        client = RemoteStorageClient(host, port, timeout=2.0)
+        assert client.get(BLOB) == PAYLOAD
+        ssp.stop()
+        client._sock.close()  # connection torn down with the server
+        with pytest.raises(TransientStorageError):
+            client.get(BLOB)  # dead socket
+        with pytest.raises(TransientStorageError):
+            client.get(BLOB)  # reconnect refused: port is closed
+        ssp2 = SspServer(backend, host=host, port=port).start()
+        try:
+            assert client.get(BLOB) == PAYLOAD
+        finally:
+            client.close()
+            ssp2.stop()
