@@ -286,7 +286,23 @@ def _cmd_fsck(args: argparse.Namespace) -> int:
         blob[10] ^= 1
         server.put(block_blob_id(inode, 0), bytes(blob))
         print("injected a bit flip into /docs/a.txt's data block")
-    report = VolumeAuditor(volume).audit()
+    if args.stranded:
+        # A journaled client dies mid-rename: its signed intent stays
+        # pending at the SSP for --repair to roll forward.
+        from .errors import ClientCrashed
+        from .fs.client import ClientConfig, SharoesFilesystem
+        from .storage.resilient import CrashingServer
+        crasher = CrashingServer(server, crash_after=3)
+        dying = SharoesFilesystem(volume, registry.user("alice"),
+                                  config=ClientConfig(journal=True),
+                                  server=crasher)
+        dying.mount()
+        try:
+            dying.rename("/docs/a.txt", "/docs/renamed.txt")
+        except ClientCrashed:
+            print("stranded a dying client's rename mid-apply")
+    auditor = VolumeAuditor(volume)
+    report = auditor.audit()
     print(report.summary())
     for err in report.integrity_errors:
         print("  integrity:", err)
@@ -294,7 +310,47 @@ def _cmd_fsck(args: argparse.Namespace) -> int:
         print("  structure:", err)
     for blob in report.orphaned_blobs:
         print("  orphan:", blob)
+    for intent in report.pending_intents:
+        print("  pending intent:", intent)
+    if args.repair:
+        repair = auditor.repair()
+        print(repair.summary())
+        for item in repair.completed_intents:
+            print("  completed intent:", item)
+        for item in repair.rejected_journals:
+            print("  rejected journal:", item)
+        for item in repair.reclaimed_blobs:
+            print("  reclaimed:", item)
+        report = repair.audit
+        print(report.summary())
+        return 0 if report.clean and not report.orphaned_blobs else 1
     return 0 if report.clean else 1
+
+
+def _cmd_crash_matrix(args: argparse.Namespace) -> int:
+    from .tools.crashmatrix import (FSCK, MOUNT, CrashMatrix, build_cases,
+                                    outcomes_table)
+
+    matrix = CrashMatrix(seed=args.seed)
+    recoveries = {"mount": (MOUNT,), "fsck": (FSCK,),
+                  "both": (MOUNT, FSCK)}[args.recovery]
+    cases = build_cases(matrix.data, matrix.new)
+    if args.ops:
+        wanted = set(args.ops.split(","))
+        known = {c.name for c in cases}
+        if wanted - known:
+            print(f"unknown ops: {sorted(wanted - known)}; "
+                  f"choose from {sorted(known)}")
+            return 2
+        cases = [c for c in cases if c.name in wanted]
+    outcomes = matrix.run(recoveries, cases)
+    table = outcomes_table(outcomes)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(table + "\n")
+        print(f"wrote {args.out}")
+    print(table)
+    return 0 if all(o.consistent for o in outcomes) else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -369,7 +425,24 @@ def build_parser() -> argparse.ArgumentParser:
                             "corruption)")
     p.add_argument("--corrupt", action="store_true",
                    help="flip a bit in one data block first")
+    p.add_argument("--stranded", action="store_true",
+                   help="leave a dead client's pending intent behind")
+    p.add_argument("--repair", action="store_true",
+                   help="roll pending intents forward and reclaim "
+                        "orphans (see docs/ROBUSTNESS.md)")
     p.set_defaults(func=_cmd_fsck)
+
+    p = sub.add_parser("crash-matrix",
+                       help="kill a journaled client at every mutation "
+                            "of every op and assert recovery")
+    p.add_argument("--seed", type=int, default=0,
+                   help="fixes file payloads (outcomes are "
+                        "deterministic per seed)")
+    p.add_argument("--recovery", choices=("mount", "fsck", "both"),
+                   default="both")
+    p.add_argument("--ops", help="comma-separated op subset")
+    p.add_argument("--out", help="also write the outcomes table here")
+    p.set_defaults(func=_cmd_crash_matrix)
     return parser
 
 

@@ -91,6 +91,48 @@ class CircuitOpenError(TransientStorageError):
     instead of waiting out another deadline."""
 
 
+class PartialWriteError(StorageError):
+    """A batched multi-blob upload failed part-way through.
+
+    Carries exactly which blobs were already applied before the failure,
+    which put failed, and which never left the client -- so callers (and
+    the intent-journal recovery machinery) know the precise shape of the
+    half-applied state instead of guessing from a bare
+    :class:`StorageError`.
+    """
+
+    def __init__(self, message: str, applied: tuple = (),
+                 failed=None, remaining: tuple = ()):
+        super().__init__(message)
+        #: blob ids the SSP accepted before the failure, in order.
+        self.applied = tuple(applied)
+        #: the blob id whose put raised.
+        self.failed = failed
+        #: blob ids never attempted.
+        self.remaining = tuple(remaining)
+
+
+class TransientPartialWriteError(PartialWriteError, TransientStorageError):
+    """A partial batch write whose underlying cause is retryable.
+
+    Subclasses both :class:`PartialWriteError` (carries the applied/
+    failed/remaining split) and :class:`TransientStorageError` (the
+    typed outcome every caller of a resilient client must handle), so
+    existing ``except TransientStorageError`` handlers keep working.
+    """
+
+
+class ClientCrashed(SharoesError):
+    """Simulated client process death (crash-point injection).
+
+    Deliberately *not* a :class:`StorageError`: the SSP did nothing
+    wrong, the client itself died mid-mutation.  The retry layer must
+    never retry it and no filesystem handler may swallow it -- it
+    propagates to the crash harness, which then re-mounts and asserts
+    recovery.
+    """
+
+
 class BlobNotFound(StorageError):
     """Requested blob id is not present at the SSP."""
 

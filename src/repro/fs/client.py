@@ -21,6 +21,8 @@ Design invariants (paper sections II-IV):
 
 from __future__ import annotations
 
+import functools
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from ..caps.model import VIEW_NONE, Cap, cap_for_bits
@@ -31,7 +33,9 @@ from ..crypto.provider import CryptoProvider
 from ..errors import (BlobNotFound, CryptoError, DirectoryNotEmpty,
                       FileExists, FileNotFound, FilesystemError,
                       IntegrityError, IsADirectory, NotADirectory,
-                      PermissionDenied, SharoesError)
+                      PartialWriteError, PermissionDenied, SharoesError,
+                      StorageError, TransientPartialWriteError,
+                      TransientStorageError)
 from ..fs import path as fspath
 from ..obs.metrics import (MetricsRegistry, bind_cache_stats,
                            bind_cost_model, bind_crypto_counters,
@@ -40,8 +44,9 @@ from ..obs.tracing import Tracer, traced
 from ..principals.groups import UserAgent
 from ..principals.users import User
 from ..sim.costmodel import CostModel
-from ..storage.blobs import (BlobId, group_key_blob, lockbox_blob,
-                             meta_blob, superblock_blob)
+from ..storage.blobs import (BlobId, group_key_blob, journal_blob,
+                             lockbox_blob, meta_blob, superblock_blob)
+from . import journal
 from .cache import LruCache
 from .dirtable import DIRECT, SPLIT, ZERO, DirEntry, DirPointer, TableView
 from .freshness import FreshnessMonitor
@@ -98,6 +103,13 @@ class ClientConfig:
     #: None (default) inherits the volume's ``retry_policy``; if that is
     #: also None the client talks to the server directly.
     retry_policy: "RetryPolicy | None" = None
+    #: crash-consistent mutations: seal every multi-blob mutation into a
+    #: signed write-ahead intent at the SSP before any of its blobs are
+    #: sent, commit (truncate) afterwards, and replay pending intents on
+    #: mount -- see fs/journal.py and docs/ROBUSTNESS.md.  Default False
+    #: preserves the paper's Figure 8 request/cost profile (journaling
+    #: adds two puts per mutation).
+    journal: bool = False
 
 
 @dataclass
@@ -204,6 +216,22 @@ class OpenFile:
         self.close()
 
 
+def _mutating(op: str):
+    """Scope a client method as one crash-consistent mutation.
+
+    Composes with ``@traced``: the span covers the journal append/apply/
+    commit cycle.  Reentrant -- nested mutating calls (``create_file``
+    -> ``mknod`` -> ``_create``) join the outer op's batch.
+    """
+    def wrap(fn):
+        @functools.wraps(fn)
+        def inner(self, *args, **kwargs):
+            with self._mutation(op):
+                return fn(self, *args, **kwargs)
+        return inner
+    return wrap
+
+
 class SharoesFilesystem:
     """A mounted SHAROES client for one user."""
 
@@ -243,6 +271,17 @@ class SharoesFilesystem:
         self.metrics.gauge("client.requests",
                            help="SSP requests issued by this client",
                            fn=lambda: self.request_count)
+        #: crash consistency: the active mutation's staged wire calls
+        #: (None outside a mutation) and intents journaled at the SSP but
+        #: not yet committed -- see fs/journal.py.
+        self._batch: journal.MutationBatch | None = None
+        self._pending: list[journal.IntentRecord] = []
+        self._journal_seq = 0
+        if self.config.journal:
+            self.metrics.gauge(
+                "journal.pending",
+                help="intents journaled at the SSP but not yet committed",
+                fn=lambda: len(self._pending))
         #: the server this client actually talks to.  ``server`` (if
         #: given) overrides ``volume.server`` -- benchmarks use it to
         #: inject per-client fault wrappers.  A retry policy (from the
@@ -315,6 +354,15 @@ class SharoesFilesystem:
             self.cost.charge_other()
 
     def _get(self, blob_id: BlobId) -> bytes:
+        if self._batch is not None:
+            # Read-your-writes: an op that re-reads a blob it just staged
+            # (symlink resolving its fresh entry, writeback re-reading
+            # block 0) must observe its own deferred state.
+            covered, payload = self._batch.read(blob_id)
+            if covered:
+                if payload is None:
+                    raise BlobNotFound(str(blob_id))
+                return payload
         self.request_count += 1
         with self.tracer.span("network", op="get", kind=blob_id.kind):
             try:
@@ -330,7 +378,18 @@ class SharoesFilesystem:
                     len(payload) + _RESPONSE_HEADER_BYTES)
             return payload
 
+    def _exists(self, blob_id: BlobId) -> bool:
+        """Existence probe, consistent with the active batch overlay."""
+        if self._batch is not None:
+            known = self._batch.exists(blob_id)
+            if known is not None:
+                return known
+        return self.server.exists(blob_id)
+
     def _put(self, blob_id: BlobId, payload: bytes) -> None:
+        if self._batch is not None:
+            self._batch.stage(journal.PUT, [(blob_id, payload)])
+            return
         self.request_count += 1
         with self.tracer.span("network", op="put", kind=blob_id.kind):
             if self.cost is not None:
@@ -349,16 +408,40 @@ class SharoesFilesystem:
         """
         if not blobs:
             return
+        if self._batch is not None:
+            self._batch.stage(journal.PUT_MANY, list(blobs))
+            return
         self.request_count += 1
         with self.tracer.span("network", op="put_many", count=len(blobs)):
             if self.cost is not None:
                 total = sum(len(payload) for _, payload in blobs)
                 self.cost.charge_request(total + _REQUEST_HEADER_BYTES,
                                          _RESPONSE_HEADER_BYTES)
-            for blob_id, payload in blobs:
-                self.server.put(blob_id, payload)
+            for index, (blob_id, payload) in enumerate(blobs):
+                try:
+                    self.server.put(blob_id, payload)
+                except StorageError as exc:
+                    # Surface the exact shape of the half-applied batch
+                    # instead of a bare StorageError; transient causes
+                    # keep their retry-eligible type.
+                    self.metrics.counter(
+                        "transport.partial_writes",
+                        help="batched uploads that failed part-way").inc()
+                    cls = (TransientPartialWriteError
+                           if isinstance(exc, TransientStorageError)
+                           else PartialWriteError)
+                    raise cls(
+                        f"batched upload failed at {blob_id} "
+                        f"({index}/{len(blobs)} blobs applied): {exc}",
+                        applied=[bid for bid, _ in blobs[:index]],
+                        failed=blob_id,
+                        remaining=[bid for bid, _ in blobs[index + 1:]],
+                    ) from exc
 
     def _delete(self, blob_id: BlobId) -> None:
+        if self._batch is not None:
+            self._batch.stage(journal.DELETE, [(blob_id, None)])
+            return
         self.request_count += 1
         with self.tracer.span("network", op="delete", kind=blob_id.kind):
             if self.cost is not None:
@@ -370,15 +453,153 @@ class SharoesFilesystem:
         """Batch deletion: one request regardless of blob count."""
         if not blob_ids:
             return
+        if self._batch is not None:
+            self._batch.stage(journal.DELETE_MANY,
+                              [(bid, None) for bid in blob_ids])
+            return
         self.request_count += 1
         with self.tracer.span("network", op="delete_many",
                               count=len(blob_ids)):
             if self.cost is not None:
-                self.cost.charge_request(
-                    _REQUEST_HEADER_BYTES * len(blob_ids),
-                    _RESPONSE_HEADER_BYTES)
+                # One request header for the batch, like _put_many --
+                # blob ids ride in the payload of a single round trip.
+                self.cost.charge_request(_REQUEST_HEADER_BYTES,
+                                         _RESPONSE_HEADER_BYTES)
             for blob_id in blob_ids:
                 self.server.delete(blob_id)
+
+    # ------------------------------------------------------------------ journal
+
+    @contextmanager
+    def _mutation(self, op: str):
+        """Scope one crash-consistent mutation (see fs/journal.py).
+
+        With journaling off (default) or inside an enclosing mutation
+        this is a no-op.  Otherwise every put/delete the body issues is
+        deferred into a :class:`~repro.fs.journal.MutationBatch`; on
+        clean exit the batch is sealed into a signed intent, journaled at
+        the SSP, applied, and committed.  If the body raises before
+        staging completes, nothing was sent: the op rolls back by
+        construction.  If applying fails part-way, the intent stays
+        pending and is replayed (idempotently) before the next mutation
+        or at the next mount.
+        """
+        if not self.config.journal or self._batch is not None:
+            yield
+            return
+        self._replay_pending()
+        batch = journal.MutationBatch(op)
+        self._batch = batch
+        try:
+            yield
+        except BaseException:
+            self._batch = None
+            raise
+        self._batch = None
+        if not batch.calls:
+            return
+        record = batch.record(self._next_seq())
+        self._pending.append(record)
+        try:
+            self._journal_write("append")
+        except BaseException:
+            # The intent never became durable, and no blob of the op was
+            # sent: the mutation rolled back whole.
+            self._pending.remove(record)
+            raise
+        self.metrics.counter(
+            "journal.appends", help="intents journaled").inc()
+        self._apply_record(record)
+        self._pending.remove(record)
+        try:
+            self._journal_write("commit")
+        except BaseException:
+            self._pending.append(record)
+            raise
+        self.metrics.counter(
+            "journal.commits", help="intents committed").inc()
+
+    def _next_seq(self) -> int:
+        self._journal_seq += 1
+        return self._journal_seq
+
+    def _journal_write(self, phase: str) -> None:
+        """Seal + upload the current pending-intent list."""
+        blob = journal.seal_journal(self.provider, self.agent.user,
+                                    self._pending)
+        with self.tracer.span("journal", phase=phase,
+                              pending=len(self._pending)):
+            self._put(journal_blob(self.agent.user_id), blob)
+
+    def _apply_record(self, record: journal.IntentRecord) -> None:
+        """Replay an intent's staged calls for real.
+
+        Preserves the original request grouping (a ``put_many`` stays one
+        round trip) so the simulated cost matches the unjournaled op.
+        Idempotent: every staged action is an overwrite-put or an
+        idempotent delete, so replaying a partially-applied intent
+        converges on fully-applied.
+        """
+        for call in record.calls:
+            if call.kind == journal.PUT:
+                ((blob_id, payload),) = call.blobs
+                self._put(blob_id, payload)
+            elif call.kind == journal.PUT_MANY:
+                self._put_many(list(call.blobs))
+            elif call.kind == journal.DELETE:
+                ((blob_id, _),) = call.blobs
+                self._delete(blob_id)
+            else:
+                self._delete_many(list(call.blob_ids()))
+
+    def _replay_pending(self) -> None:
+        """Re-apply intents whose first apply failed part-way."""
+        while self._pending:
+            record = self._pending[0]
+            with self.tracer.span("journal", phase="replay",
+                                  op=record.op):
+                self._apply_record(record)
+            self._pending.pop(0)
+            try:
+                self._journal_write("commit")
+            except BaseException:
+                self._pending.insert(0, record)
+                raise
+            self.metrics.counter(
+                "journal.replays",
+                help="pending intents re-applied in-session").inc()
+
+    def _recover_journal(self) -> journal.RecoveryOutcome:
+        """Mount-time recovery: replay whatever a dead client left.
+
+        The journal blob is verified (user-signed, MEK-encrypted) before
+        anything is replayed -- a tampered or SSP-forged record raises
+        :class:`IntegrityError` here and is never applied.
+        """
+        outcome = journal.RecoveryOutcome()
+        if self._batch is not None:  # nested mount inside a mutation
+            return outcome
+        try:
+            blob = self._get(journal_blob(self.agent.user_id))
+        except BlobNotFound:
+            return outcome
+        records = journal.open_journal(self.provider, self.agent.user,
+                                       blob)
+        if not records:
+            return outcome
+        self._journal_seq = max(self._journal_seq,
+                                max(r.seq for r in records))
+        for record in records:
+            with self.tracer.span("journal", phase="recover",
+                                  op=record.op):
+                self._apply_record(record)
+            outcome.replayed.append(record)
+            self.metrics.counter(
+                "journal.recovered",
+                help="intents replayed by mount-time recovery").inc()
+        self._pending = []
+        self._journal_write("commit")
+        return outcome
 
     # ------------------------------------------------------------------ mount
 
@@ -400,6 +621,8 @@ class SharoesFilesystem:
             except BlobNotFound:
                 continue
             self.agent.install_group_key(group_id, wrapped)
+        if self.config.journal:
+            self._recover_journal()
 
     @property
     def mounted(self) -> bool:
@@ -584,6 +807,7 @@ class SharoesFilesystem:
             self._resolve(path, follow_last=False).attrs)
 
     @traced("symlink", path_arg=1)
+    @_mutating("symlink")
     def symlink(self, target: str, path: str, mode: int = 0o644) -> Stat:
         """Create a symbolic link at ``path`` pointing at ``target``.
 
@@ -606,6 +830,7 @@ class SharoesFilesystem:
         return self._read_symlink_target(node)
 
     @traced("link", path_arg=1)
+    @_mutating("link")
     def link(self, existing_path: str, new_path: str) -> Stat:
         """Create a hard link (owner only: the link count lives in
         metadata, which only the MSK holder can update, and the new
@@ -766,6 +991,7 @@ class SharoesFilesystem:
         return [content[i:i + block_size]
                 for i in range(0, len(content), block_size)]
 
+    @_mutating("writeback")
     def _flush_file(self, node: ResolvedNode, content: bytes,
                     original_blocks: list[bytes]) -> None:
         """Encrypt and upload dirty blocks; update metadata if owner.
@@ -836,7 +1062,7 @@ class SharoesFilesystem:
         """Remove blocks past the new end, sweeping past stale counts."""
         victims = []
         index = new_count
-        while index < known_old_count or self.server.exists(
+        while index < known_old_count or self._exists(
                 block_blob_id(inode, index)):
             victims.append(block_blob_id(inode, index))
             index += 1
@@ -960,6 +1186,7 @@ class SharoesFilesystem:
             self._put(lockbox_blob(record.attrs.inode, user_id),
                       self.provider.pk_encrypt(public, payload))
 
+    @_mutating("create")
     def _create(self, path: str, mode: int, ftype: str,
                 group: str | None, acl: tuple[AclEntry, ...]) -> Stat:
         self._charge_other()
@@ -1018,6 +1245,7 @@ class SharoesFilesystem:
         return self._create(path, mode, DIRECTORY, group, acl)
 
     @traced("create_file")
+    @_mutating("create_file")
     def create_file(self, path: str, data: bytes = b"",
                     mode: int = 0o644, group: str | None = None) -> Stat:
         """mknod + write + close in one call."""
@@ -1038,7 +1266,7 @@ class SharoesFilesystem:
         if attrs.ftype != DIRECTORY:
             index = 0
             while (index < max(attrs.block_count, 1)
-                   or self.server.exists(
+                   or self._exists(
                        block_blob_id(attrs.inode, index))):
                 victims.append(block_blob_id(attrs.inode, index))
                 index += 1
@@ -1050,6 +1278,7 @@ class SharoesFilesystem:
         self.freshness.forget(attrs.inode)
 
     @traced("unlink")
+    @_mutating("unlink")
     def unlink(self, path: str) -> None:
         """Remove a file or symlink: drop its rows from the parent views.
 
@@ -1078,6 +1307,7 @@ class SharoesFilesystem:
         self._delete_object_blobs(child.attrs)
 
     @traced("rmdir")
+    @_mutating("rmdir")
     def rmdir(self, path: str) -> None:
         self._charge_other()
         parent, name = self._resolve_parent(path)
@@ -1099,6 +1329,7 @@ class SharoesFilesystem:
         self._delete_object_blobs(child.attrs)
 
     @traced("rename")
+    @_mutating("rename")
     def rename(self, old_path: str, new_path: str) -> None:
         """Move/rename: child keys are untouched, only rows move."""
         self._charge_other()
@@ -1303,6 +1534,7 @@ class SharoesFilesystem:
                                         name)
 
     @traced("chmod")
+    @_mutating("chmod")
     def chmod(self, path: str, mode: int) -> Stat:
         """Change permissions (owner only -- MSK is the capability).
 
@@ -1409,6 +1641,7 @@ class SharoesFilesystem:
     # ------------------------------------------------------------------ chown / acl
 
     @traced("chown")
+    @_mutating("chown")
     def chown(self, path: str, new_owner: str,
               new_group: str | None = None) -> Stat:
         """Transfer ownership: full rekey (the old owner knew every key)."""
@@ -1436,6 +1669,7 @@ class SharoesFilesystem:
         return Stat.from_attrs(record.attrs)
 
     @traced("set_acl")
+    @_mutating("set_acl")
     def set_acl(self, path: str, entries: tuple[AclEntry, ...]) -> Stat:
         """Replace the POSIX-ACL user entries (owner only).
 
@@ -1474,6 +1708,7 @@ class SharoesFilesystem:
         return Stat.from_attrs(record.attrs)
 
     @traced("rekey")
+    @_mutating("rekey")
     def rekey(self, path: str) -> Stat:
         """Rotate every key of an object (owner only).
 

@@ -1,0 +1,243 @@
+"""Per-user write-ahead intent journal (crash-consistent mutations).
+
+Every SHAROES mutation is a *multi-blob* update: ``create_file`` writes
+data blocks, metadata replicas and the parent directory table;
+``rename`` touches two parents; ``unlink`` rewrites tables and deletes
+object blobs.  The SSP applies blobs one at a time, so a client crash
+mid-mutation strands half-applied state that an audit can detect but
+not explain.  This module supplies the redo log that makes those
+mutations atomic:
+
+* before any blob of a mutation leaves the client, the full set of
+  staged wire calls (puts with their sealed payloads, deletes) is
+  serialized into an :class:`IntentRecord` and uploaded to the user's
+  journal blob at the SSP;
+* the mutation then *applies* (replays the staged calls for real) and
+  *commits* (truncates the journal);
+* a crash at any point leaves either no intent (nothing was sent:
+  the op rolled back by construction) or a sealed intent whose replay
+  is idempotent (every staged action is an overwrite-put or an
+  idempotent delete), so recovery always converges on *fully applied*.
+
+The SSP is untrusted, so the journal itself follows the paper's in-band
+key discipline: payloads are encrypted under a **journal encryption
+key** derived from the user's private identity key (the user-scope MEK
+analogue -- it never exists outside the enterprise), and the sealed
+blob is signed with the user's identity key (the user-scope MSK
+analogue).  Recovery verifies before replaying, so a tampered or
+SSP-forged intent is rejected with :class:`~repro.errors.
+IntegrityError`, never replayed.
+
+Known gap, shared with the rest of the design: an SSP serving a stale
+*committed* journal uniformly on first contact is a rollback the client
+cannot see (SUNDR's fork-consistency gap; ``docs/ROBUSTNESS.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..crypto import hashes
+from ..crypto.provider import CryptoProvider
+from ..errors import IntegrityError
+from ..serialize import Reader, SerializationError, Writer
+from ..storage.blobs import BlobId, principal_hash
+from .sealed import bind_context, open_verified, seal_and_sign
+
+#: staged wire-call kinds, mirroring the client's batching helpers so a
+#: replay reproduces the exact request grouping (and therefore the
+#: exact simulated network cost) of the original mutation.
+PUT = "put"
+PUT_MANY = "put_many"
+DELETE = "delete"
+DELETE_MANY = "delete_many"
+
+_KINDS = (PUT, PUT_MANY, DELETE, DELETE_MANY)
+
+
+def journal_key(user) -> bytes:
+    """Journal encryption key: derived, never stored, never leaves.
+
+    Deterministic in the user's private identity key, so any mount by
+    the same user (or the enterprise fsck holding the key escrow) can
+    open the journal, while the SSP -- which only ever sees the public
+    half -- cannot read or forge records.
+    """
+    return hashes.digest(b"sharoes/journal-key/"
+                         + user.private_key.to_bytes())
+
+
+def journal_context(user_id: str) -> bytes:
+    """Context binding a journal blob to its owner's slot."""
+    return bind_context("journal", 0, principal_hash(user_id))
+
+
+@dataclass(frozen=True)
+class StagedCall:
+    """One deferred wire call of a mutation batch.
+
+    ``blobs`` pairs each :class:`BlobId` with its sealed payload (puts)
+    or ``None`` (deletes).  Payloads are stored exactly as they would
+    hit the wire -- already encrypted and signed under object keys --
+    so replay needs no cryptography beyond opening the journal itself.
+    """
+
+    kind: str
+    blobs: tuple[tuple[BlobId, bytes | None], ...]
+
+    def blob_ids(self) -> tuple[BlobId, ...]:
+        return tuple(blob_id for blob_id, _ in self.blobs)
+
+    def to_writer(self, writer: Writer) -> None:
+        writer.put_str(self.kind)
+        writer.put_int(len(self.blobs))
+        for blob_id, payload in self.blobs:
+            writer.put_str(blob_id.kind)
+            writer.put_int(blob_id.inode)
+            writer.put_str(blob_id.selector)
+            writer.put_optional_bytes(payload)
+
+    @classmethod
+    def from_reader(cls, reader: Reader) -> "StagedCall":
+        kind = reader.get_str()
+        if kind not in _KINDS:
+            raise SerializationError(f"unknown staged call kind {kind!r}")
+        count = reader.get_int()
+        blobs = []
+        for _ in range(count):
+            blob_id = BlobId(kind=reader.get_str(),
+                             inode=reader.get_int(),
+                             selector=reader.get_str())
+            blobs.append((blob_id, reader.get_optional_bytes()))
+        return cls(kind=kind, blobs=tuple(blobs))
+
+
+@dataclass(frozen=True)
+class IntentRecord:
+    """One journaled mutation: op name, sequence number, staged calls."""
+
+    seq: int
+    op: str
+    calls: tuple[StagedCall, ...]
+
+    def mutation_count(self) -> int:
+        """Total individual puts+deletes this intent will apply."""
+        return sum(len(call.blobs) for call in self.calls)
+
+    def to_writer(self, writer: Writer) -> None:
+        writer.put_int(self.seq)
+        writer.put_str(self.op)
+        writer.put_int(len(self.calls))
+        for call in self.calls:
+            call.to_writer(writer)
+
+    @classmethod
+    def from_reader(cls, reader: Reader) -> "IntentRecord":
+        seq = reader.get_int()
+        op = reader.get_str()
+        count = reader.get_int()
+        calls = tuple(StagedCall.from_reader(reader)
+                      for _ in range(count))
+        return cls(seq=seq, op=op, calls=calls)
+
+
+def encode_records(records: list[IntentRecord]) -> bytes:
+    writer = Writer()
+    writer.put_int(len(records))
+    for record in records:
+        record.to_writer(writer)
+    return writer.getvalue()
+
+
+def decode_records(raw: bytes) -> list[IntentRecord]:
+    reader = Reader(raw)
+    count = reader.get_int()
+    records = [IntentRecord.from_reader(reader) for _ in range(count)]
+    reader.expect_end()
+    return records
+
+
+def seal_journal(provider: CryptoProvider, user,
+                 records: list[IntentRecord]) -> bytes:
+    """Encrypt-then-sign the pending-intent list for one user."""
+    return seal_and_sign(provider, journal_key(user), user.private_key,
+                         journal_context(user.user_id),
+                         encode_records(records))
+
+
+def open_journal(provider: CryptoProvider, user,
+                 blob: bytes) -> list[IntentRecord]:
+    """Verify, decrypt and decode a journal blob.
+
+    Raises :class:`IntegrityError` on a bad signature (tampering, or an
+    SSP-forged record -- the SSP holds no user private key) and on any
+    structural corruption of the verified plaintext.
+    """
+    payload = open_verified(provider, journal_key(user), user.public_key,
+                            journal_context(user.user_id), blob)
+    try:
+        return decode_records(payload)
+    except SerializationError as exc:
+        raise IntegrityError(
+            f"journal for {user.user_id}: verified payload is "
+            f"structurally corrupt: {exc}") from exc
+
+
+class MutationBatch:
+    """Staged wire calls plus a read-your-writes overlay for one op.
+
+    While a batch is active the client defers every put/delete here
+    instead of sending it, preserving the original request *grouping*
+    (a ``put_many`` stays one round trip on replay).  Reads during the
+    op consult the overlay first, so an op that re-reads a blob it just
+    wrote (e.g. ``symlink`` resolving its fresh entry with caching
+    disabled) observes its own staged state.
+    """
+
+    def __init__(self, op: str):
+        self.op = op
+        self.calls: list[StagedCall] = []
+        self._writes: dict[BlobId, bytes] = {}
+        self._deletes: set[BlobId] = set()
+
+    def stage(self, kind: str,
+              blobs: list[tuple[BlobId, bytes | None]]) -> None:
+        self.calls.append(StagedCall(kind=kind, blobs=tuple(blobs)))
+        for blob_id, payload in blobs:
+            if payload is None:
+                self._writes.pop(blob_id, None)
+                self._deletes.add(blob_id)
+            else:
+                self._deletes.discard(blob_id)
+                self._writes[blob_id] = payload
+
+    def read(self, blob_id: BlobId) -> tuple[bool, bytes | None]:
+        """Overlay lookup: (covered?, payload-or-None-if-deleted)."""
+        if blob_id in self._writes:
+            return True, self._writes[blob_id]
+        if blob_id in self._deletes:
+            return True, None
+        return False, None
+
+    def exists(self, blob_id: BlobId) -> bool | None:
+        """Overlay existence: True/False if covered, None to fall through."""
+        if blob_id in self._writes:
+            return True
+        if blob_id in self._deletes:
+            return False
+        return None
+
+    def record(self, seq: int) -> IntentRecord:
+        return IntentRecord(seq=seq, op=self.op, calls=tuple(self.calls))
+
+
+@dataclass
+class RecoveryOutcome:
+    """What one journal recovery pass did (client mount or fsck)."""
+
+    replayed: list[IntentRecord] = field(default_factory=list)
+    aborted: list[IntentRecord] = field(default_factory=list)
+
+    @property
+    def pending_found(self) -> int:
+        return len(self.replayed) + len(self.aborted)

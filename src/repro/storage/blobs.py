@@ -10,6 +10,8 @@ either hash of user/group ID (for Scheme-1) or CAP ID (Scheme-2)"
 * ``super/<user-hash>``        -- per-user encrypted superblocks
 * ``groupkey/<group>/<user-hash>`` -- group keys wrapped per member
 * ``lockbox/<inode>/<user-hash>``  -- Scheme-2 split-point lockboxes
+* ``journal/<user-hash>``      -- per-user write-ahead intent journals
+  (MEK-encrypted + signed client-side; see :mod:`repro.fs.journal`)
 
 ``selector`` is a CAP id under Scheme-2 or a hashed principal id under
 Scheme-1; baselines that keep a single copy use the selector ``"-"``.
@@ -26,6 +28,7 @@ DATA = "data"
 SUPERBLOCK = "super"
 GROUP_KEY = "groupkey"
 LOCKBOX = "lockbox"
+JOURNAL = "journal"
 
 #: Selector for single-copy objects (baselines, shared structures).
 SHARED = "-"
@@ -67,3 +70,8 @@ def group_key_blob(group_id: str, user_id: str) -> BlobId:
 
 def lockbox_blob(inode: int, user_id: str) -> BlobId:
     return BlobId(LOCKBOX, inode, principal_hash(user_id))
+
+
+def journal_blob(user_id: str) -> BlobId:
+    """One write-ahead intent journal per user (inode slot 0)."""
+    return BlobId(JOURNAL, 0, principal_hash(user_id))

@@ -32,7 +32,8 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
-from ..errors import CircuitOpenError, TransientStorageError
+from ..errors import (CircuitOpenError, ClientCrashed,
+                      TransientStorageError)
 from ..fs.cache import LruCache
 from ..sim.clock import SimClock
 from ..sim.costmodel import NETWORK, CostModel
@@ -66,6 +67,44 @@ class ServerWrapper:
 
     def exists(self, blob_id: BlobId) -> bool:
         return self.inner.exists(blob_id)
+
+
+class CrashingServer(ServerWrapper):
+    """Kills the client at the k-th mutation (crash-point injection).
+
+    Counts *mutations* (put/delete) only -- reads never change SSP state,
+    so crash points between them are indistinguishable from crashing at
+    the next mutation.  With ``crash_after=k`` the k-th mutation raises
+    :class:`~repro.errors.ClientCrashed` *before* touching the backend
+    (the paper's SSP applies a request atomically or not at all; the
+    interesting partial states come from dying *between* blobs of a
+    multi-blob op, which per-mutation counting covers exhaustively).
+    ``crash_after=None`` never crashes: the harness uses a counting run
+    to discover how many crash points an op has.
+    """
+
+    def __init__(self, inner: StorageServer,
+                 crash_after: int | None = None):
+        super().__init__(inner, name=f"crashing({inner.name})")
+        self.crash_after = crash_after
+        self.mutations = 0
+        self.crashed = False
+
+    def _mutation(self) -> None:
+        self.mutations += 1
+        if self.crash_after is not None and \
+                self.mutations >= self.crash_after:
+            self.crashed = True
+            raise ClientCrashed(
+                f"injected crash at mutation {self.mutations}")
+
+    def put(self, blob_id: BlobId, payload: bytes) -> None:
+        self._mutation()
+        self.inner.put(blob_id, payload)
+
+    def delete(self, blob_id: BlobId) -> None:
+        self._mutation()
+        self.inner.delete(blob_id)
 
 
 # -- transient-fault injectors ------------------------------------------------

@@ -73,3 +73,11 @@ class StorageServer:
     def raw_blobs(self) -> dict[BlobId, bytes]:
         """Everything the (curious) SSP can see. For audits and attacks."""
         return dict(self._blobs)
+
+    def snapshot_blobs(self) -> dict[BlobId, bytes]:
+        """Point-in-time copy of the store (crash-harness checkpoints)."""
+        return dict(self._blobs)
+
+    def restore_blobs(self, snapshot: dict[BlobId, bytes]) -> None:
+        """Reset the store to a prior :meth:`snapshot_blobs` state."""
+        self._blobs = dict(snapshot)

@@ -13,7 +13,14 @@ What it detects:
 * SSP rollbacks of objects visited twice (via the client's freshness
   monitor);
 * orphaned blobs -- storage the SSP bills for that no user can reach
-  (e.g. left over from interrupted deletes).
+  (e.g. left over from interrupted deletes);
+* pending or forged write-ahead intents in per-user journals (clients
+  that died mid-mutation; SSP-injected journal bytes).
+
+With ``repair()`` it also *fixes* what it safely can: verified pending
+intents are rolled forward (their staged blobs applied, the journal
+truncated), unverifiable journals are quarantined, and orphaned blobs
+are reclaimed -- see ``docs/ROBUSTNESS.md`` for the exact contract.
 
 What it cannot detect, by design: a consistent, validly-signed *old*
 state served uniformly on first contact (SUNDR's fork-consistency gap,
@@ -24,11 +31,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..errors import (FilesystemError, IntegrityError, PermissionDenied,
-                      SharoesError, StorageError)
+from ..crypto.provider import CryptoProvider
+from ..errors import (BlobNotFound, FilesystemError, IntegrityError,
+                      PermissionDenied, SharoesError, StorageError)
+from ..fs import journal
 from ..fs.client import ClientConfig, SharoesFilesystem
 from ..fs.volume import SharoesVolume
-from ..storage.blobs import BlobId
+from ..storage.blobs import BlobId, journal_blob
 from ..storage.server import StorageServer
 
 
@@ -45,6 +54,8 @@ class AuditReport:
     structural_errors: list[str] = field(default_factory=list)
     orphaned_blobs: list[str] = field(default_factory=list)
     unreachable_users: list[str] = field(default_factory=list)
+    #: verified write-ahead intents awaiting replay ("user op#seq").
+    pending_intents: list[str] = field(default_factory=list)
 
     @property
     def clean(self) -> bool:
@@ -59,7 +70,31 @@ class AuditReport:
                 f"{self.symlinks_verified} symlinks); "
                 f"{len(self.integrity_errors)} integrity, "
                 f"{len(self.structural_errors)} structural, "
-                f"{len(self.orphaned_blobs)} orphaned blobs")
+                f"{len(self.orphaned_blobs)} orphaned blobs, "
+                f"{len(self.pending_intents)} pending intents")
+
+
+@dataclass
+class RepairReport:
+    """Outcome of one ``fsck --repair`` pass."""
+
+    #: verified intents rolled forward ("user op#seq"), in apply order.
+    completed_intents: list[str] = field(default_factory=list)
+    #: journal blobs that failed signature/MAC verification and were
+    #: quarantined (deleted) without replaying anything.
+    rejected_journals: list[str] = field(default_factory=list)
+    #: orphaned blobs reclaimed from the SSP.
+    reclaimed_blobs: list[str] = field(default_factory=list)
+    #: the post-repair audit, proving the volume converged.
+    audit: AuditReport | None = None
+
+    def summary(self) -> str:
+        status = ("CLEAN" if self.audit is not None and self.audit.clean
+                  and not self.audit.orphaned_blobs else "NOT CONVERGED")
+        return (f"fsck --repair: {status} -- "
+                f"{len(self.completed_intents)} intents completed, "
+                f"{len(self.rejected_journals)} journals rejected, "
+                f"{len(self.reclaimed_blobs)} blobs reclaimed")
 
 
 class _RecordingServer:
@@ -111,8 +146,97 @@ class VolumeAuditor:
             self._walk(fs, "/", report, visited_inodes)
 
         report.objects_visited = len(visited_inodes)
+        self._check_journals(report)
         if check_orphans:
             self._find_orphans(recorder, report, visited_inodes)
+        return report
+
+    # -- journals ----------------------------------------------------------------
+
+    def _check_journals(self, report: AuditReport) -> None:
+        """Verify every user's write-ahead journal (see fs/journal.py).
+
+        fsck runs inside the enterprise trust domain, so it holds the
+        registry's private keys and can open (and later replay) any
+        user's journal.  A journal that fails verification is an
+        integrity error: either corruption or SSP-forged intents.
+        """
+        for user in self.volume.registry.users():
+            try:
+                blob = self.volume.server.get(journal_blob(user.user_id))
+            except (BlobNotFound, StorageError):
+                continue
+            try:
+                records = journal.open_journal(
+                    CryptoProvider(getattr(self.volume, "engine",
+                                           "stream")),
+                    user, blob)
+            except IntegrityError as exc:
+                report.integrity_errors.append(
+                    f"journal[{user.user_id}]: {exc}")
+                continue
+            for record in records:
+                report.pending_intents.append(
+                    f"{user.user_id} {record.op}#{record.seq}")
+
+    # -- repair ------------------------------------------------------------------
+
+    def repair(self) -> RepairReport:
+        """Converge the volume: roll intents forward, reclaim orphans.
+
+        Three passes, in an order that matters:
+
+        1. **Complete stale intents.**  Every verified pending intent is
+           rolled *forward* -- its staged calls carry the exact sealed
+           payloads the dead client would have sent, and replay is
+           idempotent, so completion is always safe.  (Roll-*back* is
+           not offered: an intent found in the journal proves the
+           journal put succeeded, i.e. the client was past the point of
+           no return; undoing blobs it may have applied could clobber a
+           concurrent writer.)  A journal that fails verification is
+           quarantined unreplayed: its intents are untrusted bytes.
+        2. **Reclaim orphans.**  With intents completed, anything still
+           unreachable really is garbage from interrupted deletes (or
+           rolled-back creates); it is deleted from the SSP.
+        3. **Re-audit** to prove convergence; the result rides on the
+           returned report.
+        """
+        report = RepairReport()
+        server = self.volume.server
+        provider = CryptoProvider(getattr(self.volume, "engine",
+                                          "stream"))
+        for user in self.volume.registry.users():
+            jid = journal_blob(user.user_id)
+            try:
+                blob = server.get(jid)
+            except (BlobNotFound, StorageError):
+                continue
+            try:
+                records = journal.open_journal(provider, user, blob)
+            except IntegrityError:
+                server.delete(jid)
+                report.rejected_journals.append(user.user_id)
+                continue
+            if not records:
+                continue
+            for record in records:
+                for call in record.calls:
+                    for blob_id, payload in call.blobs:
+                        if payload is None:
+                            server.delete(blob_id)
+                        else:
+                            server.put(blob_id, payload)
+                report.completed_intents.append(
+                    f"{user.user_id} {record.op}#{record.seq}")
+            server.put(jid, journal.seal_journal(provider, user, []))
+        audit = self.audit()
+        for name in audit.orphaned_blobs:
+            kind, inode, selector = name.split("/", 2)
+            server.delete(BlobId(kind, int(inode), selector))
+            report.reclaimed_blobs.append(name)
+        if report.reclaimed_blobs:
+            audit = self.audit()
+        report.audit = audit
         return report
 
     # -- traversal --------------------------------------------------------------
@@ -181,8 +305,11 @@ class VolumeAuditor:
             return  # remote SSPs expose no census
         for blob_id in sorted(all_ids - recorder.touched):
             # Lockboxes, superblocks and group keys are only read by
-            # their single addressee on specific paths; unread is fine.
-            if blob_id.kind in ("super", "groupkey", "lockbox"):
+            # their single addressee on specific paths; journals are
+            # per-user recovery state audited separately.  Unread is
+            # fine for all of them.
+            if blob_id.kind in ("super", "groupkey", "lockbox",
+                                "journal"):
                 continue
             if blob_id.inode in visited_inodes:
                 continue

@@ -27,14 +27,15 @@ import random
 import pytest
 
 from repro.crypto.provider import CryptoProvider
-from repro.errors import (FileNotFound, SharoesError,
+from repro.errors import (ClientCrashed, FileNotFound, SharoesError,
                           TransientStorageError)
 from repro.fs.client import ClientConfig, SharoesFilesystem
 from repro.fs.volume import SharoesVolume
 from repro.principals.groups import GroupKeyService
 from repro.sim.costmodel import CostModel
 from repro.sim.profiles import FREE
-from repro.storage.resilient import FlakyServer, RetryPolicy
+from repro.storage.resilient import (CrashingServer, FlakyServer,
+                                     RetryPolicy)
 from repro.storage.server import StorageServer
 from repro.tools.fsck import VolumeAuditor
 
@@ -205,3 +206,92 @@ def test_chaos_high_rate_mostly_transient_not_crash(registry):
     assert counters["giveups"] > 0
     transients = [e for e in events if e[-1] == "transient"]
     assert transients  # plenty of typed failures, zero crashes
+
+
+# -- writeback crash points ---------------------------------------------------
+#
+# The flaky faults above model an SSP that misbehaves; CrashingServer
+# models a *client* that dies.  For the write-back path (pwrite /
+# truncate on close) every put boundary is a distinct crash point, and
+# the journal must make each one recover to exactly-old or exactly-new
+# content -- never a torn file.
+
+
+def run_writeback_crashes(registry, seed: int, op: str):
+    """Crash a journaled client at every mutation of one writeback.
+
+    Returns ``(total_crash_points, outcome_log)`` where the log has one
+    ``(k, "old" | "new")`` entry per crash point -- replay-comparable,
+    like ``run_chaos``'s event log.
+    """
+    rng = random.Random(seed)
+    server = StorageServer()
+    volume = SharoesVolume(server, registry, block_size=128)
+    volume.format(root_owner="alice", root_group="eng")
+    GroupKeyService(registry, server, CryptoProvider()).publish_all()
+    config = ClientConfig(journal=True, cache_bytes=0)
+
+    def client(backend=None) -> SharoesFilesystem:
+        fs = SharoesFilesystem(volume, registry.user("alice"),
+                               config=config, server=backend)
+        fs.mount()  # replays whatever the dead client left pending
+        return fs
+
+    old = rng.randbytes(128 * 3)
+    new = rng.randbytes(200)
+    offset = rng.randrange(0, 128 * 2)
+    cut = rng.randrange(0, len(old))
+    client().create_file("/f", old)
+    if op == "pwrite":
+        buf = bytearray(old)
+        buf[offset:offset + len(new)] = new
+        expected = bytes(buf)
+    else:
+        expected = old[:cut]
+
+    def run(fs: SharoesFilesystem) -> None:
+        with fs.open("/f", "rw") as handle:
+            if op == "pwrite":
+                handle.pwrite(new, offset)
+            else:
+                handle.truncate(cut)
+
+    snapshot = server.snapshot_blobs()
+    counting = CrashingServer(server)
+    run(client(counting))
+    total = counting.mutations
+    assert client().read_file("/f") == expected
+
+    log = []
+    for k in range(1, total + 1):
+        server.restore_blobs(snapshot)
+        crasher = CrashingServer(server, crash_after=k)
+        with pytest.raises(ClientCrashed):
+            run(client(crasher))
+        fs = client()
+        content = fs.read_file("/f")
+        assert content in (old, expected), (
+            f"{op} k={k}: torn writeback -- {len(content)} bytes "
+            f"matching neither old nor new content")
+        report = VolumeAuditor(volume).audit()
+        assert report.clean and not report.orphaned_blobs, (
+            f"{op} k={k}: {report.summary()}")
+        log.append((k, "old" if content == old else "new"))
+    return total, log
+
+
+@pytest.mark.parametrize("op", ["pwrite", "truncate"])
+def test_writeback_crash_every_put_boundary_recovers(registry, op):
+    total, log = run_writeback_crashes(registry, seed=2008, op=op)
+    assert total >= 3  # genuinely multi-blob: block 0 + data + journal
+    # k=1 kills the intent append: nothing was sent, content stays old.
+    assert log[0] == (1, "old")
+    # Every later point is past the intent: recovery rolls forward.
+    assert all(state == "new" for _, state in log[1:])
+
+
+@pytest.mark.parametrize("op", ["pwrite", "truncate"])
+def test_writeback_crash_sweep_deterministic_per_seed(registry, op):
+    first = run_writeback_crashes(registry, seed=31, op=op)
+    second = run_writeback_crashes(registry, seed=31, op=op)
+    assert first == second

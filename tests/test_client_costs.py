@@ -185,3 +185,44 @@ class TestMountCosts:
         fs.getattr("/pub")
         fs.readdir("/")
         assert fs.provider.counters.total("pk_decrypt") == 0
+
+
+class TestBatchDeleteCosts:
+    """_delete_many is "one request regardless of blob count" -- its
+    network charge must match that claim (it used to charge one request
+    *header per blob*, overpricing unlink against the Figure 8 model)."""
+
+    def test_delete_many_charges_one_request_header(self, costed):
+        from repro.storage.blobs import data_blob
+        fs, cost = costed
+        with cost.span() as single:
+            fs._delete(data_blob(999, "b0"))
+        with cost.span() as batch:
+            fs._delete_many([data_blob(999, f"b{i}") for i in range(8)])
+        # Headers are all that cross the wire either way: cost parity.
+        assert batch.network == pytest.approx(single.network)
+        assert batch.network > 0
+
+    def test_unlink_network_cost_flat_in_block_count(self, costed):
+        """End-to-end parity: reclaiming an 8-block file must not price
+        its deletes 8x a 1-block file's (both are one batched request;
+        the block count only shows up in the *upload* at create time)."""
+        fs, cost = costed
+        block = fs.volume.block_size
+        fs.create_file("/small", b"s", mode=0o600)
+        fs.create_file("/big", b"b" * (8 * block), mode=0o600)
+        requests = fs.request_count
+        with cost.span() as small:
+            fs.unlink("/small")
+        small_requests = fs.request_count - requests
+        requests = fs.request_count
+        with cost.span() as big:
+            fs.unlink("/big")
+        big_requests = fs.request_count - requests
+        # Same round-trip pattern: the 7 extra data blocks ride in the
+        # one batched delete, adding zero requests.
+        assert big_requests == small_requests
+        # Near cost-parity too: the residual difference is payload-
+        # driven (block-map and directory-table sizes), a few percent --
+        # nothing like the 8 per-blob headers the old accounting billed.
+        assert big.network == pytest.approx(small.network, rel=0.05)

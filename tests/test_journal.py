@@ -1,0 +1,311 @@
+"""Write-ahead intent journal: sealing, atomicity, crash recovery.
+
+The crash-point sweep across every op lives in test_crash_matrix.py;
+this file covers the journal's own contracts -- the record codec, the
+crypto envelope (tamper/forge rejection), batch staging semantics,
+partial-write surfacing, and recovery idempotence.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.provider import CryptoProvider
+from repro.errors import (ClientCrashed, FileExists, IntegrityError,
+                          PartialWriteError, TransientPartialWriteError,
+                          TransientStorageError)
+from repro.fs import journal
+from repro.fs.client import ClientConfig, SharoesFilesystem
+from repro.storage.blobs import BlobId, journal_blob
+from repro.storage.resilient import CrashingServer, ServerWrapper
+from repro.storage.server import StorageServer
+from repro.tools.fsck import VolumeAuditor
+
+JCONF = ClientConfig(journal=True, cache_bytes=0)
+
+
+def make_journaled(volume, registry, user_id="alice", server=None,
+                   config=JCONF):
+    fs = SharoesFilesystem(volume, registry.user(user_id),
+                           config=config, server=server)
+    fs.mount()
+    return fs
+
+
+# -- record codec -------------------------------------------------------------
+
+
+class TestCodec:
+    def _record(self) -> journal.IntentRecord:
+        return journal.IntentRecord(seq=7, op="rename", calls=(
+            journal.StagedCall(journal.PUT_MANY, (
+                (BlobId("meta", 3, "u"), b"sealed-meta"),
+                (BlobId("data", 3, "t:u"), b"sealed-table"))),
+            journal.StagedCall(journal.DELETE, (
+                (BlobId("data", 4, "b0"), None),)),
+        ))
+
+    def test_roundtrip(self):
+        record = self._record()
+        [back] = journal.decode_records(
+            journal.encode_records([record]))
+        assert back == record
+        assert back.mutation_count() == 3
+
+    def test_empty_list_roundtrip(self):
+        assert journal.decode_records(journal.encode_records([])) == []
+
+    def test_unknown_call_kind_rejected(self):
+        bad = journal.StagedCall.__new__(journal.StagedCall)
+        object.__setattr__(bad, "kind", "format_volume")
+        object.__setattr__(bad, "blobs", ())
+        record = journal.IntentRecord(seq=1, op="x", calls=(bad,))
+        with pytest.raises(Exception):
+            journal.decode_records(journal.encode_records([record]))
+
+
+# -- crypto envelope ----------------------------------------------------------
+
+
+class TestEnvelope:
+    def test_seal_open_roundtrip(self, registry):
+        provider = CryptoProvider()
+        alice = registry.user("alice")
+        records = [journal.IntentRecord(seq=1, op="mkdir", calls=())]
+        blob = journal.seal_journal(provider, alice, records)
+        assert journal.open_journal(provider, alice, blob) == records
+
+    def test_tampered_journal_rejected(self, registry):
+        provider = CryptoProvider()
+        alice = registry.user("alice")
+        blob = bytearray(journal.seal_journal(
+            provider, alice,
+            [journal.IntentRecord(seq=1, op="mkdir", calls=())]))
+        blob[len(blob) // 2] ^= 1
+        with pytest.raises(IntegrityError):
+            journal.open_journal(provider, alice, bytes(blob))
+
+    def test_forged_journal_rejected(self, registry):
+        """The SSP holds no user private key: a journal it seals under
+        any key it *does* have fails alice's verification."""
+        provider = CryptoProvider()
+        forged = journal.seal_journal(
+            provider, registry.user("bob"),
+            [journal.IntentRecord(seq=9, op="unlink", calls=())])
+        with pytest.raises(IntegrityError):
+            journal.open_journal(provider, registry.user("alice"),
+                                 forged)
+
+    def test_journal_blob_is_ciphertext(self, volume, registry):
+        """The SSP sees no blob ids or op names in a stored journal."""
+        fs = make_journaled(volume, registry)
+        crasher = CrashingServer(volume.server, crash_after=3)
+        dying = make_journaled(volume, registry, server=crasher)
+        with pytest.raises(ClientCrashed):
+            dying.create_file("/secret-name", b"secret-payload")
+        raw = volume.server.get(journal_blob("alice"))
+        assert b"secret-name" not in raw
+        assert b"secret-payload" not in raw
+        assert b"create" not in raw
+        assert b"meta" not in raw
+
+
+# -- recovery rejects bad journals -------------------------------------------
+
+
+class TestRecoveryRejection:
+    def _strand_intent(self, volume, registry) -> None:
+        crasher = CrashingServer(volume.server, crash_after=3)
+        dying = make_journaled(volume, registry, server=crasher)
+        with pytest.raises(ClientCrashed):
+            dying.create_file("/f", b"x" * 100)
+
+    def test_tampered_intent_never_replayed(self, volume, registry):
+        self._strand_intent(volume, registry)
+        jid = journal_blob("alice")
+        blob = bytearray(volume.server.get(jid))
+        blob[len(blob) // 2] ^= 1
+        volume.server.put(jid, bytes(blob))
+        census = volume.server.blob_count()
+        with pytest.raises(IntegrityError):
+            make_journaled(volume, registry)  # mount -> recovery
+        # nothing was applied: the half-open op stays half-open until
+        # fsck quarantines the journal, but no forged blob landed.
+        assert volume.server.blob_count() == census
+
+    def test_ssp_forged_intent_never_replayed(self, volume, registry):
+        """An SSP that fabricates a whole journal (sealed under keys it
+        controls) is caught at mount: IntegrityError, zero replays."""
+        self._strand_intent(volume, registry)
+        provider = CryptoProvider()
+        forged = journal.seal_journal(
+            provider, registry.user("bob"),
+            [journal.IntentRecord(seq=1, op="unlink", calls=(
+                journal.StagedCall(journal.DELETE, (
+                    (journal_blob("alice"), None),)),))])
+        volume.server.put(journal_blob("alice"), forged)
+        census = volume.server.blob_count()
+        with pytest.raises(IntegrityError):
+            make_journaled(volume, registry)
+        assert volume.server.blob_count() == census
+
+    def test_fsck_quarantines_unverifiable_journal(self, volume,
+                                                   registry):
+        self._strand_intent(volume, registry)
+        jid = journal_blob("alice")
+        blob = bytearray(volume.server.get(jid))
+        blob[-1] ^= 0xFF
+        volume.server.put(jid, bytes(blob))
+        auditor = VolumeAuditor(volume)
+        assert not auditor.audit().clean
+        report = auditor.repair()
+        assert report.rejected_journals == ["alice"]
+        assert report.audit.clean
+
+
+# -- batch semantics ----------------------------------------------------------
+
+
+class TestBatchAtomicity:
+    def test_failed_op_sends_nothing(self, volume, registry):
+        """An op that raises during staging leaves the SSP untouched."""
+        fs = make_journaled(volume, registry)
+        fs.create_file("/f", b"x")
+        before = volume.server.raw_blobs()
+        with pytest.raises(FileExists):
+            fs.mknod("/f")
+        assert volume.server.raw_blobs() == before
+
+    def test_journal_truncated_after_commit(self, volume, registry):
+        fs = make_journaled(volume, registry)
+        fs.create_file("/f", b"x" * 50)
+        provider = CryptoProvider()
+        blob = volume.server.get(journal_blob("alice"))
+        assert journal.open_journal(provider, registry.user("alice"),
+                                    blob) == []
+        assert fs.metrics.snapshot()["journal.pending"] == 0
+
+    def test_symlink_reads_its_own_staged_writes(self, volume,
+                                                 registry):
+        """symlink re-resolves its fresh entry inside the batch; with
+        caching off that read must hit the overlay, not the SSP."""
+        fs = make_journaled(volume, registry)
+        fs.create_file("/target", b"t")
+        fs.symlink("/target", "/ln")
+        assert fs.readlink("/ln") == "/target"
+
+    def test_read_only_ops_do_not_journal(self, volume, registry):
+        fs = make_journaled(volume, registry)
+        fs.create_file("/f", b"data")
+        puts_before = volume.server.stats.puts
+        fs.read_file("/f")
+        fs.getattr("/f")
+        fs.readdir("/")
+        assert volume.server.stats.puts == puts_before
+
+    def test_pending_intent_replayed_before_next_mutation(
+            self, volume, registry):
+        """A same-session apply failure is healed by the next op, not
+        left for the next mount."""
+
+        class OneShotOutage(ServerWrapper):
+            def __init__(self, inner):
+                super().__init__(inner)
+                self.fail_at: int | None = None
+                self.puts = 0
+
+            def put(self, blob_id, payload):
+                self.puts += 1
+                if self.fail_at is not None and \
+                        self.puts == self.fail_at:
+                    self.fail_at = None
+                    raise TransientStorageError("blip")
+                self.inner.put(blob_id, payload)
+
+        wrapper = OneShotOutage(volume.server)
+        fs = make_journaled(volume, registry, server=wrapper)
+        wrapper.fail_at = wrapper.puts + 3  # die mid-apply
+        with pytest.raises(TransientStorageError):
+            fs.mkdir("/d")
+        assert len(fs._pending) == 1
+        fs.create_file("/other", b"x")  # replays /d's intent first
+        assert fs._pending == []
+        assert fs.readdir("/d") == []
+        assert fs.metrics.snapshot()["journal.replays"] == 1
+
+
+# -- recovery idempotence ----------------------------------------------------
+
+
+class TestRecoveryIdempotence:
+    def test_crash_during_recovery_recovers(self, volume, registry):
+        """Recovery itself is a replay of overwrite-puts: a second
+        crash mid-recovery changes nothing about the final state."""
+        crasher = CrashingServer(volume.server, crash_after=4)
+        dying = make_journaled(volume, registry, server=crasher)
+        with pytest.raises(ClientCrashed):
+            dying.create_file("/f", b"y" * 200)
+
+        crasher2 = CrashingServer(volume.server, crash_after=2)
+        with pytest.raises(ClientCrashed):
+            make_journaled(volume, registry, server=crasher2)
+
+        fs = make_journaled(volume, registry)  # third client wins
+        assert fs.read_file("/f") == b"y" * 200
+        report = VolumeAuditor(volume).audit()
+        assert report.clean and not report.orphaned_blobs
+        assert report.pending_intents == []
+
+    def test_double_mount_recovery_is_noop(self, volume, registry):
+        crasher = CrashingServer(volume.server, crash_after=4)
+        dying = make_journaled(volume, registry, server=crasher)
+        with pytest.raises(ClientCrashed):
+            dying.create_file("/f", b"z" * 200)
+        first = make_journaled(volume, registry)
+        assert first.metrics.snapshot()["journal.recovered"] == 1
+        second = make_journaled(volume, registry)
+        assert "journal.recovered" not in second.metrics.snapshot() or \
+            second.metrics.snapshot()["journal.recovered"] == 0
+        assert second.read_file("/f") == b"z" * 200
+
+
+# -- partial-write surfacing --------------------------------------------------
+
+
+class _FailNthPut(ServerWrapper):
+    def __init__(self, inner, fail_at: int, transient: bool = True):
+        super().__init__(inner)
+        self.fail_at = fail_at
+        self.transient = transient
+        self.puts = 0
+
+    def put(self, blob_id, payload):
+        self.puts += 1
+        if self.puts == self.fail_at:
+            if self.transient:
+                raise TransientStorageError(f"dropped {blob_id}")
+            raise OSError  # never: placeholder
+
+
+class TestPartialWrite:
+    def test_put_many_names_the_split(self, volume, registry):
+        wrapper = _FailNthPut(volume.server, fail_at=2)
+        fs = SharoesFilesystem(volume, registry.user("alice"),
+                               server=wrapper)
+        blobs = [(BlobId("data", 99, f"b{i}"), b"p%d" % i)
+                 for i in range(4)]
+        with pytest.raises(TransientPartialWriteError) as err:
+            fs._put_many(blobs)
+        assert err.value.applied == (blobs[0][0],)
+        assert err.value.failed == blobs[1][0]
+        assert err.value.remaining == (blobs[2][0], blobs[3][0])
+        assert fs.metrics.snapshot()["transport.partial_writes"] == 1
+
+    def test_partial_write_is_still_transient(self, volume, registry):
+        """except TransientStorageError contracts keep working."""
+        wrapper = _FailNthPut(volume.server, fail_at=1)
+        fs = SharoesFilesystem(volume, registry.user("alice"),
+                               server=wrapper)
+        with pytest.raises(TransientStorageError):
+            fs._put_many([(BlobId("data", 99, "b0"), b"p")])
+        assert issubclass(TransientPartialWriteError, PartialWriteError)
