@@ -294,7 +294,8 @@ def _cmd_fsck(args: argparse.Namespace) -> int:
         from .storage.resilient import CrashingServer
         crasher = CrashingServer(server, crash_after=3)
         dying = SharoesFilesystem(volume, registry.user("alice"),
-                                  config=ClientConfig(journal=True),
+                                  config=ClientConfig(journal=True,
+                                                      lease=True),
                                   server=crasher)
         dying.mount()
         try:
@@ -321,6 +322,8 @@ def _cmd_fsck(args: argparse.Namespace) -> int:
             print("  rejected journal:", item)
         for item in repair.reclaimed_blobs:
             print("  reclaimed:", item)
+        for item in repair.advanced_epochs:
+            print("  advanced epoch:", item)
         report = repair.audit
         print(report.summary())
         return 0 if report.clean and not report.orphaned_blobs else 1
@@ -344,6 +347,38 @@ def _cmd_crash_matrix(args: argparse.Namespace) -> int:
             return 2
         cases = [c for c in cases if c.name in wanted]
     outcomes = matrix.run(recoveries, cases)
+    table = outcomes_table(outcomes)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(table + "\n")
+        print(f"wrote {args.out}")
+    print(table)
+    return 0 if all(o.consistent for o in outcomes) else 1
+
+
+def _cmd_interleave(args: argparse.Namespace) -> int:
+    from .tools.interleave import (MODES, InterleaveMatrix, build_cases,
+                                   outcomes_table)
+
+    matrix = InterleaveMatrix(seed=args.seed)
+    modes = MODES
+    if args.modes:
+        wanted = tuple(args.modes.split(","))
+        if set(wanted) - set(MODES):
+            print(f"unknown modes: {sorted(set(wanted) - set(MODES))}; "
+                  f"choose from {list(MODES)}")
+            return 2
+        modes = wanted
+    cases = build_cases(matrix.payloads)
+    if args.cases:
+        wanted_cases = set(args.cases.split(","))
+        known = {c.name for c in cases}
+        if wanted_cases - known:
+            print(f"unknown cases: {sorted(wanted_cases - known)}; "
+                  f"choose from {sorted(known)}")
+            return 2
+        cases = [c for c in cases if c.name in wanted_cases]
+    outcomes = matrix.run(modes, cases)
     table = outcomes_table(outcomes)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
@@ -443,6 +478,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ops", help="comma-separated op subset")
     p.add_argument("--out", help="also write the outcomes table here")
     p.set_defaults(func=_cmd_crash_matrix)
+
+    p = sub.add_parser("interleave",
+                       help="sweep multi-client op interleavings "
+                            "(pause/crash/zombie points) under leases "
+                            "and assert no lost updates")
+    p.add_argument("--seed", type=int, default=0,
+                   help="fixes file payloads (outcomes are "
+                        "deterministic per seed)")
+    p.add_argument("--modes",
+                   help="comma-separated subset of "
+                        "sequential,preempt,crash,zombie (default all)")
+    p.add_argument("--cases", help="comma-separated case subset")
+    p.add_argument("--out", help="also write the outcomes table here")
+    p.set_defaults(func=_cmd_interleave)
     return parser
 
 

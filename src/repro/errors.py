@@ -133,6 +133,62 @@ class ClientCrashed(SharoesError):
     """
 
 
+class CasConflictError(StorageError):
+    """A ``put_if`` compare-and-swap lost the race.
+
+    Carries the blob's *current* bytes so the caller can re-inspect and
+    decide whether to retry at the protocol level.  Deliberately a plain
+    :class:`StorageError` (terminal), never transient: blindly retrying
+    a CAS would defeat its whole purpose.
+    """
+
+    def __init__(self, message: str, current: bytes | None = None):
+        super().__init__(message)
+        #: the blob's bytes at conflict time (``None`` = absent).
+        self.current = current
+
+
+class StaleEpochError(StorageError):
+    """A fenced write carried an epoch older than the fence blob's.
+
+    The SSP rejected the write mechanically (it reads only the plaintext
+    epoch prefix of the lease blob, no crypto involved).  Terminal: the
+    writer's lease was taken over, retrying cannot change it.
+    """
+
+    def __init__(self, message: str, current_epoch: int = 0):
+        super().__init__(message)
+        #: the fence blob's epoch at rejection time.
+        self.current_epoch = current_epoch
+
+
+class LeaseError(FilesystemError):
+    """Base class for lease-coordination failures."""
+
+
+class LeaseHeldError(LeaseError):
+    """Another client holds an unexpired lease on the inode.
+
+    The polite outcome: back off and retry after the holder releases or
+    the lease expires.  Carries the holder and expiry for diagnostics.
+    """
+
+    def __init__(self, message: str, holder: str = "",
+                 expires_at_s: float = 0.0):
+        super().__init__(message)
+        self.holder = holder
+        self.expires_at_s = expires_at_s
+
+
+class LeaseLostError(LeaseError):
+    """This client's lease was taken over mid-flight (zombie fencing).
+
+    Raised when a fenced commit is rejected because a successor advanced
+    the fencing epoch.  The mutation is cleanly rolled back locally; any
+    journaled intent was already rolled forward by the successor.
+    """
+
+
 class BlobNotFound(StorageError):
     """Requested blob id is not present at the SSP."""
 

@@ -32,10 +32,10 @@ from ..crypto import esign
 from ..crypto.provider import CryptoProvider
 from ..errors import (BlobNotFound, CryptoError, DirectoryNotEmpty,
                       FileExists, FileNotFound, FilesystemError,
-                      IntegrityError, IsADirectory, NotADirectory,
-                      PartialWriteError, PermissionDenied, SharoesError,
-                      StorageError, TransientPartialWriteError,
-                      TransientStorageError)
+                      IntegrityError, IsADirectory, LeaseLostError,
+                      NotADirectory, PartialWriteError, PermissionDenied,
+                      SharoesError, StaleEpochError, StorageError,
+                      TransientPartialWriteError, TransientStorageError)
 from ..fs import path as fspath
 from ..obs.metrics import (MetricsRegistry, bind_cache_stats,
                            bind_cost_model, bind_crypto_counters,
@@ -45,7 +45,8 @@ from ..principals.groups import UserAgent
 from ..principals.users import User
 from ..sim.costmodel import CostModel
 from ..storage.blobs import (BlobId, group_key_blob, journal_blob,
-                             lockbox_blob, meta_blob, superblock_blob)
+                             lease_blob, lockbox_blob, meta_blob,
+                             superblock_blob)
 from . import journal
 from .cache import LruCache
 from .dirtable import DIRECT, SPLIT, ZERO, DirEntry, DirPointer, TableView
@@ -110,6 +111,17 @@ class ClientConfig:
     #: preserves the paper's Figure 8 request/cost profile (journaling
     #: adds two puts per mutation).
     journal: bool = False
+    #: multi-client safety: acquire per-inode signed leases before every
+    #: read-modify-write and fence the mutation's SSP writes with the
+    #: lease's epoch, so concurrent honest clients serialize and zombie
+    #: writers are rejected mechanically -- see fs/lease.py and
+    #: docs/ROBUSTNESS.md.  Requires ``journal=True`` (fenced commits
+    #: ride the intent journal).  Default False keeps the single-client
+    #: cost model byte-identical.
+    lease: bool = False
+    #: sim-clock lifetime of an acquired lease before peers may take it
+    #: over (rolling the holder's journal forward first).
+    lease_duration_s: float = 30.0
 
 
 @dataclass
@@ -299,6 +311,31 @@ class SharoesFilesystem:
             bind_transport(self.metrics, self.server)
         else:
             self.server = raw
+        #: multi-client safety: per-inode signed leases with fencing
+        #: epochs (fs/lease.py).  ``_fences`` maps inode -> held epoch
+        #: for the *current* mutation; the journaled intent carries it
+        #: and the apply phase fences each write with it.
+        self.lease = None
+        self._fences: dict[int, int] = {}
+        if self.config.lease:
+            if not self.config.journal:
+                raise SharoesError(
+                    "ClientConfig(lease=True) requires journal=True: "
+                    "fenced commits ride the intent journal")
+            from ..sim.clock import SimClock
+            from .lease import LeaseManager
+            # A volume-level clock (shared across clients) is the lease
+            # time authority; a private cost-model clock only serves the
+            # single-client case.
+            clock = getattr(volume, "clock", None)
+            if clock is None and cost_model is not None:
+                clock = cost_model.clock
+            self.lease = LeaseManager(
+                user, volume.registry.directory, self.server,
+                clock if clock is not None else SimClock(),
+                duration_s=self.config.lease_duration_s,
+                provider=self.provider, escrow=volume.registry.user,
+                tracer=self.tracer, metrics=self.metrics)
 
     def enable_consistency_log(self):
         """Attach a SUNDR-style fork-consistency log (paper section VI).
@@ -386,7 +423,15 @@ class SharoesFilesystem:
                 return known
         return self.server.exists(blob_id)
 
-    def _put(self, blob_id: BlobId, payload: bytes) -> None:
+    def _fence_for(self, blob_id: BlobId,
+                   fences: "dict[int, int] | None") -> int | None:
+        """Fencing epoch to apply to this blob's write, if any."""
+        if not fences:
+            return None
+        return fences.get(blob_id.inode)
+
+    def _put(self, blob_id: BlobId, payload: bytes,
+             fences: "dict[int, int] | None" = None) -> None:
         if self._batch is not None:
             self._batch.stage(journal.PUT, [(blob_id, payload)])
             return
@@ -396,9 +441,15 @@ class SharoesFilesystem:
                 self.cost.charge_request(
                     len(payload) + _REQUEST_HEADER_BYTES,
                     _RESPONSE_HEADER_BYTES)
-            self.server.put(blob_id, payload)
+            epoch = self._fence_for(blob_id, fences)
+            if epoch is None:
+                self.server.put(blob_id, payload)
+            else:
+                self.server.put_fenced(blob_id, payload,
+                                       lease_blob(blob_id.inode), epoch)
 
-    def _put_many(self, blobs: list[tuple[BlobId, bytes]]) -> None:
+    def _put_many(self, blobs: list[tuple[BlobId, bytes]],
+                  fences: "dict[int, int] | None" = None) -> None:
         """Upload several blobs in one request (one round trip).
 
         Matches the paper's Figure 8 cost table: a create performs one
@@ -419,7 +470,18 @@ class SharoesFilesystem:
                                          _RESPONSE_HEADER_BYTES)
             for index, (blob_id, payload) in enumerate(blobs):
                 try:
-                    self.server.put(blob_id, payload)
+                    epoch = self._fence_for(blob_id, fences)
+                    if epoch is None:
+                        self.server.put(blob_id, payload)
+                    else:
+                        self.server.put_fenced(
+                            blob_id, payload,
+                            lease_blob(blob_id.inode), epoch)
+                except StaleEpochError:
+                    # A fenced-out write is not a half-applied batch to
+                    # retry: the lease moved on.  Surface it untouched so
+                    # the mutation pipeline converts it to LeaseLostError.
+                    raise
                 except StorageError as exc:
                     # Surface the exact shape of the half-applied batch
                     # instead of a bare StorageError; transient causes
@@ -438,7 +500,8 @@ class SharoesFilesystem:
                         remaining=[bid for bid, _ in blobs[index + 1:]],
                     ) from exc
 
-    def _delete(self, blob_id: BlobId) -> None:
+    def _delete(self, blob_id: BlobId,
+                fences: "dict[int, int] | None" = None) -> None:
         if self._batch is not None:
             self._batch.stage(journal.DELETE, [(blob_id, None)])
             return
@@ -447,9 +510,15 @@ class SharoesFilesystem:
             if self.cost is not None:
                 self.cost.charge_request(_REQUEST_HEADER_BYTES,
                                          _RESPONSE_HEADER_BYTES)
-            self.server.delete(blob_id)
+            epoch = self._fence_for(blob_id, fences)
+            if epoch is None:
+                self.server.delete(blob_id)
+            else:
+                self.server.delete_fenced(blob_id,
+                                          lease_blob(blob_id.inode), epoch)
 
-    def _delete_many(self, blob_ids: list[BlobId]) -> None:
+    def _delete_many(self, blob_ids: list[BlobId],
+                     fences: "dict[int, int] | None" = None) -> None:
         """Batch deletion: one request regardless of blob count."""
         if not blob_ids:
             return
@@ -466,7 +535,12 @@ class SharoesFilesystem:
                 self.cost.charge_request(_REQUEST_HEADER_BYTES,
                                          _RESPONSE_HEADER_BYTES)
             for blob_id in blob_ids:
-                self.server.delete(blob_id)
+                epoch = self._fence_for(blob_id, fences)
+                if epoch is None:
+                    self.server.delete(blob_id)
+                else:
+                    self.server.delete_fenced(
+                        blob_id, lease_blob(blob_id.inode), epoch)
 
     # ------------------------------------------------------------------ journal
 
@@ -490,15 +564,19 @@ class SharoesFilesystem:
         self._replay_pending()
         batch = journal.MutationBatch(op)
         self._batch = batch
+        self._fences = {}
         try:
             yield
         except BaseException:
             self._batch = None
+            self._release_fences()
             raise
         self._batch = None
         if not batch.calls:
+            self._release_fences()
             return
-        record = batch.record(self._next_seq())
+        record = batch.record(self._next_seq(),
+                              fences=tuple(sorted(self._fences.items())))
         self._pending.append(record)
         try:
             self._journal_write("append")
@@ -506,10 +584,48 @@ class SharoesFilesystem:
             # The intent never became durable, and no blob of the op was
             # sent: the mutation rolled back whole.
             self._pending.remove(record)
+            self._release_fences()
             raise
         self.metrics.counter(
             "journal.appends", help="intents journaled").inc()
-        self._apply_record(record)
+        try:
+            # Preflight the fences before the first apply write: if a
+            # successor already took a lease over while we were paused,
+            # every write of this mutation is doomed -- better to learn
+            # that from one lease read than to strand a partial apply
+            # (the SSP would accept the uncontended inodes' blobs and
+            # only reject the contended one).  The preflight-to-write
+            # race that remains is exactly the post-append case a
+            # successor resolves by rolling our intent forward.
+            if record.fences and journal.fences_stale(self.server,
+                                                      record):
+                raise StaleEpochError(
+                    "lease chain advanced past this mutation's fences")
+            self._apply_record(record)
+        except StaleEpochError as exc:
+            # A successor took our lease over mid-flight.  It rolled our
+            # journaled intent forward before bumping the epoch, so the
+            # op is *applied* -- by them, not us.  Drop the pending
+            # record (the successor already truncated our journal at the
+            # SSP), forget the stale leases, and surface the loss.
+            self._pending.remove(record)
+            try:
+                # Best-effort scrub: if our append raced *after* the
+                # successor's truncation, the SSP journal still shows
+                # the superseded intent; rewrite it empty so nothing
+                # dangles.  On failure the stale-fence checks (fenced
+                # replay here, fences_stale in roll_forward) still
+                # keep it from ever being applied.
+                self._journal_write("commit")
+            except StorageError:
+                pass
+            self._forget_fences()
+            self.metrics.counter(
+                "lease.lost",
+                help="mutations fenced out by a lease takeover").inc()
+            raise LeaseLostError(
+                f"{record.op}: lease taken over mid-mutation "
+                f"({exc})") from exc
         self._pending.remove(record)
         try:
             self._journal_write("commit")
@@ -518,6 +634,50 @@ class SharoesFilesystem:
             raise
         self.metrics.counter(
             "journal.commits", help="intents committed").inc()
+        if self.consistency is not None:
+            self.consistency.observe_journal(record.seq)
+        self._release_fences()
+
+    def _lease_for_write(self, inode: int) -> None:
+        """Acquire (or renew) the write lease covering ``inode``.
+
+        Called at the top of every read-modify-write so the lease is
+        held *before* the stale read can happen.  A fresh acquisition
+        invalidates the local cache for the inode: another client may
+        have written it since we last looked.  A renewal implies no
+        intervening writer (the epoch chain only moved through us), so
+        the cache stays warm.
+        """
+        if self.lease is None or self._batch is None:
+            return
+        if inode in self._fences:
+            return
+        fresh = self.lease.held_epoch(inode) is None
+        record = self.lease.acquire(inode)
+        self._fences[inode] = record.epoch
+        if fresh:
+            self._invalidate(inode)
+
+    def _release_fences(self) -> None:
+        """Release the mutation's leases (best effort, clean path)."""
+        fences, self._fences = self._fences, {}
+        if self.lease is None:
+            return
+        for inode in fences:
+            try:
+                self.lease.release(inode)
+            except StorageError:
+                # An unreleased lease only costs peers a takeover after
+                # expiry; never fail a committed mutation over it.
+                pass
+
+    def _forget_fences(self) -> None:
+        """Drop lease state without touching the SSP (lease was lost)."""
+        fences, self._fences = self._fences, {}
+        if self.lease is None:
+            return
+        for inode in fences:
+            self.lease.forget(inode)
 
     def _next_seq(self) -> int:
         self._journal_seq += 1
@@ -538,27 +698,45 @@ class SharoesFilesystem:
         round trip) so the simulated cost matches the unjournaled op.
         Idempotent: every staged action is an overwrite-put or an
         idempotent delete, so replaying a partially-applied intent
-        converges on fully-applied.
+        converges on fully-applied.  The record's fences (if any) ride
+        along: a replay by a zombie whose lease was taken over is
+        rejected by the SSP with :class:`StaleEpochError`.
         """
+        fences = dict(record.fences) or None
         for call in record.calls:
             if call.kind == journal.PUT:
                 ((blob_id, payload),) = call.blobs
-                self._put(blob_id, payload)
+                self._put(blob_id, payload, fences=fences)
             elif call.kind == journal.PUT_MANY:
-                self._put_many(list(call.blobs))
+                self._put_many(list(call.blobs), fences=fences)
             elif call.kind == journal.DELETE:
                 ((blob_id, _),) = call.blobs
-                self._delete(blob_id)
+                self._delete(blob_id, fences=fences)
             else:
-                self._delete_many(list(call.blob_ids()))
+                self._delete_many(list(call.blob_ids()), fences=fences)
 
     def _replay_pending(self) -> None:
-        """Re-apply intents whose first apply failed part-way."""
+        """Re-apply intents whose first apply failed part-way.
+
+        Replays stay *fenced*: if a successor took over our lease since
+        the intent was journaled, it already rolled the intent forward,
+        so a :class:`StaleEpochError` here means the work is done (by
+        them) and our stale copy must be dropped, not retried -- an
+        unfenced replay would overwrite the successor's newer writes.
+        """
         while self._pending:
             record = self._pending[0]
-            with self.tracer.span("journal", phase="replay",
-                                  op=record.op):
-                self._apply_record(record)
+            try:
+                with self.tracer.span("journal", phase="replay",
+                                      op=record.op):
+                    self._apply_record(record)
+            except StaleEpochError:
+                self._pending.pop(0)
+                self.metrics.counter(
+                    "journal.fenced_replays",
+                    help="pending intents dropped: already rolled "
+                         "forward by a lease successor").inc()
+                continue
             self._pending.pop(0)
             try:
                 self._journal_write("commit")
@@ -587,18 +765,43 @@ class SharoesFilesystem:
                                        blob)
         if not records:
             return outcome
+        if (self.consistency is not None
+                and max(r.seq for r in records)
+                <= self.consistency.journal_seq):
+            # The VSL says we already committed past every intent the
+            # SSP is serving: this journal was truncated and the SSP is
+            # re-serving the stale pre-commit copy.  Replaying it would
+            # silently roll the volume back.
+            from .consistency import ForkDetected
+            raise ForkDetected(
+                f"{self.agent.user_id}: SSP served a stale committed "
+                f"journal (intents <= {self.consistency.journal_seq}, "
+                f"already committed per my version statement)")
         self._journal_seq = max(self._journal_seq,
                                 max(r.seq for r in records))
         for record in records:
-            with self.tracer.span("journal", phase="recover",
-                                  op=record.op):
-                self._apply_record(record)
+            try:
+                with self.tracer.span("journal", phase="recover",
+                                      op=record.op):
+                    self._apply_record(record)
+            except StaleEpochError:
+                # A lease successor already rolled this intent forward
+                # (fenced replay; see _replay_pending).
+                outcome.aborted.append(record)
+                self.metrics.counter(
+                    "journal.fenced_replays",
+                    help="pending intents dropped: already rolled "
+                         "forward by a lease successor").inc()
+                continue
             outcome.replayed.append(record)
             self.metrics.counter(
                 "journal.recovered",
                 help="intents replayed by mount-time recovery").inc()
         self._pending = []
         self._journal_write("commit")
+        if self.consistency is not None and outcome.replayed:
+            self.consistency.observe_journal(
+                max(r.seq for r in outcome.replayed))
         return outcome
 
     # ------------------------------------------------------------------ mount
@@ -621,6 +824,15 @@ class SharoesFilesystem:
             except BlobNotFound:
                 continue
             self.agent.install_group_key(group_id, wrapped)
+        if self.consistency is not None:
+            # Resume our own statement chain *before* journal recovery:
+            # the adopted journal_seq watermark is what lets recovery
+            # reject a stale re-served committed journal as a rollback.
+            # New intents must also number past the watermark, or this
+            # session's own commits would look like stale re-serves.
+            self.consistency.resume_from(self.server)
+            self._journal_seq = max(self._journal_seq,
+                                    self.consistency.journal_seq)
         if self.config.journal:
             self._recover_journal()
 
@@ -634,6 +846,11 @@ class SharoesFilesystem:
         return self._superblock
 
     def unmount(self) -> None:
+        if self.lease is not None:
+            try:
+                self.lease.release_all()
+            except StorageError:
+                pass  # leases expire; peers take over after the window
         self._superblock = None
         self.cache.clear()
         self.agent.group_keys.clear()
@@ -1004,6 +1221,7 @@ class SharoesFilesystem:
         If a lazy revocation is pending (owner view, needs_rekey), this
         write is the moment it takes effect: fresh keys, full rewrite.
         """
+        self._lease_for_write(node.inode)
         dek = node.view.require_dek()
         dsk = node.view.require_dsk()
         record = None
@@ -1086,6 +1304,7 @@ class SharoesFilesystem:
             cap_for_bits(entry.bits, ftype)
 
     def _write_metadata_replicas(self, record: ObjectRecord) -> None:
+        self._lease_for_write(record.attrs.inode)
         scheme = self.volume.scheme
         attrs = record.attrs
         owner_selector = scheme.owner_selector(attrs)
@@ -1139,6 +1358,7 @@ class SharoesFilesystem:
         the parent write CAP (table DEK map + DSK), which is how the
         cryptography enforces the *nix w+x requirement.
         """
+        self._lease_for_write(parent.inode)
         scheme = self.volume.scheme
         attrs = parent.attrs
         dsk = parent.view.require_dsk()
@@ -1257,6 +1477,7 @@ class SharoesFilesystem:
     # ------------------------------------------------------------------ remove
 
     def _delete_object_blobs(self, attrs: MetadataAttrs) -> None:
+        self._lease_for_write(attrs.inode)
         scheme = self.volume.scheme
         victims = []
         for selector in scheme.selectors(attrs):

@@ -74,6 +74,12 @@ class VersionStatement:
     observations: tuple[tuple[int, int], ...]
     #: (peer user id, latest sequence verified from them), sorted
     seen: tuple[tuple[str, int], ...]
+    #: highest journal intent sequence this client has *committed*
+    #: (applied + truncated).  Binds the journal to the VSL: an SSP
+    #: re-serving a stale committed journal at mount presents intents
+    #: at or below this watermark, which recovery rejects as a
+    #: rollback instead of silently re-replaying.
+    journal_seq: int = 0
     signature: bytes = b""
 
     # -- encoding ------------------------------------------------------------
@@ -91,6 +97,7 @@ class VersionStatement:
         for peer, sequence in self.seen:
             writer.put_str(peer)
             writer.put_int(sequence)
+        writer.put_int(self.journal_seq)
         return writer.getvalue()
 
     def to_bytes(self) -> bytes:
@@ -114,11 +121,12 @@ class VersionStatement:
             for _ in range(reader.get_int()))
         seen = tuple((reader.get_str(), reader.get_int())
                      for _ in range(reader.get_int()))
+        journal_seq = reader.get_int()
         reader.expect_end()
         return cls(user_id=user_id, sequence=sequence,
                    previous_digest=previous_digest,
                    observations=observations, seen=seen,
-                   signature=signature)
+                   journal_seq=journal_seq, signature=signature)
 
     def digest(self) -> bytes:
         return hashes.digest(self.signed_payload())
@@ -149,6 +157,8 @@ class ConsistencyLog:
         self._provider = provider or CryptoProvider()
         self._sequence = 0
         self._previous_digest = b"\x00" * 32
+        #: committed journal watermark published with every statement.
+        self.journal_seq = 0
         #: inode -> highest version known (verified or learned)
         self.known_high: dict[int, int] = {}
         #: inode -> (my sequence when I first asserted it, version)
@@ -164,6 +174,11 @@ class ConsistencyLog:
         if version > self.known_high.get(inode, 0):
             self.known_high[inode] = version
 
+    def observe_journal(self, seq: int) -> None:
+        """Record a committed (applied + truncated) intent sequence."""
+        if seq > self.journal_seq:
+            self.journal_seq = seq
+
     # -- publishing -----------------------------------------------------------
 
     def publish(self, server: StorageServer) -> VersionStatement:
@@ -175,19 +190,60 @@ class ConsistencyLog:
         unsigned = VersionStatement(
             user_id=self.user_id, sequence=self._sequence,
             previous_digest=self._previous_digest,
-            observations=observations, seen=seen)
+            observations=observations, seen=seen,
+            journal_seq=self.journal_seq)
         signature = rsa.sign(self._private, unsigned.signed_payload())
         statement = VersionStatement(
             user_id=unsigned.user_id, sequence=unsigned.sequence,
             previous_digest=unsigned.previous_digest,
             observations=unsigned.observations, seen=unsigned.seen,
-            signature=signature)
+            journal_seq=unsigned.journal_seq, signature=signature)
         server.put(statement_blob(self.user_id), statement.to_bytes())
         self._previous_digest = statement.digest()
         for inode, version in observations:
             current = self._asserted.get(inode)
             if current is None or current[1] < version:
                 self._asserted[inode] = (self._sequence, version)
+        return statement
+
+    # -- resuming an existing chain -------------------------------------------
+
+    def resume_from(self, server: StorageServer) -> VersionStatement | None:
+        """Adopt this user's last published statement from the SSP.
+
+        Called at mount, *before* journal recovery: verifies the
+        statement in our own slot (our signature -- the SSP cannot forge
+        one) and resumes its chain position, so a remounted client keeps
+        publishing linearly instead of restarting at sequence 1 (which
+        peers would reject as equivocation).  Returns the statement, or
+        ``None`` if we never published.  The statement's ``journal_seq``
+        is the committed watermark recovery checks stale journals
+        against.  (An SSP serving an *older own statement* on first
+        contact is SUNDR's residual first-contact gap -- peers detect it
+        at the next cross-sync.)
+        """
+        try:
+            raw = server.get(statement_blob(self.user_id))
+        except BlobNotFound:
+            return None
+        statement = VersionStatement.from_bytes(raw)
+        if statement.user_id != self.user_id:
+            raise ForkDetected(
+                f"statement in my slot claims author "
+                f"{statement.user_id!r}")
+        try:
+            rsa.verify(self._directory.user_key(self.user_id),
+                       statement.signed_payload(), statement.signature)
+        except IntegrityError as exc:
+            raise ForkDetected(
+                f"{self.user_id}: invalid signature on my own "
+                f"statement ({exc})") from exc
+        self._sequence = statement.sequence
+        self._previous_digest = statement.digest()
+        self.journal_seq = max(self.journal_seq, statement.journal_seq)
+        for inode, version in statement.observations:
+            if version > self.known_high.get(inode, 0):
+                self.known_high[inode] = version
         return statement
 
     # -- verification ------------------------------------------------------------

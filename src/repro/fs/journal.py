@@ -39,7 +39,7 @@ from dataclasses import dataclass, field
 
 from ..crypto import hashes
 from ..crypto.provider import CryptoProvider
-from ..errors import IntegrityError
+from ..errors import BlobNotFound, IntegrityError
 from ..serialize import Reader, SerializationError, Writer
 from ..storage.blobs import BlobId, principal_hash
 from .sealed import bind_context, open_verified, seal_and_sign
@@ -114,11 +114,21 @@ class StagedCall:
 
 @dataclass(frozen=True)
 class IntentRecord:
-    """One journaled mutation: op name, sequence number, staged calls."""
+    """One journaled mutation: op name, sequence number, staged calls.
+
+    ``fences`` lists the ``(inode, fencing epoch)`` pairs of the leases
+    this mutation held when it was journaled (empty without the lease
+    subsystem).  The apply phase fences each write on the corresponding
+    lease blob, so a zombie whose lease was taken over is rejected by
+    the SSP mechanically; recovery, by contrast, replays *unfenced* --
+    whoever recovers (successor takeover, fsck, the owner's next mount)
+    is by construction acting on behalf of the newest epoch.
+    """
 
     seq: int
     op: str
     calls: tuple[StagedCall, ...]
+    fences: tuple[tuple[int, int], ...] = ()
 
     def mutation_count(self) -> int:
         """Total individual puts+deletes this intent will apply."""
@@ -130,6 +140,10 @@ class IntentRecord:
         writer.put_int(len(self.calls))
         for call in self.calls:
             call.to_writer(writer)
+        writer.put_int(len(self.fences))
+        for inode, epoch in self.fences:
+            writer.put_int(inode)
+            writer.put_int(epoch)
 
     @classmethod
     def from_reader(cls, reader: Reader) -> "IntentRecord":
@@ -138,7 +152,10 @@ class IntentRecord:
         count = reader.get_int()
         calls = tuple(StagedCall.from_reader(reader)
                       for _ in range(count))
-        return cls(seq=seq, op=op, calls=calls)
+        fence_count = reader.get_int()
+        fences = tuple((reader.get_int(), reader.get_int())
+                       for _ in range(fence_count))
+        return cls(seq=seq, op=op, calls=calls, fences=fences)
 
 
 def encode_records(records: list[IntentRecord]) -> bytes:
@@ -227,8 +244,10 @@ class MutationBatch:
             return False
         return None
 
-    def record(self, seq: int) -> IntentRecord:
-        return IntentRecord(seq=seq, op=self.op, calls=tuple(self.calls))
+    def record(self, seq: int,
+               fences: tuple[tuple[int, int], ...] = ()) -> IntentRecord:
+        return IntentRecord(seq=seq, op=self.op, calls=tuple(self.calls),
+                            fences=fences)
 
 
 @dataclass
@@ -241,3 +260,70 @@ class RecoveryOutcome:
     @property
     def pending_found(self) -> int:
         return len(self.replayed) + len(self.aborted)
+
+
+def fences_stale(server, record: IntentRecord) -> bool:
+    """Has any lease this intent relied on moved past its epoch?
+
+    A record with stale fences was *superseded*: a successor took the
+    lease over (rolling the journal forward first), so anything still
+    journaled at an older epoch predates the successor's writes and
+    must be dropped, not replayed -- replaying it would resurrect the
+    lost-update the fencing exists to prevent.  An absent lease blob
+    reads as epoch 0 (fail open), matching the SSP's fence check.
+    """
+    from ..storage.blobs import lease_blob
+    from ..storage.server import fence_epoch
+
+    for inode, epoch in record.fences:
+        try:
+            current = server.get(lease_blob(inode))
+        except BlobNotFound:
+            current = None
+        if epoch < fence_epoch(current):
+            return True
+    return False
+
+
+def roll_forward(server, provider: CryptoProvider,
+                 user) -> list[IntentRecord]:
+    """Verify and replay ``user``'s pending intents, then truncate.
+
+    The single roll-forward code path shared by ``fsck --repair``
+    (including ``--stranded``) and lease takeover: open the user's
+    journal with their key (the caller supplies the key material -- the
+    user's own at mount, the enterprise escrow everywhere else), replay
+    every staged call in order, and commit the empty journal.  Replay
+    itself is *unfenced* (the recovering party acts for or ahead of the
+    newest fencing epoch by construction), but records whose recorded
+    fences lag the current lease chain are skipped: they were already
+    superseded by a takeover (see :func:`fences_stale`).
+
+    Returns the replayed records (empty if no journal / nothing
+    pending).  Raises :class:`~repro.errors.IntegrityError` if the
+    journal fails verification -- the caller decides whether to
+    quarantine; nothing is ever replayed from untrusted bytes.
+    """
+    from ..storage.blobs import journal_blob  # cycle-free local import
+
+    jid = journal_blob(user.user_id)
+    try:
+        blob = server.get(jid)
+    except BlobNotFound:
+        return []
+    records = open_journal(provider, user, blob)
+    if not records:
+        return []
+    replayed = []
+    for record in records:
+        if fences_stale(server, record):
+            continue
+        for call in record.calls:
+            for blob_id, payload in call.blobs:
+                if payload is None:
+                    server.delete(blob_id)
+                else:
+                    server.put(blob_id, payload)
+        replayed.append(record)
+    server.put(jid, seal_journal(provider, user, []))
+    return replayed

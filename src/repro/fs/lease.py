@@ -1,0 +1,400 @@
+"""Per-inode signed leases with fencing epochs (multi-client safety).
+
+SHAROES clients do not trust the SSP to arbitrate anything, yet many
+honest enterprise clients mount the same volume.  Without coordination,
+two clients rewriting the same directory table interleave their
+multi-blob commits and silently lose updates.  This module supplies the
+coordination primitive that fixes it while keeping the SSP untrusted:
+
+* **Lease blobs** (``lease/<inode>``): a signed :class:`LeaseRecord`
+  naming the holder and a sim-clock expiry, prefixed by a *plaintext*
+  8-byte big-endian **fencing epoch**.  The prefix is the one field the
+  SSP is allowed to act on: it needs no keys to compare two integers.
+* **Monotone epochs**: every lease write -- acquire, renewal, release,
+  takeover -- bumps the epoch through a ``put_if`` compare-and-swap, so
+  exactly one writer wins each transition and the epoch chain never
+  regresses.  A second :class:`~repro.fs.freshness.FreshnessMonitor`
+  watches the chain, so an SSP serving a rolled-back lease (older
+  epoch, valid signature) raises ``StaleObjectError`` instead of ever
+  granting a stale lease.
+* **Fenced writes**: the client tags every blob write of a mutation
+  with the epoch of the lease it holds; the SSP mechanically rejects
+  writes below the current epoch (:class:`~repro.errors.
+  StaleEpochError`).  A zombie -- a paused client whose lease expired
+  and was taken over -- can therefore never clobber its successor, no
+  matter when it wakes up.
+* **Roll-forward takeover**: before bumping the epoch past a dead
+  client, the new holder verifies and replays the dead client's pending
+  intent journal (the same code path as ``fsck --repair``, via
+  :func:`repro.fs.journal.roll_forward`), so committed-but-unapplied
+  work is never lost.  Takeover needs the enterprise key escrow (the
+  registry's private keys) -- the same trust fsck already requires.
+
+What the untrusted SSP can and cannot do to a lease:
+
+* it **cannot forge** a lease (records are RSA-signed by the holder);
+* it **cannot roll back** the chain against a client that has seen a
+  newer epoch (freshness monitor);
+* it **can** drop or hide lease blobs -- that denies service (as can
+  dropping any blob) but never grants two writers the same epoch, and
+  fenced writes keep mutations atomic regardless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..crypto import rsa
+from ..errors import (BlobNotFound, CasConflictError, IntegrityError,
+                      LeaseHeldError, LeaseLostError)
+from ..serialize import Reader, SerializationError, Writer
+from ..storage.blobs import BlobId, lease_blob
+from ..storage.server import EPOCH_PREFIX_BYTES
+from .freshness import FreshnessMonitor
+from .journal import roll_forward
+
+#: CAS re-inspection rounds before acquire() reports the lease as held.
+#: These are *protocol* retries (losing a race and looking again), not
+#: transport retries; each round re-reads the current record.
+_ACQUIRE_ROUNDS = 4
+
+_SIGN_DOMAIN = b"sharoes/lease/"
+
+
+@dataclass(frozen=True)
+class LeaseRecord:
+    """One link in an inode's lease chain.
+
+    Timestamps are integer simulated microseconds (floats do not
+    round-trip through the serializer).  ``released`` marks a
+    voluntarily surrendered lease: any client may take it over
+    immediately, no expiry wait, no journal to roll forward beyond the
+    holder's own (which the holder already drained before releasing).
+    """
+
+    inode: int
+    epoch: int
+    holder: str
+    acquired_us: int
+    expires_us: int
+    released: bool = False
+    signature: bytes = b""
+
+    def signed_payload(self) -> bytes:
+        writer = Writer()
+        writer.put_bytes(_SIGN_DOMAIN)
+        writer.put_int(self.inode)
+        writer.put_int(self.epoch)
+        writer.put_str(self.holder)
+        writer.put_int(self.acquired_us)
+        writer.put_int(self.expires_us)
+        writer.put_bool(self.released)
+        return writer.getvalue()
+
+    def to_bytes(self) -> bytes:
+        """Epoch prefix (plaintext, for the SSP) + signed record."""
+        writer = Writer()
+        writer.put_bytes(self.signed_payload())
+        writer.put_bytes(self.signature)
+        return (self.epoch.to_bytes(EPOCH_PREFIX_BYTES, "big")
+                + writer.getvalue())
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "LeaseRecord":
+        if len(raw) < EPOCH_PREFIX_BYTES:
+            raise IntegrityError("lease blob shorter than epoch prefix")
+        prefix = int.from_bytes(raw[:EPOCH_PREFIX_BYTES], "big")
+        try:
+            outer = Reader(raw[EPOCH_PREFIX_BYTES:])
+            payload = outer.get_bytes()
+            signature = outer.get_bytes()
+            outer.expect_end()
+            reader = Reader(payload)
+            if reader.get_bytes() != _SIGN_DOMAIN:
+                raise IntegrityError("lease blob lacks domain tag")
+            record = cls(inode=reader.get_int(), epoch=reader.get_int(),
+                         holder=reader.get_str(),
+                         acquired_us=reader.get_int(),
+                         expires_us=reader.get_int(),
+                         released=reader.get_bool(),
+                         signature=signature)
+            reader.expect_end()
+        except SerializationError as exc:
+            raise IntegrityError(f"malformed lease blob: {exc}") from exc
+        if record.epoch != prefix:
+            # The plaintext prefix is SSP-enforced, the signed epoch is
+            # client-enforced; disagreement means the SSP tampered.
+            raise IntegrityError(
+                f"lease prefix epoch {prefix} contradicts signed epoch "
+                f"{record.epoch}")
+        return record
+
+    def verify(self, directory) -> None:
+        """Check the holder's signature against the PKI directory."""
+        rsa.verify(directory.user_key(self.holder),
+                   self.signed_payload(), self.signature)
+
+    def expired(self, now_us: int) -> bool:
+        return self.released or now_us >= self.expires_us
+
+
+def break_record(prior: LeaseRecord, holder_user) -> LeaseRecord:
+    """A signed *released* successor of ``prior`` (epoch + 1).
+
+    Built with the holder's escrowed private key: after rolling a dead
+    client's journal forward, the enterprise (``fsck --repair`` /
+    ``--stranded``) marks the client's lease released so successors can
+    take over immediately instead of waiting out the expiry -- while
+    the epoch chain stays monotone and verifiable.
+    """
+    record = LeaseRecord(
+        inode=prior.inode, epoch=prior.epoch + 1, holder=prior.holder,
+        acquired_us=prior.acquired_us, expires_us=prior.expires_us,
+        released=True)
+    return LeaseRecord(
+        inode=record.inode, epoch=record.epoch, holder=record.holder,
+        acquired_us=record.acquired_us, expires_us=record.expires_us,
+        released=True,
+        signature=rsa.sign(holder_user.private_key,
+                           record.signed_payload()))
+
+
+class LeaseManager:
+    """One client's view of the volume's lease space.
+
+    Wired by :class:`~repro.fs.client.SharoesFilesystem` when
+    ``ClientConfig(lease=True)``; usable standalone in tests.  The
+    ``server`` handed in is whatever the client itself talks through
+    (including a :class:`~repro.storage.resilient.ResilientTransport`),
+    so lease traffic inherits the same retry/fault behaviour as data
+    traffic.  ``escrow`` maps a user id to key material able to open
+    that user's journal (the registry's :meth:`user` -- enterprise
+    trust, exactly what fsck already holds); without it, takeover of a
+    *dead* client's lease is refused rather than performed lossily.
+    """
+
+    def __init__(self, user, directory, server, clock,
+                 duration_s: float = 30.0, provider=None, escrow=None,
+                 tracer=None, metrics=None):
+        self.user = user
+        self.directory = directory
+        self.server = server
+        self.clock = clock
+        self.duration_s = float(duration_s)
+        self.provider = provider
+        self.escrow = escrow
+        self._tracer = tracer
+        self._metrics = metrics
+        #: inode -> (record we hold, its exact wire bytes for CAS)
+        self._held: dict[int, tuple[LeaseRecord, bytes]] = {}
+        #: rollback/equivocation watch over the epoch chain.
+        self.freshness = FreshnessMonitor()
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _count(self, name: str, help: str) -> None:
+        if self._metrics is not None:
+            self._metrics.counter(name, help=help).inc()
+
+    def _span(self, name: str, **tags):
+        if self._tracer is not None:
+            return self._tracer.span(name, **tags)
+        from ..storage.resilient import _NULL_SCOPE
+        return _NULL_SCOPE
+
+    def _now_us(self) -> int:
+        return int(self.clock.now * 1_000_000)
+
+    def _observe(self, inode: int, raw: bytes,
+                 record: LeaseRecord) -> None:
+        record.verify(self.directory)
+        self.freshness.observe_metadata(inode, record.epoch, raw)
+
+    def _make(self, inode: int, epoch: int,
+              released: bool = False) -> LeaseRecord:
+        now = self._now_us()
+        unsigned = LeaseRecord(
+            inode=inode, epoch=epoch, holder=self.user.user_id,
+            acquired_us=now,
+            expires_us=now + int(self.duration_s * 1_000_000),
+            released=released)
+        return LeaseRecord(
+            inode=unsigned.inode, epoch=unsigned.epoch,
+            holder=unsigned.holder, acquired_us=unsigned.acquired_us,
+            expires_us=unsigned.expires_us, released=unsigned.released,
+            signature=rsa.sign(self.user.private_key,
+                               unsigned.signed_payload()))
+
+    # -- queries -------------------------------------------------------------
+
+    def held_epoch(self, inode: int) -> int | None:
+        """The fencing epoch of a lease this client currently holds."""
+        held = self._held.get(inode)
+        return held[0].epoch if held is not None else None
+
+    def held_inodes(self) -> list[int]:
+        return sorted(self._held)
+
+    # -- the state machine ---------------------------------------------------
+
+    def acquire(self, inode: int) -> LeaseRecord:
+        """Hold (or keep holding) the lease on ``inode``.
+
+        Outcomes: a fresh acquisition (absent/released/expired lease,
+        CAS-won), a renewal of our own lease, a **takeover** (expired
+        lease of a dead client: verify + roll their journal forward,
+        then bump past their epoch), :class:`LeaseHeldError` (someone
+        else holds it, unexpired), or :class:`LeaseLostError` (we
+        thought we held it but a successor's epoch proves otherwise).
+        """
+        held = self._held.get(inode)
+        if held is not None and not held[0].expired(self._now_us()):
+            return held[0]
+
+        blob_id = lease_blob(inode)
+        raw: bytes | None = None
+        fetched = False
+        for _ in range(_ACQUIRE_ROUNDS):
+            if not fetched:
+                try:
+                    raw = self.server.get(blob_id)
+                except BlobNotFound:
+                    raw = None
+            fetched = False
+            try:
+                return self._advance(inode, blob_id, raw)
+            except CasConflictError as exc:
+                # Lost the race: somebody else advanced the chain.
+                # Re-inspect what they wrote instead of re-fetching.
+                self._count("lease.conflicts",
+                            "CAS races lost while acquiring leases")
+                raw = exc.current
+                fetched = True
+        record = LeaseRecord.from_bytes(raw) if raw else None
+        raise LeaseHeldError(
+            f"inode {inode}: lease contended beyond "
+            f"{_ACQUIRE_ROUNDS} CAS rounds",
+            holder=record.holder if record else "",
+            expires_at_s=(record.expires_us / 1e6) if record else 0.0)
+
+    def _advance(self, inode: int, blob_id: BlobId,
+                 raw: bytes | None) -> LeaseRecord:
+        """One CAS attempt at the next link of the lease chain."""
+        held = self._held.get(inode)
+        if raw is None:
+            high = self.freshness.high_watermark(inode) or 0
+            return self._swap(inode, blob_id, self._make(inode, high + 1),
+                              expected=None, verb="lease.acquires",
+                              help="fresh lease acquisitions")
+
+        record = LeaseRecord.from_bytes(raw)
+        self._observe(inode, raw, record)
+        now_us = self._now_us()
+
+        if record.holder == self.user.user_id:
+            # Ours (this session's, or a previous incarnation's -- that
+            # one's journal is replayed by our own mount): renew.
+            return self._swap(inode, blob_id,
+                              self._make(inode, record.epoch + 1),
+                              expected=raw, verb="lease.renewals",
+                              help="renewals of held leases")
+
+        if held is not None:
+            # We believed we held this lease; the chain moved past us.
+            self._drop(inode)
+            self._count("lease.lost",
+                        "leases discovered lost at acquire time")
+            raise LeaseLostError(
+                f"inode {inode}: lease taken over by {record.holder} "
+                f"at epoch {record.epoch} (we held epoch "
+                f"{held[0].epoch})")
+
+        if not record.expired(now_us):
+            raise LeaseHeldError(
+                f"inode {inode}: leased by {record.holder} until "
+                f"t={record.expires_us / 1e6:g}s "
+                f"(now {now_us / 1e6:g}s)",
+                holder=record.holder,
+                expires_at_s=record.expires_us / 1e6)
+
+        # Expired or released lease of another client: take over.  A
+        # *released* record needs no repair (the holder drained its own
+        # journal before releasing); an *expired* one belongs to a
+        # presumed-dead client whose pending intents must be rolled
+        # forward first so no committed work is lost.
+        with self._span("lease.takeover", inode=inode,
+                        prior_holder=record.holder,
+                        prior_epoch=record.epoch):
+            if not record.released:
+                self._roll_forward_holder(record.holder)
+            taken = self._swap(inode, blob_id,
+                               self._make(inode, record.epoch + 1),
+                               expected=raw, verb="lease.takeovers",
+                               help="takeovers of expired/released "
+                                    "leases")
+        return taken
+
+    def _roll_forward_holder(self, holder: str) -> None:
+        if self.escrow is None:
+            raise LeaseHeldError(
+                f"lease of {holder} expired but no key escrow is "
+                f"available to roll its journal forward; refusing a "
+                f"lossy takeover", holder=holder)
+        replayed = roll_forward(self.server, self.provider,
+                                self.escrow(holder))
+        for _ in replayed:
+            self._count("lease.takeover_replays",
+                        "dead clients' intents replayed at takeover")
+
+    def _swap(self, inode: int, blob_id: BlobId, record: LeaseRecord,
+              expected: bytes | None, verb: str,
+              help: str) -> LeaseRecord:
+        raw = record.to_bytes()
+        self.server.put_if(blob_id, raw, expected)
+        self.freshness.observe_metadata(inode, record.epoch, raw)
+        self._held[inode] = (record, raw)
+        self._count(verb, help)
+        return record
+
+    # -- release -------------------------------------------------------------
+
+    def _drop(self, inode: int) -> None:
+        self._held.pop(inode, None)
+
+    def release(self, inode: int) -> None:
+        """Surrender a held lease by writing a *released* record.
+
+        The chain stays monotone (release bumps the epoch, never
+        deletes the blob), so freshness monitoring keeps working across
+        release/re-acquire cycles.  Losing the release CAS is benign: a
+        successor already took the lease over.
+        """
+        held = self._held.pop(inode, None)
+        if held is None:
+            return
+        record, raw = held
+        released = self._make(inode, record.epoch + 1, released=True)
+        try:
+            out = released.to_bytes()
+            self.server.put_if(lease_blob(inode), out, expected=raw)
+        except CasConflictError:
+            return  # a successor advanced the chain first; fine
+        self.freshness.observe_metadata(inode, released.epoch, out)
+        self._count("lease.releases", "voluntary lease releases")
+
+    def release_all(self) -> None:
+        for inode in list(self._held):
+            self.release(inode)
+
+    def forget(self, inode: int) -> None:
+        """Drop one lease's local state without touching the SSP.
+
+        Used when the lease was *lost* (taken over): writing a release
+        record would be both futile (our epoch is stale, the CAS loses)
+        and wrong (the lease is not ours to release).
+        """
+        self._drop(inode)
+
+    def forget_all(self) -> None:
+        """Drop local lease state without touching the SSP (crash sim)."""
+        self._held.clear()

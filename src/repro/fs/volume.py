@@ -49,9 +49,13 @@ class SharoesVolume:
                  scheme: str | ReplicationScheme = "scheme2",
                  block_size: int = DEFAULT_BLOCK_SIZE,
                  signature_prime_bits: int = OBJECT_SIGNATURE_PRIME_BITS,
-                 engine: str = "stream", retry_policy=None):
+                 engine: str = "stream", retry_policy=None, clock=None):
         self.server = server
         self.registry = registry
+        #: shared :class:`~repro.sim.clock.SimClock` for multi-client
+        #: lease expiry (None = each leasing client without a cost model
+        #: runs its own clock, which is fine single-client).
+        self.clock = clock
         self.scheme = (scheme if isinstance(scheme, ReplicationScheme)
                        else make_scheme(scheme, registry))
         self.block_size = block_size

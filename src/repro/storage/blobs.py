@@ -12,6 +12,8 @@ either hash of user/group ID (for Scheme-1) or CAP ID (Scheme-2)"
 * ``lockbox/<inode>/<user-hash>``  -- Scheme-2 split-point lockboxes
 * ``journal/<user-hash>``      -- per-user write-ahead intent journals
   (MEK-encrypted + signed client-side; see :mod:`repro.fs.journal`)
+* ``lease/<inode>``            -- per-inode signed lease blobs with a
+  plaintext fencing-epoch prefix (see :mod:`repro.fs.lease`)
 
 ``selector`` is a CAP id under Scheme-2 or a hashed principal id under
 Scheme-1; baselines that keep a single copy use the selector ``"-"``.
@@ -29,6 +31,7 @@ SUPERBLOCK = "super"
 GROUP_KEY = "groupkey"
 LOCKBOX = "lockbox"
 JOURNAL = "journal"
+LEASE = "lease"
 
 #: Selector for single-copy objects (baselines, shared structures).
 SHARED = "-"
@@ -75,3 +78,8 @@ def lockbox_blob(inode: int, user_id: str) -> BlobId:
 def journal_blob(user_id: str) -> BlobId:
     """One write-ahead intent journal per user (inode slot 0)."""
     return BlobId(JOURNAL, 0, principal_hash(user_id))
+
+
+def lease_blob(inode: int) -> BlobId:
+    """The per-inode lease blob every writer of that inode contends on."""
+    return BlobId(LEASE, inode, SHARED)

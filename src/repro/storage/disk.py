@@ -73,6 +73,12 @@ class DiskStorageServer(StorageServer):
     def exists(self, blob_id: BlobId) -> bool:
         return self._path(blob_id).is_file()
 
+    def _peek(self, blob_id: BlobId) -> bytes | None:
+        try:
+            return self._path(blob_id).read_bytes()
+        except FileNotFoundError:
+            return None
+
     def _iter_ids(self) -> Iterator[BlobId]:
         for kind_dir in sorted(self.root.iterdir()):
             if not kind_dir.is_dir():

@@ -32,7 +32,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
-from ..errors import (CircuitOpenError, ClientCrashed,
+from ..errors import (CasConflictError, CircuitOpenError, ClientCrashed,
                       TransientStorageError)
 from ..fs.cache import LruCache
 from ..sim.clock import SimClock
@@ -67,6 +67,18 @@ class ServerWrapper:
 
     def exists(self, blob_id: BlobId) -> bool:
         return self.inner.exists(blob_id)
+
+    def put_if(self, blob_id: BlobId, payload: bytes,
+               expected: bytes | None) -> None:
+        self.inner.put_if(blob_id, payload, expected)
+
+    def put_fenced(self, blob_id: BlobId, payload: bytes,
+                   fence: BlobId, epoch: int) -> None:
+        self.inner.put_fenced(blob_id, payload, fence, epoch)
+
+    def delete_fenced(self, blob_id: BlobId,
+                      fence: BlobId, epoch: int) -> None:
+        self.inner.delete_fenced(blob_id, fence, epoch)
 
 
 class CrashingServer(ServerWrapper):
@@ -105,6 +117,21 @@ class CrashingServer(ServerWrapper):
     def delete(self, blob_id: BlobId) -> None:
         self._mutation()
         self.inner.delete(blob_id)
+
+    def put_if(self, blob_id: BlobId, payload: bytes,
+               expected: bytes | None) -> None:
+        self._mutation()
+        self.inner.put_if(blob_id, payload, expected)
+
+    def put_fenced(self, blob_id: BlobId, payload: bytes,
+                   fence: BlobId, epoch: int) -> None:
+        self._mutation()
+        self.inner.put_fenced(blob_id, payload, fence, epoch)
+
+    def delete_fenced(self, blob_id: BlobId,
+                      fence: BlobId, epoch: int) -> None:
+        self._mutation()
+        self.inner.delete_fenced(blob_id, fence, epoch)
 
 
 # -- transient-fault injectors ------------------------------------------------
@@ -162,6 +189,21 @@ class FlakyServer(ServerWrapper):
         self._maybe_fail("exists", blob_id)
         return self.inner.exists(blob_id)
 
+    def put_if(self, blob_id: BlobId, payload: bytes,
+               expected: bytes | None) -> None:
+        self._maybe_fail("put", blob_id)
+        self.inner.put_if(blob_id, payload, expected)
+
+    def put_fenced(self, blob_id: BlobId, payload: bytes,
+                   fence: BlobId, epoch: int) -> None:
+        self._maybe_fail("put", blob_id)
+        self.inner.put_fenced(blob_id, payload, fence, epoch)
+
+    def delete_fenced(self, blob_id: BlobId,
+                      fence: BlobId, epoch: int) -> None:
+        self._maybe_fail("delete", blob_id)
+        self.inner.delete_fenced(blob_id, fence, epoch)
+
 
 class SlowServer(ServerWrapper):
     """Charges extra simulated latency on every request.
@@ -206,6 +248,21 @@ class SlowServer(ServerWrapper):
         self._stall()
         return self.inner.exists(blob_id)
 
+    def put_if(self, blob_id: BlobId, payload: bytes,
+               expected: bytes | None) -> None:
+        self._stall()
+        self.inner.put_if(blob_id, payload, expected)
+
+    def put_fenced(self, blob_id: BlobId, payload: bytes,
+                   fence: BlobId, epoch: int) -> None:
+        self._stall()
+        self.inner.put_fenced(blob_id, payload, fence, epoch)
+
+    def delete_fenced(self, blob_id: BlobId,
+                      fence: BlobId, epoch: int) -> None:
+        self._stall()
+        self.inner.delete_fenced(blob_id, fence, epoch)
+
 
 class OutageServer(ServerWrapper):
     """Fails every request inside a simulated-clock time window."""
@@ -246,6 +303,21 @@ class OutageServer(ServerWrapper):
     def exists(self, blob_id: BlobId) -> bool:
         self._gate("exists", blob_id)
         return self.inner.exists(blob_id)
+
+    def put_if(self, blob_id: BlobId, payload: bytes,
+               expected: bytes | None) -> None:
+        self._gate("put_if", blob_id)
+        self.inner.put_if(blob_id, payload, expected)
+
+    def put_fenced(self, blob_id: BlobId, payload: bytes,
+                   fence: BlobId, epoch: int) -> None:
+        self._gate("put_fenced", blob_id)
+        self.inner.put_fenced(blob_id, payload, fence, epoch)
+
+    def delete_fenced(self, blob_id: BlobId,
+                      fence: BlobId, epoch: int) -> None:
+        self._gate("delete_fenced", blob_id)
+        self.inner.delete_fenced(blob_id, fence, epoch)
 
 
 # -- the retry / breaker / degradation layer ----------------------------------
@@ -520,3 +592,44 @@ class ResilientTransport(ServerWrapper):
     def exists(self, blob_id: BlobId) -> bool:
         return self._execute("exists", blob_id,
                              lambda: self.inner.exists(blob_id))
+
+    def put_if(self, blob_id: BlobId, payload: bytes,
+               expected: bytes | None) -> None:
+        """Retried CAS: transient faults are retried like any put, but a
+        genuine conflict is terminal (:class:`CasConflictError` is a plain
+        StorageError and propagates immediately).
+
+        One subtlety: if an earlier attempt *applied* before its ack was
+        lost, the retry sees a "conflict" whose current bytes are exactly
+        what we tried to write -- that is success, not a lost race.
+        """
+        def attempt() -> None:
+            try:
+                self.inner.put_if(blob_id, payload, expected)
+            except CasConflictError as exc:
+                if exc.current == bytes(payload):
+                    return  # our own earlier attempt landed
+                raise
+
+        self._execute("put_if", blob_id, attempt)
+        if self.policy.cache_fallback:
+            self._fallback.put(blob_id, bytes(payload), len(payload))
+
+    def put_fenced(self, blob_id: BlobId, payload: bytes,
+                   fence: BlobId, epoch: int) -> None:
+        """Retried fenced put.  :class:`~repro.errors.StaleEpochError`
+        is terminal and propagates unretried -- a revoked fence can only
+        move further away."""
+        self._execute("put_fenced", blob_id,
+                      lambda: self.inner.put_fenced(blob_id, payload,
+                                                    fence, epoch))
+        if self.policy.cache_fallback:
+            self._fallback.put(blob_id, bytes(payload), len(payload))
+
+    def delete_fenced(self, blob_id: BlobId,
+                      fence: BlobId, epoch: int) -> None:
+        self._fallback.invalidate(blob_id)
+        self.stale_blob_ids.discard(blob_id)
+        self._execute("delete_fenced", blob_id,
+                      lambda: self.inner.delete_fenced(blob_id, fence,
+                                                       epoch))

@@ -17,9 +17,26 @@ from __future__ import annotations
 
 from typing import Iterator
 
-from ..errors import BlobNotFound
+from ..errors import BlobNotFound, CasConflictError, StaleEpochError
 from .accounting import ServerStats
 from .blobs import BlobId
+
+#: Width of the plaintext big-endian epoch prefix on fence (lease) blobs.
+EPOCH_PREFIX_BYTES = 8
+
+
+def fence_epoch(raw: bytes | None) -> int:
+    """Mechanically read the epoch prefix of a fence blob.
+
+    The SSP performs no crypto: the first 8 bytes of a lease blob are a
+    plaintext big-endian fencing epoch, put there exactly so an untrusted
+    store can enforce "no writes below the current epoch" without keys.
+    An absent or short blob reads as epoch 0 (fail open: no lease, no
+    fencing).
+    """
+    if raw is None or len(raw) < EPOCH_PREFIX_BYTES:
+        return 0
+    return int.from_bytes(raw[:EPOCH_PREFIX_BYTES], "big")
 
 
 class StorageServer:
@@ -55,6 +72,56 @@ class StorageServer:
 
     def exists(self, blob_id: BlobId) -> bool:
         return blob_id in self._blobs
+
+    # -- coordination primitives (CAS + epoch fencing) -----------------------
+
+    def _peek(self, blob_id: BlobId) -> bytes | None:
+        """Current bytes of a blob without stats side effects (or None).
+
+        Internal primitive behind :meth:`put_if` and the fence checks;
+        backends with their own storage (disk, remote) override it.
+        """
+        return self._blobs.get(blob_id)
+
+    def put_if(self, blob_id: BlobId, payload: bytes,
+               expected: bytes | None) -> None:
+        """Compare-and-swap: store ``payload`` only if the blob's current
+        bytes equal ``expected`` (``None`` = must be absent).
+
+        On mismatch raises the *terminal* :class:`CasConflictError`
+        carrying the current bytes, so the loser can re-inspect at the
+        protocol level instead of blind-retrying.
+        """
+        current = self._peek(blob_id)
+        if current != expected:
+            raise CasConflictError(f"cas conflict on {blob_id}",
+                                   current=current)
+        self.put(blob_id, payload)
+
+    def _check_fence(self, fence: BlobId, epoch: int) -> None:
+        current = fence_epoch(self._peek(fence))
+        if epoch < current:
+            raise StaleEpochError(
+                f"fenced write at epoch {epoch} rejected: "
+                f"{fence} is at epoch {current}",
+                current_epoch=current)
+
+    def put_fenced(self, blob_id: BlobId, payload: bytes,
+                   fence: BlobId, epoch: int) -> None:
+        """Store a blob only if ``fence`` has not advanced past ``epoch``.
+
+        The epoch check is mechanical (plaintext prefix); a zombie writer
+        whose lease was taken over earns a terminal
+        :class:`StaleEpochError` instead of clobbering its successor.
+        """
+        self._check_fence(fence, epoch)
+        self.put(blob_id, payload)
+
+    def delete_fenced(self, blob_id: BlobId,
+                      fence: BlobId, epoch: int) -> None:
+        """Fenced counterpart of :meth:`delete` (idempotent on absence)."""
+        self._check_fence(fence, epoch)
+        self.delete(blob_id)
 
     def list_kind(self, kind: str) -> Iterator[BlobId]:
         """Enumerate stored ids of one kind (used by audits and ablations)."""

@@ -13,10 +13,20 @@ Wire format (all integers big-endian):
     request  := u32 length | u8 opcode | fields
     response := u32 length | u8 status | payload
 
-    PUT    op=1: blob-id, payload      -> status OK
-    GET    op=2: blob-id               -> status OK + payload | MISSING
-    DELETE op=3: blob-id               -> status OK
-    EXISTS op=4: blob-id               -> status OK + 1 byte (0/1)
+    PUT        op=1: blob-id, payload      -> status OK
+    GET        op=2: blob-id               -> status OK + payload | MISSING
+    DELETE     op=3: blob-id               -> status OK
+    EXISTS     op=4: blob-id               -> status OK + 1 byte (0/1)
+    PUT_IF     op=5: blob-id, expected*, payload
+                 -> status OK | CONFLICT + current*
+    PUT_FENCED op=6: blob-id, fence-id, u64 epoch, payload
+                 -> status OK | FENCED + u64 current epoch
+    DEL_FENCED op=7: blob-id, fence-id, u64 epoch
+                 -> status OK | FENCED + u64 current epoch
+
+(``*`` marks a presence-prefixed field: one flag byte, 0 = absent blob,
+1 = the remaining bytes are the value -- CAS must distinguish "expect
+absent" from "expect empty".)
 
 Blob ids travel as their string form (``kind/inode/selector``).  The
 server performs no computation on payloads -- it cannot: they are
@@ -32,7 +42,8 @@ import socketserver
 import struct
 import threading
 
-from ..errors import BlobNotFound, StorageError, TransientStorageError
+from ..errors import (BlobNotFound, CasConflictError, StaleEpochError,
+                      StorageError, TransientStorageError)
 from .blobs import BlobId
 from .server import StorageServer
 
@@ -40,10 +51,30 @@ OP_PUT = 1
 OP_GET = 2
 OP_DELETE = 3
 OP_EXISTS = 4
+OP_PUT_IF = 5
+OP_PUT_FENCED = 6
+OP_DELETE_FENCED = 7
 
 STATUS_OK = 0
 STATUS_MISSING = 1
 STATUS_ERROR = 2
+STATUS_CONFLICT = 3
+STATUS_FENCED = 4
+
+
+def _pack_presence(value: bytes | None) -> bytes:
+    """One flag byte + payload: None (absent blob) vs b'' are distinct."""
+    return b"\x00" if value is None else b"\x01" + value
+
+
+def _unpack_presence(raw: bytes) -> bytes | None:
+    if not raw:
+        raise StorageError("empty presence-prefixed field")
+    if raw[0] == 0:
+        if len(raw) != 1:
+            raise StorageError("malformed absent-value field")
+        return None
+    return raw[1:]
 
 _MAX_MESSAGE = 64 * 1024 * 1024
 
@@ -69,6 +100,12 @@ def _unpack_fields(raw: bytes, count: int) -> list[bytes]:
         fields.append(raw[offset:offset + length])
         offset += length
     return fields
+
+
+def _parse_epoch(raw: bytes) -> int:
+    if len(raw) != 8:
+        raise StorageError(f"malformed epoch field ({len(raw)} bytes)")
+    return struct.unpack(">Q", raw)[0]
 
 
 def _parse_blob_id(raw: bytes) -> BlobId:
@@ -122,6 +159,12 @@ class _Handler(socketserver.BaseRequestHandler):
                                               message[1:])
                 except BlobNotFound:
                     response = bytes([STATUS_MISSING])
+                except CasConflictError as exc:
+                    response = (bytes([STATUS_CONFLICT])
+                                + _pack_presence(exc.current))
+                except StaleEpochError as exc:
+                    response = (bytes([STATUS_FENCED])
+                                + struct.pack(">Q", exc.current_epoch))
                 except Exception as exc:  # surfaced to client as ERROR
                     response = bytes([STATUS_ERROR]) + str(exc).encode()
             try:
@@ -148,6 +191,24 @@ class _Handler(socketserver.BaseRequestHandler):
             (blob_raw,) = _unpack_fields(body, 1)
             present = backend.exists(_parse_blob_id(blob_raw))
             return bytes([STATUS_OK, 1 if present else 0])
+        if opcode == OP_PUT_IF:
+            blob_raw, expected_raw, payload = _unpack_fields(body, 3)
+            backend.put_if(_parse_blob_id(blob_raw), payload,
+                           _unpack_presence(expected_raw))
+            return bytes([STATUS_OK])
+        if opcode == OP_PUT_FENCED:
+            blob_raw, fence_raw, epoch_raw, payload = \
+                _unpack_fields(body, 4)
+            backend.put_fenced(_parse_blob_id(blob_raw), payload,
+                               _parse_blob_id(fence_raw),
+                               _parse_epoch(epoch_raw))
+            return bytes([STATUS_OK])
+        if opcode == OP_DELETE_FENCED:
+            blob_raw, fence_raw, epoch_raw = _unpack_fields(body, 3)
+            backend.delete_fenced(_parse_blob_id(blob_raw),
+                                  _parse_blob_id(fence_raw),
+                                  _parse_epoch(epoch_raw))
+            return bytes([STATUS_OK])
         raise StorageError(f"unknown opcode {opcode}")
 
 
@@ -257,6 +318,12 @@ class RemoteStorageClient(StorageServer):
             return payload
         if status == STATUS_MISSING:
             raise BlobNotFound("remote blob missing")
+        if status == STATUS_CONFLICT:
+            raise CasConflictError("remote cas conflict",
+                                   current=_unpack_presence(payload))
+        if status == STATUS_FENCED:
+            raise StaleEpochError("remote fenced write rejected",
+                                  current_epoch=_parse_epoch(payload))
         raise StorageError(f"SSP error: {payload.decode(errors='replace')}")
 
     def put(self, blob_id: BlobId, payload: bytes) -> None:
@@ -285,6 +352,32 @@ class RemoteStorageClient(StorageServer):
         body = bytes([OP_EXISTS]) + _pack_fields(str(blob_id).encode())
         payload = self._check(self._roundtrip(body))
         return bool(payload and payload[0])
+
+    # The base class implements CAS/fencing against its own dict; the
+    # proxy must ship them to the real backend instead.
+
+    def put_if(self, blob_id: BlobId, payload: bytes,
+               expected: bytes | None) -> None:
+        self.stats.record_put(blob_id.kind, len(payload))
+        body = bytes([OP_PUT_IF]) + _pack_fields(
+            str(blob_id).encode(), _pack_presence(expected), payload)
+        self._check(self._roundtrip(body))
+
+    def put_fenced(self, blob_id: BlobId, payload: bytes,
+                   fence: BlobId, epoch: int) -> None:
+        self.stats.record_put(blob_id.kind, len(payload))
+        body = bytes([OP_PUT_FENCED]) + _pack_fields(
+            str(blob_id).encode(), str(fence).encode(),
+            struct.pack(">Q", epoch), payload)
+        self._check(self._roundtrip(body))
+
+    def delete_fenced(self, blob_id: BlobId,
+                      fence: BlobId, epoch: int) -> None:
+        self.stats.record_delete(blob_id.kind)
+        body = bytes([OP_DELETE_FENCED]) + _pack_fields(
+            str(blob_id).encode(), str(fence).encode(),
+            struct.pack(">Q", epoch))
+        self._check(self._roundtrip(body))
 
     # The proxy cannot enumerate or audit the remote store.
     def list_kind(self, kind: str):

@@ -85,6 +85,9 @@ class RepairReport:
     rejected_journals: list[str] = field(default_factory=list)
     #: orphaned blobs reclaimed from the SSP.
     reclaimed_blobs: list[str] = field(default_factory=list)
+    #: leases of rolled-forward clients broken ("inode N: advanced past
+    #: epoch E (holder u)") -- the fencing epochs repair moved past.
+    advanced_epochs: list[str] = field(default_factory=list)
     #: the post-repair audit, proving the volume converged.
     audit: AuditReport | None = None
 
@@ -94,7 +97,8 @@ class RepairReport:
         return (f"fsck --repair: {status} -- "
                 f"{len(self.completed_intents)} intents completed, "
                 f"{len(self.rejected_journals)} journals rejected, "
-                f"{len(self.reclaimed_blobs)} blobs reclaimed")
+                f"{len(self.reclaimed_blobs)} blobs reclaimed, "
+                f"{len(self.advanced_epochs)} lease epochs advanced")
 
 
 class _RecordingServer:
@@ -147,6 +151,7 @@ class VolumeAuditor:
 
         report.objects_visited = len(visited_inodes)
         self._check_journals(report)
+        self._check_leases(report)
         if check_orphans:
             self._find_orphans(recorder, report, visited_inodes)
         return report
@@ -179,6 +184,73 @@ class VolumeAuditor:
                 report.pending_intents.append(
                     f"{user.user_id} {record.op}#{record.seq}")
 
+    # -- leases ------------------------------------------------------------------
+
+    def _lease_blobs(self):
+        """Every (blob id, raw bytes) lease pair in the SSP census."""
+        from ..storage.blobs import LEASE
+        try:
+            all_ids = list(self.volume.server.raw_blobs())
+        except StorageError:
+            return
+        for blob_id in sorted(all_ids):
+            if blob_id.kind != LEASE:
+                continue
+            try:
+                yield blob_id, self.volume.server.get(blob_id)
+            except (BlobNotFound, StorageError):
+                continue
+
+    def _check_leases(self, report: AuditReport) -> None:
+        """Verify every lease blob: structure, signature, known holder.
+
+        The SSP cannot forge a lease (no user private key), so a bad
+        signature here is tampering; an unknown holder is either
+        tampering or a stale registry.
+        """
+        from ..fs.lease import LeaseRecord
+        for blob_id, raw in self._lease_blobs():
+            try:
+                record = LeaseRecord.from_bytes(raw)
+                record.verify(self.volume.registry.directory)
+            except (IntegrityError, SharoesError) as exc:
+                report.integrity_errors.append(f"{blob_id}: {exc}")
+                continue
+            if record.inode != blob_id.inode:
+                report.integrity_errors.append(
+                    f"{blob_id}: signed inode {record.inode} "
+                    f"contradicts blob location")
+
+    def _break_leases(self, holder: str, report: RepairReport) -> None:
+        """Release a rolled-forward client's unreleased leases.
+
+        Shares the takeover contract (journal first, epoch second): only
+        called after ``roll_forward`` drained the holder's journal, it
+        writes a *released* successor record under the holder's escrowed
+        key so live clients can re-acquire without waiting out the
+        expiry.  Losing the CAS is benign -- someone already advanced
+        the chain past the epoch we were about to break.
+        """
+        from ..fs.lease import LeaseRecord, break_record
+        from ..errors import CasConflictError
+        for blob_id, raw in self._lease_blobs():
+            try:
+                record = LeaseRecord.from_bytes(raw)
+            except IntegrityError:
+                continue  # audit reports it; nothing safe to advance
+            if record.holder != holder or record.released:
+                continue
+            broken = break_record(
+                record, self.volume.registry.user(holder))
+            try:
+                self.volume.server.put_if(blob_id, broken.to_bytes(),
+                                          expected=raw)
+            except CasConflictError:
+                continue
+            report.advanced_epochs.append(
+                f"inode {record.inode}: advanced past epoch "
+                f"{record.epoch} (holder {holder})")
+
     # -- repair ------------------------------------------------------------------
 
     def repair(self) -> RepairReport:
@@ -195,6 +267,10 @@ class VolumeAuditor:
            no return; undoing blobs it may have applied could clobber a
            concurrent writer.)  A journal that fails verification is
            quarantined unreplayed: its intents are untrusted bytes.
+           Rolled-forward clients' unreleased leases are then broken
+           (released record, epoch advanced) so live clients need not
+           wait out the expiry -- the lease-takeover contract, journal
+           first, epoch second.
         2. **Reclaim orphans.**  With intents completed, anything still
            unreachable really is garbage from interrupted deletes (or
            rolled-back creates); it is deleted from the SSP.
@@ -208,27 +284,22 @@ class VolumeAuditor:
         for user in self.volume.registry.users():
             jid = journal_blob(user.user_id)
             try:
-                blob = server.get(jid)
-            except (BlobNotFound, StorageError):
-                continue
-            try:
-                records = journal.open_journal(provider, user, blob)
+                # Same verified roll-forward path as lease takeover
+                # (fs/journal.roll_forward): verify, replay staged
+                # calls in order, truncate.
+                records = journal.roll_forward(server, provider, user)
             except IntegrityError:
                 server.delete(jid)
                 report.rejected_journals.append(user.user_id)
                 continue
+            except StorageError:
+                continue
             if not records:
                 continue
             for record in records:
-                for call in record.calls:
-                    for blob_id, payload in call.blobs:
-                        if payload is None:
-                            server.delete(blob_id)
-                        else:
-                            server.put(blob_id, payload)
                 report.completed_intents.append(
                     f"{user.user_id} {record.op}#{record.seq}")
-            server.put(jid, journal.seal_journal(provider, user, []))
+            self._break_leases(user.user_id, report)
         audit = self.audit()
         for name in audit.orphaned_blobs:
             kind, inode, selector = name.split("/", 2)
@@ -306,10 +377,13 @@ class VolumeAuditor:
         for blob_id in sorted(all_ids - recorder.touched):
             # Lockboxes, superblocks and group keys are only read by
             # their single addressee on specific paths; journals are
-            # per-user recovery state audited separately.  Unread is
+            # per-user recovery state audited separately; lease chains
+            # and version statements are coordination infrastructure
+            # that outlives any object (their own audits are
+            # _check_leases and the clients' fork checks).  Unread is
             # fine for all of them.
             if blob_id.kind in ("super", "groupkey", "lockbox",
-                                "journal"):
+                                "journal", "lease", "vsl"):
                 continue
             if blob_id.inode in visited_inodes:
                 continue

@@ -1,0 +1,517 @@
+"""Per-inode signed leases with fencing epochs: the unit contracts.
+
+The full multi-client schedule sweep lives in test_interleave.py; this
+file covers the lease subsystem's own guarantees -- the signed record
+codec (tamper / prefix-contradiction rejection), the acquire / renew /
+release / takeover state machine, CAS race handling, epoch-chain
+rollback detection (an SSP re-serving an old lease never grants one),
+roll-forward at takeover, fence supersession of stranded intents, the
+end-to-end zombie fencing path, the VSL journal-sequence binding, and
+cost parity for default (non-leased) clients.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.provider import CryptoProvider
+from repro.errors import (CasConflictError, ClientCrashed, IntegrityError,
+                          LeaseHeldError, LeaseLostError, StaleEpochError)
+from repro.fs import journal
+from repro.fs.client import ClientConfig, SharoesFilesystem
+from repro.fs.consistency import ForkDetected
+from repro.fs.freshness import StaleObjectError
+from repro.fs.lease import LeaseManager, LeaseRecord, break_record
+from repro.fs.volume import SharoesVolume
+from repro.principals.groups import GroupKeyService
+from repro.sim.clock import SimClock
+from repro.storage.blobs import BlobId, journal_blob, lease_blob
+from repro.storage.resilient import CrashingServer, ServerWrapper
+from repro.storage.server import StorageServer, fence_epoch
+from repro.storage.wire import RemoteStorageClient, SspServer
+from repro.tools.fsck import VolumeAuditor
+from repro.tools.interleave import PauseServer
+
+_LEASE_S = 5.0
+
+LCONF = ClientConfig(journal=True, lease=True, lease_duration_s=_LEASE_S,
+                     cache_bytes=0)
+
+
+@pytest.fixture
+def clock() -> SimClock:
+    return SimClock()
+
+
+@pytest.fixture
+def shared(registry, clock):
+    """(server, volume) whose clock is shared by every leased client."""
+    server = StorageServer()
+    volume = SharoesVolume(server, registry, clock=clock)
+    volume.format(root_owner="alice", root_group="eng")
+    GroupKeyService(registry, server, CryptoProvider()).publish_all()
+    return server, volume
+
+
+def make_manager(registry, server, clock, user_id="alice", escrow=None,
+                 duration=_LEASE_S) -> LeaseManager:
+    return LeaseManager(registry.user(user_id), registry.directory,
+                        server, clock, duration_s=duration,
+                        provider=CryptoProvider(), escrow=escrow)
+
+
+def make_leased(volume, registry, user_id="alice", server=None,
+                consistency=False) -> SharoesFilesystem:
+    fs = SharoesFilesystem(volume, registry.user(user_id),
+                           config=LCONF, server=server)
+    if consistency:
+        fs.enable_consistency_log()
+    fs.mount()
+    return fs
+
+
+# -- record codec -------------------------------------------------------------
+
+
+class TestRecordCodec:
+    def test_roundtrip_and_verify(self, registry, clock):
+        server = StorageServer()
+        mgr = make_manager(registry, server, clock)
+        record = mgr.acquire(9)
+        raw = server.get(lease_blob(9))
+        back = LeaseRecord.from_bytes(raw)
+        assert back == record
+        assert back.epoch == 1 and back.holder == "alice"
+        back.verify(registry.directory)  # does not raise
+        assert fence_epoch(raw) == 1
+
+    def test_tampered_signature_rejected(self, registry, clock):
+        server = StorageServer()
+        make_manager(registry, server, clock).acquire(9)
+        raw = bytearray(server.get(lease_blob(9)))
+        raw[-1] ^= 1
+        record = LeaseRecord.from_bytes(bytes(raw))
+        with pytest.raises(IntegrityError):
+            record.verify(registry.directory)
+
+    def test_prefix_contradicting_signed_epoch_rejected(self, registry,
+                                                        clock):
+        """The SSP acts on the plaintext prefix; a prefix that disagrees
+        with the signed epoch is SSP tampering, caught at decode."""
+        server = StorageServer()
+        make_manager(registry, server, clock).acquire(9)
+        raw = bytearray(server.get(lease_blob(9)))
+        raw[7] ^= 0xFF  # bump the plaintext epoch prefix only
+        with pytest.raises(IntegrityError, match="contradicts"):
+            LeaseRecord.from_bytes(bytes(raw))
+
+    def test_truncated_blob_rejected(self):
+        with pytest.raises(IntegrityError):
+            LeaseRecord.from_bytes(b"\x00\x01")
+
+
+# -- state machine ------------------------------------------------------------
+
+
+class TestStateMachine:
+    def test_renewal_bumps_epoch(self, registry, clock):
+        server = StorageServer()
+        mgr = make_manager(registry, server, clock, duration=1.0)
+        assert mgr.acquire(5).epoch == 1
+        clock.advance(2.0)  # expired: re-acquire renews our own lease
+        assert mgr.acquire(5).epoch == 2
+        assert mgr.held_epoch(5) == 2
+
+    def test_release_writes_released_record(self, registry, clock):
+        server = StorageServer()
+        mgr = make_manager(registry, server, clock)
+        mgr.acquire(5)
+        mgr.release(5)
+        record = LeaseRecord.from_bytes(server.get(lease_blob(5)))
+        assert record.released and record.epoch == 2
+        assert mgr.held_epoch(5) is None
+        # Another client may take a released lease over immediately.
+        bob = make_manager(registry, server, clock, "bob")
+        assert bob.acquire(5).epoch == 3
+
+    def test_unexpired_lease_blocks_peers(self, registry, clock):
+        server = StorageServer()
+        make_manager(registry, server, clock).acquire(5)
+        bob = make_manager(registry, server, clock, "bob")
+        with pytest.raises(LeaseHeldError) as err:
+            bob.acquire(5)
+        assert err.value.holder == "alice"
+
+    def test_takeover_needs_escrow(self, registry, clock):
+        """Without the enterprise key escrow, a dead client's journal
+        cannot be rolled forward -- takeover is refused, not lossy."""
+        server = StorageServer()
+        make_manager(registry, server, clock, duration=1.0).acquire(5)
+        clock.advance(2.0)
+        bob = make_manager(registry, server, clock, "bob", escrow=None)
+        with pytest.raises(LeaseHeldError, match="escrow"):
+            bob.acquire(5)
+
+    def test_takeover_rolls_dead_holders_journal_forward(self, registry,
+                                                         clock):
+        """Committed-but-unapplied work of the dead client lands before
+        the epoch is bumped past it."""
+        server = StorageServer()
+        provider = CryptoProvider()
+        alice = registry.user("alice")
+        mgr = make_manager(registry, server, clock, duration=1.0)
+        mgr.acquire(99)
+        target = BlobId("data", 99, "b0")
+        server.put(journal_blob("alice"), journal.seal_journal(
+            provider, alice, [journal.IntentRecord(
+                seq=1, op="x", calls=(journal.StagedCall(
+                    journal.PUT, ((target, b"pending-payload"),)),))]))
+        clock.advance(2.0)
+        bob = make_manager(registry, server, clock, "bob",
+                           escrow=registry.user)
+        taken = bob.acquire(99)
+        assert taken.epoch == 2 and taken.holder == "bob"
+        assert server.get(target) == b"pending-payload"
+        assert journal.open_journal(provider, alice,
+                                    server.get(journal_blob("alice"))) == []
+
+    def test_lost_lease_detected_at_reacquire(self, registry, clock):
+        server = StorageServer()
+        mgr = make_manager(registry, server, clock, duration=1.0)
+        mgr.acquire(5)
+        clock.advance(2.0)
+        bob = make_manager(registry, server, clock, "bob",
+                           escrow=registry.user)
+        bob.acquire(5)
+        with pytest.raises(LeaseLostError):
+            mgr.acquire(5)
+        assert mgr.held_epoch(5) is None
+
+    def test_cas_race_is_reinspected(self, registry, clock):
+        """Losing the acquire CAS re-inspects the winner's record (and
+        yields LeaseHeldError while it is unexpired), no re-fetch."""
+        server = StorageServer()
+        bob = make_manager(registry, server, clock, "bob")
+
+        class RaceOnce(ServerWrapper):
+            def __init__(self, inner):
+                super().__init__(inner)
+                self.racer = lambda: bob.acquire(5)
+
+            def put_if(self, blob_id, payload, expected):
+                if self.racer is not None:
+                    racer, self.racer = self.racer, None
+                    racer()
+                self.inner.put_if(blob_id, payload, expected)
+
+        alice = make_manager(registry, RaceOnce(server), clock)
+        with pytest.raises(LeaseHeldError) as err:
+            alice.acquire(5)
+        assert err.value.holder == "bob"
+
+    def test_break_record_is_verifiable_released_successor(self, registry,
+                                                           clock):
+        server = StorageServer()
+        make_manager(registry, server, clock).acquire(5)
+        prior = LeaseRecord.from_bytes(server.get(lease_blob(5)))
+        broken = break_record(prior, registry.user("alice"))
+        assert broken.released and broken.epoch == prior.epoch + 1
+        broken.verify(registry.directory)
+
+
+# -- epoch-chain rollback (satellite: stale lease never granted) --------------
+
+
+class TestChainRollback:
+    def test_rolled_back_lease_blob_never_grants(self, registry, clock):
+        """An SSP re-serving an older, validly-signed lease record is a
+        chain rollback: StaleObjectError, never a stale grant."""
+        server = StorageServer()
+        mgr = make_manager(registry, server, clock)
+        mgr.acquire(7)
+        old_raw = server.get(lease_blob(7))  # epoch 1, valid signature
+        mgr.release(7)                       # chain advances to epoch 2
+        server.put(lease_blob(7), old_raw)   # the SSP rolls back
+        with pytest.raises(StaleObjectError):
+            mgr.acquire(7)
+
+    def test_equivocating_lease_blob_detected(self, registry, clock):
+        """Two different validly-signed byte-strings claiming the same
+        epoch: the SSP cannot show one chain link to one client and a
+        different one to another without being caught."""
+        server = StorageServer()
+        mgr = make_manager(registry, server, clock, duration=1.0)
+        mgr.acquire(7)
+        prior = LeaseRecord.from_bytes(server.get(lease_blob(7)))
+        clock.advance(2.0)
+        bob = make_manager(registry, server, clock, "bob",
+                           escrow=registry.user, duration=1.0)
+        bob.acquire(7)  # epoch 2, bob's record, observed by bob
+        # A second, different epoch-2 record with a valid signature
+        # (the escrow-built released successor of epoch 1).
+        forged = break_record(prior, registry.user("alice"))
+        assert forged.epoch == 2
+        server.put(lease_blob(7), forged.to_bytes())
+        clock.advance(2.0)  # bob's hold lapses; he must re-read
+        with pytest.raises(StaleObjectError):
+            bob.acquire(7)
+
+
+# -- fence supersession (stranded intents vs. takeover) ----------------------
+
+
+class TestFenceSupersession:
+    def test_stale_fenced_intent_is_skipped(self, registry, clock):
+        """A journaled intent whose recorded fences lag the lease chain
+        was superseded by a takeover: roll_forward drops it instead of
+        resurrecting the lost update."""
+        server = StorageServer()
+        provider = CryptoProvider()
+        alice = registry.user("alice")
+        make_manager(registry, server, clock).acquire(50)  # chain at 1
+        target = BlobId("data", 50, "b0")
+        server.put(journal_blob("alice"), journal.seal_journal(
+            provider, alice, [journal.IntentRecord(
+                seq=3, op="x", calls=(journal.StagedCall(
+                    journal.PUT, ((target, b"superseded"),)),),
+                fences=((50, 0),))]))  # epoch 0 < current epoch 1
+        replayed = journal.roll_forward(server, provider, alice)
+        assert replayed == []
+        assert not server.exists(target)
+        assert journal.open_journal(provider, alice,
+                                    server.get(journal_blob("alice"))) == []
+
+    def test_current_fenced_intent_is_replayed(self, registry, clock):
+        server = StorageServer()
+        provider = CryptoProvider()
+        alice = registry.user("alice")
+        make_manager(registry, server, clock).acquire(50)
+        target = BlobId("data", 50, "b0")
+        record = journal.IntentRecord(
+            seq=3, op="x", calls=(journal.StagedCall(
+                journal.PUT, ((target, b"live"),)),),
+            fences=((50, 1),))
+        server.put(journal_blob("alice"),
+                   journal.seal_journal(provider, alice, [record]))
+        assert not journal.fences_stale(server, record)
+        assert journal.roll_forward(server, provider, alice) == [record]
+        assert server.get(target) == b"live"
+
+
+# -- fenced writes at the SSP and over the wire -------------------------------
+
+
+class TestSspPrimitives:
+    def test_put_if_create_and_conflict(self):
+        server = StorageServer()
+        bid = lease_blob(1)
+        server.put_if(bid, b"\x00" * 8 + b"a", expected=None)
+        with pytest.raises(CasConflictError) as err:
+            server.put_if(bid, b"\x00" * 8 + b"b", expected=b"wrong")
+        assert err.value.current == b"\x00" * 8 + b"a"
+
+    def test_fenced_write_below_epoch_rejected(self):
+        server = StorageServer()
+        fence = lease_blob(1)
+        server.put(fence, (5).to_bytes(8, "big") + b"rec")
+        target = BlobId("data", 1, "b0")
+        with pytest.raises(StaleEpochError):
+            server.put_fenced(target, b"x", fence, epoch=4)
+        server.put_fenced(target, b"x", fence, epoch=5)
+        assert server.get(target) == b"x"
+        with pytest.raises(StaleEpochError):
+            server.delete_fenced(target, fence, epoch=3)
+        server.delete_fenced(target, fence, epoch=6)
+        assert not server.exists(target)
+
+    def test_cas_and_fenced_ops_cross_the_wire(self):
+        """put_if / put_fenced / delete_fenced survive the TCP proxy,
+        conflicts and fence rejections included."""
+        backend = StorageServer()
+        ssp = SspServer(backend).start()
+        host, port = ssp.address
+        client = RemoteStorageClient(host, port)
+        try:
+            bid = lease_blob(3)
+            payload = (1).to_bytes(8, "big") + b"r1"
+            client.put_if(bid, payload, expected=None)
+            with pytest.raises(CasConflictError) as err:
+                client.put_if(bid, payload, expected=b"nope")
+            assert err.value.current == payload
+            nxt = (2).to_bytes(8, "big") + b"r2"
+            client.put_if(bid, nxt, expected=payload)
+            assert backend.get(bid) == nxt
+            target = BlobId("data", 3, "b0")
+            with pytest.raises(StaleEpochError):
+                client.put_fenced(target, b"x", bid, epoch=1)
+            client.put_fenced(target, b"x", bid, epoch=2)
+            with pytest.raises(StaleEpochError):
+                client.delete_fenced(target, bid, epoch=0)
+            client.delete_fenced(target, bid, epoch=2)
+            assert not backend.exists(target)
+        finally:
+            client.close()
+            ssp.stop()
+
+
+# -- the zombie path, end to end ----------------------------------------------
+
+
+class TestZombie:
+    def test_zombie_write_is_fenced_out_and_rolls_back(self, shared,
+                                                       registry, clock):
+        """The deterministic zombie: alice pauses mid-create, her lease
+        expires and bob takes it over; on resume her fenced writes are
+        rejected (LeaseLostError), her op rolls back cleanly, bob's
+        survives, and a retry by the no-longer-zombie succeeds."""
+        server, volume = shared
+        prep = make_leased(volume, registry, "alice")
+        prep.mkdir("/d", mode=0o775)
+        prep.unmount()
+        bob = make_leased(volume, registry, "bob")
+
+        def hook() -> None:
+            clock.advance(_LEASE_S + 1.0)
+            bob.create_file("/d/zb", b"bob-wins")
+
+        pauser = PauseServer(server, pause_at=3, hook=hook)
+        alice = make_leased(volume, registry, "alice", server=pauser)
+        with pytest.raises(LeaseLostError):
+            alice.create_file("/d/za", b"alice-zombie")
+
+        probe = SharoesFilesystem(volume, registry.user("alice"),
+                                  config=ClientConfig(cache_bytes=0))
+        probe.mount()
+        assert probe.read_file("/d/zb") == b"bob-wins"
+        assert "za" not in probe.readdir("/d")
+        report = VolumeAuditor(volume).audit()
+        assert report.clean and not report.orphaned_blobs
+        assert alice.metrics.snapshot()["lease.lost"] >= 1
+
+        # The zombie is just a slow client: its retry re-serializes.
+        alice.create_file("/d/za", b"alice-retry")
+        assert alice.read_file("/d/za") == b"alice-retry"
+        assert probe.read_file("/d/zb") == b"bob-wins"
+
+    def test_crashed_holder_is_taken_over_with_roll_forward(
+            self, shared, registry, clock):
+        """A client dying mid-create strands a journaled intent; the
+        next writer waits out the lease, replays it, and both effects
+        land -- no lost update, no orphans."""
+        server, volume = shared
+        prep = make_leased(volume, registry, "alice")
+        prep.mkdir("/d", mode=0o775)
+        prep.unmount()
+        crasher = CrashingServer(server, crash_after=4)
+        dying = make_leased(volume, registry, "alice", server=crasher)
+        with pytest.raises(ClientCrashed):
+            dying.create_file("/d/dead", b"committed-before-crash")
+
+        clock.advance(_LEASE_S + 1.0)
+        bob = make_leased(volume, registry, "bob")
+        bob.create_file("/d/bob", b"successor")
+
+        probe = SharoesFilesystem(volume, registry.user("alice"),
+                                  config=ClientConfig(cache_bytes=0))
+        probe.mount()
+        assert probe.read_file("/d/bob") == b"successor"
+        assert probe.read_file("/d/dead") == b"committed-before-crash"
+        report = VolumeAuditor(volume).audit()
+        assert report.clean and not report.orphaned_blobs
+
+
+# -- VSL journal binding (satellite: stale committed journal) -----------------
+
+
+class _JournalTap(ServerWrapper):
+    """Records every version of one user's journal blob as it is put."""
+
+    def __init__(self, inner, user_id: str):
+        super().__init__(inner)
+        self.jid = journal_blob(user_id)
+        self.history: list[bytes] = []
+
+    def put(self, blob_id, payload):
+        if blob_id == self.jid:
+            self.history.append(payload)
+        self.inner.put(blob_id, payload)
+
+
+class TestVslJournalBinding:
+    def test_reserved_committed_journal_forks(self, shared, registry):
+        """An SSP re-serving an old committed journal (to resurrect an
+        undone mutation) is caught at mount: the version statement's
+        journal watermark says those intents already committed."""
+        server, volume = shared
+        tap = _JournalTap(server, "alice")
+        fs = make_leased(volume, registry, "alice", server=tap,
+                         consistency=True)
+        fs.create_file("/a", b"created")   # journal append captured
+        fs.unlink("/a")                    # then undone
+        fs.publish_statement()             # watermark covers both
+        fs.unmount()
+
+        # The attack: serve the create's pending journal again.
+        pending = tap.history[0]
+        server.put(journal_blob("alice"), pending)
+        with pytest.raises(ForkDetected, match="journal"):
+            make_leased(volume, registry, "alice", consistency=True)
+
+        # Nothing was replayed: /a stays deleted.
+        probe = SharoesFilesystem(volume, registry.user("alice"),
+                                  config=ClientConfig(cache_bytes=0))
+        probe.mount()
+        assert "a" not in probe.readdir("/")
+
+    def test_fresh_pending_journal_still_recovers(self, shared, registry):
+        """The binding only rejects journals at-or-below the committed
+        watermark; a genuinely newer pending intent replays normally."""
+        server, volume = shared
+        fs = make_leased(volume, registry, "alice", consistency=True)
+        fs.create_file("/keep", b"x")
+        fs.publish_statement()
+        fs.unmount()
+        crasher = CrashingServer(server, crash_after=8)
+        dying = make_leased(volume, registry, "alice", server=crasher,
+                            consistency=True)
+        with pytest.raises(ClientCrashed):
+            dying.create_file("/recovered", b"later-intent")
+        fs2 = make_leased(volume, registry, "alice", consistency=True)
+        assert fs2.read_file("/recovered") == b"later-intent"
+
+
+# -- cost parity (leases off by default) --------------------------------------
+
+
+class TestCostParity:
+    def test_default_client_issues_no_lease_or_journal_traffic(
+            self, volume, registry):
+        """ClientConfig() keeps the paper's Figure 8/9 cost model
+        byte-identical: no lease or journal blobs, no CAS ops, no
+        lease metrics -- the subsystem is invisible until opted into."""
+        fs = SharoesFilesystem(volume, registry.user("alice"),
+                               config=ClientConfig())
+        fs.mount()
+        fs.mkdir("/plain")
+        fs.create_file("/plain/f", b"y" * 300)
+        fs.rename("/plain/f", "/plain/g")
+        fs.read_file("/plain/g")
+        fs.unlink("/plain/g")
+        assert fs.lease is None
+        kinds = {blob_id.kind for blob_id in volume.server.raw_blobs()}
+        assert "lease" not in kinds
+        assert "journal" not in kinds
+        snapshot = fs.metrics.snapshot()
+        assert not any(name.startswith("lease.") for name in snapshot)
+
+    def test_leased_traffic_is_confined_to_new_blob_kinds(
+            self, shared, registry):
+        """Leases add lease/journal blobs but never change what object
+        blobs an op writes -- the cost deltas are additive, auditable
+        kinds, not perturbations of the paper's object layout."""
+        server, volume = shared
+        fs = make_leased(volume, registry, "alice")
+        fs.create_file("/f", b"z" * 300)
+        fs.unmount()
+        kinds = {blob_id.kind for blob_id in server.raw_blobs()}
+        assert "lease" in kinds and "journal" in kinds
