@@ -1,0 +1,65 @@
+"""Regenerate the per-PR performance snapshot (BENCH_<pr>.json).
+
+Runs the four standard workloads at the same scale as the previous
+snapshots and bundles the ``run_observed`` payloads into one file, so
+``benchmarks/results/BENCH_<n>.json`` files form a comparable series
+across PRs (same workloads, same params, same schema).
+
+Usage::
+
+    PYTHONPATH=src:. python benchmarks/gen_pr_bench.py [out_dir]
+
+PR 5 note: batching is on by default (it only changes framing, not
+request counts -- the client already priced multi-blob writes as one
+round trip); the createlist entry additionally enables speculative
+readahead, which is what turns batched ``get_many`` frames into fewer
+round trips on the list phase.  The toggle is recorded in the entry's
+``params``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.fs.client import ClientConfig
+from repro.workloads.runner import run_observed
+
+PR = 5
+
+#: (workload, params, config overrides recorded in the entry's params)
+RUNS = (
+    ("andrew", {}, {}),
+    ("createlist", {"files": 100, "dirs": 5}, {"readahead": True}),
+    ("office", {}, {}),
+    ("postmark", {"files": 100, "transactions": 100}, {}),
+)
+
+
+def main(out_dir: str = "benchmarks/results") -> int:
+    workloads = {}
+    for name, params, overrides in RUNS:
+        config = ClientConfig(**overrides) if overrides else None
+        payload, _spans = run_observed(name, params=params, config=config)
+        payload["params"].update(overrides)
+        workloads[name] = payload
+        print(f"{name}: requests="
+              f"{payload['metrics'].get('client.requests')}")
+    doc = {
+        "pr": PR,
+        "description": ("per-PR performance snapshot: standard "
+                        "workloads, default scale, sharoes impl, "
+                        "default ClientConfig (batching on; createlist "
+                        "also enables readahead, see params)"),
+        "workloads": workloads,
+    }
+    out = Path(out_dir) / f"BENCH_{PR}.json"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(*sys.argv[1:]))

@@ -49,7 +49,7 @@ from ..errors import (BlobNotFound, CasConflictError, IntegrityError,
                       LeaseHeldError, LeaseLostError)
 from ..serialize import Reader, SerializationError, Writer
 from ..storage.blobs import BlobId, lease_blob
-from ..storage.server import EPOCH_PREFIX_BYTES
+from ..storage.server import EPOCH_PREFIX_BYTES, BatchOp
 from .freshness import FreshnessMonitor
 from .journal import roll_forward
 
@@ -355,6 +355,56 @@ class LeaseManager:
         self._held[inode] = (record, raw)
         self._count(verb, help)
         return record
+
+    def renew_all(self) -> tuple[list[int], list[int], int, int]:
+        """Renew every held lease with one batched CAS round trip.
+
+        Each renewal is the usual epoch+1 ``put_if`` against the exact
+        bytes we last wrote, shipped together as one ``OP_BATCH`` frame
+        of ``put_if`` sub-ops.  Per-lease conflicts are independent: a
+        chain another client advanced past means *that* lease is lost
+        (dropped locally, counted) while the rest renew normally.
+
+        Returns ``(renewed_inodes, lost_inodes, up_bytes, down_bytes)``
+        -- the byte totals are what crossed the wire (records up,
+        conflicting successors' records down) so the caller can charge
+        its cost model for the single round trip.
+        """
+        inodes = self.held_inodes()
+        if not inodes:
+            return [], [], 0, 0
+        ops = []
+        successors = []
+        for inode in inodes:
+            record, raw = self._held[inode]
+            successor = self._make(inode, record.epoch + 1)
+            ops.append(BatchOp.put_if(lease_blob(inode),
+                                      successor.to_bytes(), expected=raw))
+            successors.append(successor)
+        with self._span("lease.renew_all", count=len(ops)):
+            replies = self.server.batch(ops)
+        renewed: list[int] = []
+        lost: list[int] = []
+        up = sum(op.sent_bytes() for op in ops)
+        down = 0
+        for inode, successor, op, reply in zip(inodes, successors, ops,
+                                               replies):
+            if reply.status == "ok":
+                raw = op.payload or b""
+                self.freshness.observe_metadata(inode, successor.epoch,
+                                                raw)
+                self._held[inode] = (successor, raw)
+                self._count("lease.renewals", "renewals of held leases")
+                renewed.append(inode)
+            elif reply.status == "conflict":
+                down += len(reply.payload or b"")
+                self._drop(inode)
+                self._count("lease.lost",
+                            "leases discovered lost at renewal time")
+                lost.append(inode)
+            else:
+                reply.raise_for_status()
+        return renewed, lost, up, down
 
     # -- release -------------------------------------------------------------
 

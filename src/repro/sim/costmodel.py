@@ -168,6 +168,16 @@ class CostModel:
         """Local application CPU time (e.g. a compile phase)."""
         self.charge(COMPUTE, seconds)
 
+    def charge_wait(self, seconds: float) -> None:
+        """Deliberate idle waiting (lease contention backoff, pacing).
+
+        Charged as OTHER, not NETWORK: nothing crosses the WAN while a
+        client sits out a backoff window, but the wait must still
+        advance the simulated clock (lease expiry is clock-driven) and
+        show up in breakdowns so backoff policies have a visible cost.
+        """
+        self.charge(OTHER, seconds)
+
     def on_crypto_event(self, event: CryptoEvent) -> None:
         """CryptoProvider listener: charge the event's simulated cost."""
         self.charge(CRYPTO, self.profile.crypto_time(event))

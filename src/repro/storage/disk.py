@@ -19,7 +19,7 @@ from typing import Iterator
 
 from ..errors import BlobNotFound
 from .blobs import BlobId
-from .server import StorageServer
+from .server import BatchOp, BatchReply, StorageServer, apply_batch
 
 
 def _selector_to_name(selector: str) -> str:
@@ -78,6 +78,22 @@ class DiskStorageServer(StorageServer):
             return self._path(blob_id).read_bytes()
         except FileNotFoundError:
             return None
+
+    def batch(self, ops: list[BatchOp]) -> list[BatchReply]:
+        """Batched sub-ops with directory creation amortized per frame.
+
+        Per-sub-op semantics are the generic :func:`apply_batch` ones;
+        the only disk-specific win is touching each parent directory
+        once per frame instead of once per blob write.
+        """
+        seen: set[pathlib.Path] = set()
+        for op in ops:
+            if op.kind in ("put", "put_if", "put_fenced"):
+                parent = self._path(op.blob_id).parent
+                if parent not in seen:
+                    parent.mkdir(parents=True, exist_ok=True)
+                    seen.add(parent)
+        return apply_batch(self, ops)
 
     def _iter_ids(self) -> Iterator[BlobId]:
         for kind_dir in sorted(self.root.iterdir()):

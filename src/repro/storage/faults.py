@@ -6,6 +6,13 @@ malicious SSP can still tamper, roll back, or fail requests.  These wrappers
 simulate those behaviours so the test suite can assert that every one is
 *detected* by client-side verification (the deterrent the paper pairs with
 SLA penalties).
+
+All three subclass :class:`~repro.storage.server.StorageServer` and
+override the single-op methods, which is exactly how the base class's
+``batch()`` applies sub-ops -- so a malicious SSP tampers, rolls back,
+or fails *inside* an ``OP_BATCH`` frame with no extra code, and the
+batched-read paths inherit the same detection guarantees (asserted by
+the batch fuzz/chaos suites).
 """
 
 from __future__ import annotations

@@ -38,7 +38,7 @@ from ..fs.cache import LruCache
 from ..sim.clock import SimClock
 from ..sim.costmodel import NETWORK, CostModel
 from .blobs import BlobId
-from .server import StorageServer
+from .server import BatchOp, BatchReply, StorageServer, apply_batch
 
 
 class ServerWrapper:
@@ -79,6 +79,17 @@ class ServerWrapper:
     def delete_fenced(self, blob_id: BlobId,
                       fence: BlobId, epoch: int) -> None:
         self.inner.delete_fenced(blob_id, fence, epoch)
+
+    def batch(self, ops) -> list[BatchReply]:
+        """Apply sub-ops through *this wrapper's own* single-op methods.
+
+        This keeps every decorator honest inside a batch: a flaky wrapper
+        can fail at sub-op k, a crashing wrapper counts each mutation,
+        and per-blob stats are identical to the unbatched sequence.
+        Wrappers that model per-*request* cost (slow, outage) override
+        this to pay once per frame instead.
+        """
+        return apply_batch(self, ops)
 
 
 class CrashingServer(ServerWrapper):
@@ -263,6 +274,15 @@ class SlowServer(ServerWrapper):
         self._stall()
         self.inner.delete_fenced(blob_id, fence, epoch)
 
+    def batch(self, ops) -> list[BatchReply]:
+        """One frame = one request = one stall; sub-ops ride for free.
+
+        This is the whole point of batching under a per-request latency
+        model, so the stall is charged once and the sub-ops go straight
+        to the inner backend."""
+        self._stall()
+        return self.inner.batch(ops)
+
 
 class OutageServer(ServerWrapper):
     """Fails every request inside a simulated-clock time window."""
@@ -318,6 +338,12 @@ class OutageServer(ServerWrapper):
                       fence: BlobId, epoch: int) -> None:
         self._gate("delete_fenced", blob_id)
         self.inner.delete_fenced(blob_id, fence, epoch)
+
+    def batch(self, ops) -> list[BatchReply]:
+        """An outage rejects the whole frame at the door (one request)."""
+        if ops:
+            self._gate("batch", ops[0].blob_id)
+        return self.inner.batch(ops)
 
 
 # -- the retry / breaker / degradation layer ----------------------------------
@@ -633,3 +659,131 @@ class ResilientTransport(ServerWrapper):
         self._execute("delete_fenced", blob_id,
                       lambda: self.inner.delete_fenced(blob_id, fence,
                                                        epoch))
+
+    # -- batched requests ----------------------------------------------------
+
+    def _absorb_subop(self, op: BatchOp, reply: BatchReply) -> None:
+        """Fallback-cache upkeep for one terminally-resolved sub-op."""
+        if not self.policy.cache_fallback:
+            return
+        if reply.status == "ok":
+            if op.kind in ("put", "put_if", "put_fenced"):
+                payload = op.payload or b""
+                self._fallback.put(op.blob_id, bytes(payload),
+                                   len(payload))
+            elif op.kind == "get":
+                payload = reply.payload or b""
+                self._fallback.put(op.blob_id, payload, len(payload))
+                self.stale_blob_ids.discard(op.blob_id)
+            elif op.kind in ("delete", "delete_fenced"):
+                self._fallback.invalidate(op.blob_id)
+                self.stale_blob_ids.discard(op.blob_id)
+
+    def batch(self, ops) -> list[BatchReply]:
+        """Batched request with *partial-failure* retry.
+
+        Sub-ops resolve in order, so each server answer is a terminal
+        prefix (ok/missing/conflict, possibly ending in fenced or error)
+        plus an unattempted tail.  The terminal prefix is committed to
+        the merged result and **only the unapplied suffix is re-sent** on
+        a transient failure -- applied sub-ops are never re-executed, so
+        the applied/failed/remaining contract survives retries intact.
+
+        Terminal outcomes: a ``fenced`` sub-reply ends the batch (a
+        revoked fence only moves further away); a non-transient error
+        ends it; exhausted retries leave a transient ``error`` sub-reply
+        at the failure point.  The caller maps those onto
+        ``StaleEpochError`` / ``PartialWriteError`` exactly as for
+        single ops.  ``ClientCrashed`` propagates unhandled.
+        """
+        ops = list(ops)
+        if not ops:
+            return []
+        policy = self.policy
+        if not self._breaker_allows():
+            self.breaker_rejections += 1
+            raise CircuitOpenError(
+                f"{self.name}: circuit open for another "
+                f"{self._opened_at + policy.breaker_cooldown_s - self._now():.3f}s "
+                f"(batch of {len(ops)})")
+
+        merged: list[BatchReply | None] = [None] * len(ops)
+        start = 0  # first sub-op not yet terminally resolved
+        backoff_spent = 0.0
+        delay = policy.base_delay_s
+        attempt = 0
+        failure_msg = "batch failed"
+
+        def _giveup() -> list[BatchReply]:
+            self.giveups += 1
+            merged[start] = BatchReply(
+                "error", transient=True,
+                message=(f"{self.name}: batch sub-op {start} failed "
+                         f"after {attempt} attempts: {failure_msg}"))
+            for k in range(start + 1, len(ops)):
+                merged[k] = BatchReply("unattempted")
+            return merged  # type: ignore[return-value]
+
+        while True:
+            attempt += 1
+            self.attempts += 1
+            retry_needed = False
+            try:
+                replies = self.inner.batch(ops[start:])
+            except TransientStorageError as exc:
+                # Whole frame lost (e.g. the socket died): nothing in
+                # this slice is known-applied; re-send it verbatim.
+                # Sub-ops are idempotent (put_if via the echo below).
+                failure_msg = str(exc)
+                retry_needed = True
+                replies = []
+            for j, reply in enumerate(replies):
+                i = start + j
+                op = ops[i]
+                if (reply.status == "conflict" and op.kind == "put_if"
+                        and attempt > 1
+                        and reply.payload == bytes(op.payload or b"")):
+                    # Our own earlier attempt landed before its ack was
+                    # lost: that is success, not a lost race.
+                    reply = BatchReply("ok")
+                if reply.status in ("ok", "missing", "conflict"):
+                    merged[i] = reply
+                    self._absorb_subop(op, reply)
+                    continue
+                if reply.status == "fenced":
+                    merged[i] = reply
+                    for k in range(i + 1, len(ops)):
+                        merged[k] = BatchReply("unattempted")
+                    self._record_success()
+                    return merged  # type: ignore[return-value]
+                if reply.status == "error" and not reply.transient:
+                    merged[i] = reply
+                    for k in range(i + 1, len(ops)):
+                        merged[k] = BatchReply("unattempted")
+                    # The server answered; the transport itself is fine.
+                    self._record_success()
+                    return merged  # type: ignore[return-value]
+                if reply.status == "error":  # transient: retry suffix
+                    start = i
+                    failure_msg = reply.message
+                    retry_needed = True
+                break  # unattempted tail (or the error we just noted)
+            if not retry_needed:
+                if start + len(replies) < len(ops):
+                    # Defensive: a short reply with no error marker.
+                    start += len(replies)
+                    failure_msg = "short batch reply"
+                    retry_needed = True
+                else:
+                    self._record_success()
+                    return merged  # type: ignore[return-value]
+            self._record_failure()
+            if attempt >= policy.max_attempts:
+                return _giveup()
+            if backoff_spent + delay > policy.deadline_s:
+                return _giveup()
+            self.retries += 1
+            with self._retry_scope("batch", attempt + 1, delay):
+                self._sleep(delay)
+            backoff_spent += delay
+            delay = self._next_delay(delay)

@@ -15,9 +15,11 @@ server has ever stored for plaintext leakage.
 
 from __future__ import annotations
 
-from typing import Iterator
+from dataclasses import dataclass
+from typing import Iterator, Sequence
 
-from ..errors import BlobNotFound, CasConflictError, StaleEpochError
+from ..errors import (BlobNotFound, CasConflictError, StaleEpochError,
+                      StorageError, TransientStorageError)
 from .accounting import ServerStats
 from .blobs import BlobId
 
@@ -37,6 +39,166 @@ def fence_epoch(raw: bytes | None) -> int:
     if raw is None or len(raw) < EPOCH_PREFIX_BYTES:
         return 0
     return int.from_bytes(raw[:EPOCH_PREFIX_BYTES], "big")
+
+
+#: Sub-operation kinds a batch frame may carry (no nested batches).
+BATCH_KINDS = ("put", "get", "delete", "exists", "put_if",
+               "put_fenced", "delete_fenced")
+
+#: Sub-reply statuses.  ``unattempted`` marks the tail after the batch
+#: stopped at a failed or fenced sub-op -- those ops never reached the
+#: store and are safe to re-send verbatim.
+REPLY_STATUSES = ("ok", "missing", "conflict", "fenced", "error",
+                  "unattempted")
+
+
+@dataclass(frozen=True)
+class BatchOp:
+    """One sub-operation inside an ``OP_BATCH`` frame."""
+
+    kind: str
+    blob_id: BlobId
+    payload: bytes | None = None
+    expected: bytes | None = None  # put_if only
+    fence: BlobId | None = None    # fenced ops only
+    epoch: int | None = None       # fenced ops only
+
+    @classmethod
+    def put(cls, blob_id: BlobId, payload: bytes) -> "BatchOp":
+        return cls("put", blob_id, payload=payload)
+
+    @classmethod
+    def get(cls, blob_id: BlobId) -> "BatchOp":
+        return cls("get", blob_id)
+
+    @classmethod
+    def delete(cls, blob_id: BlobId) -> "BatchOp":
+        return cls("delete", blob_id)
+
+    @classmethod
+    def exists(cls, blob_id: BlobId) -> "BatchOp":
+        return cls("exists", blob_id)
+
+    @classmethod
+    def put_if(cls, blob_id: BlobId, payload: bytes,
+               expected: bytes | None) -> "BatchOp":
+        return cls("put_if", blob_id, payload=payload, expected=expected)
+
+    @classmethod
+    def put_fenced(cls, blob_id: BlobId, payload: bytes,
+                   fence: BlobId, epoch: int) -> "BatchOp":
+        return cls("put_fenced", blob_id, payload=payload,
+                   fence=fence, epoch=epoch)
+
+    @classmethod
+    def delete_fenced(cls, blob_id: BlobId,
+                      fence: BlobId, epoch: int) -> "BatchOp":
+        return cls("delete_fenced", blob_id, fence=fence, epoch=epoch)
+
+    def sent_bytes(self) -> int:
+        """Uplink payload bytes this sub-op carries (for cost parity)."""
+        return len(self.payload) if self.payload is not None else 0
+
+
+@dataclass
+class BatchReply:
+    """Per-sub-op outcome of a batch.
+
+    ``missing`` (get of an absent blob) and ``conflict`` (put_if lost the
+    CAS; ``payload`` carries the current bytes, None = absent) are
+    *terminal per-sub-op* outcomes: the batch keeps going.  ``fenced``
+    and ``error`` stop the batch -- everything after them is
+    ``unattempted``.
+    """
+
+    status: str
+    payload: bytes | None = None  # get result / conflict current bytes
+    epoch: int | None = None      # fenced: the store's current epoch
+    message: str = ""             # error: human-readable cause
+    transient: bool = False       # error: retryable per the taxonomy
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def raise_for_status(self) -> None:
+        """Re-raise this reply as the exception a single op would raise."""
+        if self.status in ("ok", "unattempted"):
+            return
+        if self.status == "missing":
+            raise BlobNotFound("batched get: blob missing")
+        if self.status == "conflict":
+            raise CasConflictError("batched cas conflict",
+                                   current=self.payload)
+        if self.status == "fenced":
+            raise StaleEpochError("batched fenced write rejected",
+                                  current_epoch=self.epoch or 0)
+        if self.transient:
+            raise TransientStorageError(self.message or "batched op failed")
+        raise StorageError(self.message or "batched op failed")
+
+
+def apply_batch(server: "StorageServer",
+                ops: Sequence[BatchOp]) -> list["BatchReply"]:
+    """Apply sub-ops in order through ``server``'s own single-op methods.
+
+    Dispatching through the instance keeps every interception layer
+    honest: fault injectors, tampering wrappers, and per-blob stats all
+    see the sub-ops exactly as they would single requests.  Application
+    stops at the first ``error`` or ``fenced`` sub-op (the tail reads
+    ``unattempted``); ``missing`` and ``conflict`` are answers, not
+    failures, and do not stop the batch.  ``ClientCrashed`` is not a
+    storage outcome and propagates.
+    """
+    for op in ops:
+        if op.kind not in BATCH_KINDS:
+            raise StorageError(f"unknown batch sub-op kind {op.kind!r}")
+    replies: list[BatchReply] = []
+    stopped = False
+    for op in ops:
+        if stopped:
+            replies.append(BatchReply("unattempted"))
+            continue
+        try:
+            if op.kind == "put":
+                server.put(op.blob_id, op.payload or b"")
+                replies.append(BatchReply("ok"))
+            elif op.kind == "get":
+                replies.append(BatchReply("ok",
+                                          payload=server.get(op.blob_id)))
+            elif op.kind == "delete":
+                server.delete(op.blob_id)
+                replies.append(BatchReply("ok"))
+            elif op.kind == "exists":
+                present = server.exists(op.blob_id)
+                replies.append(BatchReply(
+                    "ok", payload=b"\x01" if present else b"\x00"))
+            elif op.kind == "put_if":
+                server.put_if(op.blob_id, op.payload or b"", op.expected)
+                replies.append(BatchReply("ok"))
+            elif op.kind == "put_fenced":
+                server.put_fenced(op.blob_id, op.payload or b"",
+                                  op.fence, op.epoch or 0)
+                replies.append(BatchReply("ok"))
+            else:  # delete_fenced
+                server.delete_fenced(op.blob_id, op.fence, op.epoch or 0)
+                replies.append(BatchReply("ok"))
+        except BlobNotFound:
+            replies.append(BatchReply("missing"))
+        except CasConflictError as exc:
+            replies.append(BatchReply("conflict", payload=exc.current))
+        except StaleEpochError as exc:
+            replies.append(BatchReply("fenced",
+                                      epoch=exc.current_epoch))
+            stopped = True
+        except TransientStorageError as exc:
+            replies.append(BatchReply("error", message=str(exc),
+                                      transient=True))
+            stopped = True
+        except StorageError as exc:
+            replies.append(BatchReply("error", message=str(exc)))
+            stopped = True
+    return replies
 
 
 class StorageServer:
@@ -122,6 +284,40 @@ class StorageServer:
         """Fenced counterpart of :meth:`delete` (idempotent on absence)."""
         self._check_fence(fence, epoch)
         self.delete(blob_id)
+
+    # -- batched sub-ops (one round trip on the wire) ------------------------
+
+    def batch(self, ops: Sequence[BatchOp]) -> list[BatchReply]:
+        """Apply a sequence of sub-ops; one wire round trip per call.
+
+        In-process backends apply sequentially via :func:`apply_batch`;
+        the remote proxy ships a single ``OP_BATCH`` frame instead.
+        """
+        return apply_batch(self, ops)
+
+    def get_many(self, blob_ids: Sequence[BlobId]) -> list[bytes | None]:
+        """Fetch several blobs in one round trip; ``None`` marks absent."""
+        out: list[bytes | None] = []
+        for reply in self.batch([BatchOp.get(bid) for bid in blob_ids]):
+            if reply.status == "missing":
+                out.append(None)
+                continue
+            reply.raise_for_status()
+            out.append(reply.payload)
+        return out
+
+    def put_many(self,
+                 items: Sequence[tuple[BlobId, bytes]]) -> None:
+        """Store several blobs in one round trip; raises on first failure."""
+        for reply in self.batch(
+                [BatchOp.put(bid, payload) for bid, payload in items]):
+            reply.raise_for_status()
+
+    def delete_many(self, blob_ids: Sequence[BlobId]) -> None:
+        """Remove several blobs in one round trip (idempotent per blob)."""
+        for reply in self.batch(
+                [BatchOp.delete(bid) for bid in blob_ids]):
+            reply.raise_for_status()
 
     def list_kind(self, kind: str) -> Iterator[BlobId]:
         """Enumerate stored ids of one kind (used by audits and ablations)."""

@@ -23,10 +23,22 @@ Wire format (all integers big-endian):
                  -> status OK | FENCED + u64 current epoch
     DEL_FENCED op=7: blob-id, fence-id, u64 epoch
                  -> status OK | FENCED + u64 current epoch
+    BATCH      op=8: u32 count | count x (u8 sub-opcode, u32 body-len,
+                 single-op body)
+                 -> status OK + u32 count | count x (u8 sub-status,
+                 u32 payload-len, single-op payload)
 
 (``*`` marks a presence-prefixed field: one flag byte, 0 = absent blob,
 1 = the remaining bytes are the value -- CAS must distinguish "expect
 absent" from "expect empty".)
+
+A batch frame is validated *in full* before any sub-op touches the
+store: a truncated sub-op, a zero or oversize count, a nested batch, or
+an unknown sub-opcode earns a top-level ERROR with nothing applied.
+Sub-replies reuse the single-op payload encodings; sub-status
+UNATTEMPTED(5) marks the tail after the batch stopped at a failed or
+fenced sub-op.  An ERROR sub-reply payload is one transient-flag byte
+followed by the message.
 
 Blob ids travel as their string form (``kind/inode/selector``).  The
 server performs no computation on payloads -- it cannot: they are
@@ -45,7 +57,7 @@ import threading
 from ..errors import (BlobNotFound, CasConflictError, StaleEpochError,
                       StorageError, TransientStorageError)
 from .blobs import BlobId
-from .server import StorageServer
+from .server import BatchOp, BatchReply, StorageServer
 
 OP_PUT = 1
 OP_GET = 2
@@ -54,12 +66,32 @@ OP_EXISTS = 4
 OP_PUT_IF = 5
 OP_PUT_FENCED = 6
 OP_DELETE_FENCED = 7
+OP_BATCH = 8
 
 STATUS_OK = 0
 STATUS_MISSING = 1
 STATUS_ERROR = 2
 STATUS_CONFLICT = 3
 STATUS_FENCED = 4
+#: Sub-reply only: the batch stopped before reaching this sub-op.
+STATUS_UNATTEMPTED = 5
+
+#: Hard cap on sub-ops per OP_BATCH frame (anti-amplification).
+MAX_BATCH_OPS = 1024
+
+_KIND_TO_OPCODE = {
+    "put": OP_PUT, "get": OP_GET, "delete": OP_DELETE,
+    "exists": OP_EXISTS, "put_if": OP_PUT_IF,
+    "put_fenced": OP_PUT_FENCED, "delete_fenced": OP_DELETE_FENCED,
+}
+_OPCODE_TO_KIND = {v: k for k, v in _KIND_TO_OPCODE.items()}
+
+_STATUS_TO_CODE = {
+    "ok": STATUS_OK, "missing": STATUS_MISSING, "error": STATUS_ERROR,
+    "conflict": STATUS_CONFLICT, "fenced": STATUS_FENCED,
+    "unattempted": STATUS_UNATTEMPTED,
+}
+_CODE_TO_STATUS = {v: k for k, v in _STATUS_TO_CODE.items()}
 
 
 def _pack_presence(value: bytes | None) -> bytes:
@@ -114,6 +146,167 @@ def _parse_blob_id(raw: bytes) -> BlobId:
         return BlobId(kind=kind, inode=int(inode), selector=selector)
     except (ValueError, UnicodeDecodeError) as exc:
         raise StorageError(f"malformed blob id on wire: {raw!r}") from exc
+
+
+# -- OP_BATCH codec -----------------------------------------------------------
+
+def _encode_sub_body(op: BatchOp) -> bytes:
+    """A sub-op body is byte-identical to the single-op request body."""
+    bid = str(op.blob_id).encode()
+    if op.kind == "put":
+        return _pack_fields(bid, op.payload or b"")
+    if op.kind in ("get", "delete", "exists"):
+        return _pack_fields(bid)
+    if op.kind == "put_if":
+        return _pack_fields(bid, _pack_presence(op.expected),
+                            op.payload or b"")
+    if op.kind == "put_fenced":
+        return _pack_fields(bid, str(op.fence).encode(),
+                            struct.pack(">Q", op.epoch or 0),
+                            op.payload or b"")
+    if op.kind == "delete_fenced":
+        return _pack_fields(bid, str(op.fence).encode(),
+                            struct.pack(">Q", op.epoch or 0))
+    raise StorageError(f"unknown batch sub-op kind {op.kind!r}")
+
+
+def _decode_sub_body(opcode: int, body: bytes) -> BatchOp:
+    kind = _OPCODE_TO_KIND.get(opcode)
+    if kind is None:
+        raise StorageError(f"unknown batch sub-opcode {opcode}")
+    if kind == "put":
+        blob_raw, payload = _unpack_fields(body, 2)
+        return BatchOp.put(_parse_blob_id(blob_raw), payload)
+    if kind == "get":
+        (blob_raw,) = _unpack_fields(body, 1)
+        return BatchOp.get(_parse_blob_id(blob_raw))
+    if kind == "delete":
+        (blob_raw,) = _unpack_fields(body, 1)
+        return BatchOp.delete(_parse_blob_id(blob_raw))
+    if kind == "exists":
+        (blob_raw,) = _unpack_fields(body, 1)
+        return BatchOp.exists(_parse_blob_id(blob_raw))
+    if kind == "put_if":
+        blob_raw, expected_raw, payload = _unpack_fields(body, 3)
+        return BatchOp.put_if(_parse_blob_id(blob_raw), payload,
+                              _unpack_presence(expected_raw))
+    if kind == "put_fenced":
+        blob_raw, fence_raw, epoch_raw, payload = _unpack_fields(body, 4)
+        return BatchOp.put_fenced(_parse_blob_id(blob_raw), payload,
+                                  _parse_blob_id(fence_raw),
+                                  _parse_epoch(epoch_raw))
+    blob_raw, fence_raw, epoch_raw = _unpack_fields(body, 3)
+    return BatchOp.delete_fenced(_parse_blob_id(blob_raw),
+                                 _parse_blob_id(fence_raw),
+                                 _parse_epoch(epoch_raw))
+
+
+def _encode_batch_request(ops) -> bytes:
+    out = bytearray(struct.pack(">I", len(ops)))
+    for op in ops:
+        body = _encode_sub_body(op)
+        out += bytes([_KIND_TO_OPCODE[op.kind]])
+        out += struct.pack(">I", len(body))
+        out += body
+    return bytes(out)
+
+
+def _decode_batch_request(body: bytes) -> list[BatchOp]:
+    """Strictly parse an OP_BATCH body; any defect rejects the frame whole.
+
+    Validation happens *before* application so a malformed frame can
+    never half-apply: zero or oversize counts, truncated sub-ops,
+    trailing garbage, nested batches, and unknown sub-opcodes all raise.
+    """
+    if len(body) < 4:
+        raise StorageError("batch frame missing count")
+    (count,) = struct.unpack_from(">I", body, 0)
+    if count == 0:
+        raise StorageError("batch frame with zero sub-ops")
+    if count > MAX_BATCH_OPS:
+        raise StorageError(
+            f"batch count {count} exceeds limit {MAX_BATCH_OPS}")
+    ops: list[BatchOp] = []
+    offset = 4
+    for _ in range(count):
+        if offset + 5 > len(body):
+            raise StorageError("truncated batch sub-op header")
+        opcode = body[offset]
+        (length,) = struct.unpack_from(">I", body, offset + 1)
+        offset += 5
+        if offset + length > len(body):
+            raise StorageError("truncated batch sub-op body")
+        ops.append(_decode_sub_body(opcode, body[offset:offset + length]))
+        offset += length
+    if offset != len(body):
+        raise StorageError("trailing garbage after batch sub-ops")
+    return ops
+
+
+def _encode_sub_reply(reply: BatchReply) -> bytes:
+    if reply.status == "ok":
+        payload = reply.payload or b""
+    elif reply.status == "conflict":
+        payload = _pack_presence(reply.payload)
+    elif reply.status == "fenced":
+        payload = struct.pack(">Q", reply.epoch or 0)
+    elif reply.status == "error":
+        payload = (bytes([1 if reply.transient else 0])
+                   + reply.message.encode())
+    else:  # missing / unattempted
+        payload = b""
+    return (bytes([_STATUS_TO_CODE[reply.status]])
+            + struct.pack(">I", len(payload)) + payload)
+
+
+def _encode_batch_reply(replies) -> bytes:
+    out = bytearray(struct.pack(">I", len(replies)))
+    for reply in replies:
+        out += _encode_sub_reply(reply)
+    return bytes(out)
+
+
+def _decode_batch_reply(payload: bytes, expected: int) -> list[BatchReply]:
+    """Client-side strict parse of a batch reply (defects never crash)."""
+    if len(payload) < 4:
+        raise StorageError("batch reply missing count")
+    (count,) = struct.unpack_from(">I", payload, 0)
+    if count != expected:
+        raise StorageError(
+            f"batch reply count {count} != request count {expected}")
+    replies: list[BatchReply] = []
+    offset = 4
+    for _ in range(count):
+        if offset + 5 > len(payload):
+            raise StorageError("truncated batch sub-reply header")
+        code = payload[offset]
+        status = _CODE_TO_STATUS.get(code)
+        if status is None:
+            raise StorageError(f"unknown batch sub-status {code}")
+        (length,) = struct.unpack_from(">I", payload, offset + 1)
+        offset += 5
+        if offset + length > len(payload):
+            raise StorageError("truncated batch sub-reply payload")
+        raw = payload[offset:offset + length]
+        offset += length
+        if status == "ok":
+            replies.append(BatchReply("ok", payload=raw))
+        elif status == "conflict":
+            replies.append(BatchReply("conflict",
+                                      payload=_unpack_presence(raw)))
+        elif status == "fenced":
+            replies.append(BatchReply("fenced", epoch=_parse_epoch(raw)))
+        elif status == "error":
+            if not raw:
+                raise StorageError("error sub-reply missing flag byte")
+            replies.append(BatchReply(
+                "error", message=raw[1:].decode(errors="replace"),
+                transient=bool(raw[0])))
+        else:  # missing / unattempted
+            replies.append(BatchReply(status))
+    if offset != len(payload):
+        raise StorageError("trailing garbage after batch sub-replies")
+    return replies
 
 
 def _recv_exact(sock: socket.socket, count: int) -> bytes:
@@ -209,6 +402,12 @@ class _Handler(socketserver.BaseRequestHandler):
                                   _parse_blob_id(fence_raw),
                                   _parse_epoch(epoch_raw))
             return bytes([STATUS_OK])
+        if opcode == OP_BATCH:
+            # Full validation first: a malformed frame raises here and
+            # becomes a top-level ERROR with zero sub-ops applied.
+            ops = _decode_batch_request(body)
+            replies = backend.batch(ops)
+            return bytes([STATUS_OK]) + _encode_batch_reply(replies)
         raise StorageError(f"unknown opcode {opcode}")
 
 
@@ -378,6 +577,27 @@ class RemoteStorageClient(StorageServer):
             str(blob_id).encode(), str(fence).encode(),
             struct.pack(">Q", epoch))
         self._check(self._roundtrip(body))
+
+    def batch(self, ops) -> list[BatchReply]:
+        """Ship all sub-ops in one OP_BATCH frame: one round trip."""
+        if not ops:
+            return []
+        body = bytes([OP_BATCH]) + _encode_batch_request(ops)
+        payload = self._check(self._roundtrip(body))
+        replies = _decode_batch_reply(payload, len(ops))
+        for op, reply in zip(ops, replies):
+            if reply.status == "ok":
+                if op.kind in ("put", "put_if", "put_fenced"):
+                    self.stats.record_put(op.blob_id.kind,
+                                          op.sent_bytes())
+                elif op.kind == "get":
+                    self.stats.record_get(op.blob_id.kind,
+                                          len(reply.payload or b""))
+                elif op.kind in ("delete", "delete_fenced"):
+                    self.stats.record_delete(op.blob_id.kind)
+            elif reply.status == "missing" and op.kind == "get":
+                self.stats.record_miss()
+        return replies
 
     # The proxy cannot enumerate or audit the remote store.
     def list_kind(self, kind: str):

@@ -137,19 +137,22 @@ def make_env(impl: str, profile: CostProfile = PAPER_2008,
 def run_observed(workload: str, impl: str = "sharoes",
                  profile: CostProfile = PAPER_2008,
                  params: dict | None = None,
-                 flaky_p: float = 0.0, flaky_seed: int = 0):
+                 flaky_p: float = 0.0, flaky_seed: int = 0,
+                 config: "ClientConfig | None" = None):
     """Run one named workload with full span/metrics capture.
 
     Returns ``(payload, spans)``: the machine-readable ``BENCH_*``
     payload (see :mod:`repro.obs.bench`) and the finished root spans of
     the client that ran the workload.  Workload modules are imported
     lazily so plain benchmark runs never pay for harnesses they skip.
+    ``config`` overrides the mounted client's configuration (benchmark
+    snapshots use it to toggle optional features like readahead).
     """
     from ..obs.bench import bench_payload, op_report
 
     params = dict(params or {})
     env = make_env(impl, profile=profile, flaky_p=flaky_p,
-                   flaky_seed=flaky_seed)
+                   flaky_seed=flaky_seed, config=config)
     if workload == "postmark":
         from .postmark import run_postmark
         run_postmark(env, **params)

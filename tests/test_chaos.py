@@ -28,15 +28,18 @@ import pytest
 
 from repro.crypto.provider import CryptoProvider
 from repro.errors import (ClientCrashed, FileNotFound, SharoesError,
-                          TransientStorageError)
-from repro.fs.client import ClientConfig, SharoesFilesystem
+                          StaleEpochError, TransientStorageError)
+from repro.fs.client import (_BATCH_SIZE_BUCKETS, ClientConfig,
+                             SharoesFilesystem)
 from repro.fs.volume import SharoesVolume
 from repro.principals.groups import GroupKeyService
 from repro.sim.costmodel import CostModel
 from repro.sim.profiles import FREE
+from repro.storage.blobs import data_blob, lease_blob
 from repro.storage.resilient import (CrashingServer, FlakyServer,
-                                     RetryPolicy)
-from repro.storage.server import StorageServer
+                                     ResilientTransport, RetryPolicy,
+                                     ServerWrapper)
+from repro.storage.server import BatchOp, StorageServer
 from repro.tools.fsck import VolumeAuditor
 
 DIRS = ("/d0", "/d1", "/d2")
@@ -295,3 +298,197 @@ def test_writeback_crash_sweep_deterministic_per_seed(registry, op):
     first = run_writeback_crashes(registry, seed=31, op=op)
     second = run_writeback_crashes(registry, seed=31, op=op)
     assert first == second
+
+
+# -- faults inside a batch frame ----------------------------------------------
+#
+# Batching changes the failure surface: one OP_BATCH frame can die at
+# sub-op k with a committed prefix behind it.  The transport's contract
+# is that the retry frame carries *only* the unapplied tail (re-sending
+# an applied put would be wasted WAN bytes; re-sending an applied
+# delete or CAS would change semantics), that fencing stays terminal
+# even mid-frame, and that a client crash mid-frame leaves exactly the
+# prefix the crash point dictates.
+
+
+class _PutLog(ServerWrapper):
+    """Records every put reaching the backend; optionally fails once.
+
+    ``fail_on_call=k`` raises a transient fault on the k-th put (1-based,
+    counted across frames) *before* it touches the backend, then heals --
+    a deterministic "SSP hiccup at sub-op k" for batch-retry tests.
+    """
+
+    def __init__(self, inner, fail_on_call: int | None = None):
+        super().__init__(inner, name="put-log")
+        self.calls: list = []
+        self.fail_on_call = fail_on_call
+
+    def put(self, blob_id, payload):
+        self.calls.append(blob_id)
+        if self.fail_on_call is not None and \
+                len(self.calls) == self.fail_on_call:
+            self.fail_on_call = None
+            raise TransientStorageError(
+                f"injected fault at put #{len(self.calls)}")
+        self.inner.put(blob_id, payload)
+
+
+def _transport(injector) -> tuple[ResilientTransport, CostModel]:
+    cost = CostModel(FREE)
+    policy = RetryPolicy(jitter=False, base_delay_s=0.01, seed=0)
+    return ResilientTransport(injector, policy, cost=cost), cost
+
+
+def test_batch_retry_resends_only_unapplied_tail():
+    server = StorageServer()
+    injector = _PutLog(server, fail_on_call=3)
+    transport, _ = _transport(injector)
+    blobs = [data_blob(100 + i) for i in range(5)]
+    ops = [BatchOp.put(b, bytes([i]) * 32) for i, b in enumerate(blobs)]
+
+    replies = transport.batch(ops)
+
+    assert [r.status for r in replies] == ["ok"] * 5
+    # Frame 1 applied blobs 0-1 and died at blob 2; frame 2 carried only
+    # the unapplied tail.  The committed prefix was never re-sent.
+    assert injector.calls == [blobs[0], blobs[1], blobs[2],
+                              blobs[2], blobs[3], blobs[4]]
+    assert transport.retries == 1
+    assert transport.failed_attempts == 1
+    assert transport.giveups == 0
+    for i, blob_id in enumerate(blobs):
+        assert server.get(blob_id) == bytes([i]) * 32
+
+
+def test_batch_flaky_first_subop_resends_whole_frame():
+    # The degenerate boundary: k=1 means nothing committed, so the
+    # "tail" is the entire frame.
+    server = StorageServer()
+    injector = _PutLog(server, fail_on_call=1)
+    transport, _ = _transport(injector)
+    blobs = [data_blob(110 + i) for i in range(3)]
+
+    replies = transport.batch([BatchOp.put(b, b"x") for b in blobs])
+
+    assert [r.status for r in replies] == ["ok"] * 3
+    assert injector.calls == [blobs[0], blobs[0], blobs[1], blobs[2]]
+    assert transport.retries == 1
+
+
+def test_batch_exhausted_retries_mark_tail_unattempted():
+    # Every attempt dies at the same sub-op: the transport gives up with
+    # the committed prefix ok, the poisoned sub-op a transient error,
+    # and the tail unattempted -- safe to re-send verbatim later.
+    server = StorageServer()
+
+    class _AlwaysFailBlob(ServerWrapper):
+        def __init__(self, inner, poison):
+            super().__init__(inner, name="poison")
+            self.poison = poison
+
+        def put(self, blob_id, payload):
+            if blob_id == self.poison:
+                raise TransientStorageError(f"poisoned {blob_id}")
+            self.inner.put(blob_id, payload)
+
+    blobs = [data_blob(120 + i) for i in range(4)]
+    transport, _ = _transport(_AlwaysFailBlob(server, blobs[2]))
+
+    replies = transport.batch([BatchOp.put(b, b"y") for b in blobs])
+
+    assert [r.status for r in replies] == ["ok", "ok", "error",
+                                           "unattempted"]
+    assert replies[2].transient  # typed, retryable -- not a crash
+    assert transport.giveups == 1
+    assert server.exists(blobs[0]) and server.exists(blobs[1])
+    assert not server.exists(blobs[2]) and not server.exists(blobs[3])
+
+
+def test_batch_fenced_subop_is_terminal_no_retry_burn():
+    server = StorageServer()
+    transport, _ = _transport(server)
+    fence = lease_blob(7)
+    server.put(fence, (5).to_bytes(8, "big") + b"lease-record")
+    blobs = [data_blob(130 + i) for i in range(3)]
+
+    replies = transport.batch([
+        BatchOp.put(blobs[0], b"a"),
+        BatchOp.put_fenced(blobs[1], b"b", fence, 3),  # zombie epoch
+        BatchOp.put(blobs[2], b"c"),
+    ])
+
+    assert [r.status for r in replies] == ["ok", "fenced", "unattempted"]
+    assert replies[1].epoch == 5  # the store reports who fenced us out
+    # Fencing is a verdict, not a fault: zero retries, zero backoff.
+    assert transport.retries == 0
+    assert transport.failed_attempts == 0
+    assert transport.backoff_seconds == 0
+    assert server.exists(blobs[0])
+    assert not server.exists(blobs[1]) and not server.exists(blobs[2])
+    with pytest.raises(StaleEpochError) as exc:
+        replies[1].raise_for_status()
+    assert exc.value.current_epoch == 5
+
+
+def test_batch_crash_midframe_applies_exact_prefix():
+    # A client crash at sub-op k is not a storage outcome: it must
+    # propagate (no retry!) leaving exactly k-1 sub-ops applied.
+    blobs = [data_blob(140 + i) for i in range(4)]
+    for k in range(1, len(blobs) + 1):
+        server = StorageServer()
+        crasher = CrashingServer(server, crash_after=k)
+        transport, _ = _transport(crasher)
+        with pytest.raises(ClientCrashed):
+            transport.batch([BatchOp.put(b, b"z") for b in blobs])
+        assert transport.retries == 0
+        applied = [b for b in blobs if server.exists(b)]
+        assert applied == blobs[:k - 1], f"crash at k={k}"
+
+
+def test_batch_chaos_workload_heals_and_audits_clean(registry):
+    """End-to-end: multi-blob writes ride OP_BATCH frames through a
+    flaky SSP; faults land *inside* frames, the transport heals them,
+    counters reconcile, and fsck audits the volume clean."""
+    server = StorageServer()
+    volume = SharoesVolume(server, registry)
+    volume.format(root_owner="alice", root_group="eng")
+    GroupKeyService(registry, server, CryptoProvider()).publish_all()
+
+    flaky = FlakyServer(server, failure_rate={"put": 0.2}, seed=11)
+    cost = CostModel(FREE)
+    config = ClientConfig(cache_bytes=0, retry_policy=RetryPolicy(seed=11))
+    fs = SharoesFilesystem(volume, registry.user("alice"),
+                           cost_model=cost, config=config, server=flaky)
+    saved = _no_faults(flaky)
+    fs.mount()
+    flaky.rates = saved
+    transport = fs.server
+
+    # Multi-block files force multi-blob frames; every put inside them
+    # rolls the injector's dice individually.
+    payload = b"batched under fire " * (volume.block_size // 8)
+    fs.create_file("/big", payload)
+    for i in range(8):
+        fs.create_file(f"/f{i}", bytes([65 + i]) * 64)
+    fs.write_file("/big", payload[::-1])
+
+    hist = fs.metrics.histogram("client.batch.size",
+                                buckets=_BATCH_SIZE_BUCKETS)
+    assert hist.count > 0 and hist.total > hist.count  # real frames
+    assert flaky.injected_faults > 0  # faults really fired mid-frame
+    # The single-op reconciliation survives batching: one transient
+    # reply = one recorded failure, however many sub-ops rode the frame.
+    assert transport.failed_attempts == flaky.injected_faults
+    assert (transport.failed_attempts
+            == transport.retries + transport.giveups)
+    assert transport.giveups == 0  # this seed heals everything
+
+    _no_faults(flaky)
+    assert fs.read_file("/big") == payload[::-1]
+    for i in range(8):
+        assert fs.read_file(f"/f{i}") == bytes([65 + i]) * 64
+
+    report = VolumeAuditor(volume).audit()
+    assert report.clean, (report.summary(), report.integrity_errors,
+                          report.structural_errors)

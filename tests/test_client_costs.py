@@ -226,3 +226,84 @@ class TestBatchDeleteCosts:
         # driven (block-map and directory-table sizes), a few percent --
         # nothing like the 8 per-blob headers the old accounting billed.
         assert big.network == pytest.approx(small.network, rel=0.05)
+
+
+class TestBatchPutCosts:
+    """Batched uploads must keep the Figure 8/9 byte accounting honest:
+    a frame charges one header plus exactly the payload bytes that were
+    attempted -- never the unattempted tail of a partially-failed batch
+    (the pre-batch code charged the whole upload upfront), and a
+    batch of one prices identically to the single-op path."""
+
+    def test_put_many_batch_size_one_matches_single_put(self, costed):
+        from repro.storage.blobs import data_blob
+        fs, cost = costed
+        payload = b"p" * 700
+        with cost.span() as single:
+            fs._put(data_blob(998, "b0"), payload)
+        with cost.span() as batch:
+            fs._put_many([(data_blob(998, "b1"), payload)])
+        # Same bytes, same single round trip: Figure 8/9 rows built from
+        # one-blob traffic are untouched by the batching default.
+        assert batch.network == pytest.approx(single.network)
+        assert batch.network > 0
+
+    def test_partial_failure_charges_only_attempted_bytes(
+            self, volume, registry):
+        from repro.errors import PartialWriteError, StorageError
+        from repro.fs.client import (_REQUEST_HEADER_BYTES,
+                                     _RESPONSE_HEADER_BYTES)
+        from repro.storage.blobs import data_blob
+        from repro.storage.resilient import ServerWrapper
+
+        class _PoisonPut(ServerWrapper):
+            """Terminally rejects one blob id (no retry eligibility)."""
+
+            def __init__(self, inner):
+                super().__init__(inner, name="poison")
+                self.poison = None
+
+            def put(self, blob_id, payload):
+                if blob_id == self.poison:
+                    raise StorageError(f"poisoned {blob_id}")
+                self.inner.put(blob_id, payload)
+
+        cost = CostModel(PAPER_2008)
+        poison = _PoisonPut(volume.server)
+        fs = SharoesFilesystem(volume, registry.user("alice"),
+                               cost_model=cost, server=poison)
+        fs.mount()
+
+        sizes = (1000, 2000, 3000, 4000)
+        blobs = [(data_blob(997, f"b{i}"), bytes([i]) * n)
+                 for i, n in enumerate(sizes)]
+        poison.poison = blobs[2][0]
+        with cost.span() as span:
+            with pytest.raises(PartialWriteError) as exc:
+                fs._put_many(blobs)
+        assert exc.value.applied == (blobs[0][0], blobs[1][0])
+        assert exc.value.failed == blobs[2][0]
+        assert exc.value.remaining == (blobs[3][0],)
+        # Bytes on the wire: the two applied payloads, the one the SSP
+        # rejected mid-frame, and a single frame header.  The 4000-byte
+        # unattempted tail never left the client and costs nothing.
+        attempted_up = sum(sizes[:3]) + _REQUEST_HEADER_BYTES
+        expected = PAPER_2008.link.request_time(attempted_up,
+                                                _RESPONSE_HEADER_BYTES)
+        assert span.network == pytest.approx(expected)
+
+    def test_full_batch_charges_payload_plus_one_header(self, costed):
+        from repro.fs.client import (_REQUEST_HEADER_BYTES,
+                                     _RESPONSE_HEADER_BYTES)
+        from repro.storage.blobs import data_blob
+        fs, cost = costed
+        sizes = (500, 1500, 2500)
+        blobs = [(data_blob(996, f"b{i}"), bytes([i]) * n)
+                 for i, n in enumerate(sizes)]
+        requests = fs.request_count
+        with cost.span() as span:
+            fs._put_many(blobs)
+        assert fs.request_count - requests == 1
+        expected = PAPER_2008.link.request_time(
+            sum(sizes) + _REQUEST_HEADER_BYTES, _RESPONSE_HEADER_BYTES)
+        assert span.network == pytest.approx(expected)

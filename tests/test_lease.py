@@ -515,3 +515,164 @@ class TestCostParity:
         fs.unmount()
         kinds = {blob_id.kind for blob_id in server.raw_blobs()}
         assert "lease" in kinds and "journal" in kinds
+
+
+# -- lease contention backoff (ClientConfig surface) --------------------------
+
+
+def _waiting_config(**overrides) -> ClientConfig:
+    return ClientConfig(journal=True, lease=True,
+                        lease_duration_s=_LEASE_S, cache_bytes=0,
+                        **overrides)
+
+
+class TestLeaseWaitRetry:
+    def test_default_is_fail_fast(self, shared, registry, clock):
+        """lease_wait_attempts=0 preserves the original contract: a
+        held lease surfaces LeaseHeldError on the first acquire."""
+        server, volume = shared
+        fs = make_leased(volume, registry)
+        fs.create_file("/f", b"v1")
+        inode = fs.getattr("/f").inode
+        make_manager(registry, server, clock, "bob").acquire(inode)
+        with pytest.raises(LeaseHeldError) as err:
+            fs.write_file("/f", b"v2")
+        assert err.value.holder == "bob"
+        assert fs.metrics.counter("lease.waits").value == 0
+
+    def test_backoff_waits_out_expiring_holder(self, shared, registry,
+                                               clock):
+        """With lease_wait_attempts set, the client backs off on the
+        simulated clock until the holder's lease expires, then takes
+        over (rolling any stranded journal forward) and writes."""
+        server, volume = shared
+        config = _waiting_config(lease_wait_attempts=6,
+                                 lease_wait_base_s=0.25,
+                                 lease_wait_max_s=2.0)
+        fs = SharoesFilesystem(volume, registry.user("alice"),
+                               config=config)
+        fs.mount()
+        fs.create_file("/f", b"v1")
+        inode = fs.getattr("/f").inode
+        # A short-lived peer grabs the lease and then goes silent.
+        make_manager(registry, server, clock, "bob",
+                     duration=1.0).acquire(inode)
+        before = clock.now
+        fs.write_file("/f", b"v2")  # waits ~0.25+0.5+1.0s, then takes over
+        assert fs.read_file("/f") == b"v2"
+        waits = fs.metrics.counter("lease.waits").value
+        assert waits >= 2  # genuinely backed off more than once
+        assert clock.now - before >= 1.0  # the holder's term elapsed
+        report = VolumeAuditor(volume).audit()
+        assert report.clean, report.summary()
+
+    def test_exhausted_attempts_reraise(self, shared, registry, clock):
+        """A holder that outlives every backoff window still wins: the
+        waiter re-raises the typed error after its attempt budget."""
+        server, volume = shared
+        config = _waiting_config(lease_wait_attempts=2,
+                                 lease_wait_base_s=0.1)
+        fs = SharoesFilesystem(volume, registry.user("alice"),
+                               config=config)
+        fs.mount()
+        fs.create_file("/f", b"v1")
+        inode = fs.getattr("/f").inode
+        make_manager(registry, server, clock, "bob",
+                     duration=3600.0).acquire(inode)
+        with pytest.raises(LeaseHeldError):
+            fs.write_file("/f", b"v2")
+        assert fs.metrics.counter("lease.waits").value == 2
+
+    def test_shared_clock_charges_wait_as_other(self, shared, registry,
+                                                clock):
+        """When the cost model shares the lease clock, backoff is
+        charged (OTHER bucket) instead of silently advancing time."""
+        from repro.sim.costmodel import CostModel
+        from repro.sim.profiles import FREE
+        server, volume = shared
+        cost = CostModel(FREE, clock=clock)
+        config = _waiting_config(lease_wait_attempts=6,
+                                 lease_wait_base_s=0.25)
+        fs = SharoesFilesystem(volume, registry.user("alice"),
+                               cost_model=cost, config=config)
+        fs.mount()
+        fs.create_file("/f", b"v1")
+        inode = fs.getattr("/f").inode
+        make_manager(registry, server, clock, "bob",
+                     duration=1.0).acquire(inode)
+        other_before = cost.totals.other
+        fs.write_file("/f", b"v2")
+        assert cost.totals.other - other_before >= 1.0
+
+
+# -- batched lease renewal ----------------------------------------------------
+
+
+class TestBatchedRenewal:
+    def test_renew_all_bumps_every_epoch_in_one_frame(self, registry,
+                                                      clock):
+        server = StorageServer()
+        mgr = make_manager(registry, server, clock)
+        before = {}
+        for inode in (3, 4, 5):
+            before[inode] = mgr.acquire(inode).epoch
+        renewed, lost, up, down = mgr.renew_all()
+        assert renewed == [3, 4, 5] and lost == []
+        assert up > 0 and down == 0
+        for inode in (3, 4, 5):
+            assert mgr.held_epoch(inode) == before[inode] + 1
+            # the mechanical fence prefix on the SSP moved with it
+            assert fence_epoch(server.get(lease_blob(inode))) == \
+                before[inode] + 1
+
+    def test_renew_all_with_nothing_held_is_free(self, registry, clock):
+        server = StorageServer()
+        mgr = make_manager(registry, server, clock)
+        assert mgr.renew_all() == ([], [], 0, 0)
+        assert not server.raw_blobs()  # nothing crossed the wire
+
+    def test_renew_all_reports_stolen_lease_lost(self, registry, clock):
+        """Per-lease conflicts are independent: the inode a successor
+        advanced past is dropped and reported; the rest renew."""
+        server = StorageServer()
+        mgr = make_manager(registry, server, clock, duration=1.0)
+        for inode in (7, 8):
+            mgr.acquire(inode)
+        clock.advance(2.0)  # both expired; bob takes over only one
+        bob = make_manager(registry, server, clock, "bob",
+                           escrow=registry.user)
+        bob.acquire(8)
+        renewed, lost, up, down = mgr.renew_all()
+        assert renewed == [7] and lost == [8]
+        assert down > 0  # the winner's record rode back in the conflict
+        assert mgr.held_epoch(8) is None
+        assert mgr.held_epoch(7) is not None
+
+    def test_fs_renew_leases_is_one_round_trip(self, shared, registry):
+        """A long-running client renews N held leases for the price of
+        one request, observed as one batch frame of N sub-ops."""
+        server, volume = shared
+        fs = make_leased(volume, registry)
+        fs.create_file("/f", b"v1")
+        fs.create_file("/g", b"v2")
+        inodes = [fs.getattr(p).inode for p in ("/f", "/g")]
+        for inode in inodes:
+            fs.lease.acquire(inode)
+        before = {i: fs.lease.held_epoch(i) for i in inodes}
+        hist = fs.metrics.histogram("client.batch.size")
+        frames, subops = hist.count, hist.total
+        requests = fs.request_count
+        renewed = fs.renew_leases()
+        assert sorted(renewed) == sorted(inodes)
+        assert fs.request_count - requests == 1
+        assert hist.count == frames + 1
+        assert hist.total == subops + len(inodes)
+        for inode in inodes:
+            assert fs.lease.held_epoch(inode) == before[inode] + 1
+
+    def test_fs_renew_leases_none_held_is_free(self, shared, registry):
+        server, volume = shared
+        fs = make_leased(volume, registry)
+        requests = fs.request_count
+        assert fs.renew_leases() == []
+        assert fs.request_count == requests

@@ -22,10 +22,12 @@ import pytest
 from repro.errors import StorageError, TransientStorageError
 from repro.storage.blobs import data_blob
 from repro.storage.resilient import ResilientTransport, RetryPolicy
-from repro.storage.server import StorageServer
-from repro.storage.wire import (OP_GET, OP_PUT, STATUS_ERROR, STATUS_OK,
+from repro.storage.server import BatchOp, StorageServer
+from repro.storage.wire import (MAX_BATCH_OPS, OP_BATCH, OP_GET, OP_PUT,
+                                STATUS_ERROR, STATUS_OK,
                                 RemoteStorageClient, SspServer,
-                                _pack_fields, _recv_message)
+                                _decode_batch_reply, _pack_fields,
+                                _recv_message)
 
 BLOB = data_blob(7, "b0")
 PAYLOAD = b"sealed ciphertext bytes"
@@ -132,6 +134,182 @@ class TestServerSurvivesMalformedFrames:
             except (StorageError, OSError):
                 pass  # replies to garbage may be anything; crashes not
         assert _server_still_serves(live_server)
+
+
+def _sub_op(opcode: int, body: bytes) -> bytes:
+    """One encoded batch sub-op: opcode byte, length, body."""
+    return bytes([opcode]) + struct.pack(">I", len(body)) + body
+
+
+def _batch_frame(count: int, subs: bytes) -> bytes:
+    return _frame(bytes([OP_BATCH]) + struct.pack(">I", count) + subs)
+
+
+def _put_sub(blob_id, payload: bytes) -> bytes:
+    return _sub_op(OP_PUT, _pack_fields(str(blob_id).encode(), payload))
+
+
+class TestBatchFrameFuzz:
+    """Malformed OP_BATCH frames: clean error, never crash, and --
+    the invariant that matters for a multi-op frame -- never a silent
+    half-apply: a frame that fails validation applies zero sub-ops."""
+
+    def test_zero_count(self, live_server):
+        reply = _exchange(live_server.address, _batch_frame(0, b""))
+        assert reply[0] == STATUS_ERROR
+        assert b"zero sub-ops" in reply[1:]
+        assert _server_still_serves(live_server)
+
+    def test_oversize_count(self, live_server):
+        reply = _exchange(live_server.address,
+                          _batch_frame(MAX_BATCH_OPS + 1, b""))
+        assert reply[0] == STATUS_ERROR
+        assert b"exceeds limit" in reply[1:]
+        assert _server_still_serves(live_server)
+
+    def test_count_promises_more_subops_than_sent(self, live_server):
+        victim = data_blob(7, "half-apply-1")
+        subs = _put_sub(victim, b"should never land")
+        reply = _exchange(live_server.address, _batch_frame(3, subs))
+        assert reply[0] == STATUS_ERROR
+        # The valid first sub-op must NOT have been applied.
+        assert not live_server.backend.exists(victim)
+        assert _server_still_serves(live_server)
+
+    def test_truncated_sub_op_body_rejects_whole_frame(self, live_server):
+        victim = data_blob(7, "half-apply-2")
+        good = _put_sub(victim, b"should never land")
+        # Second sub-op header claims 500 body bytes, sends 5.
+        bad = bytes([OP_PUT]) + struct.pack(">I", 500) + b"short"
+        reply = _exchange(live_server.address,
+                          _batch_frame(2, good + bad))
+        assert reply[0] == STATUS_ERROR
+        assert b"truncated" in reply[1:]
+        assert not live_server.backend.exists(victim)
+        assert _server_still_serves(live_server)
+
+    def test_unknown_sub_opcode(self, live_server):
+        victim = data_blob(7, "half-apply-3")
+        subs = _put_sub(victim, b"x") + _sub_op(250, b"mystery")
+        reply = _exchange(live_server.address, _batch_frame(2, subs))
+        assert reply[0] == STATUS_ERROR
+        assert b"unknown batch sub-opcode" in reply[1:]
+        assert not live_server.backend.exists(victim)
+        assert _server_still_serves(live_server)
+
+    def test_nested_batch_is_rejected(self, live_server):
+        # A batch inside a batch would defeat the op cap; the sub-op
+        # decoder treats OP_BATCH as just another unknown sub-opcode.
+        subs = _sub_op(OP_BATCH, struct.pack(">I", 1))
+        reply = _exchange(live_server.address, _batch_frame(1, subs))
+        assert reply[0] == STATUS_ERROR
+        assert _server_still_serves(live_server)
+
+    def test_trailing_garbage_rejects_whole_frame(self, live_server):
+        victim = data_blob(7, "half-apply-4")
+        subs = _put_sub(victim, b"x") + b"\xde\xad\xbe\xef"
+        reply = _exchange(live_server.address, _batch_frame(1, subs))
+        assert reply[0] == STATUS_ERROR
+        assert b"trailing garbage" in reply[1:]
+        assert not live_server.backend.exists(victim)
+        assert _server_still_serves(live_server)
+
+    def test_malformed_blob_id_inside_sub_op(self, live_server):
+        victim = data_blob(7, "half-apply-5")
+        bad = _sub_op(OP_GET, _pack_fields(b"not/a\xffblob"))
+        subs = _put_sub(victim, b"x") + bad
+        reply = _exchange(live_server.address, _batch_frame(2, subs))
+        assert reply[0] == STATUS_ERROR
+        assert not live_server.backend.exists(victim)
+        assert _server_still_serves(live_server)
+
+    def test_mixed_status_replies_round_trip(self, live_server):
+        # Well-formed frame whose sub-ops answer differently: hit,
+        # miss, and a write -- one frame, three statuses.
+        client = RemoteStorageClient(*live_server.address, timeout=2.0)
+        try:
+            fresh = data_blob(7, "batch-new")
+            replies = client.batch([
+                BatchOp.get(BLOB),
+                BatchOp.get(data_blob(7, "nope")),
+                BatchOp.put(fresh, b"landed"),
+            ])
+            assert [r.status for r in replies] == ["ok", "missing", "ok"]
+            assert replies[0].payload == PAYLOAD
+            assert live_server.backend.get(fresh) == b"landed"
+        finally:
+            client.close()
+
+    def test_seeded_garbage_batch_storm(self, live_server):
+        rng = random.Random(0xBA7C)
+        before = dict(live_server.backend.raw_blobs())
+        for _ in range(60):
+            body = bytes([OP_BATCH]) + rng.randbytes(rng.randrange(0, 96))
+            try:
+                reply = _exchange(live_server.address, _frame(body))
+            except (StorageError, OSError):
+                continue
+            # Random bytes never parse into a full valid frame here;
+            # the server must answer a clean error every time.
+            assert reply[0] == STATUS_ERROR
+        assert live_server.backend.raw_blobs() == before
+        assert _server_still_serves(live_server)
+
+
+class TestBatchReplyDecode:
+    """Client-side strictness: a malicious/buggy SSP reply must raise
+    a clean StorageError, never crash or mis-map sub-replies."""
+
+    def _reply(self, count: int, subs: bytes) -> bytes:
+        return struct.pack(">I", count) + subs
+
+    def _sub_reply(self, code: int, payload: bytes) -> bytes:
+        return bytes([code]) + struct.pack(">I", len(payload)) + payload
+
+    def test_count_mismatch(self):
+        raw = self._reply(2, self._sub_reply(STATUS_OK, b""))
+        with pytest.raises(StorageError, match="count"):
+            _decode_batch_reply(raw, expected=1)
+
+    def test_missing_count(self):
+        with pytest.raises(StorageError, match="missing count"):
+            _decode_batch_reply(b"\x00\x00", expected=1)
+
+    def test_unknown_sub_status(self):
+        raw = self._reply(1, self._sub_reply(99, b""))
+        with pytest.raises(StorageError, match="unknown batch sub-status"):
+            _decode_batch_reply(raw, expected=1)
+
+    def test_truncated_sub_reply_payload(self):
+        raw = self._reply(1, bytes([STATUS_OK])
+                          + struct.pack(">I", 500) + b"short")
+        with pytest.raises(StorageError, match="truncated"):
+            _decode_batch_reply(raw, expected=1)
+
+    def test_trailing_garbage(self):
+        raw = self._reply(1, self._sub_reply(STATUS_OK, b"fine")) + b"!!"
+        with pytest.raises(StorageError, match="trailing garbage"):
+            _decode_batch_reply(raw, expected=1)
+
+    def test_error_reply_missing_transient_flag(self):
+        raw = self._reply(1, self._sub_reply(STATUS_ERROR, b""))
+        with pytest.raises(StorageError, match="flag byte"):
+            _decode_batch_reply(raw, expected=1)
+
+    def test_fenced_reply_with_short_epoch(self):
+        from repro.storage.wire import STATUS_FENCED
+        raw = self._reply(1, self._sub_reply(STATUS_FENCED, b"\x01" * 7))
+        with pytest.raises(StorageError, match="epoch"):
+            _decode_batch_reply(raw, expected=1)
+
+    def test_seeded_garbage_replies_never_crash(self):
+        rng = random.Random(0xDEC0DE)
+        for _ in range(200):
+            raw = rng.randbytes(rng.randrange(0, 64))
+            try:
+                _decode_batch_reply(raw, expected=rng.randrange(0, 4))
+            except StorageError:
+                pass  # clean rejection is the contract
 
 
 class TestClientTransientFaults:
