@@ -15,6 +15,14 @@ round trip); the createlist entry additionally enables speculative
 readahead, which is what turns batched ``get_many`` frames into fewer
 round trips on the list phase.  The toggle is recorded in the entry's
 ``params``.
+
+PR 6 note: runs are wire-traced (``wire_trace=True``), which adds the
+schema-v2 ``trace`` section (server decode/disk/verify phase totals and
+per-depth resolve attribution) without perturbing the measurement --
+server spans live on a synthetic timeline, so wall seconds and request
+counts are identical to an untraced run (asserted by
+``tests/test_trace_differential.py``; gated in CI by
+``repro bench --diff`` against the previous snapshot).
 """
 
 from __future__ import annotations
@@ -26,7 +34,7 @@ from pathlib import Path
 from repro.fs.client import ClientConfig
 from repro.workloads.runner import run_observed
 
-PR = 5
+PR = 6
 
 #: (workload, params, config overrides recorded in the entry's params)
 RUNS = (
@@ -41,7 +49,8 @@ def main(out_dir: str = "benchmarks/results") -> int:
     workloads = {}
     for name, params, overrides in RUNS:
         config = ClientConfig(**overrides) if overrides else None
-        payload, _spans = run_observed(name, params=params, config=config)
+        payload, _spans = run_observed(name, params=params, config=config,
+                                       wire_trace=True)
         payload["params"].update(overrides)
         workloads[name] = payload
         print(f"{name}: requests="
@@ -51,7 +60,9 @@ def main(out_dir: str = "benchmarks/results") -> int:
         "description": ("per-PR performance snapshot: standard "
                         "workloads, default scale, sharoes impl, "
                         "default ClientConfig (batching on; createlist "
-                        "also enables readahead, see params)"),
+                        "also enables readahead, see params); runs are "
+                        "wire-traced, adding the schema-v2 trace "
+                        "section at zero simulated cost"),
         "workloads": workloads,
     }
     out = Path(out_dir) / f"BENCH_{PR}.json"

@@ -30,9 +30,9 @@ def _null_span(self, name, **attrs):
     yield _NULL
 
 
-def _postmark_wall_seconds() -> float:
+def _postmark_wall_seconds(tracer_sinks=()) -> float:
     from repro.workloads import make_env, run_postmark
-    env = make_env("sharoes")
+    env = make_env("sharoes", tracer_sinks=tracer_sinks)
     start = time.perf_counter()
     run_postmark(env, files=120, transactions=120, cache_fraction=0.25)
     return time.perf_counter() - start
@@ -54,3 +54,35 @@ def test_overhead_under_5_percent(monkeypatch):
          f"{repeats}): instrumented {instrumented:.3f}s vs stubbed "
          f"{bare:.3f}s -> x{ratio:.3f}")
     assert ratio < 1.05, ratio
+
+
+def test_event_log_overhead():
+    """A sampled EventLog span sink adds < 5% on top of plain tracing:
+    the sampling decision is one crc32 over a short key and most spans
+    short-circuit before any dict is built."""
+    from repro.obs.eventlog import EventLog
+
+    _postmark_wall_seconds()  # warm caches/imports before timing
+    # Interleaved plain/logged pairs, best pair ratio: shared-runner
+    # wall-clock jitter (observed +-15%) swamps the per-span cost, so
+    # min-of-each across disjoint batches does not converge -- adjacent
+    # pairs see the same machine weather.
+    repeats = 5
+    ratios = []
+    log = None
+    for _ in range(repeats):
+        plain = _postmark_wall_seconds()
+        log = EventLog(sample=0.25)
+        logged = _postmark_wall_seconds(tracer_sinks=(log.span_sink,))
+        ratios.append(logged / plain)
+
+    ratio = min(ratios)
+    stats = log.stats()
+    emit("eventlog_overhead",
+         "Postmark wall-clock (120 files/120 txns, best of "
+         f"{repeats} interleaved pairs): 25%-sampled event log vs "
+         f"plain -> x{ratio:.3f} ({stats['accepted']} events kept, "
+         f"{stats['sampled_out']} sampled out)")
+    assert stats["accepted"] > 0
+    assert stats["sampled_out"] > 0
+    assert ratio < 1.05, ratios

@@ -6,12 +6,19 @@ Subcommands:
   ESIGN, IBE roundtrips);
 * ``demo``      -- a compact end-to-end sharing demo on an in-memory SSP;
 * ``bench``     -- regenerate one of the paper's figures (fig9, fig10,
-  fig11, fig12, fig13) at a chosen scale, or run a named workload with
-  ``--workload`` and write a machine-readable ``BENCH_<name>.json``;
+  fig11, fig12, fig13) at a chosen scale, run a named workload with
+  ``--workload`` and write a machine-readable ``BENCH_<name>.json``,
+  diff two BENCH documents as a perf-regression gate (``--diff``), or
+  print the committed benchmark trajectory (``--list``);
 * ``stats``     -- run a workload and dump the unified metrics registry
   (human table or Prometheus text) plus the per-operation cost table;
 * ``trace``     -- run a workload and emit its operation spans as
-  JSON-lines (one root span per line, child phases nested);
+  JSON-lines (one root span per line, child phases nested), optionally
+  with a sampled structured-event log (``--events``);
+* ``profile``   -- run a workload wire-traced (client + server spans
+  stitched into one tree) and render it as folded stacks, speedscope
+  JSON, a top-N self-time table, or the per-depth resolve-attribution
+  report;
 * ``inspect``   -- build a demo volume and dump what the untrusted SSP
   actually sees.
 """
@@ -133,6 +140,37 @@ def _cmd_bench_workload(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_diff(args: argparse.Namespace) -> int:
+    from .obs.bench import diff_bench, format_diff_table, load_bench
+
+    old_path, new_path = args.diff
+    diff = diff_bench(load_bench(old_path), load_bench(new_path),
+                      wall_tol=args.wall_tol,
+                      request_tol=args.request_tol,
+                      phase_tol=args.phase_tol)
+    print(format_diff_table(
+        diff, title=f"bench diff: {old_path} -> {new_path}"))
+    for line in diff["regressions"]:
+        print(f"REGRESSION: {line}", file=sys.stderr)
+    if not diff["ok"]:
+        return 1
+    print("no regressions")
+    return 0
+
+
+def _cmd_bench_list(args: argparse.Namespace) -> int:
+    from .obs.bench import bench_trajectory, format_trajectory_table
+
+    rows = bench_trajectory(args.out_dir)
+    if not rows:
+        print(f"no BENCH_<pr>.json documents under {args.out_dir}",
+              file=sys.stderr)
+        return 1
+    print(format_trajectory_table(
+        rows, title=f"bench trajectory ({args.out_dir})"))
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .workloads import (IMPLEMENTATIONS, LABELS, OPERATIONS,
                             PAPER_FIG9, PAPER_FIG12, make_env, run_andrew,
@@ -141,13 +179,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from .workloads.report import (ComparisonRow, format_comparison,
                                    format_table)
 
+    if args.list:
+        return _cmd_bench_list(args)
+    if args.diff is not None:
+        return _cmd_bench_diff(args)
     if args.workload is not None:
         return _cmd_bench_workload(args)
     figure = args.figure
     scale = args.scale
     if figure is None:
-        print("bench: provide a figure (fig9..fig13) or --workload",
-              file=sys.stderr)
+        print("bench: provide a figure (fig9..fig13), --workload, "
+              "--diff OLD NEW, or --list", file=sys.stderr)
         return 2
     if figure == "fig9":
         files, dirs = int(500 * scale), max(1, int(25 * scale))
@@ -236,9 +278,16 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     from .obs.export import spans_to_jsonl
     from .workloads import run_observed
 
+    event_log = None
+    sinks: tuple = ()
+    if args.events is not None:
+        from .obs.eventlog import EventLog
+        event_log = EventLog(sample=args.sample)
+        sinks = (event_log.span_sink,)
     _payload, spans = run_observed(
         args.workload, impl=args.impl,
-        params=_workload_params(args.workload, args.scale))
+        params=_workload_params(args.workload, args.scale),
+        tracer_sinks=sinks)
     text = spans_to_jsonl(spans)
     if args.out is not None:
         import pathlib
@@ -246,6 +295,55 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         print(f"wrote {len(spans)} spans to {args.out}")
     else:
         print(text)
+    if event_log is not None:
+        event_log.write(args.events)
+        stats = event_log.stats()
+        print(f"wrote {stats['retained']} events to {args.events} "
+              f"(accepted {stats['accepted']}, sampled out "
+              f"{stats['sampled_out']}, dropped {stats['dropped']})",
+              file=sys.stderr)
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import json as _json
+    import pathlib
+
+    from .obs import profile as prof
+
+    if args.input is not None:
+        roots = prof.load_spans_jsonl(args.input)
+        source = args.input
+    else:
+        from .workloads import run_traced
+        _payload, roots, orphans, _env = run_traced(
+            args.workload, impl=args.impl,
+            params=_workload_params(args.workload, args.scale))
+        if orphans:
+            print(f"warning: {len(orphans)} unstitched server spans",
+                  file=sys.stderr)
+        source = f"{args.workload} ({args.impl})"
+    if args.format == "folded":
+        text = prof.folded_stacks(roots)
+    elif args.format == "speedscope":
+        text = _json.dumps(prof.speedscope_document(roots, name=source),
+                           indent=1, sort_keys=True) + "\n"
+    elif args.format == "top":
+        text = prof.format_self_time_table(
+            prof.self_time_report(roots, top=args.top),
+            title=f"top self time: {source}") + "\n"
+    else:  # resolve
+        report = prof.resolve_attribution(roots)
+        if args.out is not None and args.out.endswith(".json"):
+            text = _json.dumps(report, indent=2, sort_keys=True) + "\n"
+        else:
+            text = prof.format_resolve_table(
+                report, title=f"resolve attribution: {source}") + "\n"
+    if args.out is not None:
+        pathlib.Path(args.out).write_text(text)
+        print(f"wrote {args.out}")
+    else:
+        print(text, end="")
     return 0
 
 
@@ -425,6 +523,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out-dir", default="benchmarks/results",
                    help="directory for BENCH_*.json "
                         "(default benchmarks/results)")
+    p.add_argument("--diff", nargs=2, metavar=("OLD", "NEW"),
+                   help="diff two BENCH_*.json documents and exit "
+                        "non-zero on perf regression (the CI gate)")
+    p.add_argument("--wall-tol", type=float, default=0.02,
+                   help="relative wall-clock slowdown tolerated by "
+                        "--diff (default 0.02)")
+    p.add_argument("--request-tol", type=float, default=0.0,
+                   help="relative request-count growth tolerated by "
+                        "--diff (default 0.0: any extra request fails)")
+    p.add_argument("--phase-tol", type=float, default=None,
+                   help="gate per-phase seconds too at this relative "
+                        "tolerance (default: phases are report-only)")
+    p.add_argument("--list", action="store_true",
+                   help="print the committed per-PR benchmark "
+                        "trajectory from --out-dir and exit")
     p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("stats",
@@ -449,7 +562,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--impl", choices=impls, default="sharoes")
     p.add_argument("--scale", type=float, default=0.1)
     p.add_argument("--out", help="write spans here instead of stdout")
+    p.add_argument("--events",
+                   help="also write a sampled structured-event JSONL "
+                        "log here (one event per operation)")
+    p.add_argument("--sample", type=float, default=1.0,
+                   help="deterministic event sampling fraction for "
+                        "--events (default 1.0 = keep everything)")
     p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser("profile",
+                       help="run a workload wire-traced and render the "
+                            "stitched client+server span tree as a "
+                            "profile")
+    p.add_argument("--workload", choices=workloads, default="andrew")
+    p.add_argument("--impl", choices=impls, default="sharoes")
+    p.add_argument("--scale", type=float, default=0.1)
+    p.add_argument("--format",
+                   choices=["folded", "speedscope", "top", "resolve"],
+                   default="top",
+                   help="folded stacks (flamegraph.pl), speedscope "
+                        "JSON, top-N self-time table (default), or the "
+                        "per-depth resolve-attribution report")
+    p.add_argument("--top", type=int, default=15,
+                   help="row count for --format top (default 15)")
+    p.add_argument("--input",
+                   help="render this spans JSONL file (from ``repro "
+                        "trace --out``) instead of running a workload")
+    p.add_argument("--out", help="write here instead of stdout "
+                                 "(--format resolve with a .json path "
+                                 "writes machine-readable JSON)")
+    p.set_defaults(func=_cmd_profile)
 
     p = sub.add_parser("inspect", help="dump the SSP's view of a volume")
     p.add_argument("--files", type=int, default=10)

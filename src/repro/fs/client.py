@@ -160,6 +160,12 @@ class ClientConfig:
     #: attempt up to ``lease_wait_max_s``.
     lease_wait_base_s: float = 0.05
     lease_wait_max_s: float = 2.0
+    #: end-to-end wire tracing: attach trace_id/parent_span_id context
+    #: to every SSP request and record server-side spans (decode/disk/
+    #: verify on a synthetic timeline) that stitch under this client's
+    #: trace tree -- see docs/OBSERVABILITY.md.  Zero simulated cost and
+    #: byte-identical wire frames when False.
+    wire_trace: bool = False
 
 
 @dataclass
@@ -339,6 +345,26 @@ class SharoesFilesystem:
         #: that retries transient faults with backoff on the simulated
         #: clock -- see docs/ROBUSTNESS.md.
         raw = server if server is not None else volume.server
+        #: end-to-end wire tracing: give this client's span stream a
+        #: trace id and interpose a TracedServer *below* the retrying
+        #: transport, so every attempt (including failed ones) yields a
+        #: server-side span parented under the issuing client span.
+        self.traced_server = None
+        if self.config.wire_trace:
+            from ..obs.tracing import next_trace_id
+            from ..obs.wiretrace import TracedServer
+            self.tracer.trace_id = next_trace_id()
+            self.traced_server = TracedServer(
+                raw, clock=self.tracer.clock,
+                service=getattr(raw, "name", "ssp"),
+                context_fn=self._trace_context)
+            raw = self.traced_server
+        #: per-walk-depth resolve attribution (hits/misses/seconds per
+        #: path component depth), exported as ``client.resolve.*``.
+        self._walk_depth: dict[int, dict[str, float]] = {}
+        self.metrics.register_source(
+            "client.resolve", self._collect_walk_depth,
+            help="per-depth path-walk cache attribution")
         policy = self.config.retry_policy
         if policy is None:
             policy = getattr(volume, "retry_policy", None)
@@ -1231,6 +1257,47 @@ class SharoesFilesystem:
 
     _MAX_SYMLINK_DEPTH = 8
 
+    def _trace_context(self):
+        """Wire-trace context for the SSP request being issued right
+        now: parent server spans under the innermost open span (the
+        ``network`` span, or the transport's ``attempt`` span)."""
+        current = self.tracer.current
+        if current is None:
+            return None
+        from ..obs.wiretrace import TraceContext
+        return TraceContext(self.tracer.trace_id or 0, current.span_id)
+
+    def _note_walk(self, depth: int, span) -> None:
+        """Classify one finished walk-component span as a cache hit or
+        miss and fold it into the per-depth resolve attribution."""
+        children = getattr(span, "children", None)
+        if children is None:
+            return  # tracing stubbed out (overhead harness)
+        # A demand metadata/table fetch inside the component shows up as
+        # a ``network`` get; speculative prefetches (get_many) and
+        # raw-buffer consumption still count as hits.
+        miss = any(node.name == "network"
+                   and node.attrs.get("op") == "get"
+                   for child in children for node in child.walk())
+        span.attrs["cache"] = "miss" if miss else "hit"
+        stats = self._walk_depth.setdefault(
+            depth, {"walks": 0, "hits": 0, "misses": 0, "seconds": 0.0})
+        stats["walks"] += 1
+        stats["misses" if miss else "hits"] += 1
+        stats["seconds"] += span.duration
+
+    def _collect_walk_depth(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for depth in sorted(self._walk_depth):
+            for key, value in self._walk_depth[depth].items():
+                out[f"depth{depth}.{key}"] = value
+        return out
+
+    def walk_depth_stats(self) -> dict[str, dict[str, float]]:
+        """Resolve attribution keyed by path depth (JSON-friendly)."""
+        return {str(depth): dict(stats)
+                for depth, stats in sorted(self._walk_depth.items())}
+
     def _resolve(self, path: str, follow_last: bool = True,
                  _depth: int = 0) -> ResolvedNode:
         with self.tracer.span("resolve", path=path):
@@ -1238,8 +1305,11 @@ class SharoesFilesystem:
             parts = fspath.split_path(path)
             for index, name in enumerate(parts):
                 is_last = index == len(parts) - 1
-                node = self._lookup_child(node, name,
-                                          lookahead=not is_last)
+                with self.tracer.span("walk", depth=index,
+                                      component=name) as wspan:
+                    node = self._lookup_child(node, name,
+                                              lookahead=not is_last)
+                self._note_walk(index, wspan)
                 if node.attrs.ftype == SYMLINK and (follow_last or
                                                     not is_last):
                     if _depth >= self._MAX_SYMLINK_DEPTH:

@@ -6,15 +6,27 @@ phases (Figure 13), every component's counters hang off one registry
 tree, and exporters turn both into JSON-lines span logs, Prometheus text
 or human tables (``repro stats`` / ``repro trace``).
 
+Wire tracing (``wiretrace``) extends the span tree across the wire:
+trace context rides each frame, a :class:`TracedServer` produces
+server-side decode/dispatch/disk/verify spans, and ``stitch`` grafts
+them back under the client spans that issued them.  ``profile`` renders
+stitched trees as folded stacks / speedscope JSON; ``eventlog`` is a
+sampled ring-buffered structured-event sink; ``bench`` adds the
+``--diff`` perf-regression gate.
+
 Import layering: this package sits *below* fs/ and workloads/ -- the
 client imports the tracer, so nothing here may import the client at
 module scope (export/bench use lazy imports where needed).
 """
 
+from .eventlog import LEVELS, EventLog
 from .metrics import (DEFAULT_LATENCY_BUCKETS, Counter, Gauge, Histogram,
                       MetricsRegistry, bind_cache_stats, bind_cost_model,
                       bind_crypto_counters, bind_server_stats)
-from .tracing import PHASES, Span, Tracer, phase_breakdown, traced
+from .tracing import PHASES, Span, Tracer, next_trace_id, phase_breakdown, \
+    traced
+from .wiretrace import (DEFAULT_SERVER_PROFILE, ServerCostProfile,
+                        TraceContext, TracedServer, stitch)
 
 __all__ = [
     "MetricsRegistry",
@@ -31,4 +43,12 @@ __all__ = [
     "PHASES",
     "phase_breakdown",
     "traced",
+    "next_trace_id",
+    "TraceContext",
+    "TracedServer",
+    "ServerCostProfile",
+    "DEFAULT_SERVER_PROFILE",
+    "stitch",
+    "EventLog",
+    "LEVELS",
 ]

@@ -9,6 +9,14 @@ perf trajectory tracks across PRs:
 * the cost model's own whole-run breakdown, so a report is
   self-reconciling: phase totals must sum to ``cost_model.total`` to
   within float noise (the acceptance invariant, asserted in tests).
+
+Schema v2 adds an optional ``trace`` section (server-side phase totals
+and per-depth resolve attribution from a wire-traced run) and the
+:func:`diff_bench` regression gate: given two BENCH documents it
+reports wall-clock, request-count and phase deltas per workload and
+flags regressions beyond thresholds (wall > 2%, any extra request, by
+default).  CI runs the gate against the committed baseline on every
+push -- a perf regression fails the build like a test failure.
 """
 
 from __future__ import annotations
@@ -21,8 +29,9 @@ from ..sim.stats import summarize
 from .metrics import MetricsRegistry
 from .tracing import PHASES, Span, phase_breakdown
 
-#: Schema version stamped into every BENCH_*.json.
-BENCH_SCHEMA = 1
+#: Schema version stamped into every BENCH_*.json.  v2 == v1 plus an
+#: optional ``trace`` section; v1 documents still load and diff.
+BENCH_SCHEMA = 2
 
 
 def op_report(spans: Iterable[Span]) -> dict[str, Any]:
@@ -61,7 +70,8 @@ def op_report(spans: Iterable[Span]) -> dict[str, Any]:
 
 def bench_payload(name: str, report: dict[str, Any],
                   registry: MetricsRegistry | None = None,
-                  cost=None, params: dict[str, Any] | None = None
+                  cost=None, params: dict[str, Any] | None = None,
+                  trace: dict[str, Any] | None = None
                   ) -> dict[str, Any]:
     """Assemble one BENCH_*.json document."""
     payload: dict[str, Any] = {
@@ -76,6 +86,8 @@ def bench_payload(name: str, report: dict[str, Any],
                                      total=cost.totals.total)
     if registry is not None:
         payload["metrics"] = registry.snapshot()
+    if trace is not None:
+        payload["trace"] = trace
     return payload
 
 
@@ -87,3 +99,168 @@ def write_bench_json(payload: dict[str, Any],
     path = out_dir / f"BENCH_{payload['name']}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
+
+
+# -- diffing / the regression gate -----------------------------------------
+
+
+def load_bench(path: str | pathlib.Path) -> dict[str, dict[str, Any]]:
+    """Load a BENCH_*.json into ``{workload_name: payload}``.
+
+    Tolerates the three shapes in the trajectory: the per-PR document
+    (``{"pr": N, "workloads": {...}}``), a bare single-workload payload
+    (``{"schema": ..., "name": ...}``), and schema-1 documents (no
+    ``trace`` section).
+    """
+    doc = json.loads(pathlib.Path(path).read_text())
+    if "workloads" in doc:
+        return dict(doc["workloads"])
+    if "name" in doc:
+        return {doc["name"]: doc}
+    raise ValueError(f"{path}: not a BENCH document "
+                     "(expected 'workloads' or 'name')")
+
+
+def _wall_seconds(payload: dict[str, Any]) -> float:
+    cost = payload.get("cost_model")
+    if cost and "total" in cost:
+        return float(cost["total"])
+    return float(payload.get("totals", {}).get("seconds", 0.0))
+
+
+def _request_count(payload: dict[str, Any]) -> float | None:
+    metrics = payload.get("metrics")
+    if metrics and "client.requests" in metrics:
+        return float(metrics["client.requests"])
+    return None
+
+
+def diff_bench(old: dict[str, dict[str, Any]],
+               new: dict[str, dict[str, Any]],
+               wall_tol: float = 0.02, request_tol: float = 0.0,
+               phase_tol: float | None = None) -> dict[str, Any]:
+    """Compare two loaded BENCH documents; flag regressions.
+
+    Gating signals, per workload present in both documents:
+
+    * **wall** -- simulated wall seconds; regression when the new run is
+      more than ``wall_tol`` (relative) slower;
+    * **requests** -- client wire requests; regression when the new run
+      issues more than ``request_tol`` (relative) extra requests (the
+      default 0.0 means *any* extra request fails -- request counts are
+      deterministic here, so drift is always a real change);
+    * **phases** -- per-phase seconds deltas are always *reported*, but
+      only gate when ``phase_tol`` is set (phase mix shifts around
+      legitimately as optimisations move cost between buckets).
+
+    Workloads present in only one document are reported as added or
+    removed; a removed workload is flagged (a shrinking benchmark
+    surface can silently hide a regression).
+    """
+    rows: list[dict[str, Any]] = []
+    regressions: list[str] = []
+    for name in sorted(set(old) | set(new)):
+        if name not in new:
+            regressions.append(f"{name}: workload removed from new run")
+            rows.append({"workload": name, "status": "removed"})
+            continue
+        if name not in old:
+            rows.append({"workload": name, "status": "added"})
+            continue
+        old_wall = _wall_seconds(old[name])
+        new_wall = _wall_seconds(new[name])
+        wall_delta = ((new_wall - old_wall) / old_wall if old_wall
+                      else 0.0)
+        row: dict[str, Any] = {
+            "workload": name, "status": "ok",
+            "wall_old": round(old_wall, 6), "wall_new": round(new_wall, 6),
+            "wall_delta": round(wall_delta, 6),
+        }
+        if wall_delta > wall_tol:
+            row["status"] = "regressed"
+            regressions.append(
+                f"{name}: wall {old_wall:.3f}s -> {new_wall:.3f}s "
+                f"(+{wall_delta * 100:.1f}% > {wall_tol * 100:.1f}%)")
+        old_req = _request_count(old[name])
+        new_req = _request_count(new[name])
+        if old_req is not None and new_req is not None:
+            req_delta = ((new_req - old_req) / old_req if old_req
+                         else 0.0)
+            row["requests_old"] = int(old_req)
+            row["requests_new"] = int(new_req)
+            row["requests_delta"] = round(req_delta, 6)
+            if req_delta > request_tol:
+                row["status"] = "regressed"
+                regressions.append(
+                    f"{name}: requests {int(old_req)} -> {int(new_req)} "
+                    f"(+{req_delta * 100:.1f}% > "
+                    f"{request_tol * 100:.1f}%)")
+        old_phases = old[name].get("totals", {}).get("phases", {})
+        new_phases = new[name].get("totals", {}).get("phases", {})
+        phase_deltas = {}
+        for phase in PHASES:
+            before = float(old_phases.get(phase, 0.0))
+            after = float(new_phases.get(phase, 0.0))
+            phase_deltas[phase] = round(after - before, 6)
+            if (phase_tol is not None and before > 0
+                    and (after - before) / before > phase_tol):
+                row["status"] = "regressed"
+                regressions.append(
+                    f"{name}: phase {phase} {before:.3f}s -> "
+                    f"{after:.3f}s (> {phase_tol * 100:.1f}%)")
+        row["phase_deltas"] = phase_deltas
+        rows.append(row)
+    return {"rows": rows, "regressions": regressions,
+            "ok": not regressions}
+
+
+def format_diff_table(diff: dict[str, Any],
+                      title: str = "bench diff") -> str:
+    from ..workloads.report import format_table
+    rows = []
+    for row in diff["rows"]:
+        if row.get("status") in ("added", "removed"):
+            rows.append([row["workload"], row["status"], "-", "-", "-"])
+            continue
+        requests = ("-" if "requests_new" not in row else
+                    f"{row['requests_old']} -> {row['requests_new']}")
+        rows.append([row["workload"], row["status"],
+                     f"{row['wall_old']:.3f} -> {row['wall_new']:.3f}",
+                     f"{row['wall_delta'] * 100:+.2f}%", requests])
+    return format_table(title, ["workload", "status", "wall s",
+                                "wall delta", "requests"], rows)
+
+
+def bench_trajectory(results_dir: str | pathlib.Path) -> list[dict]:
+    """Summarise every per-PR ``BENCH_<n>.json`` under ``results_dir``.
+
+    Returns one row per (PR, workload) with wall seconds and request
+    counts -- the data behind ``repro bench --list``.
+    """
+    results_dir = pathlib.Path(results_dir)
+    rows: list[dict] = []
+    for path in sorted(results_dir.glob("BENCH_*.json")):
+        stem = path.stem.removeprefix("BENCH_")
+        if not stem.isdigit():
+            continue  # figure-specific artifacts, not trajectory points
+        for name, payload in sorted(load_bench(path).items()):
+            requests = _request_count(payload)
+            rows.append({"pr": int(stem), "workload": name,
+                         "wall_s": round(_wall_seconds(payload), 6),
+                         "requests": (int(requests)
+                                      if requests is not None else None),
+                         "schema": payload.get("schema"),
+                         "traced": "trace" in payload})
+    rows.sort(key=lambda row: (row["pr"], row["workload"]))
+    return rows
+
+
+def format_trajectory_table(rows: list[dict],
+                            title: str = "bench trajectory") -> str:
+    from ..workloads.report import format_table
+    table = [[str(row["pr"]), row["workload"], f"{row['wall_s']:.3f}",
+              str(row["requests"]) if row["requests"] is not None else "-",
+              "yes" if row["traced"] else "-"]
+             for row in rows]
+    return format_table(title, ["pr", "workload", "wall s", "requests",
+                                "traced"], table)

@@ -1,0 +1,144 @@
+"""Sampled, ring-buffered JSONL event log on the simulated clock.
+
+A lightweight structured-event sink that rides alongside span tracing:
+spans answer "where did the time go", events answer "what happened, in
+order".  Three properties keep it benchmark-safe (asserted by
+``benchmarks/test_obs_overhead.py``):
+
+* **severity floor** -- events below ``level`` are dropped before any
+  formatting work;
+* **deterministic sampling** -- ``sample`` keeps that fraction of
+  events, decided by a crc32 hash of ``(name, timestamp, sequence)``
+  rather than a RNG, so identically-seeded runs log identical lines;
+* **ring buffer** -- at most ``capacity`` events are retained; older
+  events fall off the front (the ``dropped`` property counts them).
+
+Timestamps come from the shared :class:`~repro.sim.clock.SimClock`
+when one is attached (``clock.now`` simulated seconds); without a
+clock, events are stamped with their sequence number so ordering is
+still total and deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import zlib
+from collections import deque
+from typing import Any
+
+#: Severity levels, syslog-ish spacing so new levels can slot between.
+LEVELS = {"debug": 10, "info": 20, "warn": 30, "error": 40}
+
+_SAMPLE_SPACE = 10 ** 6
+
+
+class EventLog:
+    """Bounded, sampled, deterministic structured-event sink."""
+
+    def __init__(self, clock=None, level: str = "info",
+                 sample: float = 1.0, capacity: int = 10_000):
+        if level not in LEVELS:
+            raise ValueError(f"unknown level {level!r}; "
+                             f"expected one of {sorted(LEVELS)}")
+        if not 0.0 <= sample <= 1.0:
+            raise ValueError("sample must be within [0, 1]")
+        self.clock = clock
+        self.level = level
+        self.sample = sample
+        self.events: deque[dict[str, Any]] = deque(maxlen=capacity)
+        #: Events that passed the severity floor and the sampler.
+        self.accepted = 0
+        #: Events that passed the floor but lost the sampling draw.
+        self.sampled_out = 0
+        #: Events below the severity floor (cheapest rejection).
+        self.suppressed = 0
+        self._seq = 0
+
+    @property
+    def dropped(self) -> int:
+        """Accepted events that have since fallen off the ring."""
+        return self.accepted - len(self.events)
+
+    def _keep(self, name: str, timestamp: float) -> bool:
+        if self.sample >= 1.0:
+            return True
+        if self.sample <= 0.0:
+            return False
+        digest = zlib.crc32(
+            f"{name}|{round(timestamp * 1e9)}|{self._seq}".encode())
+        return digest % _SAMPLE_SPACE < self.sample * _SAMPLE_SPACE
+
+    def log(self, level: str, name: str, **fields: Any) -> bool:
+        """Record one event; returns True when it was retained."""
+        if LEVELS.get(level, 0) < LEVELS[self.level]:
+            self.suppressed += 1
+            return False
+        self._seq += 1
+        timestamp = (self.clock.now if self.clock is not None
+                     else float(self._seq))
+        if not self._keep(name, timestamp):
+            self.sampled_out += 1
+            return False
+        self.accepted += 1
+        event = {"t": round(timestamp, 9), "seq": self._seq,
+                 "level": level, "event": name}
+        if fields:
+            event["fields"] = fields
+        self.events.append(event)
+        return True
+
+    def debug(self, name: str, **fields: Any) -> bool:
+        return self.log("debug", name, **fields)
+
+    def info(self, name: str, **fields: Any) -> bool:
+        return self.log("info", name, **fields)
+
+    def warn(self, name: str, **fields: Any) -> bool:
+        return self.log("warn", name, **fields)
+
+    def error(self, name: str, **fields: Any) -> bool:
+        return self.log("error", name, **fields)
+
+    def span_sink(self, span) -> None:
+        """Tracer sink adapter: one event per finished root span.
+
+        Attach with ``tracer.add_sink(event_log.span_sink)``.  The
+        event is stamped with the span's *end* time so the log stays
+        ordered even when the sink runs after the clock moved on.
+        """
+        level = "error" if span.error is not None else "info"
+        if LEVELS[level] < LEVELS[self.level]:
+            self.suppressed += 1
+            return
+        self._seq += 1
+        timestamp = span.end if span.end is not None else (
+            self.clock.now if self.clock is not None else float(self._seq))
+        if not self._keep(span.name, timestamp):
+            self.sampled_out += 1
+            return
+        self.accepted += 1
+        event = {"t": round(timestamp, 9), "seq": self._seq,
+                 "level": level, "event": f"op.{span.name}",
+                 "fields": {"duration": round(span.duration, 9),
+                            "children": len(span.children)}}
+        if span.error is not None:
+            event["fields"]["error"] = span.error
+        self.events.append(event)
+
+    def stats(self) -> dict[str, int]:
+        return {"accepted": self.accepted,
+                "sampled_out": self.sampled_out,
+                "suppressed": self.suppressed,
+                "dropped": self.dropped,
+                "retained": len(self.events)}
+
+    def to_jsonl(self) -> str:
+        lines = [json.dumps(event, separators=(",", ":"), sort_keys=True)
+                 for event in self.events]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write(self, path: str | pathlib.Path) -> pathlib.Path:
+        path = pathlib.Path(path)
+        path.write_text(self.to_jsonl())
+        return path

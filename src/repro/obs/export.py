@@ -61,20 +61,33 @@ def _prom_name(name: str) -> str:
     return _PROM_BAD.sub("_", name.replace(".", "_"))
 
 
+def _prom_escape_help(text: str) -> str:
+    """Escape a ``# HELP`` docstring per the exposition format."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _prom_escape_label(text: str) -> str:
+    """Escape a label *value* per the exposition format."""
+    return (text.replace("\\", "\\\\").replace("\n", "\\n")
+            .replace('"', '\\"'))
+
+
 def prometheus_text(registry: MetricsRegistry,
                     namespace: str = "sharoes") -> str:
     """Prometheus exposition-format dump of the registry.
 
     Pull sources are exported as gauges (their legacy structs do not
-    distinguish counters from gauges); histograms use the standard
-    ``_bucket``/``_sum``/``_count`` triplet with ``le`` labels.
+    distinguish counters from gauges) and carry ``# TYPE``/``# HELP``
+    metadata like first-class metrics; histograms use the standard
+    ``_bucket``/``_sum``/``_count`` triplet with ``le`` labels.  Help
+    strings and label values are escaped per the exposition format.
     """
     lines: list[str] = []
 
     def emit(name: str, kind: str, value_lines: list[str],
              help: str = "") -> None:
         if help:
-            lines.append(f"# HELP {name} {help}")
+            lines.append(f"# HELP {name} {_prom_escape_help(help)}")
         lines.append(f"# TYPE {name} {kind}")
         lines.extend(value_lines)
 
@@ -89,15 +102,17 @@ def prometheus_text(registry: MetricsRegistry,
             cumulative = 0
             for bound, count in zip(metric.bounds, metric.counts):
                 cumulative += count
-                rows.append(f'{name}_bucket{{le="{bound}"}} {cumulative}')
+                label = _prom_escape_label(str(bound))
+                rows.append(f'{name}_bucket{{le="{label}"}} {cumulative}')
             rows.append(f'{name}_bucket{{le="+Inf"}} {metric.count}')
             rows.append(f"{name}_sum {metric.total}")
             rows.append(f"{name}_count {metric.count}")
             emit(name, "histogram", rows, metric.help)
     for prefix, collect in registry._sources.items():
+        help = registry.source_help(prefix)
         for suffix, value in sorted(collect().items()):
             name = f"{namespace}_{_prom_name(prefix)}_{_prom_name(suffix)}"
-            emit(name, "gauge", [f"{name} {value}"])
+            emit(name, "gauge", [f"{name} {value}"], help)
     return "\n".join(lines) + "\n"
 
 

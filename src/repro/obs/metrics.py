@@ -162,6 +162,7 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._metrics: dict[str, Metric] = {}
         self._sources: dict[str, Callable[[], dict[str, float]]] = {}
+        self._source_help: dict[str, str] = {}
 
     # -- construction ------------------------------------------------------
 
@@ -191,9 +192,16 @@ class MetricsRegistry:
                                    buckets=buckets)
 
     def register_source(self, prefix: str,
-                        collect: Callable[[], dict[str, float]]) -> None:
-        """Adapt a legacy stats struct under ``prefix``."""
+                        collect: Callable[[], dict[str, float]],
+                        help: str = "") -> None:
+        """Adapt a legacy stats struct under ``prefix``; ``help`` feeds
+        the Prometheus exporter's ``# HELP`` lines."""
         self._sources[prefix] = collect
+        if help:
+            self._source_help[prefix] = help
+
+    def source_help(self, prefix: str) -> str:
+        return self._source_help.get(prefix, "")
 
     # -- reading -----------------------------------------------------------
 
@@ -247,7 +255,8 @@ def bind_cache_stats(registry: MetricsRegistry, cache,
                 "used_bytes": cache.used_bytes,
                 "entries": len(cache)}
 
-    registry.register_source(prefix, collect)
+    registry.register_source(prefix, collect,
+                             help="client metadata/data LRU cache stats")
 
 
 def bind_server_stats(registry: MetricsRegistry, server,
@@ -269,7 +278,8 @@ def bind_server_stats(registry: MetricsRegistry, server,
             out[f"deletes_by_kind.{kind}"] = count
         return out
 
-    registry.register_source(prefix, collect)
+    registry.register_source(prefix, collect,
+                             help="storage server operation/byte counters")
 
 
 def bind_crypto_counters(registry: MetricsRegistry, provider,
@@ -287,7 +297,8 @@ def bind_crypto_counters(registry: MetricsRegistry, provider,
             out[f"pk_blocks.{kind}"] = blocks
         return out
 
-    registry.register_source(prefix, collect)
+    registry.register_source(prefix, collect,
+                             help="crypto provider op/byte/pk-block counters")
 
 
 def bind_transport(registry: MetricsRegistry, transport,
@@ -311,7 +322,8 @@ def bind_transport(registry: MetricsRegistry, transport,
                 "breaker.rejections": transport.breaker_rejections,
                 "breaker.state": _BREAKER_GAUGE[transport.breaker_state]}
 
-    registry.register_source(prefix, collect)
+    registry.register_source(prefix, collect,
+                             help="transport retry/backoff/breaker counters")
 
 
 def bind_cost_model(registry: MetricsRegistry, cost,
@@ -325,4 +337,5 @@ def bind_cost_model(registry: MetricsRegistry, cost,
         out["clock"] = cost.clock.now
         return out
 
-    registry.register_source(prefix, collect)
+    registry.register_source(prefix, collect,
+                             help="simulated cost-model seconds by category")

@@ -32,6 +32,17 @@ from .metrics import MetricsRegistry
 #: The phase keys of a per-operation breakdown, in reporting order.
 PHASES = ("resolve", "network", "crypto", "cache", "other")
 
+#: Process-wide trace-id allocator (deterministic: a plain counter, so
+#: two identically-seeded runs mint identical ids in the same order).
+_TRACE_COUNTER = 0
+
+
+def next_trace_id() -> int:
+    """Allocate a fresh trace id for one client's span stream."""
+    global _TRACE_COUNTER
+    _TRACE_COUNTER += 1
+    return _TRACE_COUNTER
+
 
 class Span:
     """One timed region; durations are simulated seconds."""
@@ -80,6 +91,8 @@ class Span:
             "end": round(self.end, 9) if self.end is not None else None,
             "duration": round(self.duration, 9),
         }
+        if self.parent_id is not None:
+            out["parent_id"] = self.parent_id
         if self.attrs:
             out["attrs"] = dict(self.attrs)
         if self.self_costs:
@@ -182,6 +195,9 @@ class Tracer:
                  max_finished: int = 100_000):
         self.clock = clock if clock is not None else SimClock()
         self.registry = registry
+        #: Wire-trace correlation id (set by clients that propagate
+        #: trace context to the SSP; ``None`` when wire tracing is off).
+        self.trace_id: int | None = None
         self.finished: deque[Span] = deque(maxlen=max_finished)
         self._stack: list[Span] = []
         self._sinks: list[Callable[[Span], None]] = []

@@ -1,0 +1,420 @@
+"""End-to-end wire tracing: trace context across the client/SSP boundary.
+
+Client spans stop at the ``network`` span today -- everything the SSP
+does (frame decode, disk, fence/CAS verification) is invisible, so the
+44 % of andrew wall-clock spent in path resolve cannot be attributed
+past the wire.  This module closes the loop:
+
+* :class:`TraceContext` -- the ``trace_id``/``parent_span_id`` pair a
+  client attaches to wire frames (``storage.wire`` encodes it behind an
+  opcode flag bit, so untraced frames stay byte-identical);
+* :class:`TracedServer` -- a :class:`~repro.storage.resilient.ServerWrapper`
+  that records one ``server.<op>`` span per request it forwards, with
+  ``decode`` / ``dispatch`` / ``disk`` / ``verify`` children and a
+  service tag (shard-ready: one tree per server);
+* :func:`stitch` -- grafts the server spans under the exact client span
+  that issued each request, producing a single end-to-end trace tree.
+
+Server spans live on a **synthetic timeline**: durations come from a
+deterministic :class:`ServerCostProfile`, and the shared simulated clock
+is never advanced.  Attribution without perturbation -- a traced run
+charges exactly the same simulated seconds as an untraced one, which is
+what lets the CI perf-regression gate diff traced BENCH files against
+untraced baselines.  By construction the ``decode``/``disk``/``verify``
+self-times of a server span partition its wall exactly.
+
+The SSP does no cryptography in SHAROES (ciphertext passes through
+opaquely), so the "crypto" slot of a conventional server profile shows
+up here as ``verify``: the fence-epoch and compare-and-swap checks the
+server performs on guarded mutations.
+"""
+
+from __future__ import annotations
+
+import contextvars
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+from ..storage.resilient import ServerWrapper
+from .tracing import Span
+
+__all__ = [
+    "TraceContext",
+    "ServerCostProfile",
+    "DEFAULT_SERVER_PROFILE",
+    "TracedServer",
+    "current_wire_context",
+    "push_wire_context",
+    "pop_wire_context",
+    "stitch",
+    "server_phase_totals",
+]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Correlation header carried on wire frames (16 bytes encoded)."""
+
+    trace_id: int
+    parent_span_id: int | None = None
+
+
+# Wire handlers (storage.wire._Handler) install the decoded frame
+# context here so an in-process TracedServer behind a TCP loopback sees
+# the same context a directly-wrapped one gets from ``context_fn``.
+_WIRE_CONTEXT: contextvars.ContextVar[TraceContext | None] = \
+    contextvars.ContextVar("sharoes_wire_trace_context", default=None)
+
+
+def current_wire_context() -> TraceContext | None:
+    return _WIRE_CONTEXT.get()
+
+
+def push_wire_context(ctx: TraceContext | None):
+    return _WIRE_CONTEXT.set(ctx)
+
+
+def pop_wire_context(token) -> None:
+    _WIRE_CONTEXT.reset(token)
+
+
+@dataclass(frozen=True)
+class ServerCostProfile:
+    """Deterministic per-request SSP time model (synthetic seconds).
+
+    These seconds exist only inside server spans -- they are *never*
+    charged to the cost model or the shared clock.  Magnitudes follow
+    the 2008 hardware the paper benchmarks: ~µs frame decode, one disk
+    seek plus streaming transfer, ~µs per signature-free guard check.
+    """
+
+    decode_fixed_s: float = 2e-6
+    decode_per_byte_s: float = 5e-10
+    disk_fixed_s: float = 5e-5
+    disk_per_byte_s: float = 2e-8
+    verify_fixed_s: float = 5e-6
+
+
+DEFAULT_SERVER_PROFILE = ServerCostProfile()
+
+#: Server span ids live far above any client tracer's sequential ids so
+#: stitched trees never collide; each TracedServer gets its own block.
+_SERVER_ID_BASE = 1 << 40
+_ID_STRIDE = 1 << 32
+_SERVER_COUNT = 0
+
+
+def _next_id_block() -> int:
+    global _SERVER_COUNT
+    _SERVER_COUNT += 1
+    return _SERVER_ID_BASE + _SERVER_COUNT * _ID_STRIDE
+
+
+def _request_bytes(blob_id, payload) -> int:
+    return len(str(blob_id)) + (len(payload) if payload else 0) + 16
+
+
+class TracedServer(ServerWrapper):
+    """Record a ``server.<op>`` span tree for every request forwarded.
+
+    Sits *below* the retrying transport, so each retry attempt produces
+    its own server span (failed attempts error-marked) and the span
+    count reconciles with ``transport.attempts``.  The trace context is
+    taken from ``context_fn`` (in-process clients) or from the wire
+    handler's contextvar (TCP clients); with neither, spans are still
+    recorded but stay unparented.
+    """
+
+    def __init__(self, inner, clock, service: str = "ssp",
+                 context_fn: Callable[[], TraceContext | None] | None = None,
+                 profile: ServerCostProfile = DEFAULT_SERVER_PROFILE,
+                 max_spans: int = 200_000):
+        super().__init__(inner, name=f"traced({inner.name})")
+        self.clock = clock
+        self.service = service
+        self.context_fn = context_fn
+        self.profile = profile
+        self.spans: deque[Span] = deque(maxlen=max_spans)
+        self._next_id = _next_id_block()
+
+    # -- span plumbing ----------------------------------------------------
+
+    def _ctx(self) -> TraceContext | None:
+        if self.context_fn is not None:
+            ctx = self.context_fn()
+            if ctx is not None:
+                return ctx
+        return current_wire_context()
+
+    def _new_id(self) -> int:
+        span_id = self._next_id
+        self._next_id += 1
+        return span_id
+
+    def _decode_seconds(self, request_bytes: int) -> float:
+        return (self.profile.decode_fixed_s
+                + self.profile.decode_per_byte_s * request_bytes)
+
+    def _root(self, op: str, ctx: TraceContext | None, start: float,
+              **attrs: Any) -> Span:
+        merged = {"service": self.service, "op": op}
+        if ctx is not None:
+            merged["trace_id"] = ctx.trace_id
+        merged.update(attrs)
+        return Span(f"server.{op}", self._new_id(),
+                    ctx.parent_span_id if ctx is not None else None,
+                    start, merged)
+
+    def _leaf(self, name: str, parent: Span, start: float,
+              seconds: float, category: str) -> Span:
+        span = Span(name, self._new_id(), parent.span_id, start, {})
+        span.end = start + seconds
+        if seconds:
+            span.add_cost(category, seconds)
+        parent.children.append(span)
+        return span
+
+    def _emit(self, op: str, ctx: TraceContext | None, start: float,
+              decode_s: float, disk_s: float, verify_s: float,
+              error: str | None = None, **attrs: Any) -> Span:
+        """One request = root -> [decode, dispatch -> [disk, verify]].
+
+        Children are laid out sequentially from ``start``, so the
+        decode/disk/verify self-times partition the root's wall exactly.
+        """
+        root = self._root(op, ctx, start, **attrs)
+        cursor = self._leaf("decode", root, start, decode_s, "decode").end
+        dispatch = Span("dispatch", self._new_id(), root.span_id,
+                        cursor, {})
+        root.children.append(dispatch)
+        if disk_s:
+            cursor = self._leaf("disk", dispatch, cursor, disk_s,
+                                "disk").end
+        if verify_s:
+            cursor = self._leaf("verify", dispatch, cursor, verify_s,
+                                "verify").end
+        dispatch.end = cursor
+        root.end = cursor
+        root.error = error
+        self.spans.append(root)
+        return root
+
+    def _observe(self, op: str, request_bytes: int, call,
+                 success_cost, error_cost=None, **attrs: Any):
+        ctx = self._ctx()
+        start = self.clock.now
+        decode_s = self._decode_seconds(request_bytes)
+        try:
+            result = call()
+        except Exception as exc:
+            disk_s, verify_s = (error_cost(exc) if error_cost is not None
+                                else (0.0, 0.0))
+            self._emit(op, ctx, start, decode_s, disk_s, verify_s,
+                       error=type(exc).__name__, **attrs)
+            raise
+        disk_s, verify_s = success_cost(result)
+        self._emit(op, ctx, start, decode_s, disk_s, verify_s, **attrs)
+        return result
+
+    def _lookup_cost(self, exc: Exception) -> tuple[float, float]:
+        """Errors that prove the store was consulted still cost a seek;
+        guard rejections (CAS/fence) additionally cost the check."""
+        from ..errors import (BlobNotFound, CasConflictError,
+                              StaleEpochError)
+        if isinstance(exc, (CasConflictError, StaleEpochError)):
+            return self.profile.disk_fixed_s, self.profile.verify_fixed_s
+        if isinstance(exc, BlobNotFound):
+            return self.profile.disk_fixed_s, 0.0
+        return 0.0, 0.0
+
+    # -- traced operations ------------------------------------------------
+
+    def put(self, blob_id, payload):
+        prof = self.profile
+        size = len(payload)
+        return self._observe(
+            "put", _request_bytes(blob_id, payload),
+            lambda: self.inner.put(blob_id, payload),
+            lambda _r: (prof.disk_fixed_s + prof.disk_per_byte_s * size,
+                        0.0),
+            self._lookup_cost, kind=blob_id.kind, bytes=size)
+
+    def get(self, blob_id):
+        prof = self.profile
+        return self._observe(
+            "get", _request_bytes(blob_id, None),
+            lambda: self.inner.get(blob_id),
+            lambda r: (prof.disk_fixed_s + prof.disk_per_byte_s * len(r),
+                       0.0),
+            self._lookup_cost, kind=blob_id.kind)
+
+    def delete(self, blob_id):
+        prof = self.profile
+        return self._observe(
+            "delete", _request_bytes(blob_id, None),
+            lambda: self.inner.delete(blob_id),
+            lambda _r: (prof.disk_fixed_s, 0.0),
+            self._lookup_cost, kind=blob_id.kind)
+
+    def exists(self, blob_id):
+        prof = self.profile
+        return self._observe(
+            "exists", _request_bytes(blob_id, None),
+            lambda: self.inner.exists(blob_id),
+            lambda _r: (prof.disk_fixed_s, 0.0),
+            self._lookup_cost, kind=blob_id.kind)
+
+    def put_if(self, blob_id, payload, expected):
+        prof = self.profile
+        size = len(payload)
+        return self._observe(
+            "put_if", _request_bytes(blob_id, payload),
+            lambda: self.inner.put_if(blob_id, payload, expected),
+            lambda _r: (prof.disk_fixed_s + prof.disk_per_byte_s * size,
+                        prof.verify_fixed_s),
+            self._lookup_cost, kind=blob_id.kind, bytes=size)
+
+    def put_fenced(self, blob_id, payload, fence, epoch):
+        prof = self.profile
+        size = len(payload)
+        return self._observe(
+            "put_fenced", _request_bytes(blob_id, payload),
+            lambda: self.inner.put_fenced(blob_id, payload, fence, epoch),
+            lambda _r: (prof.disk_fixed_s + prof.disk_per_byte_s * size,
+                        prof.verify_fixed_s),
+            self._lookup_cost, kind=blob_id.kind, bytes=size)
+
+    def delete_fenced(self, blob_id, fence, epoch):
+        prof = self.profile
+        return self._observe(
+            "delete_fenced", _request_bytes(blob_id, None),
+            lambda: self.inner.delete_fenced(blob_id, fence, epoch),
+            lambda _r: (prof.disk_fixed_s, prof.verify_fixed_s),
+            self._lookup_cost, kind=blob_id.kind)
+
+    def batch(self, ops):
+        """One span for the frame, one child per attempted sub-op.
+
+        Delegates to ``inner.batch`` (not ``apply_batch`` through this
+        wrapper) so batch semantics stay at the backend and sub-op spans
+        are reconstructed from the (op, reply) pairs afterwards.
+        """
+        ops = list(ops)
+        ctx = self._ctx()
+        start = self.clock.now
+        frame_bytes = sum(_request_bytes(op.blob_id, op.payload)
+                          for op in ops) + 16
+        decode_s = self._decode_seconds(frame_bytes)
+        try:
+            replies = self.inner.batch(ops)
+        except Exception as exc:
+            self._emit("batch", ctx, start, decode_s, 0.0, 0.0,
+                       error=type(exc).__name__, count=len(ops))
+            raise
+        root = self._root("batch", ctx, start, count=len(ops))
+        cursor = self._leaf("decode", root, start, decode_s, "decode").end
+        dispatch = Span("dispatch", self._new_id(), root.span_id,
+                        cursor, {})
+        root.children.append(dispatch)
+        for index, (op, reply) in enumerate(zip(ops, replies)):
+            if reply.status == "unattempted":
+                continue
+            disk_s, verify_s = self._sub_costs(op, reply)
+            attrs: dict[str, Any] = {"index": index, "kind": op.kind,
+                                     "status": reply.status}
+            sub_ctx = getattr(op, "ctx", None)
+            if sub_ctx is not None:
+                attrs["trace_id"] = sub_ctx.trace_id
+                attrs["client_span_id"] = sub_ctx.parent_span_id
+            sub = Span(f"server.{op.kind}", self._new_id(),
+                       dispatch.span_id, cursor, attrs)
+            if disk_s:
+                cursor = self._leaf("disk", sub, cursor, disk_s,
+                                    "disk").end
+            if verify_s:
+                cursor = self._leaf("verify", sub, cursor, verify_s,
+                                    "verify").end
+            sub.end = cursor
+            if reply.status == "error":
+                sub.error = reply.message or "error"
+            dispatch.children.append(sub)
+        dispatch.end = cursor
+        root.end = cursor
+        self.spans.append(root)
+        return replies
+
+    def _sub_costs(self, op, reply) -> tuple[float, float]:
+        prof = self.profile
+        guarded = op.kind in ("put_if", "put_fenced", "delete_fenced")
+        verify_s = prof.verify_fixed_s if guarded else 0.0
+        if reply.status == "ok":
+            if op.kind == "get":
+                size = len(reply.payload or b"")
+            elif op.kind in ("put", "put_if", "put_fenced"):
+                size = len(op.payload or b"")
+            else:
+                size = 0
+            return prof.disk_fixed_s + prof.disk_per_byte_s * size, verify_s
+        if reply.status == "missing":
+            return prof.disk_fixed_s, verify_s
+        if reply.status in ("conflict", "fenced"):
+            return prof.disk_fixed_s, prof.verify_fixed_s
+        return 0.0, 0.0  # transient/error: died before the store
+
+    # -- reporting --------------------------------------------------------
+
+    def phase_totals(self) -> dict[str, Any]:
+        """Aggregate server-side attribution for the BENCH trace block."""
+        phases = {"decode": 0.0, "disk": 0.0, "verify": 0.0}
+        wall = 0.0
+        errors = 0
+        for root in self.spans:
+            wall += root.duration
+            if root.error is not None:
+                errors += 1
+            for node in root.walk():
+                for category, seconds in node.self_costs.items():
+                    if category in phases:
+                        phases[category] += seconds
+        return {"service": self.service, "spans": len(self.spans),
+                "wall": wall, "errors": errors, "phases": phases}
+
+
+def server_phase_totals(servers: Iterable[TracedServer]) -> list[dict]:
+    return [server.phase_totals() for server in servers]
+
+
+def _as_dict(span) -> dict[str, Any]:
+    return span if isinstance(span, dict) else span.to_dict()
+
+
+def stitch(client_spans: Iterable,
+           server_spans: Iterable) -> tuple[list[dict], list[dict]]:
+    """Graft server span trees under the client spans that issued them.
+
+    Works on ``to_dict`` copies -- the live client spans are never
+    mutated (server self-cost categories would otherwise corrupt the
+    client-side phase reconciliation).  Returns ``(roots, orphans)``:
+    the stitched client trees plus any server spans whose parent id
+    matched no client span (e.g. context-free requests).
+    """
+    roots = [_as_dict(span) for span in client_spans]
+    index: dict[int, dict] = {}
+
+    def register(node: dict) -> None:
+        index[node["span_id"]] = node
+        for child in node.get("children", ()):
+            register(child)
+
+    for root in roots:
+        register(root)
+    orphans: list[dict] = []
+    for span in server_spans:
+        doc = _as_dict(span)
+        parent = index.get(doc.get("parent_id"))
+        if parent is None:
+            orphans.append(doc)
+        else:
+            parent.setdefault("children", []).append(doc)
+    return roots, orphans

@@ -419,8 +419,12 @@ class ResilientTransport(ServerWrapper):
 
     Instrumentation: plain integer counters on the instance (adapted
     into a :class:`~repro.obs.metrics.MetricsRegistry` by
-    ``bind_transport``) and, when a tracer is attached, a ``retry``
-    child span per extra attempt carrying the backoff charge.
+    ``bind_transport``) and, when a tracer is attached, an ``attempt``
+    child span per attempt -- the first included -- carrying the
+    attempt's backoff charge; failed attempts are error-marked.  An
+    injected fault at attempt k therefore yields k+1 sibling attempt
+    spans under the issuing ``network`` span, and the total attempt-span
+    count reconciles with the ``attempts`` counter.
     """
 
     def __init__(self, inner: StorageServer,
@@ -465,10 +469,11 @@ class ResilientTransport(ServerWrapper):
         else:
             self._clock.advance(seconds)
 
-    def _retry_scope(self, op: str, attempt: int, delay: float):
+    def _attempt_scope(self, op: str, attempt: int, delay: float):
+        """One span per attempt (attempt 1 included, delay 0.0)."""
         if self._tracer is None:
             return _NULL_SCOPE
-        return self._tracer.span("retry", op=op, attempt=attempt,
+        return self._tracer.span("attempt", op=op, attempt=attempt,
                                  delay=round(delay, 6))
 
     # -- circuit breaker ----------------------------------------------------
@@ -514,31 +519,31 @@ class ResilientTransport(ServerWrapper):
 
         backoff_spent = 0.0
         delay = policy.base_delay_s
+        wait = 0.0  # backoff before the next attempt (0 for the first)
         last_error: TransientStorageError | None = None
         for attempt in range(1, policy.max_attempts + 1):
             if attempt > 1:
-                if backoff_spent + delay > policy.deadline_s:
+                if backoff_spent + wait > policy.deadline_s:
                     break  # deadline: give up before sleeping again
                 self.retries += 1
-                with self._retry_scope(op, attempt, delay):
-                    self._sleep(delay)
-                    backoff_spent += delay
-                    try:
-                        self.attempts += 1
-                        result = attempt_fn()
-                    except TransientStorageError as exc:
-                        last_error = exc
-                        self._record_failure()
-                        delay = self._next_delay(delay)
-                        continue
-                self._record_success()
-                return result
-            try:
-                self.attempts += 1
-                result = attempt_fn()
-            except TransientStorageError as exc:
-                last_error = exc
+            failed = False
+            with self._attempt_scope(op, attempt, wait) as span:
+                if wait:
+                    self._sleep(wait)
+                    backoff_spent += wait
+                try:
+                    self.attempts += 1
+                    result = attempt_fn()
+                except TransientStorageError as exc:
+                    last_error = exc
+                    failed = True
+                    if span is not None:
+                        span.error = type(exc).__name__
+            if failed:
                 self._record_failure()
+                if attempt > 1:
+                    delay = self._next_delay(delay)
+                wait = delay
                 continue
             self._record_success()
             return result
@@ -724,66 +729,71 @@ class ResilientTransport(ServerWrapper):
                 merged[k] = BatchReply("unattempted")
             return merged  # type: ignore[return-value]
 
+        wait = 0.0  # backoff before the next attempt (0 for the first)
         while True:
             attempt += 1
             self.attempts += 1
             retry_needed = False
-            try:
-                replies = self.inner.batch(ops[start:])
-            except TransientStorageError as exc:
-                # Whole frame lost (e.g. the socket died): nothing in
-                # this slice is known-applied; re-send it verbatim.
-                # Sub-ops are idempotent (put_if via the echo below).
-                failure_msg = str(exc)
-                retry_needed = True
-                replies = []
-            for j, reply in enumerate(replies):
-                i = start + j
-                op = ops[i]
-                if (reply.status == "conflict" and op.kind == "put_if"
-                        and attempt > 1
-                        and reply.payload == bytes(op.payload or b"")):
-                    # Our own earlier attempt landed before its ack was
-                    # lost: that is success, not a lost race.
-                    reply = BatchReply("ok")
-                if reply.status in ("ok", "missing", "conflict"):
-                    merged[i] = reply
-                    self._absorb_subop(op, reply)
-                    continue
-                if reply.status == "fenced":
-                    merged[i] = reply
-                    for k in range(i + 1, len(ops)):
-                        merged[k] = BatchReply("unattempted")
-                    self._record_success()
-                    return merged  # type: ignore[return-value]
-                if reply.status == "error" and not reply.transient:
-                    merged[i] = reply
-                    for k in range(i + 1, len(ops)):
-                        merged[k] = BatchReply("unattempted")
-                    # The server answered; the transport itself is fine.
-                    self._record_success()
-                    return merged  # type: ignore[return-value]
-                if reply.status == "error":  # transient: retry suffix
-                    start = i
-                    failure_msg = reply.message
+            with self._attempt_scope("batch", attempt, wait) as span:
+                if wait:
+                    self._sleep(wait)
+                    backoff_spent += wait
+                try:
+                    replies = self.inner.batch(ops[start:])
+                except TransientStorageError as exc:
+                    # Whole frame lost (e.g. the socket died): nothing in
+                    # this slice is known-applied; re-send it verbatim.
+                    # Sub-ops are idempotent (put_if via the echo below).
+                    failure_msg = str(exc)
                     retry_needed = True
-                break  # unattempted tail (or the error we just noted)
-            if not retry_needed:
-                if start + len(replies) < len(ops):
-                    # Defensive: a short reply with no error marker.
-                    start += len(replies)
-                    failure_msg = "short batch reply"
-                    retry_needed = True
-                else:
-                    self._record_success()
-                    return merged  # type: ignore[return-value]
+                    replies = []
+                for j, reply in enumerate(replies):
+                    i = start + j
+                    op = ops[i]
+                    if (reply.status == "conflict" and op.kind == "put_if"
+                            and attempt > 1
+                            and reply.payload == bytes(op.payload or b"")):
+                        # Our own earlier attempt landed before its ack
+                        # was lost: that is success, not a lost race.
+                        reply = BatchReply("ok")
+                    if reply.status in ("ok", "missing", "conflict"):
+                        merged[i] = reply
+                        self._absorb_subop(op, reply)
+                        continue
+                    if reply.status == "fenced":
+                        merged[i] = reply
+                        for k in range(i + 1, len(ops)):
+                            merged[k] = BatchReply("unattempted")
+                        self._record_success()
+                        return merged  # type: ignore[return-value]
+                    if reply.status == "error" and not reply.transient:
+                        merged[i] = reply
+                        for k in range(i + 1, len(ops)):
+                            merged[k] = BatchReply("unattempted")
+                        # The server answered; the transport is fine.
+                        self._record_success()
+                        return merged  # type: ignore[return-value]
+                    if reply.status == "error":  # transient: retry suffix
+                        start = i
+                        failure_msg = reply.message
+                        retry_needed = True
+                    break  # unattempted tail (or the error we just noted)
+                if not retry_needed:
+                    if start + len(replies) < len(ops):
+                        # Defensive: a short reply with no error marker.
+                        start += len(replies)
+                        failure_msg = "short batch reply"
+                        retry_needed = True
+                    else:
+                        self._record_success()
+                        return merged  # type: ignore[return-value]
+                if span is not None:
+                    span.error = "TransientStorageError"
             self._record_failure()
             if attempt >= policy.max_attempts:
                 return _giveup()
             if backoff_spent + delay > policy.deadline_s:
                 return _giveup()
             self.retries += 1
-            with self._retry_scope("batch", attempt + 1, delay):
-                self._sleep(delay)
-            backoff_spent += delay
+            wait = delay
             delay = self._next_delay(delay)

@@ -62,6 +62,9 @@ class BatchOp:
     expected: bytes | None = None  # put_if only
     fence: BlobId | None = None    # fenced ops only
     epoch: int | None = None       # fenced ops only
+    #: Optional per-sub-op trace context (obs.wiretrace.TraceContext);
+    #: rides the wire behind the sub-opcode's TRACE_FLAG bit.
+    ctx: object | None = None
 
     @classmethod
     def put(cls, blob_id: BlobId, payload: bytes) -> "BatchOp":

@@ -40,6 +40,14 @@ UNATTEMPTED(5) marks the tail after the batch stopped at a failed or
 fenced sub-op.  An ERROR sub-reply payload is one transient-flag byte
 followed by the message.
 
+**Trace context** (optional, backward compatible): setting the top bit
+of an opcode byte (top-level *or* batch sub-op) prefixes the body with a
+16-byte correlation block -- ``u64 trace_id | u64 parent_span_id`` --
+which the server installs around dispatch so a
+:class:`~repro.obs.wiretrace.TracedServer` backend can parent its spans
+under the requesting client span.  Frames without the flag are
+byte-identical to the pre-tracing protocol.
+
 Blob ids travel as their string form (``kind/inode/selector``).  The
 server performs no computation on payloads -- it cannot: they are
 ciphertext.  Simulated benchmark costs remain the job of the cost model;
@@ -67,6 +75,11 @@ OP_PUT_IF = 5
 OP_PUT_FENCED = 6
 OP_DELETE_FENCED = 7
 OP_BATCH = 8
+
+#: Top bit of any opcode byte: the body starts with a trace-context
+#: block (u64 trace_id | u64 parent_span_id) before the normal fields.
+TRACE_FLAG = 0x80
+_TRACE_CTX_BYTES = 16
 
 STATUS_OK = 0
 STATUS_MISSING = 1
@@ -148,6 +161,23 @@ def _parse_blob_id(raw: bytes) -> BlobId:
         raise StorageError(f"malformed blob id on wire: {raw!r}") from exc
 
 
+# -- trace-context codec ------------------------------------------------------
+
+def encode_trace_context(ctx) -> bytes:
+    """16-byte correlation block; parent id 0 encodes "no parent"."""
+    return struct.pack(">QQ", ctx.trace_id, ctx.parent_span_id or 0)
+
+
+def decode_trace_context(body: bytes):
+    """Split a flagged body into (TraceContext, remaining fields)."""
+    if len(body) < _TRACE_CTX_BYTES:
+        raise StorageError("truncated trace-context block")
+    trace_id, parent = struct.unpack_from(">QQ", body, 0)
+    from ..obs.wiretrace import TraceContext
+    return (TraceContext(trace_id, parent or None),
+            body[_TRACE_CTX_BYTES:])
+
+
 # -- OP_BATCH codec -----------------------------------------------------------
 
 def _encode_sub_body(op: BatchOp) -> bytes:
@@ -171,6 +201,20 @@ def _encode_sub_body(op: BatchOp) -> bytes:
 
 
 def _decode_sub_body(opcode: int, body: bytes) -> BatchOp:
+    ctx = None
+    if opcode & TRACE_FLAG:
+        if not OP_PUT <= opcode & (TRACE_FLAG - 1) < OP_BATCH:
+            raise StorageError(f"unknown batch sub-opcode {opcode}")
+        opcode &= TRACE_FLAG - 1
+        ctx, body = decode_trace_context(body)
+    op = _decode_sub_fields(opcode, body)
+    if ctx is not None:
+        import dataclasses
+        op = dataclasses.replace(op, ctx=ctx)
+    return op
+
+
+def _decode_sub_fields(opcode: int, body: bytes) -> BatchOp:
     kind = _OPCODE_TO_KIND.get(opcode)
     if kind is None:
         raise StorageError(f"unknown batch sub-opcode {opcode}")
@@ -205,7 +249,12 @@ def _encode_batch_request(ops) -> bytes:
     out = bytearray(struct.pack(">I", len(ops)))
     for op in ops:
         body = _encode_sub_body(op)
-        out += bytes([_KIND_TO_OPCODE[op.kind]])
+        opcode = _KIND_TO_OPCODE[op.kind]
+        ctx = getattr(op, "ctx", None)
+        if ctx is not None:
+            opcode |= TRACE_FLAG
+            body = encode_trace_context(ctx) + body
+        out += bytes([opcode])
         out += struct.pack(">I", len(body))
         out += body
     return bytes(out)
@@ -348,8 +397,8 @@ class _Handler(socketserver.BaseRequestHandler):
                 response = bytes([STATUS_ERROR]) + b"empty request frame"
             else:
                 try:
-                    response = self._dispatch(backend, message[0],
-                                              message[1:])
+                    response = self._traced_dispatch(backend, message[0],
+                                                     message[1:])
                 except BlobNotFound:
                     response = bytes([STATUS_MISSING])
                 except CasConflictError as exc:
@@ -364,6 +413,26 @@ class _Handler(socketserver.BaseRequestHandler):
                 _send_message(self.request, response)
             except OSError:
                 return  # client vanished mid-reply; thread stays clean
+
+    @classmethod
+    def _traced_dispatch(cls, backend: StorageServer, opcode: int,
+                         body: bytes) -> bytes:
+        """Strip an optional trace-context block and install it around
+        dispatch so a TracedServer backend parents its spans under the
+        requesting client span."""
+        if not opcode & TRACE_FLAG:
+            return cls._dispatch(backend, opcode, body)
+        if not OP_PUT <= opcode & (TRACE_FLAG - 1) <= OP_BATCH:
+            # Garbage opcode that happens to carry the trace bit: report
+            # it as unknown rather than complaining about the context.
+            raise StorageError(f"unknown opcode {opcode}")
+        ctx, body = decode_trace_context(body)
+        from ..obs.wiretrace import pop_wire_context, push_wire_context
+        token = push_wire_context(ctx)
+        try:
+            return cls._dispatch(backend, opcode & (TRACE_FLAG - 1), body)
+        finally:
+            pop_wire_context(token)
 
     @staticmethod
     def _dispatch(backend: StorageServer, opcode: int,
@@ -458,11 +527,15 @@ class RemoteStorageClient(StorageServer):
     client's view of its own traffic.
     """
 
-    def __init__(self, host: str, port: int, timeout: float = 10.0):
+    def __init__(self, host: str, port: int, timeout: float = 10.0,
+                 trace_context_fn=None):
         super().__init__(name=f"remote-ssp@{host}:{port}")
         self._lock = threading.Lock()
         self._addr = (host, port)
         self._timeout = timeout
+        #: Optional () -> TraceContext | None; when it returns a context
+        #: the request frame carries the 16-byte correlation block.
+        self._trace_context_fn = trace_context_fn
         # Connect eagerly so misconfiguration fails at construction; the
         # socket reconnects lazily after any transient failure.
         self._sock: socket.socket | None = socket.create_connection(
@@ -508,6 +581,16 @@ class RemoteStorageClient(StorageServer):
                 raise TransientStorageError(
                     f"{self.name}: {exc}") from exc
 
+    def _frame(self, opcode: int, fields: bytes) -> bytes:
+        """Request frame; byte-identical to the untraced protocol unless
+        the trace hook supplies a context for this request."""
+        ctx = (self._trace_context_fn()
+               if self._trace_context_fn is not None else None)
+        if ctx is None:
+            return bytes([opcode]) + fields
+        return (bytes([opcode | TRACE_FLAG])
+                + encode_trace_context(ctx) + fields)
+
     @staticmethod
     def _check(response: bytes) -> bytes:
         if not response:
@@ -527,12 +610,12 @@ class RemoteStorageClient(StorageServer):
 
     def put(self, blob_id: BlobId, payload: bytes) -> None:
         self.stats.record_put(blob_id.kind, len(payload))
-        body = bytes([OP_PUT]) + _pack_fields(
-            str(blob_id).encode(), payload)
+        body = self._frame(OP_PUT, _pack_fields(
+            str(blob_id).encode(), payload))
         self._check(self._roundtrip(body))
 
     def get(self, blob_id: BlobId) -> bytes:
-        body = bytes([OP_GET]) + _pack_fields(str(blob_id).encode())
+        body = self._frame(OP_GET, _pack_fields(str(blob_id).encode()))
         try:
             payload = self._check(self._roundtrip(body))
         except BlobNotFound:
@@ -544,11 +627,13 @@ class RemoteStorageClient(StorageServer):
     def delete(self, blob_id: BlobId) -> None:
         # Bytes freed are unknowable through the wire protocol: 0.
         self.stats.record_delete(blob_id.kind)
-        body = bytes([OP_DELETE]) + _pack_fields(str(blob_id).encode())
+        body = self._frame(OP_DELETE,
+                           _pack_fields(str(blob_id).encode()))
         self._check(self._roundtrip(body))
 
     def exists(self, blob_id: BlobId) -> bool:
-        body = bytes([OP_EXISTS]) + _pack_fields(str(blob_id).encode())
+        body = self._frame(OP_EXISTS,
+                           _pack_fields(str(blob_id).encode()))
         payload = self._check(self._roundtrip(body))
         return bool(payload and payload[0])
 
@@ -558,31 +643,31 @@ class RemoteStorageClient(StorageServer):
     def put_if(self, blob_id: BlobId, payload: bytes,
                expected: bytes | None) -> None:
         self.stats.record_put(blob_id.kind, len(payload))
-        body = bytes([OP_PUT_IF]) + _pack_fields(
-            str(blob_id).encode(), _pack_presence(expected), payload)
+        body = self._frame(OP_PUT_IF, _pack_fields(
+            str(blob_id).encode(), _pack_presence(expected), payload))
         self._check(self._roundtrip(body))
 
     def put_fenced(self, blob_id: BlobId, payload: bytes,
                    fence: BlobId, epoch: int) -> None:
         self.stats.record_put(blob_id.kind, len(payload))
-        body = bytes([OP_PUT_FENCED]) + _pack_fields(
+        body = self._frame(OP_PUT_FENCED, _pack_fields(
             str(blob_id).encode(), str(fence).encode(),
-            struct.pack(">Q", epoch), payload)
+            struct.pack(">Q", epoch), payload))
         self._check(self._roundtrip(body))
 
     def delete_fenced(self, blob_id: BlobId,
                       fence: BlobId, epoch: int) -> None:
         self.stats.record_delete(blob_id.kind)
-        body = bytes([OP_DELETE_FENCED]) + _pack_fields(
+        body = self._frame(OP_DELETE_FENCED, _pack_fields(
             str(blob_id).encode(), str(fence).encode(),
-            struct.pack(">Q", epoch))
+            struct.pack(">Q", epoch)))
         self._check(self._roundtrip(body))
 
     def batch(self, ops) -> list[BatchReply]:
         """Ship all sub-ops in one OP_BATCH frame: one round trip."""
         if not ops:
             return []
-        body = bytes([OP_BATCH]) + _encode_batch_request(ops)
+        body = self._frame(OP_BATCH, _encode_batch_request(ops))
         payload = self._check(self._roundtrip(body))
         replies = _decode_batch_reply(payload, len(ops))
         for op, reply in zip(ops, replies):

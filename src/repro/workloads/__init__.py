@@ -10,13 +10,14 @@ from .postmark import (FIG10_CACHE_FRACTIONS, FIG10_IMPLS,
 from .report import (ComparisonRow, fmt_seconds, format_comparison,
                      format_table, overhead_pct)
 from .runner import (IMPLEMENTATIONS, LABELS, OBSERVED_WORKLOADS, BenchEnv,
-                     make_env, run_observed)
+                     make_env, run_observed, run_traced)
 from .trace import (Trace, TraceOp, replay_timed,
                     synthesize_office_trace)
 
 __all__ = [
     "make_env",
     "run_observed",
+    "run_traced",
     "BenchEnv",
     "IMPLEMENTATIONS",
     "LABELS",

@@ -12,6 +12,7 @@ cryptographic designs -- the same methodology as the paper's section V.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 from ..baselines.base import BASELINES, BaselineFilesystem, BaselineVolume
@@ -56,6 +57,12 @@ class BenchEnv:
     #: fault-injecting wrapper clients mount through (chaos benchmarks);
     #: None = clients talk to ``server`` directly.
     _client_server: object = None
+    #: wire-trace propagation on for every client of this environment
+    #: (including the fresh ones workloads mount for cache sweeps).
+    wire_trace: bool = False
+    #: extra tracer sinks attached to every client's tracer (e.g. an
+    #: EventLog's span_sink for ``repro trace --events``).
+    tracer_sinks: tuple = ()
 
     def fresh_client(self, config: ClientConfig | None = None,
                      reset_cost: bool = True
@@ -63,6 +70,8 @@ class BenchEnv:
         """A new client on the same volume (e.g. for cache-size sweeps)."""
         if reset_cost:
             self.cost.reset()
+        if self.wire_trace:
+            config = _traced_config(config)
         if self.impl == "sharoes":
             fs = SharoesFilesystem(self._volume, self.user,
                                    cost_model=self.cost, config=config,
@@ -71,14 +80,27 @@ class BenchEnv:
             fs = BASELINES[self.impl](self._volume, self.user,
                                       cost_model=self.cost, config=config)
         fs.mount()
+        for sink in self.tracer_sinks:
+            fs.tracer.add_sink(sink)
         self.fs = fs
         return fs
+
+
+def _traced_config(config: ClientConfig | None) -> ClientConfig:
+    """Return ``config`` with ``wire_trace=True`` stamped on."""
+    if config is None:
+        return ClientConfig(wire_trace=True)
+    if getattr(config, "wire_trace", False):
+        return config
+    return dataclasses.replace(config, wire_trace=True)
 
 
 def make_env(impl: str, profile: CostProfile = PAPER_2008,
              config: ClientConfig | None = None,
              extra_users: tuple[str, ...] = (),
-             flaky_p: float = 0.0, flaky_seed: int = 0) -> BenchEnv:
+             flaky_p: float = 0.0, flaky_seed: int = 0,
+             wire_trace: bool = False,
+             tracer_sinks: tuple = ()) -> BenchEnv:
     """Build a formatted volume + mounted client for one implementation.
 
     ``flaky_p`` > 0 interposes a transient-fault injector between the
@@ -87,6 +109,11 @@ def make_env(impl: str, profile: CostProfile = PAPER_2008,
     :class:`~repro.storage.resilient.RetryPolicy` unless the config
     already carries one.  Formatting bypasses the injector so every
     environment starts from an intact volume.
+
+    ``wire_trace`` stamps ``ClientConfig.wire_trace`` onto every client
+    of the environment (sharoes only -- baselines have no wire layer to
+    trace, so the flag is a no-op there); ``tracer_sinks`` are attached
+    to every client's tracer.
     """
     if impl not in IMPLEMENTATIONS:
         raise SharoesError(f"unknown implementation {impl!r}; "
@@ -103,6 +130,8 @@ def make_env(impl: str, profile: CostProfile = PAPER_2008,
     server = StorageServer()
     cost = CostModel(profile, SimClock())
     client_server = None
+    if wire_trace and impl == "sharoes":
+        config = _traced_config(config)
 
     if impl == "sharoes":
         volume = SharoesVolume(server, registry)
@@ -126,19 +155,41 @@ def make_env(impl: str, profile: CostProfile = PAPER_2008,
                       admin_key=user.keypair)
         fs = cls(volume, user, cost_model=cost, config=config)
     fs.mount()
+    for sink in tracer_sinks:
+        fs.tracer.add_sink(sink)
     # Formatting happened outside the cost model's view on purpose: the
     # benchmarks measure steady-state operations, not provisioning.
     cost.reset()
     return BenchEnv(impl=impl, user=user, registry=registry, server=server,
                     cost=cost, fs=fs, _volume=volume,
-                    _client_server=client_server)
+                    _client_server=client_server,
+                    wire_trace=wire_trace and impl == "sharoes",
+                    tracer_sinks=tuple(tracer_sinks))
+
+
+def _trace_section(env: BenchEnv) -> dict | None:
+    """Trace-derived BENCH sections from a wire-traced environment.
+
+    ``server``: the TracedServer's phase totals (decode/disk/verify
+    seconds, span and error counts); ``resolve_depth``: the client's
+    per-walk-depth cache attribution.  ``None`` when the (last) client
+    ran without wire tracing.
+    """
+    traced = getattr(env.fs, "traced_server", None)
+    if traced is None:
+        return None
+    return {"server": traced.phase_totals(),
+            "resolve_depth": env.fs.walk_depth_stats()}
 
 
 def run_observed(workload: str, impl: str = "sharoes",
                  profile: CostProfile = PAPER_2008,
                  params: dict | None = None,
                  flaky_p: float = 0.0, flaky_seed: int = 0,
-                 config: "ClientConfig | None" = None):
+                 config: "ClientConfig | None" = None,
+                 wire_trace: bool = False,
+                 tracer_sinks: tuple = (),
+                 _env_out: list | None = None):
     """Run one named workload with full span/metrics capture.
 
     Returns ``(payload, spans)``: the machine-readable ``BENCH_*``
@@ -147,12 +198,20 @@ def run_observed(workload: str, impl: str = "sharoes",
     lazily so plain benchmark runs never pay for harnesses they skip.
     ``config`` overrides the mounted client's configuration (benchmark
     snapshots use it to toggle optional features like readahead).
+
+    ``wire_trace=True`` propagates trace context over the wire and adds
+    a ``trace`` section to the payload (server phase totals + resolve
+    depth attribution).  ``_env_out``, when a list, receives the
+    environment so callers (``run_traced``) can reach the server spans.
     """
     from ..obs.bench import bench_payload, op_report
 
     params = dict(params or {})
     env = make_env(impl, profile=profile, flaky_p=flaky_p,
-                   flaky_seed=flaky_seed, config=config)
+                   flaky_seed=flaky_seed, config=config,
+                   wire_trace=wire_trace, tracer_sinks=tracer_sinks)
+    if _env_out is not None:
+        _env_out.append(env)
     if workload == "postmark":
         from .postmark import run_postmark
         run_postmark(env, **params)
@@ -178,7 +237,34 @@ def run_observed(workload: str, impl: str = "sharoes",
     run_params = dict(params, impl=impl)
     if flaky_p:
         run_params.update(flaky_p=flaky_p, flaky_seed=flaky_seed)
+    if env.wire_trace:
+        run_params["wire_trace"] = True
     payload = bench_payload(
         workload, op_report(spans), registry=env.fs.metrics,
-        cost=env.cost, params=run_params)
+        cost=env.cost, params=run_params,
+        trace=_trace_section(env) if env.wire_trace else None)
     return payload, spans
+
+
+def run_traced(workload: str, impl: str = "sharoes",
+               profile: CostProfile = PAPER_2008,
+               params: dict | None = None,
+               config: "ClientConfig | None" = None):
+    """Run one workload wire-traced and stitch client + server spans.
+
+    Returns ``(payload, roots, orphans, env)``: the BENCH payload (with
+    its ``trace`` section), the stitched span-tree dicts (server spans
+    grafted under the client spans that issued them), any orphan server
+    spans (should be empty -- asserted in tests), and the environment.
+    """
+    from ..obs.wiretrace import stitch
+
+    env_box: list = []
+    payload, spans = run_observed(
+        workload, impl=impl, profile=profile, params=params,
+        config=config, wire_trace=True, _env_out=env_box)
+    env = env_box[0]
+    traced = getattr(env.fs, "traced_server", None)
+    server_spans = list(traced.spans) if traced is not None else []
+    roots, orphans = stitch(spans, server_spans)
+    return payload, roots, orphans, env

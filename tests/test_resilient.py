@@ -435,15 +435,21 @@ class TestObservability:
             transport.backoff_seconds)
         assert transport.backoff_seconds == pytest.approx(0.3)
 
-    def test_retry_spans_emitted(self):
+    def test_attempt_spans_emitted(self):
+        """Every attempt gets a sibling span -- the first included -- so
+        a fault at attempt k leaves k+1 spans, the failures marked."""
         tracer = Tracer()
         transport = ResilientTransport(
             FailNTimes(seeded_backend(), fails=2),
             RetryPolicy(base_delay_s=0.1, jitter=False), tracer=tracer)
         transport.get(BLOB)
-        retry_spans = [s for s in tracer.finished if s.name == "retry"]
-        assert [s.attrs["attempt"] for s in retry_spans] == [2, 3]
-        assert retry_spans[0].attrs["delay"] == pytest.approx(0.1)
+        spans = [s for s in tracer.finished if s.name == "attempt"]
+        assert [s.attrs["attempt"] for s in spans] == [1, 2, 3]
+        assert [s.attrs["delay"] for s in spans] == \
+            pytest.approx([0.0, 0.1, 0.2])
+        assert [s.error for s in spans] == \
+            ["TransientStorageError", "TransientStorageError", None]
+        assert len(spans) == transport.attempts
 
     def test_bind_transport_snapshot(self):
         registry = MetricsRegistry()

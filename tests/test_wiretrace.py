@@ -1,0 +1,281 @@
+"""End-to-end wire tracing: context propagation, server spans, stitching.
+
+The acceptance invariants of the observability PR:
+
+* trace context rides wire frames behind an opcode flag bit and decodes
+  back to the same (trace_id, parent_span_id) pair -- including across a
+  real TCP loopback into a TracedServer backend;
+* a TracedServer's decode/disk/verify self-times partition its wall
+  exactly (synthetic timeline, never the shared clock);
+* a traced andrew run stitches into a single client+server trace tree
+  with zero orphan server spans, and the server's phase totals sum to
+  its wall within 1%;
+* with a retrying transport, server root spans reconcile 1:1 with
+  transport attempts.
+"""
+
+import pytest
+
+from repro.errors import BlobNotFound, StorageError
+from repro.obs.tracing import Span, Tracer
+from repro.obs.wiretrace import (DEFAULT_SERVER_PROFILE, TraceContext,
+                                 TracedServer, stitch)
+from repro.sim.clock import SimClock
+from repro.storage.blobs import data_blob, meta_blob
+from repro.storage.server import StorageServer
+from repro.storage.wire import (OP_BATCH, OP_GET, TRACE_FLAG,
+                                RemoteStorageClient, SspServer,
+                                decode_trace_context, encode_trace_context)
+
+
+class TestTraceContextCodec:
+    def test_roundtrip(self):
+        ctx = TraceContext(trace_id=7, parent_span_id=42)
+        decoded, rest = decode_trace_context(
+            encode_trace_context(ctx) + b"tail")
+        assert decoded == ctx
+        assert rest == b"tail"
+
+    def test_no_parent_roundtrips_as_none(self):
+        decoded, _ = decode_trace_context(
+            encode_trace_context(TraceContext(trace_id=3)))
+        assert decoded.trace_id == 3
+        assert decoded.parent_span_id is None
+
+    def test_truncated_block_rejected(self):
+        with pytest.raises(StorageError):
+            decode_trace_context(b"\x00" * 15)
+
+    def test_frame_unflagged_without_context(self):
+        with SspServer(StorageServer()) as ssp:
+            client = RemoteStorageClient(*ssp.address)
+            frame = client._frame(OP_GET, b"fields")
+        assert frame == bytes([OP_GET]) + b"fields"
+
+    def test_frame_flagged_with_context(self):
+        with SspServer(StorageServer()) as ssp:
+            client = RemoteStorageClient(
+                *ssp.address,
+                trace_context_fn=lambda: TraceContext(9, 1234))
+            frame = client._frame(OP_GET, b"fields")
+        assert frame[0] == OP_GET | TRACE_FLAG
+        ctx, rest = decode_trace_context(frame[1:])
+        assert ctx == TraceContext(9, 1234)
+        assert rest == b"fields"
+
+    def test_flagged_batch_opcode_still_rejected_as_sub_op(self):
+        # A flagged OP_BATCH sub-opcode must not smuggle a nested batch.
+        from repro.storage.wire import _decode_sub_body
+        with pytest.raises(StorageError):
+            _decode_sub_body(OP_BATCH | TRACE_FLAG, b"\x00" * 32)
+
+
+class TestTracedServer:
+    def _traced(self, ctx=None):
+        return TracedServer(StorageServer(), clock=SimClock(),
+                            context_fn=(lambda: ctx) if ctx else None)
+
+    def test_self_costs_partition_wall_exactly(self):
+        traced = self._traced()
+        traced.put(meta_blob(1, "o"), b"m" * 100)
+        traced.get(meta_blob(1, "o"))
+        traced.exists(meta_blob(1, "o"))
+        traced.put_if(data_blob(1, "b0"), b"d" * 64, None)
+        traced.delete(meta_blob(1, "o"))
+        assert len(traced.spans) == 5
+        for root in traced.spans:
+            total = sum(seconds for node in root.walk()
+                        for seconds in node.self_costs.values())
+            assert total == pytest.approx(root.duration, abs=1e-15)
+
+    def test_phase_totals_reconcile(self):
+        traced = self._traced()
+        traced.put(meta_blob(1, "o"), b"payload")
+        traced.get(meta_blob(1, "o"))
+        totals = traced.phase_totals()
+        assert totals["spans"] == 2
+        assert sum(totals["phases"].values()) == pytest.approx(
+            totals["wall"], rel=0.01)
+        assert totals["phases"]["decode"] > 0
+        assert totals["phases"]["disk"] > 0
+
+    def test_failed_lookup_emits_error_span_with_seek_cost(self):
+        traced = self._traced()
+        with pytest.raises(BlobNotFound):
+            traced.get(meta_blob(404, "o"))
+        (root,) = traced.spans
+        assert root.error == "BlobNotFound"
+        costs = {category: seconds for node in root.walk()
+                 for category, seconds in node.self_costs.items()}
+        assert costs["disk"] == DEFAULT_SERVER_PROFILE.disk_fixed_s
+
+    def test_spans_carry_context_and_service_tag(self):
+        traced = self._traced(ctx=TraceContext(11, 77))
+        traced.put(meta_blob(1, "o"), b"x")
+        (root,) = traced.spans
+        assert root.parent_id == 77
+        assert root.attrs["trace_id"] == 11
+        assert root.attrs["service"] == "ssp"
+
+    def test_clock_never_advances(self):
+        clock = SimClock()
+        traced = TracedServer(StorageServer(), clock=clock)
+        before = clock.now
+        traced.put(meta_blob(1, "o"), b"payload" * 100)
+        traced.get(meta_blob(1, "o"))
+        assert clock.now == before
+
+    def test_batch_sub_ops_get_child_spans(self):
+        from repro.storage.server import BatchOp
+        traced = self._traced(ctx=TraceContext(5, 50))
+        ops = [BatchOp("put", meta_blob(1, "o"), payload=b"a" * 10,
+                       ctx=TraceContext(5, 51)),
+               BatchOp("get", meta_blob(1, "o"),
+                       ctx=TraceContext(5, 52))]
+        replies = traced.batch(ops)
+        assert [r.status for r in replies] == ["ok", "ok"]
+        (root,) = traced.spans
+        assert root.name == "server.batch"
+        assert root.attrs["count"] == 2
+        (dispatch,) = [c for c in root.children if c.name == "dispatch"]
+        subs = [c for c in dispatch.children
+                if c.name.startswith("server.")]
+        assert [s.attrs["kind"] for s in subs] == ["put", "get"]
+        assert [s.attrs["client_span_id"] for s in subs] == [51, 52]
+        total = sum(seconds for node in root.walk()
+                    for seconds in node.self_costs.values())
+        assert total == pytest.approx(root.duration, abs=1e-15)
+
+
+class TestStitch:
+    def _client_root(self, tracer):
+        with tracer.span("read_file") as root:
+            with tracer.span("network", op="get"):
+                pass
+        return root
+
+    def test_server_span_grafts_under_issuing_client_span(self):
+        tracer = Tracer()
+        root = self._client_root(tracer)
+        network = root.children[0]
+        server = Span("server.get", 1 << 41, network.span_id, 0.0,
+                      {"service": "ssp", "op": "get"})
+        server.end = 0.001
+        roots, orphans = stitch([root], [server])
+        assert orphans == []
+        stitched_network = roots[0]["children"][0]
+        grafted = stitched_network["children"][-1]
+        assert grafted["name"] == "server.get"
+
+    def test_unmatched_server_span_is_orphaned(self):
+        tracer = Tracer()
+        root = self._client_root(tracer)
+        stray = Span("server.get", 1 << 41, 999_999, 0.0, {})
+        stray.end = 0.001
+        roots, orphans = stitch([root], [stray])
+        assert len(orphans) == 1
+
+    def test_stitch_never_mutates_client_spans(self):
+        tracer = Tracer()
+        root = self._client_root(tracer)
+        network = root.children[0]
+        children_before = len(network.children)
+        server = Span("server.get", 1 << 41, network.span_id, 0.0, {})
+        server.end = 0.001
+        stitch([root], [server])
+        assert len(network.children) == children_before
+
+
+class TestLoopbackTcp:
+    def test_context_propagates_through_wire_handler(self):
+        backend = StorageServer()
+        traced = TracedServer(backend, clock=SimClock())
+        with SspServer(traced) as ssp:
+            host, port = ssp.address
+            client = RemoteStorageClient(
+                host, port,
+                trace_context_fn=lambda: TraceContext(21, 84))
+            client.put(meta_blob(1, "o"), b"over the wire")
+            assert client.get(meta_blob(1, "o")) == b"over the wire"
+        put_span, get_span = list(traced.spans)
+        for span in (put_span, get_span):
+            assert span.parent_id == 84
+            assert span.attrs["trace_id"] == 21
+
+    def test_untraced_client_leaves_spans_unparented(self):
+        traced = TracedServer(StorageServer(), clock=SimClock())
+        with SspServer(traced) as ssp:
+            host, port = ssp.address
+            client = RemoteStorageClient(host, port)
+            client.put(meta_blob(1, "o"), b"plain")
+        (span,) = traced.spans
+        assert span.parent_id is None
+        assert "trace_id" not in span.attrs
+
+
+class TestTracedWorkload:
+    @pytest.fixture(scope="class")
+    def andrew(self):
+        from repro.workloads.runner import run_traced
+        return run_traced("andrew")
+
+    def test_single_stitched_tree_no_orphans(self, andrew):
+        _payload, roots, orphans, env = andrew
+        assert orphans == []
+        server_grafts = 0
+        for root in roots:
+            stack = [root]
+            while stack:
+                doc = stack.pop()
+                if str(doc.get("name", "")).startswith("server."):
+                    server_grafts += 1
+                stack.extend(doc.get("children", ()))
+        assert server_grafts >= len(env.fs.traced_server.spans) > 0
+
+    def test_server_phases_sum_to_wall_within_1pct(self, andrew):
+        payload, _roots, _orphans, _env = andrew
+        server = payload["trace"]["server"]
+        assert sum(server["phases"].values()) == pytest.approx(
+            server["wall"], rel=0.01)
+
+    def test_trace_ids_consistent_across_tree(self, andrew):
+        _payload, _roots, _orphans, env = andrew
+        trace_id = env.fs.tracer.trace_id
+        assert trace_id is not None
+        traced_ids = {span.attrs.get("trace_id")
+                      for span in env.fs.traced_server.spans
+                      if "trace_id" in span.attrs}
+        assert traced_ids == {trace_id}
+
+    def test_resolve_depth_attribution_in_payload(self, andrew):
+        payload, _roots, _orphans, _env = andrew
+        depth = payload["trace"]["resolve_depth"]
+        assert depth, "andrew must produce walk spans"
+        for entry in depth.values():
+            assert entry["walks"] == entry["hits"] + entry["misses"]
+
+
+class TestTransportReconciliation:
+    def test_attempts_equal_server_root_spans(self):
+        from repro.fs.client import ClientConfig, SharoesFilesystem
+        from repro.fs.volume import SharoesVolume
+        from repro.principals.registry import PrincipalRegistry
+        from repro.storage.resilient import RetryPolicy
+
+        registry = PrincipalRegistry()
+        user = registry.create_user("alice")
+        registry.create_group("eng", {"alice"})
+        server = StorageServer()
+        volume = SharoesVolume(server, registry)
+        volume.format(root_owner="alice", root_group="eng")
+        fs = SharoesFilesystem(
+            volume, user,
+            config=ClientConfig(wire_trace=True,
+                                retry_policy=RetryPolicy(jitter=False)))
+        fs.mount()
+        fs.mkdir("/d", mode=0o755)
+        fs.create_file("/d/f.txt", b"contents", mode=0o644)
+        fs.read_file("/d/f.txt")
+        from repro.storage.resilient import ResilientTransport
+        assert isinstance(fs.server, ResilientTransport)
+        assert fs.server.attempts == len(fs.traced_server.spans)
