@@ -21,11 +21,30 @@ def results():
     return create_list_results()
 
 
-def test_report_fig9(results):
-    """Emit the paper-vs-measured table for both phases."""
+@pytest.fixture(scope="module")
+def paper_results(results):
+    """Figure-9 bars under the paper's 2008 prototype model.
+
+    Speculative readahead defaults on since PR 7, which batches the
+    per-child metadata round trips of the list phase -- a win the 2008
+    prototype did not have.  The absolute bar-for-bar match against the
+    published figure therefore pins ``readahead=False`` for SHAROES;
+    the baselines have no readahead to disable.
+    """
+    from repro.fs.client import ClientConfig
+    paper = dict(results)
+    paper["sharoes"] = run_create_and_list(
+        make_env("sharoes", config=ClientConfig(readahead=False)))
+    return paper
+
+
+def test_report_fig9(paper_results):
+    """Emit the paper-vs-measured table for both phases (paper-faithful
+    configuration, so the bars stay comparable to the published figure)."""
     for phase in ("create", "list"):
         rows = [ComparisonRow(LABELS[impl], PAPER_FIG9[impl][phase],
-                              getattr(results[impl], f"{phase}_seconds"))
+                              getattr(paper_results[impl],
+                                      f"{phase}_seconds"))
                 for impl in IMPLEMENTATIONS]
         emit(f"fig9_{phase}",
              format_comparison(f"Figure 9 -- Create-And-List: {phase} "
@@ -52,13 +71,25 @@ class TestShape:
                  / results["no-enc-md-d"].create_seconds)
         assert ratio > 1.10
 
-    def test_sharoes_within_25pct_of_noenc(self, results):
+    def test_sharoes_within_25pct_of_noenc(self, paper_results):
         """Paper: 5-8% overheads; we allow some slack for the larger
         metadata objects our ESIGN keys produce."""
         for phase in ("create_seconds", "list_seconds"):
-            ratio = (getattr(results["sharoes"], phase)
-                     / getattr(results["no-enc-md-d"], phase))
+            ratio = (getattr(paper_results["sharoes"], phase)
+                     / getattr(paper_results["no-enc-md-d"], phase))
             assert 1.0 <= ratio < 1.25
+
+    def test_readahead_beats_noenc_on_list(self, results):
+        """Since PR 7 readahead is on by default: the list phase's
+        per-child stat round trips collapse into batched ``get_many``
+        frames, so SHAROES undercuts even the unencrypted baselines
+        (which pay one round trip per stat).  Create is walk-light --
+        parents stay warm -- so it still tracks the paper's ordering."""
+        assert (results["sharoes"].list_seconds
+                < results["no-enc-md-d"].list_seconds)
+        ratio = (results["sharoes"].create_seconds
+                 / results["no-enc-md-d"].create_seconds)
+        assert 1.0 <= ratio < 1.25
 
     def test_sharoes_beats_both_public_variants(self, results):
         assert (results["sharoes"].list_seconds
@@ -67,11 +98,12 @@ class TestShape:
         assert (results["sharoes"].create_seconds
                 < results["public"].create_seconds)
 
-    def test_absolute_match_within_20pct(self, results):
-        """Measured simulated seconds track the published bars."""
+    def test_absolute_match_within_20pct(self, paper_results):
+        """Measured simulated seconds track the published bars (under
+        the paper-faithful readahead-off configuration for SHAROES)."""
         for impl in IMPLEMENTATIONS:
             for phase in ("create", "list"):
-                measured = getattr(results[impl], f"{phase}_seconds")
+                measured = getattr(paper_results[impl], f"{phase}_seconds")
                 paper = PAPER_FIG9[impl][phase]
                 assert 0.8 < measured / paper < 1.25, (impl, phase)
 

@@ -167,6 +167,15 @@ class BaselineFilesystem:
     def mount(self) -> None:
         """Baselines have no superblock handshake; mount is a no-op hook."""
 
+    def revalidate(self) -> None:
+        """Close-to-open boundary: drop cached metadata and tables.
+
+        Baselines always use the conservative model -- they have no
+        signed versions to pin a verified cache on.
+        """
+        self.cache.invalidate_prefix(("meta",))
+        self.cache.invalidate_prefix(("table",))
+
     def _root(self) -> int:
         if self.volume.root_inode is None:
             raise FilesystemError("volume is not formatted")

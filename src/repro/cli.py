@@ -140,6 +140,22 @@ def _cmd_bench_workload(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_resolve_gates(specs: list[str] | None) -> dict[str, float]:
+    """``["andrew=0.5", ...]`` -> ``{"andrew": 0.5}``."""
+    gates: dict[str, float] = {}
+    for spec in specs or ():
+        workload, sep, ratio = spec.partition("=")
+        if not sep or not workload:
+            raise SystemExit(
+                f"--resolve-gate {spec!r}: expected WORKLOAD=RATIO")
+        try:
+            gates[workload] = float(ratio)
+        except ValueError:
+            raise SystemExit(
+                f"--resolve-gate {spec!r}: {ratio!r} is not a number")
+    return gates
+
+
 def _cmd_bench_diff(args: argparse.Namespace) -> int:
     from .obs.bench import diff_bench, format_diff_table, load_bench
 
@@ -147,7 +163,9 @@ def _cmd_bench_diff(args: argparse.Namespace) -> int:
     diff = diff_bench(load_bench(old_path), load_bench(new_path),
                       wall_tol=args.wall_tol,
                       request_tol=args.request_tol,
-                      phase_tol=args.phase_tol)
+                      phase_tol=args.phase_tol,
+                      resolve_gates=_parse_resolve_gates(
+                          args.resolve_gate))
     print(format_diff_table(
         diff, title=f"bench diff: {old_path} -> {new_path}"))
     for line in diff["regressions"]:
@@ -250,25 +268,47 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Metric prefixes that make up the ``repro stats`` cache section: the
+#: byte-budgeted store, the PR 7 verified metadata cache, the readahead
+#: buffer it shares a coherence surface with, and the resolve walk
+#: hit/miss split those caches feed.
+_CACHE_METRIC_PREFIXES = ("client.cache.", "client.mdcache.",
+                          "client.readahead.", "client.resolve.")
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     from .obs.export import metrics_table, op_table, prometheus_text
     from .obs.metrics import MetricsRegistry
     from .workloads import run_observed
 
+    params = _workload_params(args.workload, args.scale)
+    if args.mdcache:
+        if args.workload != "andrew":
+            print("stats: --mdcache applies to --workload andrew (the "
+                  "other harnesses fix their own client configs)",
+                  file=sys.stderr)
+            return 2
+        params["mdcache"] = True
     payload, _spans = run_observed(
-        args.workload, impl=args.impl,
-        params=_workload_params(args.workload, args.scale),
+        args.workload, impl=args.impl, params=params,
         flaky_p=args.flaky_p, flaky_seed=args.flaky_seed)
     # The run's registry snapshot travels in the payload; rehydrate it
     # as plain gauges so every exporter renders the same numbers.
     registry = MetricsRegistry()
+    cache_registry = MetricsRegistry()
     for name, value in payload["metrics"].items():
         registry.gauge(name).set(value)
+        if name.startswith(_CACHE_METRIC_PREFIXES):
+            cache_registry.gauge(name).set(value)
     if args.format == "prom":
         print(prometheus_text(registry), end="")
         return 0
     print(op_table(payload, title=f"{args.workload} per-operation costs "
                                   f"({args.impl})"))
+    if len(cache_registry.snapshot()):
+        print(metrics_table(cache_registry,
+                            title=f"{args.workload} cache behaviour "
+                                  "(see docs/CACHING.md)"))
     print(metrics_table(registry,
                         title=f"{args.workload} metrics snapshot"))
     return 0
@@ -535,6 +575,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--phase-tol", type=float, default=None,
                    help="gate per-phase seconds too at this relative "
                         "tolerance (default: phases are report-only)")
+    p.add_argument("--resolve-gate", action="append",
+                   metavar="WORKLOAD=RATIO",
+                   help="with --diff: demand NEW resolve seconds <= "
+                        "RATIO x OLD for this workload (repeatable; "
+                        "e.g. andrew=0.5 locks in the PR 7 mdcache "
+                        "win; fails if either side lacks a trace "
+                        "section)")
     p.add_argument("--list", action="store_true",
                    help="print the committed per-PR benchmark "
                         "trajectory from --out-dir and exit")
@@ -553,6 +600,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="seed for fault injection + retry jitter")
     p.add_argument("--format", choices=["table", "prom"], default="table",
                    help="human table (default) or Prometheus text")
+    p.add_argument("--mdcache", action="store_true",
+                   help="mount the verified metadata cache for the run "
+                        "(andrew only) so the client.mdcache.* section "
+                        "is populated -- see docs/CACHING.md")
     p.set_defaults(func=_cmd_stats)
 
     p = sub.add_parser("trace",

@@ -54,6 +54,8 @@ from .cache import LruCache
 from .dirtable import (DIRECT, SPLIT, VIEW_FULL, ZERO, DirEntry,
                        DirPointer, TableView)
 from .freshness import FreshnessMonitor
+from .mdcache import (DIR_WRITE_CAPS, LIST_CAPS, TRAVERSE_CAPS,
+                      VerifiedMetadataCache)
 from .metadata import MetadataAttrs, MetadataView, Stat
 from .permissions import DIRECTORY, FILE, SYMLINK, AclEntry
 from .sealed import bind_context, open_verified, seal_and_sign
@@ -73,12 +75,12 @@ _BATCH_SIZE_BUCKETS = (1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0,
 #: unsendable frame.
 _MAX_PREFETCH = 1024
 
-#: CAP ids that allow traversing a directory (the *nix x bit).
-_TRAVERSE_CAPS = frozenset({"drx", "drwx", "dx"})
-#: CAP ids that allow listing a directory (the *nix r bit).
-_LIST_CAPS = frozenset({"dr", "drx", "drwx"})
-#: CAP ids that allow modifying a directory (w and x bits).
-_DIR_WRITE_CAPS = frozenset({"drwx"})
+# CAP permission sets live in mdcache so the pre-materialized listing
+# verdicts are evaluated against the exact same sets the demand path
+# checks -- a drifted copy would make the fast path lie.
+_TRAVERSE_CAPS = TRAVERSE_CAPS
+_LIST_CAPS = LIST_CAPS
+_DIR_WRITE_CAPS = DIR_WRITE_CAPS
 
 
 @dataclass
@@ -145,11 +147,21 @@ class ClientConfig:
     #: speculative read batching: during a path walk, fetch a cold
     #: component's metadata and directory table in one frame; after
     #: ``readdir``, prefetch the listed children's metadata blobs.
-    #: Default False -- readahead trades bytes for round trips, which
-    #: deliberately departs from the paper's per-op cost tables
-    #: (Figures 8/13); enable it explicitly to reproduce the batched
-    #: BENCH numbers.  Requires ``batching`` and ``metadata_cache``.
-    readahead: bool = False
+    #: Default True (since PR 7): readahead trades bytes for round
+    #: trips, which departs from the paper's 2008 prototype -- pass
+    #: ``readahead=False`` to reproduce the paper's per-op cost tables
+    #: (Figures 8/13) exactly.  Requires ``batching`` and
+    #: ``metadata_cache``.
+    readahead: bool = True
+    #: verified metadata cache + pre-materialized listings: keep
+    #: decrypted, signature-verified metadata/table entries warm across
+    #: close-to-open ``revalidate()`` boundaries, version-pinned against
+    #: the freshness monitor and invalidated by lease-epoch advancement
+    #: -- see fs/mdcache.py and docs/CACHING.md.  Default False
+    #: preserves the strict re-fetch-per-open consistency model the
+    #: paper's benchmarks assume; BENCH_7 enables it for the andrew
+    #: resolve target.  Requires ``metadata_cache``.
+    mdcache: bool = False
     #: how many times a mutation waits out a :class:`LeaseHeldError`
     #: (another client's unexpired lease) before surfacing it.  0
     #: (default) preserves the historical fail-fast behaviour.  Waiting
@@ -305,6 +317,13 @@ class SharoesFilesystem:
         self.agent = UserAgent(user, self.provider)
         self.cache = LruCache(self.config.cache_bytes)
         self.freshness = FreshnessMonitor()
+        #: verified metadata cache: coherence manager over ``cache`` for
+        #: metadata views, tables and pre-materialized listings -- see
+        #: fs/mdcache.py.  None when disabled (the default): close-to-
+        #: open boundaries then drop metadata entries wholesale.
+        self.mdcache = (VerifiedMetadataCache(self.cache, self.freshness)
+                        if self.config.mdcache
+                        and self.config.metadata_cache else None)
         #: optional fork-consistency log (see enable_consistency_log)
         self.consistency = None
         #: SSP requests issued by this client (batched puts count once).
@@ -322,6 +341,10 @@ class SharoesFilesystem:
             cost_model.tracer = self.tracer
             bind_cost_model(self.metrics, cost_model)
         bind_cache_stats(self.metrics, self.cache)
+        if self.mdcache is not None:
+            self.metrics.register_source(
+                "client.mdcache", self.mdcache.snapshot,
+                help="verified metadata cache coherence counters")
         bind_crypto_counters(self.metrics, self.provider)
         bind_server_stats(self.metrics, volume.server)
         self.metrics.gauge("client.requests",
@@ -828,6 +851,11 @@ class SharoesFilesystem:
                 self._journal_write("commit")
             except StorageError:
                 pass
+            # The successor rolled our intent forward and may have kept
+            # writing under its lease: every inode this mutation fenced
+            # is now suspect, so cached views of it must not be served.
+            for inode in list(self._fences):
+                self._invalidate(inode)
             self._forget_fences()
             self.metrics.counter(
                 "lease.lost",
@@ -1132,16 +1160,50 @@ class SharoesFilesystem:
 
     # ------------------------------------------------------------------ fetch
 
+    def _was_degraded(self, blob_id: BlobId) -> bool:
+        """Did the transport serve this blob from its stale fallback?
+
+        A degraded last-known-good read still verifies (it is validly
+        signed old bytes), but caching its decrypted view would let the
+        outage outlive itself: the entry would keep serving the stale
+        state long after the SSP healed.  Degraded payloads are used
+        once and never cached -- see docs/CACHING.md.
+        """
+        stale_ids = getattr(self.server, "stale_blob_ids", None)
+        if stale_ids is None or blob_id not in stale_ids:
+            return False
+        self.metrics.counter(
+            "client.cache.degraded_skips",
+            help="verified payloads not cached: served degraded").inc()
+        if self.mdcache is not None:
+            self.mdcache.degraded_skips += 1
+        return True
+
+    def _cached_view(self, inode: int, selector: str) -> MetadataView | None:
+        if not self.config.metadata_cache:
+            return None
+        if self.mdcache is not None:
+            return self.mdcache.get_view(inode, selector)
+        return self.cache.get(("meta", inode, selector))
+
+    def _cache_view(self, inode: int, selector: str, view: MetadataView,
+                    size_bytes: int) -> None:
+        if not self.config.metadata_cache:
+            return
+        if self.mdcache is not None:
+            self.mdcache.put_view(inode, selector, view, size_bytes)
+        else:
+            self.cache.put(("meta", inode, selector), view, size_bytes)
+
     def _fetch_view(self, inode: int, selector: str, mek: bytes,
                     mvk: esign.VerificationKey) -> MetadataView:
-        key = ("meta", inode, selector)
-        if self.config.metadata_cache:
-            cached = self.cache.get(key)
-            if cached is not None:
-                with self.tracer.span("cache", hit=True, kind="meta"):
-                    return cached
+        cached = self._cached_view(inode, selector)
+        if cached is not None:
+            with self.tracer.span("cache", hit=True, kind="meta"):
+                return cached
+        blob_id = meta_blob(inode, selector)
         try:
-            blob = self._get(meta_blob(inode, selector))
+            blob = self._get(blob_id)
         except BlobNotFound:
             raise PermissionDenied(
                 f"inode {inode}: no metadata replica for your permissions"
@@ -1154,8 +1216,8 @@ class SharoesFilesystem:
                 inode, view.attrs.version, self._attrs_digest(view.attrs))
         if self.consistency is not None:
             self.consistency.observe(inode, view.attrs.version)
-        if self.config.metadata_cache:
-            self.cache.put(key, view, len(blob))
+        if not self._was_degraded(blob_id):
+            self._cache_view(inode, selector, view, len(blob))
         return view
 
     @staticmethod
@@ -1168,36 +1230,72 @@ class SharoesFilesystem:
         attrs.to_writer(writer)
         return writer.getvalue()
 
+    def _cached_table(self, inode: int, selector: str) -> TableView | None:
+        if not self.config.metadata_cache:
+            return None
+        if self.mdcache is not None:
+            return self.mdcache.get_table(inode, selector)
+        return self.cache.get(("table", inode, selector))
+
+    def _cache_table(self, inode: int, selector: str, view: TableView,
+                     size_bytes: int) -> None:
+        if not self.config.metadata_cache:
+            return
+        if self.mdcache is not None:
+            self.mdcache.put_table(inode, selector, view, size_bytes)
+        else:
+            self.cache.put(("table", inode, selector), view, size_bytes)
+
     def _fetch_table(self, node: ResolvedNode) -> TableView:
         if node.attrs.ftype != DIRECTORY:
             raise NotADirectory(f"inode {node.inode} is not a directory")
-        key = ("table", node.inode, node.selector)
-        if self.config.metadata_cache:
-            cached = self.cache.get(key)
-            if cached is not None:
-                with self.tracer.span("cache", hit=True, kind="table"):
-                    return cached
+        cached = self._cached_table(node.inode, node.selector)
+        if cached is not None:
+            with self.tracer.span("cache", hit=True, kind="table"):
+                return cached
         dek = node.view.require_dek()
         dvk = node.view.require_dvk()
-        blob = self._get(table_blob_id(node.inode, node.selector))
+        blob_id = table_blob_id(node.inode, node.selector)
+        blob = self._get(blob_id)
         with self.tracer.span("crypto", op="open_table"):
             payload = open_verified(
                 self.provider, dek, dvk,
                 bind_context("table", node.inode, node.selector), blob)
         view = TableView.from_bytes(payload)
-        if self.config.metadata_cache:
-            self.cache.put(key, view, len(blob))
+        if not self._was_degraded(blob_id):
+            self._cache_table(node.inode, node.selector, view, len(blob))
         return view
 
     def _invalidate(self, inode: int) -> None:
+        if self.mdcache is not None:
+            self.mdcache.invalidate_inode(inode)
+            return
         self.cache.invalidate_prefix(("meta", inode))
         self.cache.invalidate_prefix(("table", inode))
+        self.cache.invalidate_prefix(("listing", inode))
         self.cache.invalidate_prefix(("data", inode))
         # Raw readahead buffers are keyed by blob id, not inode, so they
         # cannot be invalidated per-inode; drop them all.  Invalidation
         # means "another client may have written here" -- stale
         # speculative bytes are exactly what must not survive that.
         self.cache.invalidate_prefix(("raw",))
+
+    def revalidate(self) -> None:
+        """Close-to-open consistency boundary.
+
+        Without the verified metadata cache this is the paper-faithful
+        conservative drop: forget every cached metadata view and
+        directory table so the next open re-fetches and re-verifies.
+        With ``ClientConfig(mdcache=True)`` the entries stay warm --
+        they are version-pinned and every staleness event invalidates
+        through :meth:`_invalidate` -- so the boundary costs nothing.
+        """
+        if self.mdcache is not None:
+            self.mdcache.revalidate()
+            return
+        self.cache.invalidate_prefix(("meta",))
+        self.cache.invalidate_prefix(("table",))
+        self.cache.invalidate_prefix(("listing",))
 
     # ------------------------------------------------------------------ resolve
 
@@ -1418,6 +1516,18 @@ class SharoesFilesystem:
         node = self._resolve(path)
         if node.attrs.ftype != DIRECTORY:
             raise NotADirectory(path)
+        if self.mdcache is not None:
+            listing = self.mdcache.get_listing(node.inode, node.selector)
+            if listing is not None and listing.cap_id == node.cap_id:
+                # Pre-materialized fast path: the permission verdict and
+                # the name tuple were both evaluated when the listing was
+                # built from a verified table -- O(1), zero round trips.
+                with self.tracer.span("cache", hit=True, kind="listing"):
+                    if not listing.can_list:
+                        raise PermissionDenied(
+                            f"{path}: listing requires read permission "
+                            f"(CAP {node.cap_id})")
+                    return list(listing.names)
         if node.cap_id not in _LIST_CAPS:
             raise PermissionDenied(
                 f"{path}: listing requires read permission "
@@ -1425,7 +1535,11 @@ class SharoesFilesystem:
         table = self._fetch_table(node)
         if self._readahead_on():
             self._prefetch_children(table)
-        return table.list_names()
+        names = table.list_names()
+        if self.mdcache is not None:
+            self.mdcache.put_listing(node.inode, node.selector, table,
+                                     node.cap_id)
+        return names
 
     @traced("access")
     def access(self, path: str, want: str) -> bool:
@@ -1462,8 +1576,9 @@ class SharoesFilesystem:
                     plain = self.cache.get(cache_key)
                     cspan.attrs["hit"] = plain is not None
             if plain is None:
+                blob_id = block_blob_id(node.inode, index)
                 try:
-                    blob = self._get(block_blob_id(node.inode, index))
+                    blob = self._get(blob_id)
                 except BlobNotFound:
                     if index == 0:
                         return b"", []  # empty file: no blocks at all
@@ -1474,7 +1589,8 @@ class SharoesFilesystem:
                 with self.tracer.span("crypto", op="decrypt_block"):
                     plain = open_verified(self.provider, dek, dvk,
                                           context, blob)
-                if self.config.data_cache:
+                if self.config.data_cache and not self._was_degraded(
+                        blob_id):
                     self.cache.put(cache_key, plain, len(plain))
             if index == 0:
                 total = int.from_bytes(plain[:4], "big")
@@ -1665,10 +1781,8 @@ class SharoesFilesystem:
             blob = seal_and_sign(self.provider, dek, record.dsk, context,
                                  view.to_bytes())
             blobs.append((table_blob_id(attrs.inode, selector), blob))
-            if (self.config.metadata_cache and selector
-                    == self.volume.scheme.owner_selector(attrs)):
-                self.cache.put(("table", attrs.inode, selector), view,
-                               len(blob))
+            if selector == self.volume.scheme.owner_selector(attrs):
+                self._cache_table(attrs.inode, selector, view, len(blob))
         self._put_many(blobs)
 
     def _entry_for_selector(self, parent_attrs: MetadataAttrs,
@@ -1709,10 +1823,8 @@ class SharoesFilesystem:
                 raise PermissionDenied(
                     f"inode {parent.inode}: missing table key for "
                     f"{selector!r}")
-            cache_key = ("table", attrs.inode, selector)
             context = bind_context("table", attrs.inode, selector)
-            view = (self.cache.get(cache_key)
-                    if self.config.metadata_cache else None)
+            view = self._cached_table(attrs.inode, selector)
             if view is None:
                 blob = self._get(table_blob_id(attrs.inode, selector))
                 payload = open_verified(self.provider, dek,
@@ -1724,10 +1836,10 @@ class SharoesFilesystem:
                                      view.to_bytes())
             outgoing.append((table_blob_id(attrs.inode, selector),
                              new_blob))
-            if self.config.metadata_cache:
-                # Write-through: the client just produced this view, no
-                # need to re-fetch and re-verify its own write.
-                self.cache.put(cache_key, view, len(new_blob))
+            # Write-through: the client just produced this view, no
+            # need to re-fetch and re-verify its own write.  Under the
+            # verified cache this also drops the directory's listing.
+            self._cache_table(attrs.inode, selector, view, len(new_blob))
         self._put_many(outgoing)
 
     def _write_lockboxes(self, record: ObjectRecord) -> None:
@@ -1767,8 +1879,8 @@ class SharoesFilesystem:
             owner_selector = scheme.owner_selector(attrs)
             cap = scheme.cap_for_selector(attrs, owner_selector)
             view = record.view_for(owner_selector, cap, True)
-            self.cache.put(("meta", inode, owner_selector), view,
-                           len(view.to_bytes()))
+            self._cache_view(inode, owner_selector, view,
+                             len(view.to_bytes()))
 
         split_seen = False
 

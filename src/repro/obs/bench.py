@@ -135,10 +135,24 @@ def _request_count(payload: dict[str, Any]) -> float | None:
     return None
 
 
+def _resolve_seconds(payload: dict[str, Any]) -> float | None:
+    """Total path-resolution seconds from the schema-v2 ``trace``
+    section (summed over walk depths); None for untraced documents."""
+    trace = payload.get("trace")
+    if not trace:
+        return None
+    depths = trace.get("resolve_depth")
+    if not depths:
+        return None
+    return sum(float(d.get("seconds", 0.0)) for d in depths.values())
+
+
 def diff_bench(old: dict[str, dict[str, Any]],
                new: dict[str, dict[str, Any]],
                wall_tol: float = 0.02, request_tol: float = 0.0,
-               phase_tol: float | None = None) -> dict[str, Any]:
+               phase_tol: float | None = None,
+               resolve_gates: dict[str, float] | None = None
+               ) -> dict[str, Any]:
     """Compare two loaded BENCH documents; flag regressions.
 
     Gating signals, per workload present in both documents:
@@ -151,7 +165,13 @@ def diff_bench(old: dict[str, dict[str, Any]],
       deterministic here, so drift is always a real change);
     * **phases** -- per-phase seconds deltas are always *reported*, but
       only gate when ``phase_tol`` is set (phase mix shifts around
-      legitimately as optimisations move cost between buckets).
+      legitimately as optimisations move cost between buckets);
+    * **resolve** -- ``resolve_gates={"andrew": 0.5}`` demands the new
+      run's path-resolution seconds (trace section, summed over walk
+      depths) be at most that fraction of the old run's -- an
+      *improvement* floor, not a tolerance.  A gated workload missing
+      resolve attribution on either side fails loud rather than
+      silently passing (PR 7: the mdcache win must stay locked in).
 
     Workloads present in only one document are reported as added or
     removed; a removed workload is flagged (a shrinking benchmark
@@ -209,6 +229,25 @@ def diff_bench(old: dict[str, dict[str, Any]],
                     f"{name}: phase {phase} {before:.3f}s -> "
                     f"{after:.3f}s (> {phase_tol * 100:.1f}%)")
         row["phase_deltas"] = phase_deltas
+        if resolve_gates and name in resolve_gates:
+            ratio = resolve_gates[name]
+            old_res = _resolve_seconds(old[name])
+            new_res = _resolve_seconds(new[name])
+            if old_res is None or new_res is None:
+                row["status"] = "regressed"
+                regressions.append(
+                    f"{name}: resolve gate x{ratio:g} set but "
+                    f"{'old' if old_res is None else 'new'} document "
+                    "has no resolve attribution (trace section)")
+            else:
+                row["resolve_old"] = round(old_res, 6)
+                row["resolve_new"] = round(new_res, 6)
+                if new_res > ratio * old_res:
+                    row["status"] = "regressed"
+                    regressions.append(
+                        f"{name}: resolve {old_res:.3f}s -> "
+                        f"{new_res:.3f}s (> x{ratio:g} floor "
+                        f"= {ratio * old_res:.3f}s)")
         rows.append(row)
     return {"rows": rows, "regressions": regressions,
             "ok": not regressions}
@@ -220,15 +259,20 @@ def format_diff_table(diff: dict[str, Any],
     rows = []
     for row in diff["rows"]:
         if row.get("status") in ("added", "removed"):
-            rows.append([row["workload"], row["status"], "-", "-", "-"])
+            rows.append([row["workload"], row["status"], "-", "-", "-",
+                         "-"])
             continue
         requests = ("-" if "requests_new" not in row else
                     f"{row['requests_old']} -> {row['requests_new']}")
+        resolve = ("-" if "resolve_new" not in row else
+                   f"{row['resolve_old']:.3f} -> {row['resolve_new']:.3f}")
         rows.append([row["workload"], row["status"],
                      f"{row['wall_old']:.3f} -> {row['wall_new']:.3f}",
-                     f"{row['wall_delta'] * 100:+.2f}%", requests])
+                     f"{row['wall_delta'] * 100:+.2f}%", requests,
+                     resolve])
     return format_table(title, ["workload", "status", "wall s",
-                                "wall delta", "requests"], rows)
+                                "wall delta", "requests", "resolve s"],
+                        rows)
 
 
 def bench_trajectory(results_dir: str | pathlib.Path) -> list[dict]:

@@ -99,3 +99,60 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "ERRORS FOUND" in out
         assert "integrity:" in out
+
+
+class TestBenchDiffResolveGate:
+    """``repro bench --diff --resolve-gate WORKLOAD=RATIO`` (PR 7)."""
+
+    @staticmethod
+    def _bench_doc(path, resolve_s, wall=100.0, requests=50):
+        doc = {"schema": 2, "name": "andrew", "params": {}, "ops": {},
+               "totals": {"spans": 1, "seconds": wall, "phases": {}},
+               "cost_model": {"total": wall},
+               "metrics": {"client.requests": requests}}
+        if resolve_s is not None:
+            doc["trace"] = {"resolve_depth": {
+                "0": {"walks": 10, "hits": 9, "misses": 1,
+                      "seconds": resolve_s}}}
+        path.write_text(json.dumps(doc))
+        return str(path)
+
+    def test_gate_passes_on_halved_resolve(self, capsys, tmp_path):
+        old = self._bench_doc(tmp_path / "old.json", resolve_s=50.0)
+        new = self._bench_doc(tmp_path / "new.json", resolve_s=20.0)
+        assert main(["bench", "--diff", old, new,
+                     "--resolve-gate", "andrew=0.5"]) == 0
+        assert "50.000 -> 20.000" in capsys.readouterr().out
+
+    def test_gate_fails_above_floor(self, capsys, tmp_path):
+        old = self._bench_doc(tmp_path / "old.json", resolve_s=50.0)
+        new = self._bench_doc(tmp_path / "new.json", resolve_s=30.0)
+        assert main(["bench", "--diff", old, new,
+                     "--resolve-gate", "andrew=0.5"]) == 1
+        assert "resolve 50.000s -> 30.000s" in capsys.readouterr().err
+
+    def test_gate_fails_loud_without_attribution(self, capsys, tmp_path):
+        old = self._bench_doc(tmp_path / "old.json", resolve_s=None)
+        new = self._bench_doc(tmp_path / "new.json", resolve_s=20.0)
+        assert main(["bench", "--diff", old, new,
+                     "--resolve-gate", "andrew=0.5"]) == 1
+        assert "no resolve attribution" in capsys.readouterr().err
+
+    def test_ungated_workloads_unaffected(self, tmp_path):
+        old = self._bench_doc(tmp_path / "old.json", resolve_s=50.0)
+        new = self._bench_doc(tmp_path / "new.json", resolve_s=50.0)
+        assert main(["bench", "--diff", old, new]) == 0
+
+    def test_bad_gate_spec_rejected(self, tmp_path):
+        old = self._bench_doc(tmp_path / "old.json", resolve_s=1.0)
+        with pytest.raises(SystemExit, match="WORKLOAD=RATIO"):
+            main(["bench", "--diff", old, old,
+                  "--resolve-gate", "andrew"])
+        with pytest.raises(SystemExit, match="not a number"):
+            main(["bench", "--diff", old, old,
+                  "--resolve-gate", "andrew=fast"])
+
+    def test_stats_mdcache_rejected_off_andrew(self, capsys):
+        assert main(["stats", "--workload", "office",
+                     "--mdcache"]) == 2
+        assert "andrew" in capsys.readouterr().err

@@ -421,6 +421,84 @@ class TestDegradedReads:
             transport.get(BLOB)
 
 
+# -- degraded reads x client caches (PR 7 regression) -------------------------
+
+
+class TestDegradedCacheInteraction:
+    """A last-known-good payload is served once and never cached.
+
+    If the client cached the decrypted view of a degraded blob, the
+    outage would outlive itself: the stale entry would keep serving old
+    state long after the SSP healed.  The client checks the transport's
+    ``stale_blob_ids`` ledger before every cache fill -- both the legacy
+    metadata/data caches and the PR 7 verified metadata cache.
+    """
+
+    def _mounted(self, volume, registry, mdcache: bool):
+        from repro.fs.client import ClientConfig, SharoesFilesystem
+        gate = FailNTimes(volume.server, fails=0)
+        # Huge breaker threshold: degradation comes purely from retry
+        # exhaustion.  (An *open* breaker also serves stale, but its
+        # cooldown runs on the host clock here, which would leave the
+        # healed reads below still rejected.)
+        config = ClientConfig(
+            mdcache=mdcache,
+            retry_policy=RetryPolicy(max_attempts=2, base_delay_s=0.0,
+                                     breaker_threshold=10**9))
+        fs = SharoesFilesystem(volume, registry.user("alice"),
+                               config=config, server=gate)
+        fs.mount()
+        return fs, gate
+
+    @pytest.mark.parametrize("mdcache", [False, True],
+                             ids=["legacy-cache", "mdcache"])
+    def test_degraded_payloads_never_populate_caches(self, volume,
+                                                     registry, mdcache):
+        fs, gate = self._mounted(volume, registry, mdcache)
+        fs.mkdir("/deg")
+        fs.mknod("/deg/f", mode=0o644)
+        fs.write_file("/deg/f", b"survives the outage")
+
+        fs.cache.clear()  # cold client caches; transport fallback warm
+        gate.remaining = 10**9  # SSP goes dark
+
+        assert fs.read_file("/deg/f") == b"survives the outage"
+        first_wave = fs.server.degraded_reads
+        assert first_wave > 0
+        skips = fs.metrics.snapshot()["client.cache.degraded_skips"]
+        assert skips > 0
+        if mdcache:
+            assert fs.mdcache.degraded_skips == skips
+
+        # Nothing was cached: a second dark read crosses the transport
+        # for every blob again instead of hitting a poisoned cache.
+        assert fs.read_file("/deg/f") == b"survives the outage"
+        assert fs.server.degraded_reads >= 2 * first_wave
+
+        # SSP heals: the fresh fetch repopulates the caches normally...
+        gate.remaining = 0
+        assert fs.read_file("/deg/f") == b"survives the outage"
+        assert not fs.server.stale_blob_ids
+        # ...so a warm read needs no transport attempts at all.
+        attempts = fs.server.attempts
+        assert fs.read_file("/deg/f") == b"survives the outage"
+        assert fs.server.attempts == attempts
+
+    def test_degraded_read_still_verifies(self, volume, registry):
+        """Degradation weakens availability, never integrity: the stale
+        payload is validly signed old bytes, decrypted and verified on
+        the normal path."""
+        fs, gate = self._mounted(volume, registry, mdcache=True)
+        fs.mkdir("/v")
+        fs.mknod("/v/f", mode=0o600)
+        fs.write_file("/v/f", b"signed")
+        fs.cache.clear()
+        gate.remaining = 10**9
+        attrs = fs.getattr("/v/f")
+        assert attrs.mode & 0o777 == 0o600
+        assert fs.read_file("/v/f") == b"signed"
+
+
 # -- observability wiring -----------------------------------------------------
 
 

@@ -53,12 +53,13 @@ class TestCreateListSmall:
         sharoes = results["sharoes"]
         public = results["public"]
         pubopt = results["pub-opt"]
-        # List phase: PUBLIC >> PUB-OPT > SHAROES >= baseline.
+        # List phase: PUBLIC >> PUB-OPT > SHAROES.
         assert public.list_seconds > 5 * pubopt.list_seconds
         assert pubopt.list_seconds > 1.5 * sharoes.list_seconds
-        assert sharoes.list_seconds >= baseline.list_seconds
-        # SHAROES stays within ~25% of the unencrypted baseline.
-        assert sharoes.list_seconds < 1.25 * baseline.list_seconds
+        # Since PR 7 readahead is on by default, so SHAROES batches the
+        # per-child metadata round trips the baselines still pay one at
+        # a time -- it now beats the unencrypted comparators on list.
+        assert sharoes.list_seconds < baseline.list_seconds
         # Create phase: PUBLIC most expensive.
         assert public.create_seconds > sharoes.create_seconds
         assert public.create_seconds > baseline.create_seconds
