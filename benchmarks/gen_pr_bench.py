@@ -31,6 +31,18 @@ the andrew entry mounts the verified metadata cache
 revalidation keeps entries warm instead of dropping them, which is what
 collapses the resolve seconds the CI gate now locks in at <= 50% of the
 BENCH_6 baseline (``--resolve-gate andrew=0.5``).
+
+PR 8 note: ``mdcache`` is the client default now, so every entry runs
+with it (the andrew param is kept so its recorded params stay
+comparable).  A fifth entry, ``postmark_sharded``, runs postmark on a
+``ShardedServer`` (shards=4, replicas=2) and records the
+**replication-overhead column**: physical backend requests/bytes across
+every shard vs the logical single-SSP view the client sees.  The wall
+seconds and request counts the ``repro bench --diff`` gate reads are
+the client-side (logical) numbers, identical to an unsharded run by
+construction (the kill-any-shard differential in tests/test_shards.py
+is the proof); the replication section makes the k-way write
+amplification visible instead of letting it hide in the backends.
 """
 
 from __future__ import annotations
@@ -42,35 +54,66 @@ from pathlib import Path
 from repro.fs.client import ClientConfig
 from repro.workloads.runner import run_observed
 
-PR = 7
+PR = 8
 
-#: (workload, params, config overrides recorded in the entry's params)
+#: (entry name, workload, params, config overrides recorded in params)
 RUNS = (
-    ("andrew", {"mdcache": True}, {}),
-    ("createlist", {"files": 100, "dirs": 5}, {"readahead": True}),
-    ("office", {}, {}),
-    ("postmark", {"files": 100, "transactions": 100}, {}),
+    ("andrew", "andrew", {"mdcache": True}, {}),
+    ("createlist", "createlist", {"files": 100, "dirs": 5},
+     {"readahead": True}),
+    ("office", "office", {}, {}),
+    ("postmark", "postmark", {"files": 100, "transactions": 100}, {}),
+    ("postmark_sharded", "postmark",
+     {"files": 100, "transactions": 100}, {"shards": 4, "replicas": 2}),
 )
+
+
+def _replication_section(server) -> dict:
+    """Physical-vs-logical replication overhead for a sharded run."""
+    logical_requests = (server.stats.puts + server.stats.gets
+                        + server.stats.deletes)
+    logical_bytes = sum(len(p) for p in server.raw_blobs().values())
+    physical_requests = server.physical_requests()
+    physical_bytes = server.physical_bytes()
+    return {
+        "shards": len(server.shards),
+        "replicas": server.replicas,
+        "logical_requests": logical_requests,
+        "physical_requests": physical_requests,
+        "request_amplification": (physical_requests / logical_requests
+                                  if logical_requests else 0.0),
+        "logical_bytes": logical_bytes,
+        "physical_bytes": physical_bytes,
+        "byte_amplification": (physical_bytes / logical_bytes
+                               if logical_bytes else 0.0),
+    }
 
 
 def main(out_dir: str = "benchmarks/results") -> int:
     workloads = {}
-    for name, params, overrides in RUNS:
+    for entry, name, params, overrides in RUNS:
         config = ClientConfig(**overrides) if overrides else None
+        env_out: list = []
         payload, _spans = run_observed(name, params=params, config=config,
-                                       wire_trace=True)
+                                       wire_trace=True, _env_out=env_out)
         payload["params"].update(overrides)
-        workloads[name] = payload
-        print(f"{name}: requests="
+        if overrides.get("shards"):
+            payload["replication"] = _replication_section(
+                env_out[0].server)
+        workloads[entry] = payload
+        print(f"{entry}: requests="
               f"{payload['metrics'].get('client.requests')}")
     doc = {
         "pr": PR,
         "description": ("per-PR performance snapshot: standard "
                         "workloads, default scale, sharoes impl, "
-                        "default ClientConfig (batching and readahead "
-                        "on; andrew mounts the verified metadata cache, "
-                        "see params); runs are wire-traced, adding the "
-                        "schema-v2 trace section at zero simulated "
+                        "default ClientConfig (batching, readahead and "
+                        "the verified metadata cache all on); "
+                        "postmark_sharded runs on a 4-shard/2-replica "
+                        "ShardedServer and records the replication-"
+                        "overhead column (physical vs logical "
+                        "requests/bytes); runs are wire-traced, adding "
+                        "the schema-v2 trace section at zero simulated "
                         "cost"),
         "workloads": workloads,
     }

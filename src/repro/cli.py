@@ -129,10 +129,16 @@ def _cmd_bench_workload(args: argparse.Namespace) -> int:
     from .obs.export import op_table
     from .workloads import run_observed
 
+    config = None
+    if args.shards:
+        from .fs.client import ClientConfig
+        config = ClientConfig(shards=args.shards,
+                              replicas=args.replicas)
     payload, _spans = run_observed(
         args.workload, impl=args.impl,
         params=_workload_params(args.workload, args.scale),
-        flaky_p=args.flaky_p, flaky_seed=args.flaky_seed)
+        flaky_p=args.flaky_p, flaky_seed=args.flaky_seed,
+        config=config)
     print(op_table(payload, title=f"{args.workload} per-operation costs "
                                   f"({args.impl})"))
     path = write_bench_json(payload, args.out_dir)
@@ -526,6 +532,100 @@ def _cmd_interleave(args: argparse.Namespace) -> int:
     return 0 if all(o.consistent for o in outcomes) else 1
 
 
+def _cmd_shard_repair(args: argparse.Namespace) -> int:
+    """Demo: lose a shard mid-workload, bring it back, anti-entropy."""
+    from .crypto.provider import CryptoProvider
+    from .fs.client import SharoesFilesystem
+    from .fs.volume import SharoesVolume
+    from .principals.groups import GroupKeyService
+    from .principals.registry import PrincipalRegistry
+    from .storage.shards import ShardedServer
+    from .tools.fsck import VolumeAuditor
+
+    registry = PrincipalRegistry()
+    alice = registry.create_user("alice", key_bits=512)
+    registry.create_group("eng", {"alice"}, key_bits=512)
+    server = ShardedServer(shards=args.shards, replicas=args.replicas)
+    volume = SharoesVolume(server, registry)
+    volume.format(root_owner="alice", root_group="eng")
+    GroupKeyService(registry, server, CryptoProvider()).publish_all()
+    fs = SharoesFilesystem(volume, alice)
+    fs.mount()
+    fs.mkdir("/docs", mode=0o755)
+    for i in range(args.files // 2):
+        fs.create_file(f"/docs/pre{i}.txt", f"before outage {i}".encode())
+    down = args.down % args.shards
+    server.outage(down)
+    print(f"shard {down} of {args.shards} down "
+          f"(replicas={args.replicas}); workload continues:")
+    for i in range(args.files - args.files // 2):
+        fs.create_file(f"/docs/post{i}.txt", f"during outage {i}".encode())
+    gaps = server.under_replicated()
+    print(f"  {len(gaps)} blobs under-replicated while it was out")
+    server.clear_wrappers()
+    print(f"shard {down} back; running anti-entropy:")
+    report = server.repair()
+    if not report.fully_replicated:
+        report = server.repair()
+    print(f"  {report.summary()}")
+    for blob_id in report.remaining:
+        print(f"  still pending: {blob_id}")
+    audit = VolumeAuditor(volume).audit()
+    print(f"post-repair audit: {audit.summary()}")
+    snap = server.shard_snapshot()
+    print(f"reads: {snap['reads.failover']:.0f} failovers, "
+          f"{snap['reads.quorum']:.0f} quorum; writes: "
+          f"{snap['writes.partial']:.0f} partial")
+    return 0 if (report.fully_replicated and audit.clean
+                 and not server.under_replicated()) else 1
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from .tools.campaign import (DEFAULT_SCENARIOS, Campaign,
+                                 campaign_table)
+    from .tools.interleave import MODES, build_cases
+
+    campaign = Campaign(seed=args.seed, shards=args.shards,
+                        replicas=args.replicas,
+                        read_quorum=args.read_quorum,
+                        flaky_p=args.flaky_p)
+    modes = MODES
+    if args.modes:
+        wanted = tuple(args.modes.split(","))
+        if set(wanted) - set(MODES):
+            print(f"unknown modes: {sorted(set(wanted) - set(MODES))}; "
+                  f"choose from {list(MODES)}")
+            return 2
+        modes = wanted
+    cases = build_cases(campaign.payloads)
+    if args.cases:
+        wanted_cases = set(args.cases.split(","))
+        known = {c.name for c in cases}
+        if wanted_cases - known:
+            print(f"unknown cases: {sorted(wanted_cases - known)}; "
+                  f"choose from {sorted(known)}")
+            return 2
+        cases = [c for c in cases if c.name in wanted_cases]
+    scenarios = DEFAULT_SCENARIOS
+    if args.scenarios:
+        wanted_sc = set(args.scenarios.split(","))
+        known = {s.name for s in DEFAULT_SCENARIOS}
+        if wanted_sc - known:
+            print(f"unknown scenarios: {sorted(wanted_sc - known)}; "
+                  f"choose from {sorted(known)}")
+            return 2
+        scenarios = tuple(s for s in DEFAULT_SCENARIOS
+                          if s.name in wanted_sc)
+    report = campaign.run(modes, cases, scenarios)
+    table = campaign_table(report)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(table + "\n")
+        print(f"wrote {args.out}")
+    print(table)
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="sharoes-repro",
@@ -560,6 +660,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "probability (with --workload; sharoes only)")
     p.add_argument("--flaky-seed", type=int, default=0,
                    help="seed for fault injection + retry jitter")
+    p.add_argument("--shards", type=int, default=0,
+                   help="run --workload over a sharded multi-SSP "
+                        "backend of this many servers (sharoes only; "
+                        "0 = the paper's single SSP)")
+    p.add_argument("--replicas", type=int, default=2,
+                   help="replicas per blob with --shards (default 2)")
     p.add_argument("--out-dir", default="benchmarks/results",
                    help="directory for BENCH_*.json "
                         "(default benchmarks/results)")
@@ -685,6 +791,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cases", help="comma-separated case subset")
     p.add_argument("--out", help="also write the outcomes table here")
     p.set_defaults(func=_cmd_interleave)
+
+    p = sub.add_parser("shard-repair",
+                       help="demo: lose one shard of a replicated "
+                            "multi-SSP volume mid-workload, bring it "
+                            "back, and anti-entropy-repair to full "
+                            "replication")
+    p.add_argument("--shards", type=int, default=4)
+    p.add_argument("--replicas", type=int, default=2)
+    p.add_argument("--down", type=int, default=0,
+                   help="which shard suffers the outage (default 0)")
+    p.add_argument("--files", type=int, default=12,
+                   help="files created across the outage (default 12)")
+    p.set_defaults(func=_cmd_shard_repair)
+
+    p = sub.add_parser("campaign",
+                       help="composed adversarial campaign: the "
+                            "interleaving matrix over a sharded "
+                            "backend with outage/flaky/rollback/"
+                            "tamper shards armed per cell")
+    p.add_argument("--seed", type=int, default=0,
+                   help="fixes payloads and fault draws (outcomes "
+                        "deterministic per seed)")
+    p.add_argument("--shards", type=int, default=4)
+    p.add_argument("--replicas", type=int, default=3)
+    p.add_argument("--read-quorum", type=int, default=2)
+    p.add_argument("--flaky-p", type=float, default=0.1,
+                   help="per-request failure rate of the flaky shard")
+    p.add_argument("--modes",
+                   help="comma-separated subset of "
+                        "sequential,preempt,crash,zombie (default all)")
+    p.add_argument("--cases", help="comma-separated case subset")
+    p.add_argument("--scenarios",
+                   help="comma-separated subset of outage+flaky,"
+                        "rollback,tamper (default all)")
+    p.add_argument("--out", help="also write the campaign table here")
+    p.set_defaults(func=_cmd_campaign)
     return parser
 
 

@@ -157,11 +157,12 @@ class ClientConfig:
     #: decrypted, signature-verified metadata/table entries warm across
     #: close-to-open ``revalidate()`` boundaries, version-pinned against
     #: the freshness monitor and invalidated by lease-epoch advancement
-    #: -- see fs/mdcache.py and docs/CACHING.md.  Default False
-    #: preserves the strict re-fetch-per-open consistency model the
-    #: paper's benchmarks assume; BENCH_7 enables it for the andrew
-    #: resolve target.  Requires ``metadata_cache``.
-    mdcache: bool = False
+    #: -- see fs/mdcache.py and docs/CACHING.md.  Default True (since
+    #: PR 8, after soaking behind BENCH_7's andrew resolve gate and the
+    #: coherence matrix): pass ``mdcache=False`` for the paper's strict
+    #: re-fetch-per-open consistency model (the ablation path the
+    #: paper-faithful workload pins use).  Requires ``metadata_cache``.
+    mdcache: bool = True
     #: how many times a mutation waits out a :class:`LeaseHeldError`
     #: (another client's unexpired lease) before surfacing it.  0
     #: (default) preserves the historical fail-fast behaviour.  Waiting
@@ -178,6 +179,20 @@ class ClientConfig:
     #: trace tree -- see docs/OBSERVABILITY.md.  Zero simulated cost and
     #: byte-identical wire frames when False.
     wire_trace: bool = False
+    #: sharded multi-SSP backend: ``shards > 0`` makes environment
+    #: builders (``make_env``) replace the single StorageServer with a
+    #: :class:`~repro.storage.shards.ShardedServer` of that many backend
+    #: SSPs, each blob consistently hashed to ``replicas`` of them --
+    #: see docs/ROBUSTNESS.md "Sharding & replication".  0 (default)
+    #: keeps the paper's single-SSP testbed.  The client itself is
+    #: oblivious (the sharded server presents the StorageServer
+    #: interface); these knobs live here so benchmark configs carry the
+    #: whole stack description.
+    shards: int = 0
+    #: replicas per blob when ``shards > 0`` (k-way replication; writes
+    #: fan out to all k, reads are served by the first live replica and
+    #: quorum-checked on disagreement).
+    replicas: int = 2
 
 
 @dataclass
@@ -347,6 +362,11 @@ class SharoesFilesystem:
                 help="verified metadata cache coherence counters")
         bind_crypto_counters(self.metrics, self.provider)
         bind_server_stats(self.metrics, volume.server)
+        if hasattr(volume.server, "shard_snapshot"):
+            self.metrics.register_source(
+                "shard", volume.server.shard_snapshot,
+                help="sharded backend: quorum reads, divergence, "
+                     "repair debt and per-shard breaker state")
         self.metrics.gauge("client.requests",
                            help="SSP requests issued by this client",
                            fn=lambda: self.request_count)
@@ -393,8 +413,12 @@ class SharoesFilesystem:
             policy = getattr(volume, "retry_policy", None)
         if policy is not None:
             from ..storage.resilient import ResilientTransport
-            self.server = ResilientTransport(raw, policy, cost=cost_model,
-                                             tracer=self.tracer)
+            # The breaker cooldown must elapse on the same simulated
+            # clock the rest of the system advances: prefer the cost
+            # model's, else the volume-level clock shared across clients.
+            self.server = ResilientTransport(
+                raw, policy, cost=cost_model, tracer=self.tracer,
+                clock=getattr(volume, "clock", None))
             bind_transport(self.metrics, self.server)
         else:
             self.server = raw

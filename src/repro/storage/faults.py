@@ -2,45 +2,59 @@
 
 The paper's threat model (section VII) trusts the SSP to faithfully
 store/retrieve data but not with confidentiality or access control; a
-malicious SSP can still tamper, roll back, or fail requests.  These wrappers
-simulate those behaviours so the test suite can assert that every one is
-*detected* by client-side verification (the deterrent the paper pairs with
-SLA penalties).
+malicious SSP can still tamper, roll back, or fail requests.  These
+injectors simulate those behaviours so the test suite can assert that
+every one is *detected* by client-side verification (the deterrent the
+paper pairs with SLA penalties).
 
-All three subclass :class:`~repro.storage.server.StorageServer` and
-override the single-op methods, which is exactly how the base class's
-``batch()`` applies sub-ops -- so a malicious SSP tampers, rolls back,
-or fails *inside* an ``OP_BATCH`` frame with no extra code, and the
-batched-read paths inherit the same detection guarantees (asserted by
-the batch fuzz/chaos suites).
+All three are delegating :class:`~repro.storage.resilient.ServerWrapper`
+decorators, so they compose with any backend -- a plain in-memory
+server, a disk store, a remote proxy, or one shard of a
+:class:`~repro.storage.shards.ShardedServer` -- and with each other,
+unambiguously.  Constructed without an ``inner`` they own a fresh
+:class:`~repro.storage.server.StorageServer`, which preserves the old
+standalone usage (``TamperingServer()`` is a complete malicious SSP).
+The wrapper base routes ``batch()`` through the instance's own
+single-op methods, so a malicious SSP tampers, rolls back, or fails
+*inside* an ``OP_BATCH`` frame with no extra code, and the batched-read
+paths inherit the same detection guarantees (asserted by the batch
+fuzz/chaos suites).
+
+:class:`FlakyServer` here is the transient-fault injector from
+:mod:`repro.storage.resilient` specialised to its historical contract:
+one ``failure_rate`` knob covering ``put``/``get`` only (the ops the
+original standalone class failed), adjustable after construction.
 """
 
 from __future__ import annotations
 
-import random
 from typing import Callable
 
-from ..errors import TransientStorageError
 from .blobs import BlobId
+from .resilient import FlakyServer as _WrappedFlakyServer
+from .resilient import ServerWrapper
 from .server import StorageServer
 
 
-class TamperingServer(StorageServer):
+class TamperingServer(ServerWrapper):
     """Flips a bit of selected blobs on the way out.
 
-    ``should_tamper`` picks victim blobs; by default every get is tampered.
+    ``should_tamper`` picks victim blobs; by default every get is
+    tampered.
     """
 
     def __init__(self, name: str = "evil-ssp",
                  should_tamper: Callable[[BlobId], bool] | None = None,
-                 bit_index: int = 0):
-        super().__init__(name)
+                 bit_index: int = 0,
+                 inner: StorageServer | None = None):
+        super().__init__(inner if inner is not None
+                         else StorageServer(name), name)
         self._should_tamper = should_tamper or (lambda blob_id: True)
         self._bit_index = bit_index
         self.tamper_count = 0
 
     def get(self, blob_id: BlobId) -> bytes:
-        payload = super().get(blob_id)
+        payload = self.inner.get(blob_id)
         if not self._should_tamper(blob_id) or not payload:
             return payload
         self.tamper_count += 1
@@ -50,7 +64,7 @@ class TamperingServer(StorageServer):
         return bytes(corrupted)
 
 
-class RollbackServer(StorageServer):
+class RollbackServer(ServerWrapper):
     """Serves the *first* version ever written for selected blobs.
 
     Models a rollback attack: the SSP pretends later updates never
@@ -60,48 +74,62 @@ class RollbackServer(StorageServer):
     """
 
     def __init__(self, name: str = "rollback-ssp",
-                 should_rollback: Callable[[BlobId], bool] | None = None):
-        super().__init__(name)
+                 should_rollback: Callable[[BlobId], bool] | None = None,
+                 inner: StorageServer | None = None):
+        super().__init__(inner if inner is not None
+                         else StorageServer(name), name)
         self._should_rollback = should_rollback or (lambda blob_id: True)
         self._first_version: dict[BlobId, bytes] = {}
 
-    def put(self, blob_id: BlobId, payload: bytes) -> None:
+    def _remember_first(self, blob_id: BlobId, payload: bytes) -> None:
         self._first_version.setdefault(blob_id, bytes(payload))
-        super().put(blob_id, payload)
+
+    def put(self, blob_id: BlobId, payload: bytes) -> None:
+        self._remember_first(blob_id, payload)
+        self.inner.put(blob_id, payload)
+
+    def put_if(self, blob_id: BlobId, payload: bytes,
+               expected: bytes | None) -> None:
+        self.inner.put_if(blob_id, payload, expected)
+        self._remember_first(blob_id, payload)
+
+    def put_fenced(self, blob_id: BlobId, payload: bytes,
+                   fence: BlobId, epoch: int) -> None:
+        self.inner.put_fenced(blob_id, payload, fence, epoch)
+        self._remember_first(blob_id, payload)
 
     def get(self, blob_id: BlobId) -> bytes:
-        payload = super().get(blob_id)
+        payload = self.inner.get(blob_id)
         if self._should_rollback(blob_id):
             return self._first_version.get(blob_id, payload)
         return payload
 
 
-class FlakyServer(StorageServer):
-    """Fails a fraction of requests with :class:`TransientStorageError`.
+class FlakyServer(_WrappedFlakyServer):
+    """Fails a fraction of ``put``/``get`` requests, adjustably.
 
-    Deterministic given the seed, so tests can replay failure sequences.
-    A standalone in-memory flaky SSP; the delegating wrapper variant
-    (composable with any backend) lives in
-    :mod:`repro.storage.resilient`.
+    The historical standalone flaky SSP, now a thin specialisation of
+    the composable wrapper in :mod:`repro.storage.resilient` (one
+    implementation, two construction styles).  ``_failure_rate`` stays
+    writable after construction -- provisioning code turns failures off
+    while formatting a volume, then back on.
     """
 
-    def __init__(self, name: str = "flaky-ssp", failure_rate: float = 0.1,
-                 seed: int = 0):
-        super().__init__(name)
-        if not 0.0 <= failure_rate <= 1.0:
+    def __init__(self, name: str = "flaky-ssp",
+                 failure_rate: float = 0.1, seed: int = 0,
+                 inner: StorageServer | None = None):
+        if not isinstance(failure_rate, dict):
+            failure_rate = {"put": failure_rate, "get": failure_rate}
+        super().__init__(inner if inner is not None
+                         else StorageServer(name),
+                         failure_rate=failure_rate, seed=seed, name=name)
+
+    @property
+    def _failure_rate(self) -> float:
+        return self.rates["put"]
+
+    @_failure_rate.setter
+    def _failure_rate(self, rate: float) -> None:
+        if not 0.0 <= rate <= 1.0:
             raise ValueError("failure_rate must be within [0, 1]")
-        self._failure_rate = failure_rate
-        self._rng = random.Random(seed)
-
-    def _maybe_fail(self, action: str, blob_id: BlobId) -> None:
-        if self._rng.random() < self._failure_rate:
-            raise TransientStorageError(
-                f"{self.name}: injected {action} failure for {blob_id}")
-
-    def put(self, blob_id: BlobId, payload: bytes) -> None:
-        self._maybe_fail("put", blob_id)
-        super().put(blob_id, payload)
-
-    def get(self, blob_id: BlobId) -> bytes:
-        self._maybe_fail("get", blob_id)
-        return super().get(blob_id)
+        self.rates = dict(self.rates, put=rate, get=rate)

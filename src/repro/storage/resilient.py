@@ -430,11 +430,25 @@ class ResilientTransport(ServerWrapper):
     def __init__(self, inner: StorageServer,
                  policy: RetryPolicy | None = None,
                  cost: CostModel | None = None, tracer=None,
-                 name: str | None = None):
+                 name: str | None = None,
+                 clock: SimClock | None = None):
         super().__init__(inner, name or f"resilient({inner.name})")
         self.policy = policy or RetryPolicy()
         self._cost = cost
-        self._clock = cost.clock if cost is not None else SimClock()
+        # Breaker cooldowns and backoff must elapse on *one* simulated
+        # clock.  A cost model's clock always wins (backoff is charged
+        # through it); without a cost model, callers that share a clock
+        # (the client's volume clock, the sharded router, tests) pass it
+        # explicitly.  The old behaviour -- a private SimClock only this
+        # transport's own backoff ever advanced -- meant an open breaker
+        # could never cool down however much simulated time the rest of
+        # the system spent.
+        if cost is not None:
+            self._clock = cost.clock
+        elif clock is not None:
+            self._clock = clock
+        else:
+            self._clock = SimClock()
         self._tracer = tracer
         self._rng = random.Random(self.policy.seed)
         self._fallback = LruCache(self.policy.fallback_cache_bytes

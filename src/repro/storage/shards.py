@@ -1,0 +1,969 @@
+"""Sharded multi-SSP backend: consistent hashing + k-way replication.
+
+One SSP process is a single point of failure.  The paper's untrusted-SSP
+model makes removing it trust-free: integrity, confidentiality and
+fencing all hold *per blob* at the client, so blobs can spread over any
+number of storage servers that need no mutual trust (ROADMAP item 2;
+UPSS layers the same encrypted-block-store abstraction over multiple
+backends).
+
+:class:`ShardedServer` presents the exact
+:class:`~repro.storage.server.StorageServer` interface while routing
+each blob by consistent hashing on ``(inode, selector)`` -- the
+selector is a CAP id or hashed principal, so placement leaks nothing
+the blob id did not already leak -- to one of N backend shards:
+
+* every mutation (``put``/``put_if``/``put_fenced``/``delete``...)
+  is applied to **k replica shards** (the k distinct ring successors);
+  the op succeeds once any live replica applied it, and the missed
+  replicas are remembered as *suspect* so their stale copies are never
+  served and anti-entropy can re-replicate later;
+* reads are served from the **nearest live replica** (first in ring
+  preference order) and fail over through the remaining replicas on
+  transient faults, open breakers, or a ``missing`` answer (one replica
+  not holding a blob is under-replication, not authority that the blob
+  is absent); a ``read_quorum`` > 1 additionally cross-checks copies so
+  a divergent (tampered / rolled-back) replica is outvoted and flagged,
+  never served;
+* **lease blobs are replicated to every shard** and lease reads take
+  the highest fencing epoch across live copies, so the epoch chain
+  stays monotone for every client no matter which shards are up: a
+  fenced write is pre-gated on the *maximum* live epoch before any
+  replica applies it, every replica re-checks its own copy, and a
+  fence rejection from any replica overrides an accept from a lagging
+  one;
+* each shard sits behind its own
+  :class:`~repro.storage.resilient.ResilientTransport` (breaker
+  cooldowns on the shared simulated clock), so a sick shard trips only
+  its own breaker and the volume degrades to quorum operation;
+* ``OP_BATCH`` frames are **fanned out per shard** in one
+  scatter-gather round: mutations replicate into each target shard's
+  sub-frame, reads ride their primary's sub-frame with single-op
+  failover, ``put_if`` sub-ops are ordering barriers resolved through
+  the quorum CAS, and the per-shard
+  :meth:`ResilientTransport.batch` partial-retry applies unchanged
+  below the fan-out.
+
+The router itself holds no keys and verifies nothing -- like the SSPs
+behind it, it is untrusted; what quorum does and does not defend
+against is spelled out in ``docs/THREAT_MODEL.md``.
+
+Anti-entropy (:meth:`ShardedServer.repair`) walks the same census
+fsck's orphan scan sees -- the union of every shard's ``raw_blobs`` --
+and restores full replication: re-replicates winners over missing or
+suspect copies, applies pending deletes, and drops misplaced copies.
+``repro shard-repair`` runs the pass from the CLI; ``repro campaign``
+composes shard outages with the fault/crash/zombie adversaries into
+one seeded run (see :mod:`repro.tools.campaign`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Sequence
+
+from ..errors import (BlobNotFound, CasConflictError, StaleEpochError,
+                      TransientStorageError)
+from ..sim.clock import SimClock
+from .accounting import ServerStats
+from .blobs import LEASE, BlobId
+from .resilient import (_BREAKER_GAUGE, OutageServer, ResilientTransport,
+                        RetryPolicy)
+from .server import (BatchOp, BatchReply, StorageServer, apply_batch,
+                     fence_epoch)
+
+#: Default per-shard transport policy: fail over fast (the *replicas*
+#: are the retry story, not backoff), zero delay so the shared clock is
+#: never perturbed, and a per-shard breaker whose cooldown elapses as
+#: workload time advances.
+SHARD_POLICY = RetryPolicy(max_attempts=2, base_delay_s=0.0,
+                           max_delay_s=0.0, deadline_s=0.0, jitter=False,
+                           breaker_threshold=4, breaker_cooldown_s=10.0,
+                           cache_fallback=False)
+
+#: Virtual nodes per shard on the hash ring (evens out placement).
+_VNODES = 64
+
+
+def _ring_hash(key: str) -> int:
+    """Stable 64-bit ring position (placement only, not security)."""
+    return int.from_bytes(hashlib.sha256(key.encode()).digest()[:8],
+                          "big")
+
+
+class ShardOutageServer(OutageServer):
+    """A whole-shard outage window: the "kill one shard" scenario.
+
+    Plain :class:`OutageServer` semantics on one shard's backend, plus
+    the shard index for reporting.  ``end_s=float("inf")`` models a
+    shard that never comes back.
+    """
+
+    def __init__(self, inner: StorageServer, clock: SimClock,
+                 shard_index: int, start_s: float = 0.0,
+                 end_s: float = float("inf")):
+        super().__init__(inner, clock, start_s, end_s,
+                         name=f"shard{shard_index}-outage")
+        self.shard_index = shard_index
+
+
+@dataclass
+class Shard:
+    """One backend SSP slot: the raw store, an optional fault wrapper,
+    and the per-shard resilient transport every data-plane call goes
+    through."""
+
+    index: int
+    backend: StorageServer
+    wrapped: StorageServer
+    transport: ResilientTransport
+
+
+@dataclass
+class ShardRepairReport:
+    """What one anti-entropy pass did (``repro shard-repair``)."""
+
+    scanned: int = 0
+    re_replicated: int = 0      # missing copies restored from the winner
+    healed_divergent: int = 0   # suspect/divergent copies overwritten
+    deletes_applied: int = 0    # pending tombstones finally applied
+    dropped_misplaced: int = 0  # copies on shards outside the placement
+    unreachable: int = 0        # repairs skipped: target shard down
+    #: blob ids still under-replicated after the pass (down shards).
+    remaining: list = field(default_factory=list)
+
+    @property
+    def fully_replicated(self) -> bool:
+        return not self.remaining
+
+    def summary(self) -> str:
+        state = ("fully replicated" if self.fully_replicated else
+                 f"{len(self.remaining)} blob(s) still under-replicated")
+        return (f"shard-repair: scanned {self.scanned} blobs, "
+                f"re-replicated {self.re_replicated}, healed "
+                f"{self.healed_divergent} divergent, applied "
+                f"{self.deletes_applied} pending deletes, dropped "
+                f"{self.dropped_misplaced} misplaced, "
+                f"{self.unreachable} unreachable -> {state}")
+
+
+class ShardedServer:
+    """N-shard, k-replica storage router with the StorageServer API."""
+
+    def __init__(self, shards: int = 4, replicas: int = 2,
+                 policy: RetryPolicy | None = None,
+                 clock: SimClock | None = None,
+                 read_quorum: int = 1,
+                 backends: Sequence[StorageServer] | None = None,
+                 name: str = "sharded-ssp"):
+        if backends is not None:
+            backends = list(backends)
+            shards = len(backends)
+        if shards < 1:
+            raise ValueError("need at least one shard")
+        if not 1 <= replicas <= shards:
+            raise ValueError("need 1 <= replicas <= shards")
+        if not 1 <= read_quorum <= replicas:
+            raise ValueError("need 1 <= read_quorum <= replicas")
+        self.name = name
+        self.replicas = replicas
+        self.read_quorum = read_quorum
+        self.clock = clock if clock is not None else SimClock()
+        self._policy = policy or SHARD_POLICY
+        #: logical op stats: one record per *client* op, matching what a
+        #: single StorageServer would count (the per-shard backends
+        #: carry the amplified replica traffic; see physical_requests).
+        self.stats = ServerStats()
+        self.shards: list[Shard] = []
+        for i in range(shards):
+            backend = (backends[i] if backends is not None
+                       else StorageServer(name=f"{name}-{i}"))
+            self.shards.append(Shard(
+                index=i, backend=backend, wrapped=backend,
+                transport=self._make_transport(i, backend)))
+        #: hash ring: sorted (position, shard index) virtual nodes.
+        self._ring = sorted(
+            (_ring_hash(f"shard-{i}/vnode-{v}"), i)
+            for i in range(shards) for v in range(_VNODES))
+        #: suspect copies: blob -> shard indices whose copy missed a
+        #: mutation (or lost a quorum vote) and must not be served.
+        self._suspect: dict[BlobId, set[int]] = {}
+        #: pending deletes: blob -> shard indices that still hold bytes
+        #: for a logically-deleted blob (tombstones so a returning shard
+        #: cannot resurrect it through reads or anti-entropy).
+        self._deleted: dict[BlobId, set[int]] = {}
+        # shard.* counters (exported via shard_snapshot)
+        self.failovers = 0          # reads served by a non-first replica
+        self.suspect_serves = 0     # reads forced onto a suspect copy
+        self.quorum_reads = 0       # reads that cross-checked copies
+        self.divergent = 0          # divergence events detected
+        self.ties = 0               # unresolvable value ties (see _vote)
+        self.outvoted = 0           # minority copies flagged by quorum
+        self.partial_writes = 0     # mutations that missed >= 1 replica
+        self.failed_ops = 0         # ops with zero live replicas
+        self.repairs = 0            # anti-entropy copies restored
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _make_transport(self, index: int,
+                        inner: StorageServer) -> ResilientTransport:
+        return ResilientTransport(inner, self._policy, clock=self.clock,
+                                  name=f"shard{index}")
+
+    def wrap_shard(self, index: int,
+                   factory: Callable[[StorageServer], StorageServer]
+                   ) -> StorageServer:
+        """Interpose a fault wrapper under shard ``index``'s transport.
+
+        ``factory`` receives the shard's raw backend and returns the
+        wrapper (outage, flaky, tampering, rollback...).  The shard's
+        transport is rebuilt over it, resetting breaker state, so
+        adversarial campaigns can re-arm scenarios per cell.
+        """
+        shard = self.shards[index]
+        shard.wrapped = factory(shard.backend)
+        shard.transport = self._make_transport(index, shard.wrapped)
+        return shard.wrapped
+
+    def clear_wrappers(self) -> None:
+        """Remove every fault wrapper (shards heal; breakers reset)."""
+        for shard in self.shards:
+            shard.wrapped = shard.backend
+            shard.transport = self._make_transport(shard.index,
+                                                   shard.backend)
+
+    def outage(self, index: int, start_s: float = 0.0,
+               end_s: float = float("inf")) -> ShardOutageServer:
+        """Arm a :class:`ShardOutageServer` window on one shard."""
+        return self.wrap_shard(
+            index, lambda backend: ShardOutageServer(
+                backend, self.clock, index, start_s, end_s))
+
+    def placement(self, blob_id: BlobId) -> tuple[int, ...]:
+        """Replica shard indices for one blob, preference-ordered.
+
+        Lease blobs land on **every** shard: each shard then fences
+        locally against its own copy and a lease read takes the max
+        epoch across live copies, keeping the chain monotone through
+        any outage.
+        """
+        if blob_id.kind == LEASE:
+            return tuple(range(len(self.shards)))
+        point = _ring_hash(f"{blob_id.inode}:{blob_id.selector}")
+        ring, n = self._ring, len(self._ring)
+        lo, hi = 0, n
+        while lo < hi:  # bisect for the first vnode at/after the point
+            mid = (lo + hi) // 2
+            if ring[mid][0] < point:
+                lo = mid + 1
+            else:
+                hi = mid
+        targets: list[int] = []
+        i = lo
+        while len(targets) < self.replicas:
+            shard = ring[i % n][1]
+            if shard not in targets:
+                targets.append(shard)
+            i += 1
+        return tuple(targets)
+
+    def _is_suspect(self, blob_id: BlobId, shard: int) -> bool:
+        return (shard in self._suspect.get(blob_id, ())
+                or shard in self._deleted.get(blob_id, ()))
+
+    def _mark_suspect(self, blob_id: BlobId, shard: int) -> None:
+        self._suspect.setdefault(blob_id, set()).add(shard)
+
+    def _clear_suspect(self, blob_id: BlobId, shard: int) -> None:
+        marks = self._suspect.get(blob_id)
+        if marks is not None:
+            marks.discard(shard)
+            if not marks:
+                del self._suspect[blob_id]
+
+    # -- reads ---------------------------------------------------------------
+
+    def _collect(self, blob_id: BlobId, targets: Sequence[int],
+                 want: int) -> tuple[dict[int, bytes | None], int]:
+        """Fetch copies from up to ``want`` *trusted* live replicas.
+
+        Returns ``(copies, down)``: ``copies`` maps shard index to
+        payload (None = that replica answered "missing"), ``down``
+        counts replicas that failed transiently.  Suspect copies are
+        never consulted here.
+        """
+        copies: dict[int, bytes | None] = {}
+        down = 0
+        for shard_index in targets:
+            if len(copies) >= want:
+                break
+            if self._is_suspect(blob_id, shard_index):
+                continue
+            try:
+                copies[shard_index] = \
+                    self.shards[shard_index].transport.get(blob_id)
+            except BlobNotFound:
+                copies[shard_index] = None
+            except TransientStorageError:
+                down += 1
+        return copies, down
+
+    def _vote(self, blob_id: BlobId, copies: dict[int, bytes | None],
+              order: Sequence[int]) -> bytes | None:
+        """Pick the winning copy and flag disagreeing copies suspect.
+
+        Lease blobs win by fencing epoch (highest -- a lagging replica
+        must never regress the chain).  Everything else wins by
+        majority value, and the outvoted minority is flagged suspect
+        and queued for repair.  A present copy always beats an absent
+        one: an absent copy is a missed write, not evidence of deletion
+        (deletes are gated by the tombstone ledger before this point).
+        A strict value tie (possible only at even replication against
+        an adversary -- honest missed writes are already in the suspect
+        ledger) cannot be arbitrated by an untrusted router: it is
+        counted ``divergent``/``ties``, *neither* side is marked
+        suspect, the preference-first copy is served, and the client's
+        own signature/freshness verification is the backstop (see
+        docs/THREAT_MODEL.md).
+        """
+        values = list(copies.values())
+        if len(set(values)) <= 1:
+            return values[0] if values else None
+        self.divergent += 1
+        present = {s: v for s, v in copies.items() if v is not None}
+        if blob_id.kind == LEASE:
+            winner = max(present.values(), key=fence_epoch)
+        else:
+            tally: dict[bytes, int] = {}
+            for v in present.values():
+                tally[v] = tally.get(v, 0) + 1
+            best = max(tally.values())
+            majority = {v for v, n in tally.items() if n == best}
+            winner = next(present[s] for s in order
+                          if present.get(s) in majority)
+            if len(majority) > 1:
+                self.ties += 1
+                # Absent copies are still a missed write; flag those.
+                for shard_index, value in copies.items():
+                    if value is None:
+                        self._mark_suspect(blob_id, shard_index)
+                return winner
+        for shard_index, value in copies.items():
+            if value != winner:
+                self.outvoted += 1
+                self._mark_suspect(blob_id, shard_index)
+        return winner
+
+    def _read(self, blob_id: BlobId) -> bytes | None:
+        """Winner bytes for one blob (None = missing everywhere)."""
+        targets = self.placement(blob_id)
+        order = [s for s in targets if not self._is_suspect(blob_id, s)]
+        # Lease reads always consult every live copy: the max-epoch
+        # rule is what keeps fencing monotone across shard outages.
+        want = (len(order) if blob_id.kind == LEASE
+                else max(self.read_quorum, 1))
+        copies, down = self._collect(blob_id, order, want)
+        if len(set(copies.values())) > 1 or (
+                copies and set(copies.values()) == {None}):
+            # Disagreement, or every consulted replica says missing
+            # (one replica's miss is under-replication, not authority):
+            # widen to every remaining trusted replica so the vote runs
+            # over the full replica set before anything is judged.
+            rest = [s for s in order if s not in copies]
+            if rest:
+                more, more_down = self._collect(blob_id, rest, len(rest))
+                down += more_down
+                copies.update(more)
+        winner = self._vote(blob_id, copies, order) if copies else None
+        if len(copies) > 1:
+            self.quorum_reads += 1
+        if copies:
+            # A None winner here is authoritative absence: the widen
+            # step above consulted *every* live trusted replica, and a
+            # replica that merely missed the write sits in the suspect
+            # ledger (flagged at write time), not in this vote.  A down
+            # shard therefore cannot be hiding the only good copy.
+            if winner is not None and order and \
+                    next(iter(copies)) != order[0]:
+                self.failovers += 1
+            return winner
+        # No trusted replica reachable; as a last resort serve a
+        # suspect copy (the client's own verification is the backstop)
+        # rather than fail a read the data could still answer.
+        for shard_index in [s for s in targets
+                            if s in self._suspect.get(blob_id, set())]:
+            try:
+                payload = self.shards[shard_index].transport.get(blob_id)
+            except BlobNotFound:
+                return None
+            except TransientStorageError:
+                continue
+            self.suspect_serves += 1
+            return payload
+        self.failed_ops += 1
+        raise TransientStorageError(
+            f"{self.name}: no live replica for get {blob_id} "
+            f"(shards {targets})")
+
+    def get(self, blob_id: BlobId) -> bytes:
+        payload = self._read(blob_id)
+        if payload is None:
+            self.stats.record_miss()
+            raise BlobNotFound(str(blob_id))
+        self.stats.record_get(blob_id.kind, len(payload))
+        return payload
+
+    def exists(self, blob_id: BlobId) -> bool:
+        return self._read(blob_id) is not None
+
+    # -- mutations -----------------------------------------------------------
+
+    def _fan_out(self, op: str, blob_id: BlobId,
+                 call: Callable[[ResilientTransport], None]
+                 ) -> tuple[list[int], list[int]]:
+        """Apply one mutation to every replica; succeed on >= 1 live.
+
+        Returns ``(applied, missed)`` shard indices.  Missed replicas
+        hold a stale copy now -- the caller flags them suspect and
+        anti-entropy restores them.  Terminal storage answers (CAS
+        conflict, stale epoch) propagate immediately: they are protocol
+        outcomes, not shard failures; replicas that already applied are
+        flagged suspect so the skew cannot be served.
+        """
+        targets = self.placement(blob_id)
+        applied: list[int] = []
+        missed: list[int] = []
+        for shard_index in targets:
+            try:
+                call(self.shards[shard_index].transport)
+                applied.append(shard_index)
+            except TransientStorageError:
+                missed.append(shard_index)
+            except (CasConflictError, StaleEpochError):
+                for done in applied:
+                    self._mark_suspect(blob_id, done)
+                raise
+        if not applied:
+            self.failed_ops += 1
+            raise TransientStorageError(
+                f"{self.name}: no live replica for {op} {blob_id} "
+                f"(shards {targets})")
+        if missed:
+            self.partial_writes += 1
+        return applied, missed
+
+    def _after_write(self, blob_id: BlobId, applied: Sequence[int],
+                     missed: Sequence[int]) -> None:
+        self._deleted.pop(blob_id, None)
+        for shard_index in applied:
+            self._clear_suspect(blob_id, shard_index)
+        for shard_index in missed:
+            self._mark_suspect(blob_id, shard_index)
+
+    def _after_delete(self, blob_id: BlobId,
+                      missed: Sequence[int]) -> None:
+        self._suspect.pop(blob_id, None)
+        still = {s for s in missed
+                 if self.shards[s].backend.exists(blob_id)}
+        if still:
+            self._deleted[blob_id] = still
+        else:
+            self._deleted.pop(blob_id, None)
+
+    def put(self, blob_id: BlobId, payload: bytes) -> None:
+        applied, missed = self._fan_out(
+            "put", blob_id, lambda t: t.put(blob_id, payload))
+        self._after_write(blob_id, applied, missed)
+        self.stats.record_put(blob_id.kind, len(payload))
+
+    def delete(self, blob_id: BlobId) -> None:
+        _, missed = self._fan_out(
+            "delete", blob_id, lambda t: t.delete(blob_id))
+        self._after_delete(blob_id, missed)
+        self.stats.record_delete(blob_id.kind, 0)
+
+    def put_if(self, blob_id: BlobId, payload: bytes,
+               expected: bytes | None) -> None:
+        """CAS against the *winner* copy, then write through everywhere.
+
+        The compare runs against the same copy a read would serve (max
+        epoch for lease blobs), so a lagging replica can neither win a
+        CAS with stale bytes nor block a legitimate one; the
+        write-through then heals every live copy to the new value.  The
+        simulated testbed is single-threaded, so resolve-then-write is
+        atomic; a real deployment would run the same sequence under a
+        per-blob lock at the router.
+        """
+        current = self._read(blob_id)
+        if current != expected:
+            raise CasConflictError(f"cas conflict on {blob_id}",
+                                   current=current)
+        applied, missed = self._fan_out(
+            "put_if", blob_id, lambda t: t.put(blob_id, payload))
+        self._after_write(blob_id, applied, missed)
+        self.stats.record_put(blob_id.kind, len(payload))
+
+    def _live_fence_epoch(self, fence: BlobId) -> int:
+        """Highest fencing epoch across live replicas of ``fence``."""
+        epochs = [0]
+        for shard_index in self.placement(fence):
+            try:
+                epochs.append(fence_epoch(
+                    self.shards[shard_index].transport.get(fence)))
+            except BlobNotFound:
+                epochs.append(0)
+            except TransientStorageError:
+                continue
+        return max(epochs)
+
+    def _check_fence(self, fence: BlobId, epoch: int) -> None:
+        current = self._live_fence_epoch(fence)
+        if epoch < current:
+            raise StaleEpochError(
+                f"fenced write at epoch {epoch} rejected: "
+                f"{fence} is at epoch {current}",
+                current_epoch=current)
+
+    def put_fenced(self, blob_id: BlobId, payload: bytes,
+                   fence: BlobId, epoch: int) -> None:
+        """Fence on the max live epoch, then every replica re-checks.
+
+        The pre-check closes the zombie gap a lagging replica would
+        open (its local fence copy fails open at a stale epoch); the
+        per-replica check keeps each shard independently safe.
+        """
+        self._check_fence(fence, epoch)
+        applied, missed = self._fan_out(
+            "put_fenced", blob_id,
+            lambda t: t.put_fenced(blob_id, payload, fence, epoch))
+        self._after_write(blob_id, applied, missed)
+        self.stats.record_put(blob_id.kind, len(payload))
+
+    def delete_fenced(self, blob_id: BlobId,
+                      fence: BlobId, epoch: int) -> None:
+        self._check_fence(fence, epoch)
+        _, missed = self._fan_out(
+            "delete_fenced", blob_id,
+            lambda t: t.delete_fenced(blob_id, fence, epoch))
+        self._after_delete(blob_id, missed)
+        self.stats.record_delete(blob_id.kind, 0)
+
+    # -- batched sub-ops: per-shard scatter-gather ---------------------------
+
+    _SCATTER_MUTATIONS = ("put", "delete", "put_fenced", "delete_fenced")
+
+    def batch(self, ops: Sequence[BatchOp]) -> list[BatchReply]:
+        """Fan one OP_BATCH frame out as per-shard sub-frames.
+
+        The frame is split at ``put_if`` barriers (a CAS must resolve
+        against the quorum winner *in order*, via :meth:`put_if`); each
+        barrier-free segment is scattered in one round: every mutation
+        sub-op is appended to each of its replica shards' sub-frames,
+        every plain read rides its first trusted replica's sub-frame,
+        and lease/quorum reads resolve through the fan-out read path.
+        Per-shard sub-frames preserve the caller's sub-op order and
+        ship through the shard's own :meth:`ResilientTransport.batch`
+        (partial retry per shard); replies merge back by global index
+        under the single-server contract: ok / missing / conflict are
+        per-sub-op terminal, the first fenced or hard error stops the
+        frame, and the tail reads ``unattempted``.
+
+        Two sharded-specific wrinkles, both documented in
+        docs/ROBUSTNESS.md: a fence rejection from *any* replica
+        overrides an accept from a lagging one (replicas that already
+        applied are flagged suspect), and because a segment scatters
+        before it merges, sub-ops *after* a stopping error may already
+        have applied on their shards -- they are idempotent and the
+        tail is safe to re-send verbatim, which is all the retry layer
+        above relies on.
+        """
+        ops = list(ops)
+        merged: list[BatchReply] = []
+        i = 0
+        stopped = False
+        while i < len(ops):
+            if stopped:
+                merged.append(BatchReply("unattempted"))
+                i += 1
+                continue
+            if ops[i].kind == "put_if":
+                reply = self._single_subop(ops[i])
+                merged.append(reply)
+                if reply.status in ("fenced", "error"):
+                    stopped = True
+                i += 1
+                continue
+            j = i
+            while j < len(ops) and ops[j].kind != "put_if":
+                j += 1
+            segment_replies = self._scatter_segment(ops[i:j])
+            merged.extend(segment_replies)
+            if any(r.status in ("fenced", "error")
+                   for r in segment_replies):
+                stopped = True
+            i = j
+        return merged
+
+    def _scatter_segment(self,
+                         segment: Sequence[BatchOp]) -> list[BatchReply]:
+        """One barrier-free scatter-gather round over ``segment``."""
+        # Fenced pre-check (same zombie gap as the single-op path): cut
+        # the segment at the first sub-op whose fence already advanced.
+        cut = len(segment)
+        fenced_reply: BatchReply | None = None
+        checked: dict[tuple[BlobId, int], BatchReply | None] = {}
+        for idx, op in enumerate(segment):
+            if op.kind not in ("put_fenced", "delete_fenced"):
+                continue
+            key = (op.fence, op.epoch or 0)
+            if key not in checked:
+                try:
+                    self._check_fence(op.fence, op.epoch or 0)
+                    checked[key] = None
+                except StaleEpochError as exc:
+                    checked[key] = BatchReply(
+                        "fenced", epoch=exc.current_epoch)
+            if checked[key] is not None:
+                cut, fenced_reply = idx, checked[key]
+                break
+
+        frames: dict[int, list[tuple[int, BatchOp]]] = {}
+        singles: set[int] = set()
+        for idx, op in enumerate(segment[:cut]):
+            if op.kind in self._SCATTER_MUTATIONS:
+                for shard_index in self.placement(op.blob_id):
+                    frames.setdefault(shard_index, []).append((idx, op))
+            else:  # get / exists
+                order = [s for s in self.placement(op.blob_id)
+                         if not self._is_suspect(op.blob_id, s)]
+                if (order and op.blob_id.kind != LEASE
+                        and self.read_quorum == 1):
+                    frames.setdefault(order[0], []).append((idx, op))
+                else:
+                    singles.add(idx)
+
+        by_index: dict[int, dict[int, BatchReply]] = {}
+        for shard_index, frame in frames.items():
+            transport = self.shards[shard_index].transport
+            try:
+                shard_replies = transport.batch([op for _, op in frame])
+            except TransientStorageError as exc:
+                shard_replies = [BatchReply("error", message=str(exc),
+                                            transient=True)] * len(frame)
+            for (idx, _op), reply in zip(frame, shard_replies):
+                by_index.setdefault(idx, {})[shard_index] = reply
+
+        replies: list[BatchReply] = []
+        stopped = False
+        for idx, op in enumerate(segment):
+            if idx == cut and fenced_reply is not None:
+                replies.append(fenced_reply)
+                stopped = True
+                continue
+            if stopped or idx > cut:
+                replies.append(BatchReply("unattempted"))
+                continue
+            reply = self._merge_subop(op, by_index.get(idx, {}),
+                                      idx in singles)
+            replies.append(reply)
+            if reply.status in ("fenced", "error"):
+                stopped = True
+        return replies
+
+    def _merge_subop(self, op: BatchOp,
+                     replies: dict[int, BatchReply],
+                     resolve_single: bool) -> BatchReply:
+        """Merge one sub-op's per-shard replies (or run it single-op)."""
+        if op.kind in ("get", "exists"):
+            if resolve_single or not replies:
+                return self._single_subop(op)
+            reply = next(iter(replies.values()))
+            if reply.status == "ok":
+                if op.kind == "get":
+                    self.stats.record_get(op.blob_id.kind,
+                                          len(reply.payload or b""))
+                    return reply
+                if reply.payload == b"\x01":
+                    return reply
+                # one replica's "absent" is not authoritative
+                return self._single_subop(op)
+            # failed / missing / unattempted primary: the single-op
+            # path fans out across the remaining replicas.
+            return self._single_subop(op)
+
+        # replicated mutation: ok once any replica applied it, but a
+        # fence rejection from any replica overrides (max-epoch rule)
+        targets = self.placement(op.blob_id)
+        applied = [s for s, r in replies.items() if r.status == "ok"]
+        fenced = [r for r in replies.values() if r.status == "fenced"]
+        hard = [r for r in replies.values()
+                if r.status == "error" and not r.transient]
+        missed = [s for s in targets if s not in applied]
+        if fenced:
+            for shard_index in applied:
+                self._mark_suspect(op.blob_id, shard_index)
+            return max(fenced, key=lambda r: r.epoch or 0)
+        if hard and not applied:
+            return hard[0]
+        if not applied:
+            self.failed_ops += 1
+            return BatchReply(
+                "error", transient=True,
+                message=(f"{self.name}: no live replica for batched "
+                         f"{op.kind} {op.blob_id}"))
+        if missed:
+            self.partial_writes += 1
+        if op.kind in ("put", "put_fenced"):
+            self._after_write(op.blob_id, applied, missed)
+            self.stats.record_put(op.blob_id.kind,
+                                  len(op.payload or b""))
+        else:  # delete / delete_fenced
+            self._after_delete(op.blob_id, missed)
+            self.stats.record_delete(op.blob_id.kind, 0)
+        return BatchReply("ok")
+
+    def _single_subop(self, op: BatchOp) -> BatchReply:
+        """Resolve one sub-op through the quorum single-op methods."""
+        return apply_batch(self, [op])[0]
+
+    # -- many-op conveniences (same contract as StorageServer) ---------------
+
+    get_many = StorageServer.get_many
+    put_many = StorageServer.put_many
+    delete_many = StorageServer.delete_many
+
+    # -- anti-entropy --------------------------------------------------------
+
+    def census(self) -> dict[BlobId, set[int]]:
+        """Union census: every stored blob id -> shards holding a copy.
+
+        The same union fsck's orphan scan sees through ``raw_blobs``;
+        anti-entropy diffs it against the placement map.
+        """
+        seen: dict[BlobId, set[int]] = {}
+        for shard in self.shards:
+            for blob_id in shard.backend.raw_blobs():
+                seen.setdefault(blob_id, set()).add(shard.index)
+        return seen
+
+    def under_replicated(self) -> dict[BlobId, set[int]]:
+        """Blob -> shard indices missing (or distrusted for) a copy."""
+        out: dict[BlobId, set[int]] = {}
+        for blob_id, holders in self.census().items():
+            if blob_id in self._deleted:
+                continue
+            targets = set(self.placement(blob_id))
+            trusted = {s for s in (holders & targets)
+                       if not self._is_suspect(blob_id, s)}
+            gaps = targets - trusted
+            if gaps:
+                out[blob_id] = gaps
+        for blob_id, shards in self._deleted.items():
+            out.setdefault(blob_id, set()).update(shards)
+        return out
+
+    def repair(self) -> ShardRepairReport:
+        """One anti-entropy pass: restore placement everywhere reachable.
+
+        Pending deletes apply first (so a returned shard cannot
+        resurrect deleted blobs), then every under-placed blob is
+        re-replicated from its winner copy, divergent/suspect copies
+        are overwritten, and copies on shards outside the placement are
+        dropped.  Repairs go through each shard's transport, so a shard
+        that is still down stays pending -- run the pass again once it
+        returns.
+        """
+        report = ShardRepairReport()
+        for blob_id, shards in list(self._deleted.items()):
+            remaining: set[int] = set()
+            for shard_index in sorted(shards):
+                try:
+                    self.shards[shard_index].transport.delete(blob_id)
+                    report.deletes_applied += 1
+                except TransientStorageError:
+                    remaining.add(shard_index)
+                    report.unreachable += 1
+            if remaining:
+                self._deleted[blob_id] = remaining
+                report.remaining.append(blob_id)
+            else:
+                del self._deleted[blob_id]
+
+        census = self.census()
+        for blob_id in sorted(set(census) | set(self._suspect), key=str):
+            if blob_id in self._deleted:
+                continue
+            holders = census.get(blob_id, set())
+            targets = self.placement(blob_id)
+            report.scanned += 1
+            winner = self._winner_copy(blob_id, holders, targets,
+                                       strict=True)
+            if winner is None:
+                if holders:  # unresolvable tie: surface, never guess
+                    report.remaining.append(blob_id)
+                continue
+            healed_all = True
+            for shard_index in targets:
+                have = (self.shards[shard_index].backend.raw_blobs()
+                        .get(blob_id) if shard_index in holders else None)
+                if have == winner and \
+                        not self._is_suspect(blob_id, shard_index):
+                    continue
+                try:
+                    self.shards[shard_index].transport.put(blob_id,
+                                                           winner)
+                except TransientStorageError:
+                    report.unreachable += 1
+                    healed_all = False
+                    continue
+                self._clear_suspect(blob_id, shard_index)
+                self.repairs += 1
+                if have is None:
+                    report.re_replicated += 1
+                else:
+                    report.healed_divergent += 1
+            for shard_index in sorted(holders - set(targets)):
+                try:
+                    self.shards[shard_index].transport.delete(blob_id)
+                    report.dropped_misplaced += 1
+                except TransientStorageError:
+                    report.unreachable += 1
+                    healed_all = False
+            if not healed_all:
+                report.remaining.append(blob_id)
+        return report
+
+    def _winner_copy(self, blob_id: BlobId, holders: set[int],
+                     targets: Sequence[int],
+                     strict: bool = False) -> bytes | None:
+        """The copy anti-entropy replicates: same rule reads use.
+
+        With ``strict=True`` (the repair path) an unresolvable value
+        tie among trusted copies returns None -- repair must never
+        overwrite one side of a 1-1 split with the other; the tie is
+        surfaced instead (see :meth:`repair`).  With ``strict=False``
+        (the logical union view) the preference-first copy is returned
+        so audits see a deterministic store.
+        """
+        trusted: dict[int, bytes] = {}
+        all_copies: dict[int, bytes] = {}
+        for shard_index in sorted(holders):
+            raw = self.shards[shard_index].backend.raw_blobs()
+            if blob_id not in raw:
+                continue
+            all_copies[shard_index] = raw[blob_id]
+            if not self._is_suspect(blob_id, shard_index):
+                trusted[shard_index] = raw[blob_id]
+        copies = trusted or all_copies
+        if not copies:
+            return None
+        if len(set(copies.values())) == 1:
+            return next(iter(copies.values()))
+        if blob_id.kind == LEASE:
+            return max(copies.values(), key=fence_epoch)
+        tally: dict[bytes, int] = {}
+        for v in copies.values():
+            tally[v] = tally.get(v, 0) + 1
+        best = max(tally.values())
+        majority = {v for v, n in tally.items() if n == best}
+        if strict and len(majority) > 1:
+            return None
+        order = [s for s in targets if s in copies] + sorted(
+            s for s in copies if s not in targets)
+        return next(copies[s] for s in order if copies[s] in majority)
+
+    # -- capacity / audit helpers (deduplicated union view) ------------------
+
+    def _union(self) -> dict[BlobId, bytes]:
+        out: dict[BlobId, bytes] = {}
+        for blob_id, holders in self.census().items():
+            if blob_id in self._deleted:
+                continue
+            winner = self._winner_copy(blob_id, holders,
+                                       self.placement(blob_id))
+            if winner is not None:
+                out[blob_id] = winner
+        return out
+
+    def list_kind(self, kind: str) -> Iterator[BlobId]:
+        return (bid for bid in self._union() if bid.kind == kind)
+
+    def blob_count(self) -> int:
+        """Logical (deduplicated) blob count across all shards."""
+        return len(self._union())
+
+    def stored_bytes(self, kind: str | None = None) -> int:
+        """Logical stored bytes (one replica's worth per blob)."""
+        return sum(len(payload) for bid, payload in self._union().items()
+                   if kind is None or bid.kind == kind)
+
+    def physical_bytes(self) -> int:
+        """Actual bytes held across every shard (with replication)."""
+        return sum(shard.backend.stored_bytes()
+                   for shard in self.shards)
+
+    def physical_requests(self) -> int:
+        """Backend requests actually served across every shard."""
+        return sum(shard.backend.stats.puts + shard.backend.stats.gets
+                   + shard.backend.stats.deletes
+                   for shard in self.shards)
+
+    def raw_blobs(self) -> dict[BlobId, bytes]:
+        """The logical store a single-SSP audit would see (winners)."""
+        return self._union()
+
+    def snapshot_blobs(self) -> dict[BlobId, bytes]:
+        return self._union()
+
+    def restore_blobs(self, snapshot: dict[BlobId, bytes]) -> None:
+        """Reset every shard to a prior logical snapshot, re-placed.
+
+        Bypasses wrappers and transports (this is harness surgery, not
+        data-plane traffic), clears the suspicion/tombstone ledgers --
+        a restored store is healthy by construction -- and rebuilds the
+        per-shard transports so breaker state resets with the data.
+        Armed fault wrappers stay armed (campaigns re-arm per cell via
+        :meth:`wrap_shard` anyway).
+        """
+        per_shard: list[dict[BlobId, bytes]] = [{} for _ in self.shards]
+        for blob_id, payload in snapshot.items():
+            for shard_index in self.placement(blob_id):
+                per_shard[shard_index][blob_id] = bytes(payload)
+        for shard, blobs in zip(self.shards, per_shard):
+            shard.backend.restore_blobs(blobs)
+        self._suspect.clear()
+        self._deleted.clear()
+        for shard in self.shards:
+            shard.transport = self._make_transport(shard.index,
+                                                   shard.wrapped)
+
+    # -- observability -------------------------------------------------------
+
+    def shard_snapshot(self) -> dict[str, float]:
+        """``shard.*`` metrics source (counters + per-shard gauges)."""
+        out: dict[str, float] = {
+            "shards": float(len(self.shards)),
+            "replicas": float(self.replicas),
+            "reads.failover": float(self.failovers),
+            "reads.quorum": float(self.quorum_reads),
+            "reads.suspect_served": float(self.suspect_serves),
+            "divergent": float(self.divergent),
+            "ties": float(self.ties),
+            "outvoted": float(self.outvoted),
+            "writes.partial": float(self.partial_writes),
+            "failed_ops": float(self.failed_ops),
+            "under_replicated": float(len(self._suspect)),
+            "pending_deletes": float(len(self._deleted)),
+            "repairs": float(self.repairs),
+        }
+        for shard in self.shards:
+            p = str(shard.index)
+            out[f"{p}.breaker.state"] = float(
+                _BREAKER_GAUGE[shard.transport.breaker_state])
+            out[f"{p}.attempts"] = float(shard.transport.attempts)
+            out[f"{p}.failed_attempts"] = float(
+                shard.transport.failed_attempts)
+            out[f"{p}.blobs"] = float(shard.backend.blob_count())
+            out[f"{p}.bytes"] = float(shard.backend.stored_bytes())
+        return out

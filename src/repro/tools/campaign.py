@@ -1,0 +1,220 @@
+"""Composed adversarial campaign: every robustness defence at once.
+
+``repro campaign`` runs the multi-client interleaving matrix
+(:mod:`repro.tools.interleave` -- sequential / preempt / crash /
+zombie schedules over journaled, leased clients) on top of a
+:class:`~repro.storage.shards.ShardedServer` whose shards are
+themselves under attack.  Every cell replays from a pristine volume
+with a freshly armed *scenario*:
+
+* ``outage+flaky`` -- one shard hard-down for the entire schedule plus
+  a second shard failing a seeded fraction of its requests:
+  replication masks the outage, the per-shard transport retries the
+  flakes, and the matrix's crash/zombie injection rides on top;
+* ``rollback`` -- one shard serves the first version it ever stored
+  (a rolled-back replica): quorum reads outvote it, flag it suspect,
+  and never serve its stale bytes;
+* ``tamper`` -- one shard flips a bit in every data-plane payload it
+  serves: outvoted and flagged exactly like rollback.  Lease blobs are
+  exempt by construction: a tampered lease copy cannot *forge* (leases
+  are signed) but can inflate the max-epoch fence into a denial of
+  service, which quorum deliberately does not mask -- see
+  THREAT_MODEL.md.
+
+The matrix's own multi-client contract must hold in every cell (no
+lost updates, fsck clean with zero orphans, no fork detected), and
+after the sweep a single ``clear_wrappers()`` + anti-entropy
+:meth:`~repro.storage.shards.ShardedServer.repair` pass must restore
+full replication -- :attr:`CampaignReport.ok` fails loudly otherwise.
+
+Byzantine shards are armed one at a time on a healthy quorum: with
+``replicas=3`` a divergent copy is outvoted only while two honest live
+copies remain, so a rollback *plus* an overlapping outage degrades to
+detection (the tie is counted and surfaced for repair; client-side
+verification stays the backstop) rather than masking.
+
+Deterministic per seed: payloads, flaky draws and schedule sweeps all
+derive from ``seed``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..storage.blobs import LEASE
+from ..storage.faults import FlakyServer, RollbackServer, TamperingServer
+from ..storage.shards import ShardedServer, ShardRepairReport
+from .fsck import VolumeAuditor
+from .interleave import (MODES, InterleaveCase, InterleaveMatrix,
+                         InterleaveOutcome, build_cases)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """Which shards are adversarial, and how, for one sweep."""
+
+    name: str
+    outage: int | None = None    # shard hard-down for the whole schedule
+    flaky: int | None = None     # shard failing a seeded fraction
+    rollback: int | None = None  # shard serving first-ever versions
+    tamper: int | None = None    # shard bit-flipping data-plane reads
+
+
+#: the default composed run (shard indices assume ``shards >= 4``).
+DEFAULT_SCENARIOS = (
+    Scenario("outage+flaky", outage=0, flaky=1),
+    Scenario("rollback", rollback=2),
+    Scenario("tamper", tamper=3),
+)
+
+
+@dataclass
+class CampaignCell:
+    """One interleaving cell run under one shard-adversity scenario."""
+
+    scenario: str
+    outcome: InterleaveOutcome
+
+    @property
+    def consistent(self) -> bool:
+        return self.outcome.consistent
+
+
+@dataclass
+class CampaignReport:
+    """The whole campaign: cells, final repair, post-repair audit."""
+
+    seed: int
+    shards: int
+    replicas: int
+    read_quorum: int
+    cells: list = field(default_factory=list)
+    repair: ShardRepairReport | None = None
+    post_fsck_clean: bool = False
+    post_orphans: int = -1
+    shard_metrics: dict = field(default_factory=dict)
+
+    @property
+    def inconsistent(self) -> int:
+        return sum(1 for c in self.cells if not c.consistent)
+
+    @property
+    def ok(self) -> bool:
+        return (self.inconsistent == 0
+                and self.repair is not None
+                and self.repair.fully_replicated
+                and self.post_fsck_clean and self.post_orphans == 0)
+
+
+class Campaign(InterleaveMatrix):
+    """The interleaving matrix over a sharded, adversarial backend."""
+
+    def __init__(self, seed: int = 0, key_bits: int = 512,
+                 shards: int = 4, replicas: int = 3,
+                 read_quorum: int = 2, flaky_p: float = 0.1,
+                 scenarios: tuple = DEFAULT_SCENARIOS):
+        self.seed = seed
+        self.flaky_p = flaky_p
+        self.scenarios = tuple(scenarios)
+        self._scenario: Scenario | None = None
+        self._arm_seq = 0
+        super().__init__(
+            seed=seed, key_bits=key_bits,
+            server_factory=lambda clock: ShardedServer(
+                shards=shards, replicas=replicas,
+                read_quorum=read_quorum, clock=clock))
+
+    # -- per-cell adversity --------------------------------------------------
+
+    def _restore(self) -> None:
+        """Pristine volume *and* freshly armed scenario for every cell."""
+        self.server.clear_wrappers()
+        super()._restore()
+        scenario = self._scenario
+        if scenario is None:
+            return
+        self._arm_seq += 1
+        if scenario.outage is not None:
+            self.server.outage(scenario.outage, start_s=self.clock.now)
+        if scenario.flaky is not None:
+            seq = self._arm_seq
+            self.server.wrap_shard(
+                scenario.flaky,
+                lambda backend: FlakyServer(
+                    inner=backend, failure_rate=self.flaky_p,
+                    seed=self.seed * 100_003 + seq))
+        if scenario.rollback is not None:
+            self.server.wrap_shard(
+                scenario.rollback,
+                lambda backend: RollbackServer(inner=backend))
+        if scenario.tamper is not None:
+            self.server.wrap_shard(
+                scenario.tamper,
+                lambda backend: TamperingServer(
+                    inner=backend,
+                    should_tamper=lambda b: b.kind != LEASE))
+
+    # -- the sweep -----------------------------------------------------------
+
+    def run(self, modes: tuple = MODES,
+            cases: "list[InterleaveCase] | None" = None,
+            scenarios: "tuple | None" = None) -> CampaignReport:
+        report = CampaignReport(
+            seed=self.seed, shards=len(self.server.shards),
+            replicas=self.server.replicas,
+            read_quorum=self.server.read_quorum)
+        for scenario in scenarios or self.scenarios:
+            self._scenario = scenario
+            for case in cases or build_cases(self.payloads):
+                for outcome in self.run_case(case, modes):
+                    report.cells.append(
+                        CampaignCell(scenario.name, outcome))
+        # Heal: drop every adversary, then one anti-entropy pass (plus
+        # one more if the first unlocked work) must restore placement.
+        self._scenario = None
+        self.server.clear_wrappers()
+        repair = self.server.repair()
+        if not repair.fully_replicated:
+            repair = self.server.repair()
+        report.repair = repair
+        audit = VolumeAuditor(self.volume).audit()
+        report.post_fsck_clean = audit.clean
+        report.post_orphans = len(audit.orphaned_blobs)
+        report.shard_metrics = self.server.shard_snapshot()
+        return report
+
+
+def campaign_table(report: CampaignReport) -> str:
+    """Render the campaign outcome table (the CI artifact)."""
+    lines = [
+        f"composed campaign: seed={report.seed} shards={report.shards} "
+        f"replicas={report.replicas} read_quorum={report.read_quorum}",
+        f"{'scenario':<14} {'case':<22} {'mode':<10} {'k':>3} {'T':>3} "
+        f"{'outcome':<18} {'first-error':<15} {'fsck':<5} {'vsl':<4}",
+        "-" * 100]
+    for cell in report.cells:
+        o = cell.outcome
+        lines.append(
+            f"{cell.scenario:<14} {o.case:<22} {o.mode:<10} {o.point:>3} "
+            f"{o.total_points:>3} {o.outcome:<18} "
+            f"{(o.first_error or '-'):<15} "
+            f"{'ok' if o.fsck_clean else 'DIRTY':<5} "
+            f"{'ok' if o.vsl_ok else 'FORK':<4}")
+    lines.append("-" * 100)
+    m = report.shard_metrics
+    if m:
+        lines.append(
+            f"shard health: quorum_reads={m['reads.quorum']:.0f} "
+            f"failovers={m['reads.failover']:.0f} "
+            f"divergent={m['divergent']:.0f} "
+            f"outvoted={m['outvoted']:.0f} ties={m['ties']:.0f} "
+            f"suspect_served={m['reads.suspect_served']:.0f}")
+    if report.repair is not None:
+        lines.append(f"final repair: {report.repair.summary()}")
+    lines.append(
+        f"post-repair fsck: "
+        f"{'clean' if report.post_fsck_clean else 'DIRTY'}, "
+        f"{report.post_orphans} orphans")
+    lines.append(f"{len(report.cells)} cells, "
+                 f"{report.inconsistent} inconsistent")
+    return "\n".join(lines)

@@ -244,7 +244,8 @@ class InterleaveMatrix:
 
     USERS = ("alice", "bob", "carol")
 
-    def __init__(self, seed: int = 0, key_bits: int = 512):
+    def __init__(self, seed: int = 0, key_bits: int = 512,
+                 server_factory: "Callable | None" = None):
         rng = random.Random(seed)
         self.payloads = {
             name: bytes(rng.randrange(256) for _ in range(size))
@@ -257,7 +258,11 @@ class InterleaveMatrix:
                 user_id=name, keypair=rsa.generate_keypair(key_bits)))
         self.registry.create_group("eng", set(self.USERS),
                                    key_bits=key_bits)
-        self.server = StorageServer()
+        #: ``server_factory(clock)`` swaps the backing store -- the
+        #: composed campaign (tools/campaign.py) runs the same sweeps
+        #: over a ShardedServer with adversarial shards.
+        self.server = (server_factory(self.clock)
+                       if server_factory is not None else StorageServer())
         self.volume = SharoesVolume(self.server, self.registry,
                                     block_size=_BLOCK, clock=self.clock)
         self.volume.format(root_owner="alice", root_group="eng")

@@ -122,13 +122,27 @@ def make_env(impl: str, profile: CostProfile = PAPER_2008,
         raise SharoesError(
             "fault injection (flaky_p) requires the sharoes "
             "implementation; baselines have no retry layer")
+    shards = getattr(config, "shards", 0) if config is not None else 0
+    if shards and impl != "sharoes":
+        raise SharoesError(
+            "a sharded backend (shards > 0) requires the sharoes "
+            "implementation; baselines assume one SSP")
     registry = PrincipalRegistry()
     user = registry.create_user("alice")
     for name in extra_users:
         registry.create_user(name)
     registry.create_group("eng", {"alice", *extra_users})
-    server = StorageServer()
-    cost = CostModel(profile, SimClock())
+    clock = SimClock()
+    if shards:
+        # The sharded backend presents the StorageServer interface, so
+        # volume/client/fsck code is oblivious; per-shard breaker
+        # cooldowns run on the same simulated clock as the cost model.
+        from ..storage.shards import ShardedServer
+        server = ShardedServer(shards=shards, replicas=config.replicas,
+                               clock=clock)
+    else:
+        server = StorageServer()
+    cost = CostModel(profile, clock)
     client_server = None
     if wire_trace and impl == "sharoes":
         config = _traced_config(config)

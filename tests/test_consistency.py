@@ -291,3 +291,105 @@ class TestForkEdges:
         bob.publish(server)
         with pytest.raises(ForkDetected):
             alice.sync(server, ["bob"])
+
+
+class TestShardedReplicaDivergence:
+    """A rolled-back or tampering *replica* (one shard of a sharded
+    backend, not the whole SSP) is outvoted by quorum reads before the
+    client ever sees its bytes: freshness monitoring and fork detection
+    stay quiet, the divergent copy is flagged for repair, and one
+    anti-entropy pass heals it.  Per-blob rollback of the *whole*
+    quorum is still the client's to detect (TestForkEdges above)."""
+
+    def _stack(self, registry, **kwargs):
+        from repro.fs.client import ClientConfig, SharoesFilesystem
+        from repro.fs.volume import SharoesVolume
+        from repro.principals.groups import GroupKeyService
+        from repro.storage.shards import ShardedServer
+        server = ShardedServer(shards=4, replicas=3, read_quorum=2,
+                               **kwargs)
+        volume = SharoesVolume(server, registry)
+        volume.format(root_owner="alice", root_group="eng")
+        GroupKeyService(registry, server, CryptoProvider()).publish_all()
+        # No client-side caching: every read re-fetches, so quorum
+        # resolution runs on each access (what this class tests).
+        fs = SharoesFilesystem(volume, registry.user("alice"),
+                               config=ClientConfig(cache_bytes=0,
+                                                   mdcache=False))
+        fs.mount()
+        return server, volume, fs
+
+    def _meta_primary(self, server, fs, path: str) -> int:
+        """The shard consulted first for the file's owner metadata."""
+        inode = fs.getattr(path).inode
+        blob = next(b for b in server.census()
+                    if b.inode == inode and b.kind == "meta"
+                    and b.selector == "o")
+        return server.placement(blob)[0]
+
+    def test_rolled_back_replica_outvoted_and_healed(self, registry):
+        from repro.storage.faults import RollbackServer
+        server, volume, fs = self._stack(registry)
+        # One replica rolls back: arm the shard that plain reads
+        # consult first for /doc's data, so its stale copy is the one
+        # quorum resolution must reject.
+        fs.create_file("/doc", b"version one", mode=0o644)
+        inode = fs.getattr("/doc").inode
+        block = next(b for b in server.census()
+                     if b.inode == inode and b.kind == "data")
+        server.wrap_shard(server.placement(block)[0],
+                          lambda b: RollbackServer(inner=b))
+        fs.write_file("/doc", b"version two!")  # the wrapper's "first"
+        fs.write_file("/doc", b"version three")
+        # The armed replica keeps serving version two; the other two
+        # replicas outvote it on every read -- the client only ever
+        # sees fresh, verifiable bytes (no IntegrityError, no
+        # StaleObjectError).
+        assert fs.read_file("/doc") == b"version three"
+        snap = server.shard_snapshot()
+        assert snap["outvoted"] >= 1
+        assert server._suspect  # flagged for repair, never served
+        assert snap["reads.suspect_served"] == 0
+        server.clear_wrappers()
+        report = server.repair()
+        assert report.fully_replicated
+        assert report.healed_divergent >= 1
+        assert fs.read_file("/doc") == b"version three"
+
+    def test_tampering_replica_outvoted_and_healed(self, registry):
+        from repro.storage.blobs import LEASE
+        from repro.storage.faults import TamperingServer
+        server, volume, fs = self._stack(registry)
+        fs.create_file("/bits", bytes(range(256)), mode=0o644)
+        evil = self._meta_primary(server, fs, "/bits")
+        server.wrap_shard(
+            evil, lambda b: TamperingServer(
+                inner=b, should_tamper=lambda bid: bid.kind != LEASE))
+        # Quorum reads mask the bit flips end-to-end: no IntegrityError
+        # reaches the client's verification layer.
+        assert fs.read_file("/bits") == bytes(range(256))
+        assert server.shard_snapshot()["outvoted"] >= 1
+        server.clear_wrappers()
+        assert server.repair().fully_replicated
+
+    def test_whole_quorum_rollback_still_caught_by_client(self, registry):
+        # Quorum defends against a divergent *minority*; if every
+        # replica rolls back in concert (the SSP operator, not a sick
+        # disk), the router has nothing to vote with -- the client's
+        # freshness monitor is the detector, exactly as unsharded.
+        from repro.fs.freshness import StaleObjectError
+        server, volume, fs = self._stack(registry)
+        fs.create_file("/c", b"old", mode=0o644)
+        inode = fs.getattr("/c").inode
+        blob = next(b for b in server.census()
+                    if b.inode == inode and b.kind == "meta"
+                    and b.selector == "o")
+        stale = {i: server.shards[i].backend.get(blob)
+                 for i in server.placement(blob)}
+        fs.chmod("/c", 0o600)  # bumps the signed metadata version
+        # Observe the new version so the monitor's watermark advances.
+        assert fs.getattr("/c").mode & 0o777 == 0o600
+        for i, payload in stale.items():
+            server.shards[i].backend.put(blob, payload)  # coordinated
+        with pytest.raises(StaleObjectError):
+            fs.getattr("/c")

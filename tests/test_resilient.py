@@ -342,6 +342,32 @@ class TestCircuitBreaker:
         assert transport._breaker_allows()
         assert transport.breaker_state == BREAKER_HALF_OPEN
 
+    def test_full_lifecycle_on_shared_clock(self):
+        # No cost model: the cooldown elapses on a clock the *rest of
+        # the system* advances (the volume clock, the sharded router's
+        # clock) -- the transport's own backoff never moves it.  Before
+        # the explicit ``clock=`` plumbing the breaker timed out on a
+        # private clock nothing advanced, so OPEN was forever.
+        clock = SimClock()
+        inner = FailNTimes(seeded_backend(), fails=4)
+        transport = ResilientTransport(inner, self.POLICY, clock=clock)
+        assert transport.breaker_state == BREAKER_CLOSED
+        for _ in range(2):
+            with pytest.raises(TransientStorageError):
+                transport.get(BLOB)  # 2x2 attempts: threshold crossed
+        assert transport.breaker_state == BREAKER_OPEN
+        with pytest.raises(CircuitOpenError):
+            transport.get(BLOB)  # cooldown has not elapsed
+        clock.advance(4.99)  # simulated time passes elsewhere...
+        with pytest.raises(CircuitOpenError):
+            transport.get(BLOB)  # ...but not enough of it
+        clock.advance(0.01)
+        assert transport.breaker_state == BREAKER_OPEN
+        assert transport.get(BLOB) == b"payload-v1"  # half-open probe
+        assert transport.breaker_state == BREAKER_CLOSED
+        assert transport.breaker_opens == 1
+        assert transport.breaker_rejections == 2
+
 
 # -- graceful degradation -----------------------------------------------------
 
@@ -438,9 +464,10 @@ class TestDegradedCacheInteraction:
         from repro.fs.client import ClientConfig, SharoesFilesystem
         gate = FailNTimes(volume.server, fails=0)
         # Huge breaker threshold: degradation comes purely from retry
-        # exhaustion.  (An *open* breaker also serves stale, but its
-        # cooldown runs on the host clock here, which would leave the
-        # healed reads below still rejected.)
+        # exhaustion.  (An *open* breaker also serves stale, but this
+        # volume carries no shared clock, so the cooldown would elapse
+        # on a private simulated clock nothing here advances and the
+        # healed reads below would still be rejected.)
         config = ClientConfig(
             mdcache=mdcache,
             retry_policy=RetryPolicy(max_attempts=2, base_delay_s=0.0,
