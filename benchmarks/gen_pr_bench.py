@@ -43,6 +43,17 @@ the client-side (logical) numbers, identical to an unsharded run by
 construction (the kill-any-shard differential in tests/test_shards.py
 is the proof); the replication section makes the k-way write
 amplification visible instead of letting it hide in the backends.
+
+PR 9 note: a sixth entry, ``postmark_rebalance``, runs the sharded
+postmark with an **online rebalance** (grow 4 -> 6 shards) proposed,
+staged and completed mid-workload by a mutation-count trigger
+(``run_observed(setup=...)`` interposes the trigger under the client).
+Its **rebalance-overhead column** records the request/byte
+amplification of backend traffic over logical client traffic *while
+the plan was active* (dual-placement writes plus the copy/verify/drop
+pipeline), next to the end-state replication section.  Logical client
+numbers stay identical to unsharded postmark by construction (the
+acceptance trio in tests/test_shards.py is the proof).
 """
 
 from __future__ import annotations
@@ -54,7 +65,7 @@ from pathlib import Path
 from repro.fs.client import ClientConfig
 from repro.workloads.runner import run_observed
 
-PR = 8
+PR = 9
 
 #: (entry name, workload, params, config overrides recorded in params)
 RUNS = (
@@ -65,7 +76,15 @@ RUNS = (
     ("postmark", "postmark", {"files": 100, "transactions": 100}, {}),
     ("postmark_sharded", "postmark",
      {"files": 100, "transactions": 100}, {"shards": 4, "replicas": 2}),
+    ("postmark_rebalance", "postmark",
+     {"files": 100, "transactions": 100}, {"shards": 4, "replicas": 2}),
 )
+
+#: client-mutation counts at which the rebalance trigger fires: the
+#: plan is proposed + staged at the first mark and driven to DONE at
+#: the second, so a window of real workload traffic runs under dual
+#: placement.
+REBALANCE_STAGES = (150, 400)
 
 
 def _replication_section(server) -> dict:
@@ -89,17 +108,109 @@ def _replication_section(server) -> dict:
     }
 
 
+def _traffic(server) -> tuple[int, int]:
+    """(requests, traffic bytes) seen by one server's stats."""
+    s = server.stats
+    return (s.puts + s.gets + s.deletes,
+            s.bytes_received + s.bytes_served)
+
+
+def _physical_traffic(server) -> tuple[int, int]:
+    """Summed backend (requests, traffic bytes) across every shard."""
+    requests = bytes_ = 0
+    for shard in server.shards:
+        r, b = _traffic(shard.backend)
+        requests += r
+        bytes_ += b
+    return requests, bytes_
+
+
+def _rebalance_setup(marks: dict):
+    """A ``run_observed`` setup hook arming the mid-postmark rebalance.
+
+    Grows the ring 4 -> 6 at the ``REBALANCE_STAGES`` mutation marks
+    and snapshots logical/physical traffic at plan start and plan end,
+    so the overhead column measures exactly the active-plan window.
+    """
+    from repro.crypto import rsa
+    from repro.storage.rebalance import (VERIFIED, MidRunRebalance,
+                                         Rebalancer)
+
+    def setup(env):
+        key = rsa.generate_keypair(512)
+        server = env.server
+        for _ in range(2):
+            server.add_shard()
+        holder = {}
+
+        def stage_plan():
+            marks["logical_start"] = _traffic(server)
+            marks["physical_start"] = _physical_traffic(server)
+            reb = Rebalancer(server, keypair=key)
+            reb.propose(tuple(range(6)), server.replicas)
+            reb.execute(until=VERIFIED)
+            holder["reb"] = reb
+
+        def finish_plan():
+            holder["reb"].execute()
+            marks["logical_end"] = _traffic(server)
+            marks["physical_end"] = _physical_traffic(server)
+            marks["snapshot"] = server.shard_snapshot()
+
+        env._client_server = MidRunRebalance(
+            server, list(zip(REBALANCE_STAGES,
+                             (stage_plan, finish_plan))))
+    return setup
+
+
+def _rebalance_section(server, marks: dict) -> dict:
+    """Request/byte amplification while the rebalance plan was active."""
+    logical_req = marks["logical_end"][0] - marks["logical_start"][0]
+    logical_bytes = marks["logical_end"][1] - marks["logical_start"][1]
+    physical_req = (marks["physical_end"][0]
+                    - marks["physical_start"][0])
+    physical_bytes = (marks["physical_end"][1]
+                      - marks["physical_start"][1])
+    snap = marks["snapshot"]
+    return {
+        "plan": {"from_shards": 4, "to_shards": 6,
+                 "replicas": server.replicas},
+        "window_logical_requests": logical_req,
+        "window_physical_requests": physical_req,
+        "request_amplification": (physical_req / logical_req
+                                  if logical_req else 0.0),
+        "window_logical_bytes": logical_bytes,
+        "window_physical_bytes": physical_bytes,
+        "byte_amplification": (physical_bytes / logical_bytes
+                               if logical_bytes else 0.0),
+        "moved": snap["rebalance.moved"],
+        "verified": snap["rebalance.verified"],
+        "dropped": snap["rebalance.dropped"],
+        "dual_reads": snap["rebalance.dual_reads"],
+        "dual_writes": snap["rebalance.dual_writes"],
+    }
+
+
 def main(out_dir: str = "benchmarks/results") -> int:
     workloads = {}
     for entry, name, params, overrides in RUNS:
         config = ClientConfig(**overrides) if overrides else None
         env_out: list = []
+        marks: dict = {}
+        setup = (_rebalance_setup(marks)
+                 if entry == "postmark_rebalance" else None)
         payload, _spans = run_observed(name, params=params, config=config,
-                                       wire_trace=True, _env_out=env_out)
+                                       wire_trace=True, setup=setup,
+                                       _env_out=env_out)
         payload["params"].update(overrides)
         if overrides.get("shards"):
             payload["replication"] = _replication_section(
                 env_out[0].server)
+        if marks:
+            assert "snapshot" in marks, \
+                "rebalance trigger never completed inside the workload"
+            payload["rebalance"] = _rebalance_section(
+                env_out[0].server, marks)
         workloads[entry] = payload
         print(f"{entry}: requests="
               f"{payload['metrics'].get('client.requests')}")
@@ -112,7 +223,11 @@ def main(out_dir: str = "benchmarks/results") -> int:
                         "postmark_sharded runs on a 4-shard/2-replica "
                         "ShardedServer and records the replication-"
                         "overhead column (physical vs logical "
-                        "requests/bytes); runs are wire-traced, adding "
+                        "requests/bytes); postmark_rebalance adds an "
+                        "online grow 4->6 rebalance completed mid-"
+                        "workload and records the rebalance-overhead "
+                        "column (request/byte amplification during the "
+                        "active plan); runs are wire-traced, adding "
                         "the schema-v2 trace section at zero simulated "
                         "cost"),
         "workloads": workloads,

@@ -626,6 +626,117 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_shard_rebalance(args: argparse.Namespace) -> int:
+    """Demo: change N or k online, under live writes, crash-safely."""
+    from .crypto.provider import CryptoProvider
+    from .errors import ClientCrashed
+    from .fs.client import SharoesFilesystem
+    from .fs.volume import SharoesVolume
+    from .principals.groups import GroupKeyService
+    from .principals.registry import PrincipalRegistry
+    from .storage.faults import CrashingRebalancer
+    from .storage.rebalance import FLIPPED, VERIFIED, Rebalancer
+    from .storage.shards import ShardedServer
+    from .tools.fsck import VolumeAuditor
+
+    registry = PrincipalRegistry()
+    alice = registry.create_user("alice", key_bits=512)
+    registry.create_group("eng", {"alice"}, key_bits=512)
+    server = ShardedServer(shards=args.from_shards,
+                           replicas=args.from_replicas)
+    volume = SharoesVolume(server, registry)
+    volume.format(root_owner="alice", root_group="eng")
+    GroupKeyService(registry, server, CryptoProvider()).publish_all()
+    fs = SharoesFilesystem(volume, alice)
+    fs.mount()
+    fs.mkdir("/docs", mode=0o755)
+    contents = {}
+    for i in range(args.files):
+        path = f"/docs/pre{i}.txt"
+        contents[path] = f"before rebalance {i}".encode()
+        fs.create_file(path, contents[path])
+    while len(server.shards) < args.shards:
+        server.add_shard()
+    target = tuple(range(args.shards))
+    print(f"rebalancing {args.from_shards} shards x k="
+          f"{args.from_replicas} -> {args.shards} x k={args.replicas} "
+          f"under live writes:")
+
+    hook = CrashingRebalancer(crash_after=args.crash_at)
+    reb = Rebalancer(server, keypair=alice.keypair, hook=hook)
+    crashed = False
+    try:
+        plan = reb.propose(target, args.replicas)
+        print(f"  plan epoch {plan.epoch} signed: "
+              f"{len(plan.moves)} blobs to move")
+        reb.execute(until=VERIFIED)
+        path = "/docs/during-copy.txt"
+        contents[path] = b"written while the plan was staging"
+        fs.create_file(path, contents[path])
+        reb.execute(until=FLIPPED)
+        path = "/docs/during-flip.txt"
+        contents[path] = b"written after the authority flip"
+        fs.create_file(path, contents[path])
+        reb.execute()
+    except ClientCrashed as exc:
+        crashed = True
+        print(f"  CRASH: {exc}")
+        print("  recovering from the stored plan:")
+        reb2 = Rebalancer.recover(server, alice.keypair.public,
+                                  keypair=alice.keypair)
+        report = reb2.resume()
+        print(f"  {report.summary()}")
+    snap = server.shard_snapshot()
+    print(f"  moved {snap['rebalance.moved']:.0f}, verified "
+          f"{snap['rebalance.verified']:.0f}, dropped "
+          f"{snap['rebalance.dropped']:.0f}; dual reads "
+          f"{snap['rebalance.dual_reads']:.0f}, dual writes "
+          f"{snap['rebalance.dual_writes']:.0f}"
+          + (" (after crash + resume)" if crashed else ""))
+
+    ring_ok = (server.ring.members == target
+               and server.ring.replicas == args.replicas)
+    print(f"ring now {server.ring.members} x k={server.ring.replicas}"
+          f" ({'target reached' if ring_ok else 'NOT the target'})")
+    repair = server.repair()
+    if not repair.fully_replicated:
+        repair = server.repair()
+    print(f"anti-entropy: {repair.summary()}")
+    bytes_ok = all(fs.read_file(path) == payload
+                   for path, payload in contents.items())
+    print(f"file contents: {'byte-identical' if bytes_ok else 'CORRUPT'}"
+          f" ({len(contents)} files)")
+    audit = VolumeAuditor(volume).audit()
+    print(f"post-rebalance audit: {audit.summary()}")
+    return 0 if (ring_ok and bytes_ok and audit.clean
+                 and repair.fully_replicated
+                 and not server.under_replicated()) else 1
+
+
+def _cmd_rebalance_matrix(args: argparse.Namespace) -> int:
+    from .tools.rebalancematrix import (VARIANTS, RebalanceMatrix,
+                                        outcomes_table)
+
+    variants = VARIANTS
+    if args.variants:
+        wanted = tuple(args.variants.split(","))
+        if set(wanted) - set(VARIANTS):
+            print(f"unknown variants: "
+                  f"{sorted(set(wanted) - set(VARIANTS))}; "
+                  f"choose from {list(VARIANTS)}")
+            return 2
+        variants = wanted
+    matrix = RebalanceMatrix(seed=args.seed)
+    outcomes = matrix.run(variants)
+    table = outcomes_table(outcomes)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(table + "\n")
+        print(f"wrote {args.out}")
+    print(table)
+    return 0 if all(o.consistent for o in outcomes) else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="sharoes-repro",
@@ -824,9 +935,44 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cases", help="comma-separated case subset")
     p.add_argument("--scenarios",
                    help="comma-separated subset of outage+flaky,"
-                        "rollback,tamper (default all)")
+                        "rollback,tamper,rebalance (default all)")
     p.add_argument("--out", help="also write the campaign table here")
     p.set_defaults(func=_cmd_campaign)
+
+    p = sub.add_parser("shard-rebalance",
+                       help="demo: change the shard count or "
+                            "replication factor online under live "
+                            "writes (optionally crashing the "
+                            "rebalancer and recovering)")
+    p.add_argument("--shards", type=int, default=6,
+                   help="target shard count (default 6)")
+    p.add_argument("--replicas", type=int, default=3,
+                   help="target replication factor (default 3)")
+    p.add_argument("--from-shards", type=int, default=4,
+                   help="initial shard count (default 4)")
+    p.add_argument("--from-replicas", type=int, default=2,
+                   help="initial replication factor (default 2)")
+    p.add_argument("--files", type=int, default=12,
+                   help="files created before the rebalance")
+    p.add_argument("--crash-at", type=int, default=None,
+                   help="kill the rebalancer at its k-th pipeline "
+                        "action, then recover from the stored plan")
+    p.set_defaults(func=_cmd_shard_rebalance)
+
+    p = sub.add_parser("rebalance-matrix",
+                       help="kill the rebalancer at every pipeline "
+                            "action x {resume, repair, writes, "
+                            "shard-down} recovery and assert "
+                            "byte-identical recovery vs an unsharded "
+                            "twin")
+    p.add_argument("--seed", type=int, default=0,
+                   help="fixes payloads (outcomes deterministic per "
+                        "seed)")
+    p.add_argument("--variants",
+                   help="comma-separated subset of resume,repair,"
+                        "writes,shard-down (default all)")
+    p.add_argument("--out", help="also write the outcomes table here")
+    p.set_defaults(func=_cmd_rebalance_matrix)
     return parser
 
 

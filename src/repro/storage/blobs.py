@@ -14,6 +14,8 @@ either hash of user/group ID (for Scheme-1) or CAP ID (Scheme-2)"
   (MEK-encrypted + signed client-side; see :mod:`repro.fs.journal`)
 * ``lease/<inode>``            -- per-inode signed lease blobs with a
   plaintext fencing-epoch prefix (see :mod:`repro.fs.lease`)
+* ``plan/0/-``                 -- the signed shard-rebalance plan with a
+  plaintext plan-epoch prefix (see :mod:`repro.storage.rebalance`)
 
 ``selector`` is a CAP id under Scheme-2 or a hashed principal id under
 Scheme-1; baselines that keep a single copy use the selector ``"-"``.
@@ -32,6 +34,7 @@ GROUP_KEY = "groupkey"
 LOCKBOX = "lockbox"
 JOURNAL = "journal"
 LEASE = "lease"
+PLAN = "plan"
 
 #: Selector for single-copy objects (baselines, shared structures).
 SHARED = "-"
@@ -83,3 +86,14 @@ def journal_blob(user_id: str) -> BlobId:
 def lease_blob(inode: int) -> BlobId:
     """The per-inode lease blob every writer of that inode contends on."""
     return BlobId(LEASE, inode, SHARED)
+
+
+def plan_blob() -> BlobId:
+    """The single rebalance-plan slot every rebalancer contends on."""
+    return BlobId(PLAN, 0, SHARED)
+
+
+def parse_blob_id(name: str) -> BlobId:
+    """Inverse of ``str(blob_id)`` (``kind/inode/selector``)."""
+    kind, inode, selector = name.split("/", 2)
+    return BlobId(kind, int(inode), selector)

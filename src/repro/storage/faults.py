@@ -133,3 +133,35 @@ class FlakyServer(_WrappedFlakyServer):
         if not 0.0 <= rate <= 1.0:
             raise ValueError("failure_rate must be within [0, 1]")
         self.rates = dict(self.rates, put=rate, get=rate)
+
+
+class CrashingRebalancer:
+    """Hook for :class:`~repro.storage.rebalance.Rebalancer`: kills the
+    rebalance process at its k-th pipeline action.
+
+    The rebalance analogue of
+    :class:`~repro.storage.resilient.CrashingServer`: each hook firing
+    is one pipeline action (a per-blob copy/verify/drop/rollback step
+    or a flip/finish/abort transition), and with ``crash_after=k`` the
+    k-th action raises :class:`~repro.errors.ClientCrashed` *before*
+    the action runs -- everything between two hook calls is atomic in
+    the single-threaded testbed, so sweeping k covers every partial
+    pipeline state exhaustively.  With ``crash_after=None`` it only
+    counts (the matrix's calibration run).  ``log`` records the
+    ``(step, detail)`` sequence for debugging a failed cell.
+    """
+
+    def __init__(self, crash_after: int | None = None):
+        self.crash_after = crash_after
+        self.actions = 0
+        self.log: list[tuple[str, str]] = []
+
+    def __call__(self, step: str, detail: str) -> None:
+        self.actions += 1
+        self.log.append((step, detail))
+        if self.crash_after is not None and \
+                self.actions >= self.crash_after:
+            from ..errors import ClientCrashed
+            raise ClientCrashed(
+                f"rebalancer crashed at action {self.actions} "
+                f"({step} {detail})")

@@ -55,6 +55,22 @@ suspect copies, applies pending deletes, and drops misplaced copies.
 ``repro shard-repair`` runs the pass from the CLI; ``repro campaign``
 composes shard outages with the fault/crash/zombie adversaries into
 one seeded run (see :mod:`repro.tools.campaign`).
+
+Placement lives in an immutable :class:`RingSpec` so the topology can
+change online: ``repro shard-rebalance`` executes a signed, persisted
+:class:`~repro.storage.rebalance.RebalancePlan` (grow/shrink N, change
+k) as an idempotent copy -> verify -> flip -> drop pipeline.  While a
+plan is adopted the router runs **dual placement**: reads consult the
+union of the old and new rings (authoritative ring first, quorum
+voting unchanged) and every mutation fans out to both placements, so
+a crashed rebalance can never strand a newer version on the losing
+ring; :meth:`repair` resumes a flipped plan or rolls an unflipped one
+back before its census pass, and copies it then drops because the plan
+moved them are reported as ``migrated``, not misplaced.  Single-copy
+reads additionally rotate their starting replica by a seeded
+deterministic hash per (blob, attempt), spreading a hot blob's traffic
+across its replica set instead of hammering the preference-first
+shard.
 """
 
 from __future__ import annotations
@@ -67,7 +83,7 @@ from ..errors import (BlobNotFound, CasConflictError, StaleEpochError,
                       TransientStorageError)
 from ..sim.clock import SimClock
 from .accounting import ServerStats
-from .blobs import LEASE, BlobId
+from .blobs import LEASE, PLAN, BlobId
 from .resilient import (_BREAKER_GAUGE, OutageServer, ResilientTransport,
                         RetryPolicy)
 from .server import (BatchOp, BatchReply, StorageServer, apply_batch,
@@ -90,6 +106,67 @@ def _ring_hash(key: str) -> int:
     """Stable 64-bit ring position (placement only, not security)."""
     return int.from_bytes(hashlib.sha256(key.encode()).digest()[:8],
                           "big")
+
+
+#: control-plane blob kinds replicated on every ring member (fencing
+#: state must be visible to every shard that can receive a write).
+_CONTROL_KINDS = (LEASE, PLAN)
+
+
+@dataclass(frozen=True)
+class RingSpec:
+    """An immutable consistent-hash ring: which shard slots hold data.
+
+    ``members`` are *global* indices into ``ShardedServer.shards`` --
+    vnode positions hash the global index, so a shard that survives a
+    rebalance keeps its ring positions and only the minimal
+    consistent-hash fraction of blobs moves when members change.
+    """
+
+    members: tuple[int, ...]
+    replicas: int
+
+    def __post_init__(self):
+        members = tuple(self.members)
+        object.__setattr__(self, "members", members)
+        if not members:
+            raise ValueError("a ring needs at least one member")
+        if len(set(members)) != len(members):
+            raise ValueError("duplicate ring members")
+        if not 1 <= self.replicas <= len(members):
+            raise ValueError("need 1 <= replicas <= len(members)")
+
+    @property
+    def vnodes(self) -> tuple:
+        """Sorted (position, shard index) virtual nodes, built lazily."""
+        cached = self.__dict__.get("_vnodes")
+        if cached is None:
+            cached = tuple(sorted(
+                (_ring_hash(f"shard-{i}/vnode-{v}"), i)
+                for i in self.members for v in range(_VNODES)))
+            object.__setattr__(self, "_vnodes", cached)
+        return cached
+
+    def targets(self, blob_id: BlobId) -> tuple[int, ...]:
+        """The k distinct ring successors for one blob, in preference
+        order (control blobs are placed by the server, not the ring)."""
+        point = _ring_hash(f"{blob_id.inode}:{blob_id.selector}")
+        ring, n = self.vnodes, len(self.vnodes)
+        lo, hi = 0, n
+        while lo < hi:  # bisect for the first vnode at/after the point
+            mid = (lo + hi) // 2
+            if ring[mid][0] < point:
+                lo = mid + 1
+            else:
+                hi = mid
+        targets: list[int] = []
+        i = lo
+        while len(targets) < self.replicas:
+            shard = ring[i % n][1]
+            if shard not in targets:
+                targets.append(shard)
+            i += 1
+        return tuple(targets)
 
 
 class ShardOutageServer(OutageServer):
@@ -118,6 +195,7 @@ class Shard:
     backend: StorageServer
     wrapped: StorageServer
     transport: ResilientTransport
+    reads: int = 0  # reads this shard served (the read-share gauge)
 
 
 @dataclass
@@ -128,8 +206,11 @@ class ShardRepairReport:
     re_replicated: int = 0      # missing copies restored from the winner
     healed_divergent: int = 0   # suspect/divergent copies overwritten
     deletes_applied: int = 0    # pending tombstones finally applied
-    dropped_misplaced: int = 0  # copies on shards outside the placement
+    dropped_misplaced: int = 0  # stray copies on shards outside placement
+    migrated: int = 0           # copies dropped because a plan moved them
     unreachable: int = 0        # repairs skipped: target shard down
+    #: "resumed" / "rolled_back" when the pass found an active plan.
+    plan_action: str = ""
     #: blob ids still under-replicated after the pass (down shards).
     remaining: list = field(default_factory=list)
 
@@ -140,11 +221,13 @@ class ShardRepairReport:
     def summary(self) -> str:
         state = ("fully replicated" if self.fully_replicated else
                  f"{len(self.remaining)} blob(s) still under-replicated")
-        return (f"shard-repair: scanned {self.scanned} blobs, "
+        plan = (f"plan {self.plan_action}, " if self.plan_action else "")
+        return (f"shard-repair: {plan}scanned {self.scanned} blobs, "
                 f"re-replicated {self.re_replicated}, healed "
                 f"{self.healed_divergent} divergent, applied "
                 f"{self.deletes_applied} pending deletes, dropped "
-                f"{self.dropped_misplaced} misplaced, "
+                f"{self.dropped_misplaced} misplaced, migrated "
+                f"{self.migrated}, "
                 f"{self.unreachable} unreachable -> {state}")
 
 
@@ -156,7 +239,8 @@ class ShardedServer:
                  clock: SimClock | None = None,
                  read_quorum: int = 1,
                  backends: Sequence[StorageServer] | None = None,
-                 name: str = "sharded-ssp"):
+                 name: str = "sharded-ssp",
+                 read_seed: int = 0):
         if backends is not None:
             backends = list(backends)
             shards = len(backends)
@@ -167,8 +251,8 @@ class ShardedServer:
         if not 1 <= read_quorum <= replicas:
             raise ValueError("need 1 <= read_quorum <= replicas")
         self.name = name
-        self.replicas = replicas
         self.read_quorum = read_quorum
+        self.read_seed = read_seed
         self.clock = clock if clock is not None else SimClock()
         self._policy = policy or SHARD_POLICY
         #: logical op stats: one record per *client* op, matching what a
@@ -182,10 +266,15 @@ class ShardedServer:
             self.shards.append(Shard(
                 index=i, backend=backend, wrapped=backend,
                 transport=self._make_transport(i, backend)))
-        #: hash ring: sorted (position, shard index) virtual nodes.
-        self._ring = sorted(
-            (_ring_hash(f"shard-{i}/vnode-{v}"), i)
-            for i in range(shards) for v in range(_VNODES))
+        #: the active placement ring (every attached shard at mount;
+        #: ``add_shard`` attaches spares outside it, a rebalance plan
+        #: brings them in).
+        self.ring = RingSpec(tuple(range(shards)), replicas)
+        #: the adopted rebalance plan (dual placement while not None).
+        self.plan = None
+        #: the ring a finished/rolled-back plan vacated -- stray copies
+        #: on it are ``migrated``, not misplaced, when repair drops them.
+        self._retired: RingSpec | None = None
         #: suspect copies: blob -> shard indices whose copy missed a
         #: mutation (or lost a quorum vote) and must not be served.
         self._suspect: dict[BlobId, set[int]] = {}
@@ -193,6 +282,8 @@ class ShardedServer:
         #: for a logically-deleted blob (tombstones so a returning shard
         #: cannot resurrect it through reads or anti-entropy).
         self._deleted: dict[BlobId, set[int]] = {}
+        #: per-blob read attempt counters (drives the seeded rotation).
+        self._read_attempts: dict[BlobId, int] = {}
         # shard.* counters (exported via shard_snapshot)
         self.failovers = 0          # reads served by a non-first replica
         self.suspect_serves = 0     # reads forced onto a suspect copy
@@ -203,6 +294,16 @@ class ShardedServer:
         self.partial_writes = 0     # mutations that missed >= 1 replica
         self.failed_ops = 0         # ops with zero live replicas
         self.repairs = 0            # anti-entropy copies restored
+        # shard.rebalance.* counters (driven by the Rebalancer)
+        self.rebalance_moved = 0    # copies placed on the new ring
+        self.rebalance_verified = 0  # new-ring copies verified
+        self.rebalance_dropped = 0  # old-placement copies dropped
+        self.dual_reads = 0         # reads served under dual placement
+        self.dual_writes = 0        # mutations fanned to both rings
+
+    @property
+    def replicas(self) -> int:
+        return self.ring.replicas
 
     # -- plumbing ------------------------------------------------------------
 
@@ -240,33 +341,104 @@ class ShardedServer:
             index, lambda backend: ShardOutageServer(
                 backend, self.clock, index, start_s, end_s))
 
+    # -- topology ------------------------------------------------------------
+
+    def add_shard(self, backend: StorageServer | None = None) -> int:
+        """Attach a new backend slot *outside* the ring.
+
+        The spare holds nothing and serves nothing until a rebalance
+        plan brings it into placement; returns its global index.
+        """
+        index = len(self.shards)
+        if backend is None:
+            backend = StorageServer(name=f"{self.name}-{index}")
+        self.shards.append(Shard(
+            index=index, backend=backend, wrapped=backend,
+            transport=self._make_transport(index, backend)))
+        return index
+
+    def set_ring(self, members: Sequence[int], replicas: int) -> None:
+        """Swap the active ring (rebalance bookkeeping, not data moves)."""
+        ring = RingSpec(tuple(members), replicas)
+        for m in ring.members:
+            if not 0 <= m < len(self.shards):
+                raise ValueError(f"ring member {m} is not attached")
+        if self.read_quorum > ring.replicas:
+            raise ValueError("read_quorum would exceed the replica count")
+        self.ring = ring
+
+    def adopt_plan(self, plan) -> None:
+        """Route placement through a rebalance plan (or None to drop).
+
+        The plan object only needs ``old``/``new`` :class:`RingSpec`
+        attributes and a ``flipped`` property -- the concrete class
+        lives in :mod:`repro.storage.rebalance`, which imports from
+        this module, not the other way around.
+        """
+        self.plan = plan
+
+    def retire_plan(self, vacated: RingSpec | None = None) -> None:
+        """Drop the adopted plan, remembering the ring it vacated."""
+        self.plan = None
+        if vacated is not None:
+            self._retired = vacated
+
+    def _rings(self) -> tuple[RingSpec, "RingSpec | None"]:
+        """(authoritative ring, secondary ring or None).
+
+        Pre-flip the old ring is authoritative and the new ring is the
+        secondary; the flip inverts that; with no plan adopted there is
+        no secondary.
+        """
+        plan = self.plan
+        if plan is None:
+            return self.ring, None
+        if plan.flipped:
+            return plan.new, plan.old
+        return plan.old, plan.new
+
+    def _control_members(self) -> tuple[int, ...]:
+        """Shards holding control blobs (lease/plan): every ring member,
+        and every member of *both* rings while a plan is active -- each
+        shard that can receive a write must be able to fence locally."""
+        primary, secondary = self._rings()
+        members = set(primary.members)
+        if secondary is not None:
+            members.update(secondary.members)
+        return tuple(sorted(members))
+
     def placement(self, blob_id: BlobId) -> tuple[int, ...]:
         """Replica shard indices for one blob, preference-ordered.
 
-        Lease blobs land on **every** shard: each shard then fences
-        locally against its own copy and a lease read takes the max
-        epoch across live copies, keeping the chain monotone through
-        any outage.
+        Control blobs (lease/plan) land on **every** ring member: each
+        shard then fences locally against its own copy and a read takes
+        the max epoch across live copies, keeping the chain monotone
+        through any outage.  While a rebalance plan is adopted the
+        placement is the **union of both rings** (authoritative ring's
+        targets first): reads can find a copy wherever the pipeline
+        left it, and mutations fan out to both placements so neither
+        ring can strand a newer version.
         """
-        if blob_id.kind == LEASE:
-            return tuple(range(len(self.shards)))
-        point = _ring_hash(f"{blob_id.inode}:{blob_id.selector}")
-        ring, n = self._ring, len(self._ring)
-        lo, hi = 0, n
-        while lo < hi:  # bisect for the first vnode at/after the point
-            mid = (lo + hi) // 2
-            if ring[mid][0] < point:
-                lo = mid + 1
-            else:
-                hi = mid
-        targets: list[int] = []
-        i = lo
-        while len(targets) < self.replicas:
-            shard = ring[i % n][1]
-            if shard not in targets:
-                targets.append(shard)
-            i += 1
+        if blob_id.kind in _CONTROL_KINDS:
+            return self._control_members()
+        primary, secondary = self._rings()
+        targets = list(primary.targets(blob_id))
+        if secondary is not None:
+            targets.extend(s for s in secondary.targets(blob_id)
+                           if s not in targets)
         return tuple(targets)
+
+    def _required_targets(self, blob_id: BlobId) -> tuple[int, ...]:
+        """Placement a *healthy* store must satisfy (repair's goal).
+
+        Only the authoritative ring's targets: secondary-ring copies
+        under an active plan are the rebalancer's job, not replication
+        gaps.
+        """
+        if blob_id.kind in _CONTROL_KINDS:
+            return self._control_members()
+        primary, _ = self._rings()
+        return primary.targets(blob_id)
 
     def _is_suspect(self, blob_id: BlobId, shard: int) -> bool:
         return (shard in self._suspect.get(blob_id, ())
@@ -283,6 +455,28 @@ class ShardedServer:
                 del self._suspect[blob_id]
 
     # -- reads ---------------------------------------------------------------
+
+    def _read_order(self, blob_id: BlobId,
+                    targets: Sequence[int]) -> list[int]:
+        """Trusted replicas in serve order, rotated for load spread.
+
+        Single-copy reads (``read_quorum == 1``) rotate their starting
+        replica by a seeded deterministic hash of (blob, attempt), so a
+        hot blob's traffic spreads near-uniformly over its replica set
+        instead of hammering the preference-first shard.  Control blobs
+        and quorum reads keep placement order: they consult multiple
+        copies anyway, and a deterministic vote window keeps divergence
+        detection reproducible.
+        """
+        order = [s for s in targets if not self._is_suspect(blob_id, s)]
+        if (blob_id.kind in _CONTROL_KINDS or self.read_quorum > 1
+                or len(order) < 2):
+            return order
+        attempt = self._read_attempts.get(blob_id, 0)
+        self._read_attempts[blob_id] = attempt + 1
+        start = _ring_hash(
+            f"read:{blob_id}:{attempt}:{self.read_seed}") % len(order)
+        return order[start:] + order[:start]
 
     def _collect(self, blob_id: BlobId, targets: Sequence[int],
                  want: int) -> tuple[dict[int, bytes | None], int]:
@@ -332,7 +526,7 @@ class ShardedServer:
             return values[0] if values else None
         self.divergent += 1
         present = {s: v for s, v in copies.items() if v is not None}
-        if blob_id.kind == LEASE:
+        if blob_id.kind in _CONTROL_KINDS:
             winner = max(present.values(), key=fence_epoch)
         else:
             tally: dict[bytes, int] = {}
@@ -358,11 +552,13 @@ class ShardedServer:
     def _read(self, blob_id: BlobId) -> bytes | None:
         """Winner bytes for one blob (None = missing everywhere)."""
         targets = self.placement(blob_id)
-        order = [s for s in targets if not self._is_suspect(blob_id, s)]
-        # Lease reads always consult every live copy: the max-epoch
+        order = self._read_order(blob_id, targets)
+        # Control reads always consult every live copy: the max-epoch
         # rule is what keeps fencing monotone across shard outages.
-        want = (len(order) if blob_id.kind == LEASE
+        want = (len(order) if blob_id.kind in _CONTROL_KINDS
                 else max(self.read_quorum, 1))
+        if self.plan is not None and blob_id.kind not in _CONTROL_KINDS:
+            self.dual_reads += 1
         copies, down = self._collect(blob_id, order, want)
         if len(set(copies.values())) > 1 or (
                 copies and set(copies.values()) == {None}):
@@ -387,6 +583,11 @@ class ShardedServer:
             if winner is not None and order and \
                     next(iter(copies)) != order[0]:
                 self.failovers += 1
+            if winner is not None:
+                served = next((s for s, v in copies.items()
+                               if v == winner), None)
+                if served is not None:
+                    self.shards[served].reads += 1
             return winner
         # No trusted replica reachable; as a last resort serve a
         # suspect copy (the client's own verification is the backstop)
@@ -455,6 +656,8 @@ class ShardedServer:
 
     def _after_write(self, blob_id: BlobId, applied: Sequence[int],
                      missed: Sequence[int]) -> None:
+        if self.plan is not None and blob_id.kind not in _CONTROL_KINDS:
+            self.dual_writes += 1
         self._deleted.pop(blob_id, None)
         for shard_index in applied:
             self._clear_suspect(blob_id, shard_index)
@@ -463,6 +666,8 @@ class ShardedServer:
 
     def _after_delete(self, blob_id: BlobId,
                       missed: Sequence[int]) -> None:
+        if self.plan is not None and blob_id.kind not in _CONTROL_KINDS:
+            self.dual_writes += 1
         self._suspect.pop(blob_id, None)
         still = {s for s in missed
                  if self.shards[s].backend.exists(blob_id)}
@@ -635,9 +840,9 @@ class ShardedServer:
                 for shard_index in self.placement(op.blob_id):
                     frames.setdefault(shard_index, []).append((idx, op))
             else:  # get / exists
-                order = [s for s in self.placement(op.blob_id)
-                         if not self._is_suspect(op.blob_id, s)]
-                if (order and op.blob_id.kind != LEASE
+                order = self._read_order(op.blob_id,
+                                         self.placement(op.blob_id))
+                if (order and op.blob_id.kind not in _CONTROL_KINDS
                         and self.read_quorum == 1):
                     frames.setdefault(order[0], []).append((idx, op))
                 else:
@@ -680,7 +885,11 @@ class ShardedServer:
                 return self._single_subop(op)
             reply = next(iter(replies.values()))
             if reply.status == "ok":
+                if self.plan is not None and \
+                        op.blob_id.kind not in _CONTROL_KINDS:
+                    self.dual_reads += 1
                 if op.kind == "get":
+                    self.shards[next(iter(replies))].reads += 1
                     self.stats.record_get(op.blob_id.kind,
                                           len(reply.payload or b""))
                     return reply
@@ -748,12 +957,17 @@ class ShardedServer:
         return seen
 
     def under_replicated(self) -> dict[BlobId, set[int]]:
-        """Blob -> shard indices missing (or distrusted for) a copy."""
+        """Blob -> shard indices missing (or distrusted for) a copy.
+
+        Judged against :meth:`_required_targets` (the authoritative
+        ring): secondary-ring gaps under an active plan are pipeline
+        work in flight, not replication holes.
+        """
         out: dict[BlobId, set[int]] = {}
         for blob_id, holders in self.census().items():
             if blob_id in self._deleted:
                 continue
-            targets = set(self.placement(blob_id))
+            targets = set(self._required_targets(blob_id))
             trusted = {s for s in (holders & targets)
                        if not self._is_suspect(blob_id, s)}
             gaps = targets - trusted
@@ -763,18 +977,36 @@ class ShardedServer:
             out.setdefault(blob_id, set()).update(shards)
         return out
 
+    def _was_migrated(self, blob_id: BlobId, shard_index: int) -> bool:
+        """Did a rebalance plan (not corruption) leave this copy here?"""
+        retired = self._retired
+        if retired is None:
+            return False
+        if blob_id.kind in _CONTROL_KINDS:
+            return shard_index in retired.members
+        return shard_index in retired.targets(blob_id)
+
     def repair(self) -> ShardRepairReport:
         """One anti-entropy pass: restore placement everywhere reachable.
 
-        Pending deletes apply first (so a returned shard cannot
-        resurrect deleted blobs), then every under-placed blob is
-        re-replicated from its winner copy, divergent/suspect copies
+        An adopted rebalance plan is resolved first -- resumed to done
+        if it already flipped (the new ring is authoritative, so only
+        forward is safe), rolled back otherwise (the old ring never
+        stopped being authoritative, so abandoning the copies is always
+        safe); either way the census pass below runs against a single
+        authoritative ring.  Then pending deletes apply (so a returned
+        shard cannot resurrect deleted blobs), every under-placed blob
+        is re-replicated from its winner copy, divergent/suspect copies
         are overwritten, and copies on shards outside the placement are
-        dropped.  Repairs go through each shard's transport, so a shard
-        that is still down stays pending -- run the pass again once it
-        returns.
+        dropped -- classified ``migrated`` when the vacated ring placed
+        them there, ``dropped_misplaced`` otherwise.  Repairs go
+        through each shard's transport, so a shard that is still down
+        stays pending -- run the pass again once it returns.
         """
         report = ShardRepairReport()
+        if self.plan is not None:
+            from .rebalance import resolve_plan
+            report.plan_action = resolve_plan(self)
         for blob_id, shards in list(self._deleted.items()):
             remaining: set[int] = set()
             for shard_index in sorted(shards):
@@ -795,7 +1027,7 @@ class ShardedServer:
             if blob_id in self._deleted:
                 continue
             holders = census.get(blob_id, set())
-            targets = self.placement(blob_id)
+            targets = self._required_targets(blob_id)
             report.scanned += 1
             winner = self._winner_copy(blob_id, holders, targets,
                                        strict=True)
@@ -826,10 +1058,14 @@ class ShardedServer:
             for shard_index in sorted(holders - set(targets)):
                 try:
                     self.shards[shard_index].transport.delete(blob_id)
-                    report.dropped_misplaced += 1
                 except TransientStorageError:
                     report.unreachable += 1
                     healed_all = False
+                    continue
+                if self._was_migrated(blob_id, shard_index):
+                    report.migrated += 1
+                else:
+                    report.dropped_misplaced += 1
             if not healed_all:
                 report.remaining.append(blob_id)
         return report
@@ -860,7 +1096,7 @@ class ShardedServer:
             return None
         if len(set(copies.values())) == 1:
             return next(iter(copies.values()))
-        if blob_id.kind == LEASE:
+        if blob_id.kind in _CONTROL_KINDS:
             return max(copies.values(), key=fence_epoch)
         tally: dict[bytes, int] = {}
         for v in copies.values():
@@ -878,7 +1114,10 @@ class ShardedServer:
     def _union(self) -> dict[BlobId, bytes]:
         out: dict[BlobId, bytes] = {}
         for blob_id, holders in self.census().items():
-            if blob_id in self._deleted:
+            # Plan blobs are router control state, not volume data: the
+            # logical store an audit (or a snapshot/restore) sees is
+            # byte-identical to an unsharded run with no plan at all.
+            if blob_id.kind == PLAN or blob_id in self._deleted:
                 continue
             winner = self._winner_copy(blob_id, holders,
                                        self.placement(blob_id))
@@ -920,12 +1159,16 @@ class ShardedServer:
         """Reset every shard to a prior logical snapshot, re-placed.
 
         Bypasses wrappers and transports (this is harness surgery, not
-        data-plane traffic), clears the suspicion/tombstone ledgers --
-        a restored store is healthy by construction -- and rebuilds the
+        data-plane traffic), clears the suspicion/tombstone ledgers and
+        any adopted rebalance plan -- a restored store is healthy by
+        construction, placed on the *current* ring -- and rebuilds the
         per-shard transports so breaker state resets with the data.
         Armed fault wrappers stay armed (campaigns re-arm per cell via
         :meth:`wrap_shard` anyway).
         """
+        self.plan = None
+        self._retired = None
+        self._read_attempts.clear()
         per_shard: list[dict[BlobId, bytes]] = [{} for _ in self.shards]
         for blob_id, payload in snapshot.items():
             for shard_index in self.placement(blob_id):
@@ -956,7 +1199,18 @@ class ShardedServer:
             "under_replicated": float(len(self._suspect)),
             "pending_deletes": float(len(self._deleted)),
             "repairs": float(self.repairs),
+            "rebalance.active": float(self.plan is not None),
+            "rebalance.plan_epoch": float(
+                self.plan.epoch if self.plan is not None else 0),
+            "rebalance.plan_rank": float(
+                self.plan.rank if self.plan is not None else 0),
+            "rebalance.moved": float(self.rebalance_moved),
+            "rebalance.verified": float(self.rebalance_verified),
+            "rebalance.dropped": float(self.rebalance_dropped),
+            "rebalance.dual_reads": float(self.dual_reads),
+            "rebalance.dual_writes": float(self.dual_writes),
         }
+        total_reads = sum(shard.reads for shard in self.shards)
         for shard in self.shards:
             p = str(shard.index)
             out[f"{p}.breaker.state"] = float(
@@ -966,4 +1220,7 @@ class ShardedServer:
                 shard.transport.failed_attempts)
             out[f"{p}.blobs"] = float(shard.backend.blob_count())
             out[f"{p}.bytes"] = float(shard.backend.stored_bytes())
+            out[f"{p}.reads"] = float(shard.reads)
+            out[f"{p}.read_share"] = (shard.reads / total_reads
+                                      if total_reads else 0.0)
         return out

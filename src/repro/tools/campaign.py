@@ -19,7 +19,13 @@ with a freshly armed *scenario*:
   exempt by construction: a tampered lease copy cannot *forge* (leases
   are signed) but can inflate the max-epoch fence into a denial of
   service, which quorum deliberately does not mask -- see
-  THREAT_MODEL.md.
+  THREAT_MODEL.md;
+* ``rebalance`` -- every cell runs against a store mid-rebalance: a
+  signed shrink plan is staged and verified (but never flipped) before
+  the schedule starts, so reads and writes exercise dual placement
+  throughout, and the final anti-entropy pass must arbitrate the
+  abandoned plan (roll it back) before healing -- see
+  :mod:`repro.storage.rebalance`.
 
 The matrix's own multi-client contract must hold in every cell (no
 lost updates, fsck clean with zero orphans, no fork detected), and
@@ -58,6 +64,11 @@ class Scenario:
     flaky: int | None = None     # shard failing a seeded fraction
     rollback: int | None = None  # shard serving first-ever versions
     tamper: int | None = None    # shard bit-flipping data-plane reads
+    #: ``(members, replicas)``: every cell runs with a rebalance plan
+    #: to this ring staged-and-verified but unflipped, so the whole
+    #: multi-client contract must hold under dual placement; the final
+    #: campaign repair arbitrates the abandoned plan (rolls it back).
+    rebalance: tuple | None = None
 
 
 #: the default composed run (shard indices assume ``shards >= 4``).
@@ -65,6 +76,7 @@ DEFAULT_SCENARIOS = (
     Scenario("outage+flaky", outage=0, flaky=1),
     Scenario("rollback", rollback=2),
     Scenario("tamper", tamper=3),
+    Scenario("rebalance", rebalance=((0, 1, 2), 3)),
 )
 
 
@@ -153,6 +165,14 @@ class Campaign(InterleaveMatrix):
                 lambda backend: TamperingServer(
                     inner=backend,
                     should_tamper=lambda b: b.kind != LEASE))
+        if scenario.rebalance is not None:
+            from ..storage.rebalance import VERIFIED, Rebalancer
+            members, replicas = scenario.rebalance
+            reb = Rebalancer(
+                self.server,
+                keypair=self.registry.user("alice").keypair)
+            reb.propose(members, replicas)
+            reb.execute(until=VERIFIED)
 
     # -- the sweep -----------------------------------------------------------
 

@@ -203,6 +203,7 @@ def run_observed(workload: str, impl: str = "sharoes",
                  config: "ClientConfig | None" = None,
                  wire_trace: bool = False,
                  tracer_sinks: tuple = (),
+                 setup=None,
                  _env_out: list | None = None):
     """Run one named workload with full span/metrics capture.
 
@@ -215,8 +216,12 @@ def run_observed(workload: str, impl: str = "sharoes",
 
     ``wire_trace=True`` propagates trace context over the wire and adds
     a ``trace`` section to the payload (server phase totals + resolve
-    depth attribution).  ``_env_out``, when a list, receives the
-    environment so callers (``run_traced``) can reach the server spans.
+    depth attribution).  ``setup``, when given, receives the freshly
+    built environment *before* the workload runs -- harnesses use it to
+    interpose wrappers (e.g. a mid-run rebalance trigger) under the
+    clients the workload will mount.  ``_env_out``, when a list,
+    receives the environment so callers (``run_traced``) can reach the
+    server spans.
     """
     from ..obs.bench import bench_payload, op_report
 
@@ -226,6 +231,8 @@ def run_observed(workload: str, impl: str = "sharoes",
                    wire_trace=wire_trace, tracer_sinks=tracer_sinks)
     if _env_out is not None:
         _env_out.append(env)
+    if setup is not None:
+        setup(env)
     if workload == "postmark":
         from .postmark import run_postmark
         run_postmark(env, **params)
