@@ -44,6 +44,19 @@ construction (the kill-any-shard differential in tests/test_shards.py
 is the proof); the replication section makes the k-way write
 amplification visible instead of letting it hide in the backends.
 
+PR 10 note: a seventh entry, ``postmark_concurrent``, reruns the
+standard postmark with the pipelined request scheduler on
+(``concurrency=8``): write-behind staging plus fetch flights overlap
+independent wire frames, so its wall seconds must land at <= 75% of
+the plain postmark entry (the acceptance claim, gated in CI by
+``repro bench --diff --overlap-gate postmark=0.75``; byte-identical
+SSP state is proven by tests/test_concurrency_differential.py).  A
+``throughput`` entry records the many-client axis: 100 mounted
+clients (journal + lease + concurrency=8) driving a seeded interleave
+on one shared volume, reporting ops/sec, exact latency percentiles,
+lease conflicts and the final fsck verdict (gated non-regressing by
+the same ``--diff``).
+
 PR 9 note: a sixth entry, ``postmark_rebalance``, runs the sharded
 postmark with an **online rebalance** (grow 4 -> 6 shards) proposed,
 staged and completed mid-workload by a mutation-count trigger
@@ -65,7 +78,7 @@ from pathlib import Path
 from repro.fs.client import ClientConfig
 from repro.workloads.runner import run_observed
 
-PR = 9
+PR = 10
 
 #: (entry name, workload, params, config overrides recorded in params)
 RUNS = (
@@ -78,7 +91,12 @@ RUNS = (
      {"files": 100, "transactions": 100}, {"shards": 4, "replicas": 2}),
     ("postmark_rebalance", "postmark",
      {"files": 100, "transactions": 100}, {"shards": 4, "replicas": 2}),
+    ("postmark_concurrent", "postmark",
+     {"files": 100, "transactions": 100}, {"concurrency": 8}),
 )
+
+#: many-client harness scale recorded as the ``throughput`` entry.
+THROUGHPUT = {"clients": 100, "ops_per_client": 20, "concurrency": 8}
 
 #: client-mutation counts at which the rebalance trigger fires: the
 #: plan is proposed + staged at the first mark and driven to DONE at
@@ -214,6 +232,13 @@ def main(out_dir: str = "benchmarks/results") -> int:
         workloads[entry] = payload
         print(f"{entry}: requests="
               f"{payload['metrics'].get('client.requests')}")
+    from repro.workloads.throughput import run_throughput
+    tput = run_throughput(**THROUGHPUT)
+    assert tput["fsck_clean"], "throughput run left the volume dirty"
+    workloads["throughput"] = tput
+    print(f"throughput: {tput['ops_per_sec']:.3f} ops/s, "
+          f"p95 {tput['latency_s']['p95']:.3f}s, "
+          f"{tput['lease_conflicts']} lease conflicts")
     doc = {
         "pr": PR,
         "description": ("per-PR performance snapshot: standard "
@@ -227,7 +252,14 @@ def main(out_dir: str = "benchmarks/results") -> int:
                         "online grow 4->6 rebalance completed mid-"
                         "workload and records the rebalance-overhead "
                         "column (request/byte amplification during the "
-                        "active plan); runs are wire-traced, adding "
+                        "active plan); postmark_concurrent reruns "
+                        "postmark with the pipelined request scheduler "
+                        "(concurrency=8, gated at <= 75% of the "
+                        "sequential wall); throughput is the 100-client "
+                        "many-client harness (journal+lease+"
+                        "concurrency=8: ops/sec, exact latency "
+                        "percentiles, lease conflicts, fsck verdict); "
+                        "runs are wire-traced, adding "
                         "the schema-v2 trace section at zero simulated "
                         "cost"),
         "workloads": workloads,

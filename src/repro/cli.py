@@ -124,16 +124,41 @@ def _workload_params(workload: str, scale: float) -> dict:
     return {}
 
 
+def _cmd_bench_throughput(args: argparse.Namespace) -> int:
+    from .obs.bench import write_bench_json
+    from .workloads.throughput import run_throughput
+
+    clients = max(4, int(100 * args.scale))
+    ops = 20 if args.scale >= 1 else 10
+    result = run_throughput(clients=clients, ops_per_client=ops,
+                            concurrency=args.concurrency)
+    lat = result["latency_s"]
+    print(f"throughput: {clients} clients x {ops} ops, "
+          f"concurrency={args.concurrency}")
+    print(f"  {result['ops_per_sec']:.3f} ops/s over "
+          f"{result['sim_seconds']:.1f} simulated s; latency p50 "
+          f"{lat['p50']:.3f}s p95 {lat['p95']:.3f}s p99 "
+          f"{lat['p99']:.3f}s; {result['lease_conflicts']} lease "
+          f"conflicts; fsck {'clean' if result['fsck_clean'] else 'DIRTY'}")
+    path = write_bench_json({"name": "throughput", **result},
+                            args.out_dir)
+    print(f"wrote {path}")
+    return 0 if result["fsck_clean"] else 1
+
+
 def _cmd_bench_workload(args: argparse.Namespace) -> int:
     from .obs.bench import write_bench_json
     from .obs.export import op_table
     from .workloads import run_observed
 
+    if args.workload == "throughput":
+        return _cmd_bench_throughput(args)
     config = None
-    if args.shards:
+    if args.shards or args.concurrency:
         from .fs.client import ClientConfig
         config = ClientConfig(shards=args.shards,
-                              replicas=args.replicas)
+                              replicas=args.replicas,
+                              concurrency=args.concurrency)
     payload, _spans = run_observed(
         args.workload, impl=args.impl,
         params=_workload_params(args.workload, args.scale),
@@ -146,19 +171,21 @@ def _cmd_bench_workload(args: argparse.Namespace) -> int:
     return 0
 
 
-def _parse_resolve_gates(specs: list[str] | None) -> dict[str, float]:
+def _parse_resolve_gates(specs: list[str] | None,
+                         flag: str = "--resolve-gate"
+                         ) -> dict[str, float]:
     """``["andrew=0.5", ...]`` -> ``{"andrew": 0.5}``."""
     gates: dict[str, float] = {}
     for spec in specs or ():
         workload, sep, ratio = spec.partition("=")
         if not sep or not workload:
             raise SystemExit(
-                f"--resolve-gate {spec!r}: expected WORKLOAD=RATIO")
+                f"{flag} {spec!r}: expected WORKLOAD=RATIO")
         try:
             gates[workload] = float(ratio)
         except ValueError:
             raise SystemExit(
-                f"--resolve-gate {spec!r}: {ratio!r} is not a number")
+                f"{flag} {spec!r}: {ratio!r} is not a number")
     return gates
 
 
@@ -171,7 +198,9 @@ def _cmd_bench_diff(args: argparse.Namespace) -> int:
                       request_tol=args.request_tol,
                       phase_tol=args.phase_tol,
                       resolve_gates=_parse_resolve_gates(
-                          args.resolve_gate))
+                          args.resolve_gate),
+                      overlap_gates=_parse_resolve_gates(
+                          args.overlap_gate, flag="--overlap-gate"))
     print(format_diff_table(
         diff, title=f"bench diff: {old_path} -> {new_path}"))
     for line in diff["regressions"]:
@@ -749,7 +778,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("demo", help="end-to-end sharing demo")
     p.set_defaults(func=_cmd_demo)
 
-    workloads = ["postmark", "andrew", "createlist", "office"]
+    workloads = ["postmark", "andrew", "createlist", "office",
+                 "throughput"]
     impls = ["sharoes", "no-enc-md-d", "no-enc-md", "public", "pub-opt"]
 
     p = sub.add_parser("bench",
@@ -777,6 +807,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "0 = the paper's single SSP)")
     p.add_argument("--replicas", type=int, default=2,
                    help="replicas per blob with --shards (default 2)")
+    p.add_argument("--concurrency", type=int, default=0,
+                   help="pipelined request window for --workload "
+                        "(ClientConfig.concurrency; 0 = sequential; "
+                        "also the window for --workload throughput)")
     p.add_argument("--out-dir", default="benchmarks/results",
                    help="directory for BENCH_*.json "
                         "(default benchmarks/results)")
@@ -799,6 +833,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "e.g. andrew=0.5 locks in the PR 7 mdcache "
                         "win; fails if either side lacks a trace "
                         "section)")
+    p.add_argument("--overlap-gate", action="append",
+                   metavar="WORKLOAD=RATIO",
+                   help="with --diff: demand the NEW document's "
+                        "WORKLOAD_concurrent entry finish in <= RATIO "
+                        "x the plain WORKLOAD entry's wall seconds "
+                        "(repeatable; e.g. postmark=0.75 locks in the "
+                        "PR 10 pipelining win)")
     p.add_argument("--list", action="store_true",
                    help="print the committed per-PR benchmark "
                         "trajectory from --out-dir and exit")

@@ -193,6 +193,17 @@ class ClientConfig:
     #: fan out to all k, reads are served by the first live replica and
     #: quorum-checked on disagreement).
     replicas: int = 2
+    #: pipelined request window: ``concurrency >= 2`` attaches a
+    #: :class:`~repro.fs.scheduler.RequestScheduler` that keeps up to
+    #: this many independent requests in flight -- write-behind staging
+    #: for plain puts/deletes and waved fetch flights for multi-block
+    #: reads -- with latency overlapped but bandwidth still shared (see
+    #: docs/CONCURRENCY.md).  0 (default) keeps the paper's strictly
+    #: sequential client and its exact cost numbers.  Requires
+    #: ``batching``; with ``journal=True`` write-behind is disabled
+    #: (journal ordering is a durability contract) but fetch flights
+    #: stay on.
+    concurrency: int = 0
 
 
 @dataclass
@@ -422,6 +433,25 @@ class SharoesFilesystem:
             bind_transport(self.metrics, self.server)
         else:
             self.server = raw
+        #: pipelined request scheduler (``ClientConfig(concurrency=K)``):
+        #: overlaps independent requests in a window of K -- see
+        #: fs/scheduler.py and docs/CONCURRENCY.md.  Sits *above* the
+        #: resilient transport so every wave rides the batch
+        #: partial-retry path.  None (default) keeps the sequential
+        #: client untouched.
+        self.scheduler = None
+        if self.config.concurrency >= 2 and self.config.batching:
+            from .scheduler import RequestScheduler
+            self.scheduler = RequestScheduler(
+                self.server, self.config.concurrency,
+                cost=cost_model, tracer=self.tracer,
+                write_behind=not self.config.journal,
+                count_request=self._count_wire_request,
+                observe_batch=self._observe_batch)
+            self.metrics.register_source(
+                "client.scheduler", self.scheduler.snapshot,
+                help="pipelined request scheduler: write-behind "
+                     "staging, fetch flights, dedup and stale drops")
         #: multi-client safety: per-inode signed leases with fencing
         #: epochs (fs/lease.py).  ``_fences`` maps inode -> held epoch
         #: for the *current* mutation; the journaled intent carries it
@@ -467,6 +497,7 @@ class SharoesFilesystem:
         if self.consistency is None:
             raise SharoesError("consistency log not enabled")
         self._charge_other()
+        self.flush_staged()
         statement = self.consistency.publish(self.server)
         if self.cost is not None:
             self.cost.charge_request(
@@ -484,6 +515,7 @@ class SharoesFilesystem:
         if self.consistency is None:
             raise SharoesError("consistency log not enabled")
         self._charge_other()
+        self.flush_staged()
         if peer_ids is None:
             peer_ids = [u.user_id
                         for u in self.volume.registry.users()]
@@ -501,12 +533,42 @@ class SharoesFilesystem:
         if self.cost is not None:
             self.cost.charge_other()
 
+    def _count_wire_request(self) -> None:
+        self.request_count += 1
+
+    def _write_behind_on(self) -> bool:
+        return self.scheduler is not None and self.scheduler.write_behind
+
+    def flush_staged(self) -> int:
+        """Barrier: ship every staged write-behind mutation now.
+
+        Called at every point where staged state must be visible beyond
+        this client -- close-to-open ``revalidate()``, ``unmount()``,
+        consistency-log publishes -- and before any mutation that must
+        order directly against the SSP (fenced writes, oversized
+        groups).  A no-op without a scheduler.  Returns the number of
+        sub-ops shipped.
+        """
+        if self.scheduler is None:
+            return 0
+        return self.scheduler.flush()
+
     def _get(self, blob_id: BlobId) -> bytes:
         if self._batch is not None:
             # Read-your-writes: an op that re-reads a blob it just staged
             # (symlink resolving its fresh entry, writeback re-reading
             # block 0) must observe its own deferred state.
             covered, payload = self._batch.read(blob_id)
+            if covered:
+                if payload is None:
+                    raise BlobNotFound(str(blob_id))
+                return payload
+        if self.scheduler is not None:
+            # Read-your-writes against the write-behind queue: the
+            # staged state is newer than both the SSP copy and any
+            # speculative raw slot, and serving it here is what keeps a
+            # mutation ordered before its dependent reads.
+            covered, payload = self.scheduler.staged_read(blob_id)
             if covered:
                 if payload is None:
                     raise BlobNotFound(str(blob_id))
@@ -544,6 +606,10 @@ class SharoesFilesystem:
             known = self._batch.exists(blob_id)
             if known is not None:
                 return known
+        if self.scheduler is not None:
+            known = self.scheduler.staged_exists(blob_id)
+            if known is not None:
+                return known
         return self.server.exists(blob_id)
 
     def _fence_for(self, blob_id: BlobId,
@@ -559,6 +625,12 @@ class SharoesFilesystem:
         if self._batch is not None:
             self._batch.stage(journal.PUT, [(blob_id, payload)])
             return
+        if (self._write_behind_on()
+                and self._fence_for(blob_id, fences) is None):
+            self.scheduler.stage_put(blob_id, payload)
+            return
+        # A direct (fenced) write must order after everything staged.
+        self.flush_staged()
         self.request_count += 1
         with self.tracer.span("network", op="put", kind=blob_id.kind):
             if self.cost is not None:
@@ -592,6 +664,18 @@ class SharoesFilesystem:
         if self._batch is not None:
             self._batch.stage(journal.PUT_MANY, list(blobs))
             return
+        if (self._write_behind_on()
+                and len(blobs) <= self.scheduler.window
+                and all(self._fence_for(bid, fences) is None
+                        for bid, _ in blobs)):
+            # Small independent groups ride the write-behind queue and
+            # merge with neighbouring ops into shared RTT waves.  A
+            # group larger than the window would *lose* by staging (its
+            # single OP_BATCH frame costs one RTT; waves cost several),
+            # so it flushes the queue and ships the classic way.
+            self.scheduler.stage_put_many(blobs)
+            return
+        self.flush_staged()
         if not self.config.batching:
             for blob_id, payload in blobs:
                 self._put(blob_id, payload, fences=fences)
@@ -652,6 +736,11 @@ class SharoesFilesystem:
         if self._batch is not None:
             self._batch.stage(journal.DELETE, [(blob_id, None)])
             return
+        if (self._write_behind_on()
+                and self._fence_for(blob_id, fences) is None):
+            self.scheduler.stage_delete(blob_id)
+            return
+        self.flush_staged()
         self.request_count += 1
         with self.tracer.span("network", op="delete", kind=blob_id.kind):
             if self.cost is not None:
@@ -675,6 +764,13 @@ class SharoesFilesystem:
             self._batch.stage(journal.DELETE_MANY,
                               [(bid, None) for bid in blob_ids])
             return
+        if (self._write_behind_on()
+                and len(blob_ids) <= self.scheduler.window
+                and all(self._fence_for(bid, fences) is None
+                        for bid in blob_ids)):
+            self.scheduler.stage_delete_many(blob_ids)
+            return
+        self.flush_staged()
         if not self.config.batching:
             for blob_id in blob_ids:
                 self._delete(blob_id, fences=fences)
@@ -730,6 +826,12 @@ class SharoesFilesystem:
             if self.cache.get(("raw", blob_id)) is not None:
                 continue
             if self._batch is not None and self._batch.read(blob_id)[0]:
+                continue
+            if self.scheduler is not None and self.scheduler.covers(
+                    blob_id):
+                # Staged state is newer than the SSP copy: fetching the
+                # server bytes now would plant a stale raw slot that
+                # outlives the flush.  The overlay serves these reads.
                 continue
             wanted.append(blob_id)
         if len(wanted) < 2:
@@ -1140,6 +1242,7 @@ class SharoesFilesystem:
         return self._superblock
 
     def unmount(self) -> None:
+        self.flush_staged()
         if self.lease is not None:
             try:
                 self.lease.release_all()
@@ -1291,6 +1394,10 @@ class SharoesFilesystem:
         return view
 
     def _invalidate(self, inode: int) -> None:
+        if self.scheduler is not None:
+            # Cancel in-flight speculation: a fetch that raced this
+            # invalidation must not land in any cache.
+            self.scheduler.note_invalidation()
         if self.mdcache is not None:
             self.mdcache.invalidate_inode(inode)
             return
@@ -1314,6 +1421,9 @@ class SharoesFilesystem:
         they are version-pinned and every staleness event invalidates
         through :meth:`_invalidate` -- so the boundary costs nothing.
         """
+        # Close-to-open means "my writes are visible to the next
+        # opener": staged write-behind state must reach the SSP first.
+        self.flush_staged()
         if self.mdcache is not None:
             self.mdcache.revalidate()
             return
@@ -1619,9 +1729,50 @@ class SharoesFilesystem:
             if index == 0:
                 total = int.from_bytes(plain[:4], "big")
                 plain = plain[4:]
+                self._fetch_tail_blocks(node.inode, total)
             blocks.append(plain)
             index += 1
         return b"".join(blocks), blocks
+
+    def _fetch_tail_blocks(self, inode: int, total: int) -> None:
+        """Overlap the tail of a multi-block read (scheduler only).
+
+        Block 0 just told us the real block count; the sequential loop
+        would now pay one full RTT per remaining block.  With a
+        scheduler, fetch the not-yet-cached tail as one flight (waves
+        of ``concurrency`` requests sharing RTTs) and park the sealed
+        bytes in the consume-once ``("raw", ...)`` slots the loop's
+        :meth:`_get` drains -- same bytes, same verification, fewer
+        serialized round trips.  A missing block simply stays unfetched
+        and the demand path surfaces the usual truncation error.
+        """
+        if self.scheduler is None or total <= 2:
+            return
+        wanted = []
+        for index in range(1, total):
+            if (self.config.data_cache and
+                    self.cache.get(("data", inode, index)) is not None):
+                continue
+            blob_id = block_blob_id(inode, index)
+            if self.cache.get(("raw", blob_id)) is not None:
+                continue
+            if self._batch is not None and self._batch.read(blob_id)[0]:
+                continue
+            if self.scheduler.covers(blob_id):
+                continue
+            wanted.append(blob_id)
+        if len(wanted) < 2:
+            return
+        wanted = wanted[:_MAX_PREFETCH]
+        with self.tracer.span("network", op="fetch_tail",
+                              count=len(wanted)):
+            fetched = self.scheduler.fetch_many(wanted)
+        for blob_id, payload in fetched.items():
+            if payload is not None:
+                self.cache.put(("raw", blob_id), payload, len(payload))
+                self.metrics.counter(
+                    "client.readahead.prefetched",
+                    help="blobs fetched speculatively").inc()
 
     @traced("read_file")
     def read_file(self, path: str) -> bytes:

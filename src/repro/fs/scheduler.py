@@ -1,0 +1,380 @@
+"""Pipelined request scheduling for one mounted client (PR 10).
+
+The sequential client pays one full WAN round trip per wire frame, even
+when consecutive frames are independent -- ``BENCH_9`` shows postmark
+spending ~77% of its wall-clock in exactly those back-to-back RTTs.  A
+real asynchronous client keeps a *window* of K requests in flight: their
+latencies overlap while their payload bytes still serialize on the one
+shared link (see :meth:`repro.sim.network.NetworkLink.flight_time` for
+the honest math).
+
+:class:`RequestScheduler` brings that window to the simulated client:
+
+* **write-behind staging** -- independent mutations (plain puts and
+  deletes; never fenced, CAS, journal or lease traffic) queue up to
+  ``window`` sub-ops and ship together as one *wave*, charged
+  ``ceil(N / window)`` RTTs plus full serialized transfer.  A
+  read-your-writes **overlay** answers reads of staged blobs locally,
+  so ordering is preserved: a mutation is never reordered past a read
+  that depends on it, and queue order is FIFO per blob and per inode.
+* **fetch flights** -- independent reads (the block tail of a multi-
+  block file) ship in waves of ``window`` instead of one RTT each,
+  with in-flight dedup (duplicate ids ride one fetch and every waiter
+  gets the same bytes) and generation-based cancellation (a fetch that
+  raced an invalidation is dropped, never served into a cache).
+
+The scheduler deliberately stays below the client's crypto layer: it
+sees sealed blobs only, so enabling it cannot change what bytes are
+written -- just when they cross the wire.  The concurrent-vs-sequential
+differential suite (tests/test_concurrency_differential.py) proves the
+final SSP state byte-identical.
+
+Ordering and flush rules (see docs/CONCURRENCY.md):
+
+* staged blobs are flushed, in order, as soon as the queue reaches
+  ``window`` sub-ops, or at any *barrier*: an explicit
+  ``flush_staged()``, ``unmount()``, ``revalidate()`` (close-to-open
+  visibility), consistency-log publishes, and before any operation that
+  must order against the SSP (fenced/CAS writes, oversized groups);
+* errors keep the single-op exception taxonomy, surfaced at flush time
+  with the applied/failed/remaining contract of ``PartialWriteError``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from ..errors import (BlobNotFound, PartialWriteError, StaleEpochError,
+                      StorageError, TransientPartialWriteError)
+from ..storage.blobs import BlobId
+from ..storage.server import BatchOp, BatchReply
+
+_REQUEST_HEADER_BYTES = 64
+_RESPONSE_HEADER_BYTES = 16
+
+
+class _NullScope:
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_SCOPE = _NullScope()
+
+
+class RequestScheduler:
+    """A window of K overlapped SSP requests for one client.
+
+    Parameters
+    ----------
+    server:
+        The transport the owning client talks to (possibly a
+        ``ResilientTransport`` -- waves ride its ``batch`` partial-retry
+        path, so flaky backends reconcile exactly like sequential runs).
+    window:
+        Requests kept in flight concurrently (the ``ClientConfig``
+        ``concurrency`` knob); at least 2.
+    cost / tracer:
+        Optional cost model and span tracer; waves charge
+        ``cost.charge_flight`` and open ``network`` spans.
+    write_behind:
+        Allow mutation staging.  The owning client disables it when the
+        intent journal is on -- journal append/apply/commit ordering is
+        a durability contract the write-behind queue must not reorder --
+        while fetch flights stay available.
+    count_request / observe_batch:
+        Callbacks into the owning client's request counter and batch-
+        size histogram, so wire-frame accounting stays in one place.
+    """
+
+    def __init__(self, server, window: int, cost=None, tracer=None,
+                 write_behind: bool = True,
+                 count_request: Callable[[], None] | None = None,
+                 observe_batch: Callable[[int], None] | None = None):
+        if window < 2:
+            raise ValueError("scheduler window must be >= 2")
+        self.server = server
+        self.window = window
+        self.cost = cost
+        self.tracer = tracer
+        self.write_behind = write_behind
+        self._count_request = count_request or (lambda: None)
+        self._observe_batch = observe_batch or (lambda n: None)
+        #: staged mutations in arrival order (put/delete sub-ops only).
+        self._staged: list[BatchOp] = []
+        #: read-your-writes overlay: blob id -> newest staged payload
+        #: (None = staged delete).  Covers exactly the blobs in the
+        #: queue; cleared when the queue drains.
+        self._overlay: dict[BlobId, bytes | None] = {}
+        #: bumped by the owning client's invalidations; a fetch flight
+        #: that observes a bump mid-flight is stale and drops its
+        #: results instead of serving them into any cache.
+        self.generation = 0
+        # counters (exported as the ``client.scheduler`` metrics source)
+        self.staged_ops = 0
+        self.overlay_reads = 0
+        self.flushes = 0
+        self.autoflushes = 0
+        self.flush_waves = 0
+        self.flushed_ops = 0
+        self.fetch_flights = 0
+        self.fetch_waves = 0
+        self.fetched_ops = 0
+        self.dedup_hits = 0
+        self.stale_drops = 0
+        self.max_queue = 0
+
+    # -- introspection -------------------------------------------------------
+
+    def snapshot(self) -> dict[str, float]:
+        """Pull-based metrics source (``client.scheduler.*``)."""
+        return {
+            "window": float(self.window),
+            "queue_depth": float(len(self._staged)),
+            "max_queue": float(self.max_queue),
+            "staged_ops": float(self.staged_ops),
+            "overlay_reads": float(self.overlay_reads),
+            "flushes": float(self.flushes),
+            "autoflushes": float(self.autoflushes),
+            "flush_waves": float(self.flush_waves),
+            "flushed_ops": float(self.flushed_ops),
+            "fetch_flights": float(self.fetch_flights),
+            "fetch_waves": float(self.fetch_waves),
+            "fetched_ops": float(self.fetched_ops),
+            "dedup_hits": float(self.dedup_hits),
+            "stale_drops": float(self.stale_drops),
+        }
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._staged)
+
+    # -- read-your-writes overlay -------------------------------------------
+
+    def staged_read(self, blob_id: BlobId) -> tuple[bool, bytes | None]:
+        """(covered, payload) for a blob with staged state.
+
+        ``covered=True`` means the queue holds this blob's newest state:
+        the payload of the latest staged put, or ``None`` for a staged
+        delete.  Serving it locally is what keeps mutations ordered
+        before their dependent reads without forcing a flush.
+        """
+        if blob_id not in self._overlay:
+            return False, None
+        self.overlay_reads += 1
+        return True, self._overlay[blob_id]
+
+    def staged_exists(self, blob_id: BlobId) -> bool | None:
+        """Tri-state existence: True/False if staged state decides it."""
+        if blob_id not in self._overlay:
+            return None
+        self.overlay_reads += 1
+        return self._overlay[blob_id] is not None
+
+    def covers(self, blob_id: BlobId) -> bool:
+        """Queue holds staged state for this blob (no counter bump) --
+        used by speculative paths to skip ids whose server copy would
+        be stale the moment the queue flushes."""
+        return blob_id in self._overlay
+
+    def note_invalidation(self) -> None:
+        """The client invalidated cached state (lease takeover, fresh
+        lease, revalidation miss): any fetch currently in flight is
+        stale and must not land in a cache."""
+        self.generation += 1
+
+    # -- write-behind staging ------------------------------------------------
+
+    def stage_put(self, blob_id: BlobId, payload: bytes) -> None:
+        self.stage_put_many([(blob_id, payload)])
+
+    def stage_put_many(self,
+                       blobs: Sequence[tuple[BlobId, bytes]]) -> None:
+        """Queue uploads; auto-flush once the window fills.
+
+        The whole group is staged before the flush check so its sub-ops
+        stay contiguous in queue order (a flush may still split a group
+        across waves -- waves apply in order, so per-blob ordering
+        holds regardless).
+        """
+        if not self.write_behind:
+            raise StorageError("scheduler write-behind is disabled")
+        for blob_id, payload in blobs:
+            self._staged.append(BatchOp.put(blob_id, payload))
+            self._overlay[blob_id] = payload
+            self.staged_ops += 1
+        self.max_queue = max(self.max_queue, len(self._staged))
+        self._maybe_autoflush()
+
+    def stage_delete(self, blob_id: BlobId) -> None:
+        self.stage_delete_many([blob_id])
+
+    def stage_delete_many(self, blob_ids: Sequence[BlobId]) -> None:
+        if not self.write_behind:
+            raise StorageError("scheduler write-behind is disabled")
+        for blob_id in blob_ids:
+            self._staged.append(BatchOp.delete(blob_id))
+            self._overlay[blob_id] = None
+            self.staged_ops += 1
+        self.max_queue = max(self.max_queue, len(self._staged))
+        self._maybe_autoflush()
+
+    def _maybe_autoflush(self) -> None:
+        if len(self._staged) >= self.window:
+            self.autoflushes += 1
+            self.flush()
+
+    # -- shipping ------------------------------------------------------------
+
+    def _span(self, op: str, **attrs):
+        if self.tracer is None:
+            return _NULL_SCOPE
+        return self.tracer.span("network", op=op, **attrs)
+
+    @staticmethod
+    def _transfer(op: BatchOp, reply: BatchReply) -> tuple[int, int]:
+        """(up, down) wire bytes of one pipelined request."""
+        if op.kind == "get":
+            down = len(reply.payload or b"") if reply.ok else 0
+            return (_REQUEST_HEADER_BYTES,
+                    down + _RESPONSE_HEADER_BYTES)
+        return (op.sent_bytes() + _REQUEST_HEADER_BYTES,
+                _RESPONSE_HEADER_BYTES)
+
+    def _charge_wave(self, ops: Sequence[BatchOp],
+                     replies: Sequence[BatchReply]) -> None:
+        """Bill one wave: attempted requests overlap their RTTs within
+        the window; unattempted sub-ops never left the client."""
+        if self.cost is None:
+            return
+        transfers = [self._transfer(op, reply)
+                     for op, reply in zip(ops, replies)
+                     if reply.status != "unattempted"]
+        self.cost.charge_flight(transfers, parallel=self.window)
+
+    def flush(self) -> int:
+        """Drain the staged queue in waves of ``window`` sub-ops.
+
+        Each wave is one wire exchange (window-many pipelined requests
+        whose RTTs overlap); waves apply strictly in order, so the SSP
+        observes the exact sequential mutation order.  Returns the
+        number of sub-ops shipped.
+
+        On a sub-op failure the queue is cleared and the single-op
+        exception taxonomy is raised: ``fenced`` -> StaleEpochError
+        (cannot happen for staged ops -- fenced writes bypass staging),
+        a failed put -> ``PartialWriteError`` (transient cause keeps its
+        retryable type) carrying applied/failed/remaining blob ids, any
+        other failure via ``BatchReply.raise_for_status``.
+        """
+        ops, self._staged = self._staged, []
+        self._overlay = {}
+        if not ops:
+            return 0
+        self.flushes += 1
+        applied: list[BlobId] = []
+        with self._span("flush", count=len(ops), window=self.window):
+            for base in range(0, len(ops), self.window):
+                wave = ops[base:base + self.window]
+                self.flush_waves += 1
+                self._count_request()
+                self._observe_batch(len(wave))
+                replies = self.server.batch(wave)
+                self._charge_wave(wave, replies)
+                for index, (op, reply) in enumerate(zip(wave, replies)):
+                    if reply.ok:
+                        applied.append(op.blob_id)
+                        self.flushed_ops += 1
+                        continue
+                    self._raise_wave_failure(ops, base + index, op,
+                                             reply, applied)
+        return len(ops)
+
+    def _raise_wave_failure(self, ops: Sequence[BatchOp], index: int,
+                            op: BatchOp, reply: BatchReply,
+                            applied: list[BlobId]) -> None:
+        remaining = [later.blob_id for later in ops[index + 1:]]
+        if op.kind == "put" and reply.status == "error":
+            cls = (TransientPartialWriteError if reply.transient
+                   else PartialWriteError)
+            raise cls(
+                f"write-behind flush failed at {op.blob_id} "
+                f"({len(applied)}/{len(ops)} sub-ops applied): "
+                f"{reply.message}",
+                applied=applied, failed=op.blob_id, remaining=remaining)
+        # Deletes and anything else surface exactly like the single op
+        # (missing -> BlobNotFound, error -> StorageError taxonomy).
+        reply.raise_for_status()
+        raise StorageError(  # pragma: no cover - defensive
+            f"unexpected sub-reply {reply.status!r} for {op.kind}")
+
+    # -- fetch flights -------------------------------------------------------
+
+    def fetch_many(self, blob_ids: Iterable[BlobId]
+                   ) -> dict[BlobId, bytes | None]:
+        """Fetch independent blobs in waves of ``window`` requests.
+
+        Returns ``{blob_id: payload}`` with ``None`` for absent blobs.
+        Duplicate ids dedup onto a single in-flight fetch (every caller
+        position still resolves -- one fetch's bytes answer all
+        waiters); blobs with staged state are answered from the overlay
+        without touching the wire.
+
+        If an invalidation lands while the flight is in progress (the
+        ``generation`` bump from :meth:`note_invalidation`), the
+        results fetched so far are **dropped**, not returned: a stale
+        speculative payload must never reach the caller's caches.  A
+        storage error likewise voids the remainder silently -- callers
+        treat a missing entry as "fetch it on demand".
+        """
+        results: dict[BlobId, bytes | None] = {}
+        wanted: list[BlobId] = []
+        seen: set[BlobId] = set()
+        for blob_id in blob_ids:
+            if blob_id in seen:
+                self.dedup_hits += 1
+                continue
+            seen.add(blob_id)
+            covered, payload = self.staged_read(blob_id)
+            if covered:
+                results[blob_id] = payload
+                continue
+            wanted.append(blob_id)
+        if not wanted:
+            return results
+        generation = self.generation
+        self.fetch_flights += 1
+        fetched: dict[BlobId, bytes | None] = {}
+        with self._span("fetch_flight", count=len(wanted),
+                        window=self.window):
+            for base in range(0, len(wanted), self.window):
+                wave = wanted[base:base + self.window]
+                wave_ops = [BatchOp.get(blob_id) for blob_id in wave]
+                self.fetch_waves += 1
+                self._count_request()
+                self._observe_batch(len(wave))
+                try:
+                    replies = self.server.batch(wave_ops)
+                except StorageError:
+                    if self.cost is not None:
+                        self.cost.charge_flight(
+                            [(_REQUEST_HEADER_BYTES,
+                              _RESPONSE_HEADER_BYTES)] * len(wave),
+                            parallel=self.window)
+                    break
+                self._charge_wave(wave_ops, replies)
+                for blob_id, reply in zip(wave, replies):
+                    if reply.ok and reply.payload is not None:
+                        fetched[blob_id] = reply.payload
+                        self.fetched_ops += 1
+                    else:
+                        fetched[blob_id] = None
+        if self.generation != generation:
+            # The flight raced an invalidation: everything it carried
+            # is suspect.  Serve nothing; demand paths re-fetch fresh.
+            self.stale_drops += len(fetched)
+            return results
+        results.update(fetched)
+        return results

@@ -151,7 +151,8 @@ def diff_bench(old: dict[str, dict[str, Any]],
                new: dict[str, dict[str, Any]],
                wall_tol: float = 0.02, request_tol: float = 0.0,
                phase_tol: float | None = None,
-               resolve_gates: dict[str, float] | None = None
+               resolve_gates: dict[str, float] | None = None,
+               overlap_gates: dict[str, float] | None = None
                ) -> dict[str, Any]:
     """Compare two loaded BENCH documents; flag regressions.
 
@@ -171,7 +172,18 @@ def diff_bench(old: dict[str, dict[str, Any]],
       depths) be at most that fraction of the old run's -- an
       *improvement* floor, not a tolerance.  A gated workload missing
       resolve attribution on either side fails loud rather than
-      silently passing (PR 7: the mdcache win must stay locked in).
+      silently passing (PR 7: the mdcache win must stay locked in);
+    * **overlap** -- ``overlap_gates={"postmark": 0.75}`` demands, in
+      the *new* document alone, that the ``postmark_concurrent`` entry's
+      wall seconds be at most that fraction of the plain ``postmark``
+      entry's: the pipelined client's speedup is an acceptance claim
+      (PR 10), so losing it fails the gate even though neither run
+      individually regressed;
+    * **throughput** -- entries that carry an ``ops_per_sec`` field
+      (the many-client harness section) gate on throughput instead of
+      wall seconds: a drop beyond ``wall_tol`` (relative) regresses, as
+      does a run whose final fsck was not clean.  Latency percentiles
+      are reported alongside.
 
     Workloads present in only one document are reported as added or
     removed; a removed workload is flagged (a shrinking benchmark
@@ -183,6 +195,10 @@ def diff_bench(old: dict[str, dict[str, Any]],
         if name not in new:
             regressions.append(f"{name}: workload removed from new run")
             rows.append({"workload": name, "status": "removed"})
+            continue
+        if "ops_per_sec" in new[name]:
+            rows.append(_diff_throughput(name, old.get(name), new[name],
+                                         wall_tol, regressions))
             continue
         if name not in old:
             rows.append({"workload": name, "status": "added"})
@@ -249,8 +265,72 @@ def diff_bench(old: dict[str, dict[str, Any]],
                         f"{new_res:.3f}s (> x{ratio:g} floor "
                         f"= {ratio * old_res:.3f}s)")
         rows.append(row)
+    for name, ratio in sorted((overlap_gates or {}).items()):
+        rows.append(_gate_overlap(name, ratio, new, regressions))
     return {"rows": rows, "regressions": regressions,
             "ok": not regressions}
+
+
+def _diff_throughput(name: str, old: dict[str, Any] | None,
+                     new: dict[str, Any], tol: float,
+                     regressions: list[str]) -> dict[str, Any]:
+    """Gate a many-client throughput entry on ops/sec and fsck."""
+    row: dict[str, Any] = {
+        "workload": name, "status": "ok", "kind": "throughput",
+        "ops_per_sec_new": round(float(new["ops_per_sec"]), 6),
+        "latency_new": dict(new.get("latency_s", {})),
+    }
+    if not new.get("fsck_clean", False):
+        row["status"] = "regressed"
+        regressions.append(
+            f"{name}: final fsck was not clean "
+            f"({new.get('fsck_errors', '?')} errors)")
+    if old is None or "ops_per_sec" not in old:
+        if row["status"] == "ok":
+            row["status"] = "added"
+        return row
+    old_tput = float(old["ops_per_sec"])
+    new_tput = float(new["ops_per_sec"])
+    delta = (new_tput - old_tput) / old_tput if old_tput else 0.0
+    row.update(ops_per_sec_old=round(old_tput, 6),
+               ops_per_sec_delta=round(delta, 6),
+               latency_old=dict(old.get("latency_s", {})))
+    if delta < -tol:
+        row["status"] = "regressed"
+        regressions.append(
+            f"{name}: throughput {old_tput:.3f} -> {new_tput:.3f} "
+            f"ops/s ({delta * 100:+.1f}% < -{tol * 100:.1f}%)")
+    return row
+
+
+def _gate_overlap(name: str, ratio: float,
+                  new: dict[str, dict[str, Any]],
+                  regressions: list[str]) -> dict[str, Any]:
+    """The within-document concurrency speedup floor."""
+    concurrent_name = f"{name}_concurrent"
+    row: dict[str, Any] = {"workload": f"{name}~overlap",
+                           "status": "ok", "kind": "overlap",
+                           "ratio": ratio}
+    if name not in new or concurrent_name not in new:
+        missing = name if name not in new else concurrent_name
+        row["status"] = "regressed"
+        regressions.append(
+            f"{name}: overlap gate x{ratio:g} set but the new document "
+            f"has no {missing!r} entry")
+        return row
+    base = _wall_seconds(new[name])
+    concurrent = _wall_seconds(new[concurrent_name])
+    row["wall_old"] = round(base, 6)
+    row["wall_new"] = round(concurrent, 6)
+    row["wall_delta"] = round((concurrent - base) / base if base else 0.0,
+                              6)
+    if concurrent > ratio * base:
+        row["status"] = "regressed"
+        regressions.append(
+            f"{name}: concurrent wall {concurrent:.3f}s exceeds "
+            f"x{ratio:g} floor of sequential {base:.3f}s "
+            f"(= {ratio * base:.3f}s); the pipelining win regressed")
+    return row
 
 
 def format_diff_table(diff: dict[str, Any],
@@ -258,7 +338,19 @@ def format_diff_table(diff: dict[str, Any],
     from ..workloads.report import format_table
     rows = []
     for row in diff["rows"]:
-        if row.get("status") in ("added", "removed"):
+        if row.get("kind") == "throughput":
+            tput = (f"{row['ops_per_sec_old']:.3f} -> "
+                    f"{row['ops_per_sec_new']:.3f} ops/s"
+                    if "ops_per_sec_old" in row else
+                    f"{row['ops_per_sec_new']:.3f} ops/s")
+            p95 = row["latency_new"].get("p95")
+            rows.append([row["workload"], row["status"], tput,
+                         f"{row.get('ops_per_sec_delta', 0.0) * 100:+.2f}%",
+                         "-", f"p95 {p95:.3f}s" if p95 is not None
+                         else "-"])
+            continue
+        if row.get("status") in ("added", "removed") \
+                or "wall_old" not in row:
             rows.append([row["workload"], row["status"], "-", "-", "-",
                          "-"])
             continue

@@ -158,6 +158,19 @@ class CostModel:
         self.charge(NETWORK, self.profile.link.request_time(
             up_bytes, down_bytes, round_trips))
 
+    def charge_flight(self, transfers, parallel: int = 1) -> None:
+        """A flight of overlapped requests (see ``NetworkLink.flight_time``).
+
+        ``transfers`` is one ``(up_bytes, down_bytes)`` pair per request;
+        up to ``parallel`` requests share each RTT wave while their
+        payload bytes still serialize on the link.  ``parallel=1`` is
+        byte-for-byte identical to charging each request individually,
+        which is the cost-parity contract the sequential client relies
+        on (tests/test_flight_costs.py pins it).
+        """
+        self.charge(NETWORK, self.profile.link.flight_time(
+            transfers, parallel))
+
     def charge_other(self, seconds: float | None = None) -> None:
         """Fixed per-operation overhead (FUSE dispatch, serialization)."""
         if seconds is None:

@@ -13,7 +13,9 @@ faster uplink), exactly as the paper's bar chart shows.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+from typing import Sequence
 
 
 def kbits_per_sec(kbits: float) -> float:
@@ -43,12 +45,48 @@ class NetworkLink:
     def download_time(self, num_bytes: int) -> float:
         return num_bytes / self.download_bytes_per_s
 
+    def transfer_time(self, up_bytes: int, down_bytes: int) -> float:
+        """Serialized payload transfer time, excluding latency.
+
+        The RTT/transfer split matters once requests overlap: concurrent
+        requests can hide each other's *latency* but still share the
+        *link*, so only the RTT component may be amortized.
+        """
+        return self.upload_time(up_bytes) + self.download_time(down_bytes)
+
     def request_time(self, up_bytes: int, down_bytes: int,
                      round_trips: int = 1) -> float:
         """Time for one request: RTTs plus payload transfer each way."""
         return (round_trips * self.rtt_s
-                + self.upload_time(up_bytes)
-                + self.download_time(down_bytes))
+                + self.transfer_time(up_bytes, down_bytes))
+
+    def flight_time(self, transfers: Sequence[tuple[int, int]],
+                    parallel: int = 1) -> float:
+        """Elapsed time for a *flight*: N requests with up to ``parallel``
+        concurrently in flight on this one link.
+
+        ``transfers`` is one ``(up_bytes, down_bytes)`` pair per request.
+        The model is honest about what a single shared link can and
+        cannot overlap:
+
+        * **latency overlaps** -- up to ``parallel`` requests wait out
+          their round trips together, so N requests pay
+          ``ceil(N / parallel)`` RTT *waves* instead of N RTTs;
+        * **bandwidth does not** -- every byte still crosses the same
+          asymmetric pipe, so transfer time is the full serialized sum,
+          exactly as if the requests had run back to back.
+
+        With ``parallel=1`` (or a single request) this degrades to the
+        sum of :meth:`request_time` over the transfers, which is what
+        keeps the sequential cost model's numbers unchanged.
+        """
+        count = len(transfers)
+        if count == 0:
+            return 0.0
+        waves = math.ceil(count / max(1, parallel))
+        up = sum(pair[0] for pair in transfers)
+        down = sum(pair[1] for pair in transfers)
+        return waves * self.rtt_s + self.transfer_time(up, down)
 
 
 #: The paper's measured home-DSL link (section V-A).  The 100 ms RTT is

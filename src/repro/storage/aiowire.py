@@ -1,0 +1,143 @@
+"""Asyncio front-end for the SSP wire protocol (PR 10).
+
+The threaded :class:`~repro.storage.wire.SspServer` dedicates one OS
+thread per connection -- fine for a handful of clients, unreasonable for
+the many-client throughput axis where hundreds of mounted clients hold
+connections open concurrently.  :class:`AsyncSspServer` serves the
+**identical protocol** (same length-prefixed frames, same opcodes
+including ``OP_BATCH``, same optional trace-context blocks) from a
+single event loop: per-connection coroutines multiplex on one thread,
+so idle connections cost a buffer, not a stack.
+
+Interchangeability is structural, not aspirational: every received
+frame is handed to :func:`repro.storage.wire.dispatch_message`, the
+same function the threaded server calls, so the two front-ends cannot
+disagree on framing, trace handling, or error mapping.  An unmodified
+:class:`~repro.storage.wire.RemoteStorageClient` (and therefore a
+mounted :class:`~repro.fs.client.SharoesFilesystem`) works against
+either -- tests/test_aiowire.py proves it by running the whole client
+stack over a loopback asyncio server.
+
+The event loop runs on a daemon background thread so synchronous
+callers (tests, benchmarks, the CLI) keep their usual start/stop/
+context-manager ergonomics.  Requests on one connection are processed
+in arrival order (the protocol is request/response per connection);
+different connections interleave freely, which is exactly the
+concurrency contract the client-side scheduler assumes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import struct
+import threading
+
+from ..errors import StorageError
+from .server import StorageServer
+from .wire import _MAX_MESSAGE, dispatch_message
+
+
+class AsyncSspServer:
+    """Single-threaded asyncio TCP front-end for a storage backend."""
+
+    def __init__(self, backend: StorageServer, host: str = "127.0.0.1",
+                 port: int = 0):
+        self.backend = backend
+        self._host = host
+        self._port = port
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._address: tuple[str, int] | None = None
+        self._startup_error: BaseException | None = None
+        #: connections accepted / frames served since start (read from
+        #: the owning thread after stop, or racily for progress counts).
+        self.connections = 0
+        self.frames = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "AsyncSspServer":
+        self._thread = threading.Thread(
+            target=self._run, daemon=True, name="async-ssp-server")
+        self._thread.start()
+        if not self._ready.wait(timeout=10):
+            raise StorageError("async SSP server failed to start")
+        if self._startup_error is not None:
+            raise StorageError(
+                f"async SSP server failed to bind: {self._startup_error}")
+        return self
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stop_event is not None:
+            with contextlib.suppress(RuntimeError):
+                self._loop.call_soon_threadsafe(self._stop_event.set)
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+
+    @property
+    def address(self) -> tuple[str, int]:
+        if self._address is None:
+            raise StorageError("async SSP server is not running")
+        return self._address
+
+    def __enter__(self) -> "AsyncSspServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # -- event loop ----------------------------------------------------------
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # bind failure and the like
+            self._startup_error = exc
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        server = await asyncio.start_server(
+            self._serve_connection, self._host, self._port)
+        self._address = server.sockets[0].getsockname()[:2]
+        self._ready.set()
+        async with server:
+            await self._stop_event.wait()
+        # Connection coroutines are daemons of this loop: asyncio.run
+        # cancels anything still pending when _main returns.
+
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        self.connections += 1
+        try:
+            while True:
+                try:
+                    header = await reader.readexactly(4)
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    return  # client hung up between frames
+                (length,) = struct.unpack(">I", header)
+                if length > _MAX_MESSAGE:
+                    return  # mirror the threaded server: drop framing
+                try:
+                    message = await reader.readexactly(length)
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    return
+                response = dispatch_message(self.backend, message)
+                self.frames += 1
+                writer.write(struct.pack(">I", len(response)) + response)
+                try:
+                    await writer.drain()
+                except (ConnectionError, OSError):
+                    return  # client vanished mid-reply
+        finally:
+            writer.close()
+            # Loop teardown cancels connection tasks mid-wait; swallow
+            # the cancellation here so shutdown stays silent -- the
+            # socket is already closed either way.
+            with contextlib.suppress(ConnectionError, OSError,
+                                     asyncio.CancelledError):
+                await writer.wait_closed()

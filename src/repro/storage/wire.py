@@ -383,6 +383,31 @@ def _send_message(sock: socket.socket, body: bytes) -> None:
     sock.sendall(struct.pack(">I", len(body)) + body)
 
 
+def dispatch_message(backend: StorageServer, message: bytes) -> bytes:
+    """One request frame body -> one response frame body.
+
+    Transport-neutral: the threaded :class:`SspServer` and the asyncio
+    front-end (:mod:`repro.storage.aiowire`) both funnel every frame
+    through here, so the two servers cannot drift -- same opcodes, same
+    trace-context handling, same exception-to-status mapping.
+    """
+    if not message:
+        # A length-0 frame has no opcode byte; reply ERROR rather than
+        # dying on message[0].
+        return bytes([STATUS_ERROR]) + b"empty request frame"
+    try:
+        return _Handler._traced_dispatch(backend, message[0], message[1:])
+    except BlobNotFound:
+        return bytes([STATUS_MISSING])
+    except CasConflictError as exc:
+        return bytes([STATUS_CONFLICT]) + _pack_presence(exc.current)
+    except StaleEpochError as exc:
+        return (bytes([STATUS_FENCED])
+                + struct.pack(">Q", exc.current_epoch))
+    except Exception as exc:  # surfaced to client as ERROR
+        return bytes([STATUS_ERROR]) + str(exc).encode()
+
+
 class _Handler(socketserver.BaseRequestHandler):
     def handle(self) -> None:
         backend: StorageServer = self.server.backend  # type: ignore
@@ -391,24 +416,7 @@ class _Handler(socketserver.BaseRequestHandler):
                 message = _recv_message(self.request)
             except (StorageError, OSError):
                 return  # client hung up / sent garbage framing
-            if not message:
-                # A length-0 frame has no opcode byte; reply ERROR
-                # rather than dying on message[0].
-                response = bytes([STATUS_ERROR]) + b"empty request frame"
-            else:
-                try:
-                    response = self._traced_dispatch(backend, message[0],
-                                                     message[1:])
-                except BlobNotFound:
-                    response = bytes([STATUS_MISSING])
-                except CasConflictError as exc:
-                    response = (bytes([STATUS_CONFLICT])
-                                + _pack_presence(exc.current))
-                except StaleEpochError as exc:
-                    response = (bytes([STATUS_FENCED])
-                                + struct.pack(">Q", exc.current_epoch))
-                except Exception as exc:  # surfaced to client as ERROR
-                    response = bytes([STATUS_ERROR]) + str(exc).encode()
+            response = dispatch_message(backend, message)
             try:
                 _send_message(self.request, response)
             except OSError:

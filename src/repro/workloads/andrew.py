@@ -28,7 +28,7 @@ import random
 from dataclasses import dataclass
 
 from ..fs.client import ClientConfig
-from .runner import BenchEnv
+from .runner import BenchEnv, flush_client
 
 #: Source tree shape: ~70 files across 20 directories, ~700 KB total.
 SRC_DIRS = 20
@@ -121,6 +121,7 @@ def run_andrew(env: BenchEnv, seed: int = 5,
     for d in dirs:
         fs.mkdir(d, mode=0o755)
     fs.mkdir("/obj", mode=0o755)
+    flush_client(fs)
     phase_seconds["mkdir"] = cost.clock.now - start
 
     # Phase 2: copy the source tree in.
@@ -129,6 +130,7 @@ def run_andrew(env: BenchEnv, seed: int = 5,
     for path, content in files.items():
         fs.mknod(path, mode=0o644)
         fs.write_file(path, content)
+    flush_client(fs)
     phase_seconds["copy"] = cost.clock.now - start
 
     # Phase 3: stat everything (no data).
@@ -164,6 +166,7 @@ def run_andrew(env: BenchEnv, seed: int = 5,
     _revalidate(fs)
     for path in source_paths:
         fs.getattr(path)  # make's final freshness check
+    flush_client(fs)
     cost.charge_compute(COMPILE_CPU_SECONDS)
     phase_seconds["compile"] = cost.clock.now - start
 

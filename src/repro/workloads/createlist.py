@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..sim.costmodel import CostModel
-from .runner import BenchEnv
+from .runner import BenchEnv, flush_client
 
 #: Published results (seconds), transcribed from Figure 9.
 PAPER_FIG9 = {
@@ -46,6 +46,7 @@ def run_create_and_list(env: BenchEnv, files: int = 500,
         fs.mkdir(f"/dir{d:03d}", mode=0o700)
         for f in range(per_dir):
             fs.mknod(f"/dir{d:03d}/file{f:03d}", mode=0o600)
+    flush_client(fs)
     create_seconds = cost.clock.now - start
 
     # The list phase models a fresh `ls -lR` pass: everything created

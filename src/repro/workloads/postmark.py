@@ -19,7 +19,7 @@ from dataclasses import dataclass
 
 from ..errors import FilesystemError
 from ..fs.client import ClientConfig
-from .runner import BenchEnv
+from .runner import BenchEnv, flush_client
 
 _RUN_COUNTER = itertools.count()
 
@@ -109,6 +109,7 @@ def run_postmark(env: BenchEnv, files: int = 500, transactions: int = 500,
 
     for path in pool:
         fs.unlink(path)
+    flush_client(fs)  # settle write-behind before the clock is read
     total = cost.clock.now - start
     return PostmarkResult(impl=env.impl, cache_fraction=cache_fraction,
                           total_seconds=total, transactions=transactions,

@@ -63,6 +63,11 @@ class BenchEnv:
     #: extra tracer sinks attached to every client's tracer (e.g. an
     #: EventLog's span_sink for ``repro trace --events``).
     tracer_sinks: tuple = ()
+    #: ClientConfig fields stamped onto *every* client of this
+    #: environment, including the fresh ones workloads mint for cache
+    #: sweeps (which otherwise build their own configs and would drop
+    #: environment-level knobs like ``concurrency``).
+    client_overrides: dict = dataclasses.field(default_factory=dict)
 
     def fresh_client(self, config: ClientConfig | None = None,
                      reset_cost: bool = True
@@ -70,6 +75,9 @@ class BenchEnv:
         """A new client on the same volume (e.g. for cache-size sweeps)."""
         if reset_cost:
             self.cost.reset()
+        if self.client_overrides:
+            config = dataclasses.replace(config or ClientConfig(),
+                                         **self.client_overrides)
         if self.wire_trace:
             config = _traced_config(config)
         if self.impl == "sharoes":
@@ -84,6 +92,18 @@ class BenchEnv:
             fs.tracer.add_sink(sink)
         self.fs = fs
         return fs
+
+
+def flush_client(fs) -> None:
+    """Ship any write-behind state before a timing or comparison point.
+
+    Workloads call this at measurement boundaries so a pipelined client
+    cannot claim a wall-clock win by leaving staged mutations unshipped;
+    a no-op for sequential clients and baselines (no scheduler).
+    """
+    flush = getattr(fs, "flush_staged", None)
+    if flush is not None:
+        flush()
 
 
 def _traced_config(config: ClientConfig | None) -> ClientConfig:
@@ -174,11 +194,16 @@ def make_env(impl: str, profile: CostProfile = PAPER_2008,
     # Formatting happened outside the cost model's view on purpose: the
     # benchmarks measure steady-state operations, not provisioning.
     cost.reset()
+    overrides: dict = {}
+    concurrency = getattr(config, "concurrency", 0) if config else 0
+    if concurrency and impl == "sharoes":
+        overrides["concurrency"] = concurrency
     return BenchEnv(impl=impl, user=user, registry=registry, server=server,
                     cost=cost, fs=fs, _volume=volume,
                     _client_server=client_server,
                     wire_trace=wire_trace and impl == "sharoes",
-                    tracer_sinks=tuple(tracer_sinks))
+                    tracer_sinks=tuple(tracer_sinks),
+                    client_overrides=overrides)
 
 
 def _trace_section(env: BenchEnv) -> dict | None:
@@ -252,6 +277,9 @@ def run_observed(workload: str, impl: str = "sharoes",
     else:
         raise SharoesError(f"unknown workload {workload!r}; "
                            f"choose from {OBSERVED_WORKLOADS}")
+    # Defensive barrier: nothing staged survives past the run, so the
+    # payload (and any fsck of the server) sees the settled SSP state.
+    flush_client(env.fs)
     # The workload ran on env.fs (fresh_client rebinds it); its tracer
     # holds every finished root span since the post-mount cost reset.
     spans = list(env.fs.tracer.finished)

@@ -1,0 +1,218 @@
+"""Many-client throughput harness (PR 10).
+
+The paper's workloads (Postmark, Andrew, create/list) measure one
+mounted client at a time.  The concurrency work of this PR only pays
+off when *many* clients hammer the SSP at once, so this harness mounts
+hundreds of independent clients -- each a distinct enrolled user with
+its own journal, leases, and cost meter -- against one shared volume
+and drives a seeded interleaved operation mix across them.
+
+Honesty rules, in the spirit of the differential suites:
+
+* **One timeline.**  Every client's :class:`~repro.sim.costmodel.
+  CostModel` shares a single :class:`~repro.sim.clock.SimClock`, which
+  is also the volume's lease time authority.  The simulated SSP
+  serializes requests on that timeline (it is one storage server), so
+  "throughput" here means *operations completed per simulated second
+  of SSP-observed time*, with client-side pipelining (``concurrency``)
+  shrinking each operation's share of the wire.  That is the honest
+  model for a single-box simulation: it never invents parallel wall
+  clocks the backend could not actually provide.
+* **Strict ordering.**  The interleave order is a seeded shuffle, so a
+  run is exactly reproducible; per-operation latency is the shared
+  clock's delta around the call, and the quoted percentiles are exact
+  (:class:`~repro.sim.stats.Percentiles`, not histogram estimates).
+* **Settled state or it didn't happen.**  Every client is flushed and
+  unmounted before the final :class:`~repro.tools.fsck.VolumeAuditor`
+  pass, and the run only counts as healthy if that audit is clean.
+
+Lease contention is part of the workload, not an error: operations on
+the shared directory collide on inode leases, and a mutation that
+exhausts ``lease_wait_attempts`` surfaces :class:`~repro.errors.
+LeaseHeldError`, which the harness counts as a conflict and moves on
+-- exactly what a real client under contention would do.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..crypto.provider import CryptoProvider
+from ..errors import LeaseError
+from ..fs.client import ClientConfig, SharoesFilesystem
+from ..fs.volume import SharoesVolume
+from ..principals.groups import GroupKeyService
+from ..principals.registry import PrincipalRegistry
+from ..sim.clock import SimClock
+from ..sim.costmodel import CostModel, CostProfile
+from ..sim.profiles import PAPER_2008
+from ..sim.stats import Percentiles
+from ..storage.server import StorageServer
+from ..tools.fsck import VolumeAuditor
+
+#: enrolment key size for harness principals.  Real deployments use
+#: RSA-2048; the simulation's cost model already prices crypto by the
+#: profile, so the *enrolment* keys only need to be functional -- and
+#: generating hundreds of 2048-bit keys would dominate the harness.
+_HARNESS_KEY_BITS = 512
+
+#: operation mix (weights normalised by ``random.choices``).  Biased
+#: toward the private-directory traffic of a file server's steady
+#: state, with enough shared-directory mutation to keep lease
+#: contention realistic.
+_OP_MIX = (
+    ("create", 20),        # new file in the client's home directory
+    ("append", 15),        # grow one of the client's own files
+    ("read", 35),          # re-read an own or shared file
+    ("stat", 10),          # getattr on an own file
+    ("readdir", 5),        # list the shared directory
+    ("shared_append", 15),  # contended append to a shared file
+)
+
+
+def run_throughput(clients: int = 100, ops_per_client: int = 20,
+                   seed: int = 1234, profile: CostProfile = PAPER_2008,
+                   concurrency: int = 0, shared_files: int = 8,
+                   block_size: int = 8192, file_blocks: int = 6,
+                   lease_duration_s: float = 5.0,
+                   lease_wait_attempts: int = 8) -> dict:
+    """Drive ``clients`` mounted users through a seeded op interleave.
+
+    Returns the machine-readable ``throughput`` section recorded in
+    ``BENCH_10.json``: ops/sec on the shared simulated timeline, exact
+    latency percentiles, per-kind operation counts, lease conflicts,
+    wire requests, and the final fsck verdict.
+    """
+    if clients < 1:
+        raise ValueError("need at least one client")
+    rng = random.Random(seed)
+
+    # -- provisioning (outside the measured window) ---------------------------
+    registry = PrincipalRegistry()
+    registry.create_user("alice", key_bits=_HARNESS_KEY_BITS)
+    user_ids = [f"u{i:03d}" for i in range(clients)]
+    for uid in user_ids:
+        registry.create_user(uid, key_bits=_HARNESS_KEY_BITS)
+    registry.create_group("eng", {"alice", *user_ids},
+                          key_bits=_HARNESS_KEY_BITS)
+
+    clock = SimClock()
+    server = StorageServer()
+    # A smaller block size than the 64 KiB default keeps the dataset
+    # cheap while making typical files span several blocks, so reads
+    # exercise the scheduler's fetch flights (the concurrency axis this
+    # harness exists to measure -- journal mode disables write-behind,
+    # so pipelined reads are where the window pays off here).
+    volume = SharoesVolume(server, registry, clock=clock,
+                           block_size=block_size)
+    volume.format(root_owner="alice", root_group="eng")
+    GroupKeyService(registry, server, CryptoProvider()).publish_all()
+
+    # The root directory is 0755 (group members cannot create in it),
+    # so the admin provisions group-writable homes and a shared dir.
+    admin = SharoesFilesystem(volume, registry.user("alice"),
+                              cost_model=CostModel(profile, clock))
+    admin.mount()
+    admin.mkdir("/shared", mode=0o775)
+    shared_paths = []
+    for j in range(shared_files):
+        path = f"/shared/s{j:02d}.dat"
+        admin.create_file(
+            path,
+            rng.randbytes(rng.randint(2, file_blocks) * block_size),
+            mode=0o664)
+        shared_paths.append(path)
+    for uid in user_ids:
+        admin.mkdir(f"/{uid}", mode=0o775)
+    admin.unmount()
+
+    config = ClientConfig(journal=True, lease=True,
+                          lease_duration_s=lease_duration_s,
+                          lease_wait_attempts=lease_wait_attempts,
+                          concurrency=concurrency)
+    mounts: list[SharoesFilesystem] = []
+    for uid in user_ids:
+        fs = SharoesFilesystem(volume, registry.user(uid),
+                               cost_model=CostModel(profile, clock),
+                               config=config)
+        fs.mount()
+        mounts.append(fs)
+    mount_requests = [fs.request_count for fs in mounts]
+
+    # -- the measured interleave ----------------------------------------------
+    schedule = [i for i in range(clients) for _ in range(ops_per_client)]
+    rng.shuffle(schedule)
+    own_files: list[list[str]] = [[] for _ in range(clients)]
+    created: list[int] = [0] * clients
+    kinds = [k for k, _ in _OP_MIX]
+    weights = [w for _, w in _OP_MIX]
+
+    latencies: list[float] = []
+    op_counts = {kind: 0 for kind in kinds}
+    conflicts = 0
+    start = clock.now
+    for i in schedule:
+        fs = mounts[i]
+        kind = rng.choices(kinds, weights=weights)[0]
+        # Kinds that need an existing own file fall back to create.
+        if kind in ("append", "stat") and not own_files[i]:
+            kind = "create"
+        began = clock.now
+        try:
+            if kind == "create":
+                path = f"/{user_ids[i]}/f{created[i]:04d}.dat"
+                created[i] += 1
+                size = rng.randint(1, file_blocks) * block_size
+                fs.create_file(path, rng.randbytes(size), mode=0o644)
+                own_files[i].append(path)
+            elif kind == "append":
+                fs.append_file(rng.choice(own_files[i]),
+                               rng.randbytes(rng.randint(256, block_size)))
+            elif kind == "read":
+                pool = own_files[i] or shared_paths
+                fs.read_file(rng.choice(pool if rng.random() < 0.7
+                                        else shared_paths))
+            elif kind == "stat":
+                fs.getattr(rng.choice(own_files[i]))
+            elif kind == "readdir":
+                fs.readdir("/shared")
+            elif kind == "shared_append":
+                fs.append_file(rng.choice(shared_paths),
+                               rng.randbytes(rng.randint(32, 256)))
+
+        except LeaseError:
+            # Another client's unexpired lease outlasted our patience
+            # (or took our lease over mid-mutation): a contention
+            # outcome, not a harness failure.  The journal keeps the
+            # SSP consistent either way -- fsck below proves it.
+            conflicts += 1
+            continue
+        op_counts[kind] += 1
+        latencies.append(clock.now - began)
+
+    # -- settle and audit -----------------------------------------------------
+    for fs in mounts:
+        fs.unmount()
+    elapsed = clock.now - start
+    completed = len(latencies)
+    wire_requests = sum(fs.request_count - before
+                        for fs, before in zip(mounts, mount_requests))
+    report = VolumeAuditor(volume).audit()
+
+    return {
+        "clients": clients,
+        "ops_per_client": ops_per_client,
+        "seed": seed,
+        "concurrency": concurrency,
+        "attempted": len(schedule),
+        "completed": completed,
+        "lease_conflicts": conflicts,
+        "op_counts": op_counts,
+        "sim_seconds": elapsed,
+        "ops_per_sec": (completed / elapsed) if elapsed else 0.0,
+        "latency_s": Percentiles.from_values(latencies).as_dict(),
+        "wire_requests": wire_requests,
+        "fsck_clean": report.clean,
+        "fsck_errors": (len(report.integrity_errors)
+                        + len(report.structural_errors)),
+    }

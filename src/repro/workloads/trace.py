@@ -29,7 +29,7 @@ import random
 from dataclasses import dataclass, field
 
 from ..errors import SharoesError
-from .runner import BenchEnv
+from .runner import BenchEnv, flush_client
 
 _ARITY = {
     "mkdir": 2, "create": 3, "read": 1, "append": 2, "write": 2,
@@ -211,4 +211,5 @@ def replay_timed(env: BenchEnv, trace: Trace, seed: int = 0,
     fs = env.fresh_client(config=config)
     start = env.cost.clock.now
     trace.replay(fs, seed=seed)
+    flush_client(fs)
     return env.cost.clock.now - start

@@ -1,0 +1,131 @@
+"""Cost-parity regression for the RTT/transfer split (PR 10).
+
+The known accounting edge: ``charge_request`` charges one full RTT per
+request even when requests are pipelined.  The flight model fixes that
+by splitting latency from transfer -- overlapped requests share RTT
+*waves* while their bytes still serialize on the link.  These tests pin
+both halves of the contract:
+
+* the **sequential path is unchanged**: ``request_time`` decomposes into
+  ``rtt + transfer_time`` exactly, and a flight at ``parallel=1`` is
+  byte-for-byte the sum of individual requests;
+* the **overlap is honest**: only RTTs amortize (ceil(N/K) waves);
+  transfer seconds are identical at every window size.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.sim.costmodel import NETWORK, CostModel
+from repro.sim.network import LAN, PAPER_DSL, NetworkLink, kbits_per_sec
+from repro.sim.profiles import PAPER_2008
+
+TRANSFERS = [(64, 16), (5000, 16), (64, 9000), (1200, 1200), (64, 16),
+             (800, 3500), (64, 16), (2500, 64), (64, 16), (60, 4000)]
+
+
+class TestRttTransferSplit:
+    def test_request_time_decomposes(self):
+        for link in (PAPER_DSL, LAN):
+            for up, down in TRANSFERS:
+                assert link.request_time(up, down) == pytest.approx(
+                    link.rtt_s + link.transfer_time(up, down))
+
+    def test_sequential_request_time_pinned(self):
+        """The 2008 DSL numbers the whole benchmark series rests on."""
+        up_bw = kbits_per_sec(850)
+        down_bw = kbits_per_sec(350)
+        assert PAPER_DSL.request_time(1000, 2000) == pytest.approx(
+            0.100 + 1000 / up_bw + 2000 / down_bw)
+        assert PAPER_DSL.request_time(0, 0, round_trips=2) == pytest.approx(
+            0.200)
+
+
+class TestFlightTime:
+    def test_empty_flight_is_free(self):
+        assert PAPER_DSL.flight_time([], parallel=8) == 0.0
+
+    def test_single_request_flight_equals_request_time(self):
+        for parallel in (1, 2, 8, 64):
+            assert PAPER_DSL.flight_time([(500, 900)], parallel) == \
+                pytest.approx(PAPER_DSL.request_time(500, 900))
+
+    def test_window_one_equals_back_to_back_requests(self):
+        sequential = sum(PAPER_DSL.request_time(u, d)
+                         for u, d in TRANSFERS)
+        assert PAPER_DSL.flight_time(TRANSFERS, parallel=1) == \
+            pytest.approx(sequential)
+
+    def test_rtt_waves_amortize(self):
+        for parallel in (2, 3, 8, 16):
+            waves = math.ceil(len(TRANSFERS) / parallel)
+            expected = (waves * PAPER_DSL.rtt_s
+                        + sum(PAPER_DSL.transfer_time(u, d)
+                              for u, d in TRANSFERS))
+            assert PAPER_DSL.flight_time(TRANSFERS, parallel) == \
+                pytest.approx(expected)
+
+    def test_bandwidth_is_not_free(self):
+        """Any window size pays the identical serialized transfer time."""
+        def transfer_part(parallel: int) -> float:
+            waves = math.ceil(len(TRANSFERS) / parallel)
+            return (PAPER_DSL.flight_time(TRANSFERS, parallel)
+                    - waves * PAPER_DSL.rtt_s)
+
+        base = transfer_part(1)
+        for parallel in (2, 8, 1024):
+            assert transfer_part(parallel) == pytest.approx(base)
+
+    def test_flight_never_beats_one_rtt_plus_bytes(self):
+        """The floor is one wave: latency can overlap, never vanish."""
+        floor = (PAPER_DSL.rtt_s
+                 + sum(PAPER_DSL.transfer_time(u, d) for u, d in TRANSFERS))
+        assert PAPER_DSL.flight_time(TRANSFERS, parallel=10**6) == \
+            pytest.approx(floor)
+
+    def test_monotone_in_window(self):
+        times = [PAPER_DSL.flight_time(TRANSFERS, k) for k in range(1, 12)]
+        assert times == sorted(times, reverse=True) or all(
+            a >= b - 1e-12 for a, b in zip(times, times[1:]))
+
+
+class TestChargeFlightParity:
+    def test_charge_flight_window_one_matches_charge_request(self):
+        """The sequential path's numbers are unchanged by the split."""
+        seq = CostModel(PAPER_2008)
+        for up, down in TRANSFERS:
+            seq.charge_request(up, down)
+        flight = CostModel(PAPER_2008)
+        flight.charge_flight(TRANSFERS, parallel=1)
+        assert flight.totals.network == pytest.approx(seq.totals.network)
+        assert flight.clock.now == pytest.approx(seq.clock.now)
+
+    def test_charge_flight_lands_in_network_bucket(self):
+        cost = CostModel(PAPER_2008)
+        cost.charge_flight(TRANSFERS, parallel=8)
+        assert cost.totals.network == pytest.approx(
+            PAPER_2008.link.flight_time(TRANSFERS, 8))
+        assert cost.totals.crypto == 0.0
+        assert cost.totals.other == 0.0
+
+    def test_overlap_saves_exactly_the_amortized_rtts(self):
+        cost_seq = CostModel(PAPER_2008)
+        cost_seq.charge_flight(TRANSFERS, parallel=1)
+        cost_par = CostModel(PAPER_2008)
+        cost_par.charge_flight(TRANSFERS, parallel=8)
+        waves = math.ceil(len(TRANSFERS) / 8)
+        saved = (len(TRANSFERS) - waves) * PAPER_2008.link.rtt_s
+        assert (cost_seq.totals.network
+                - cost_par.totals.network) == pytest.approx(saved)
+
+
+def test_custom_link_flight_math():
+    link = NetworkLink(upload_bytes_per_s=1000.0,
+                       download_bytes_per_s=500.0, rtt_s=1.0)
+    # 5 requests, window 2 -> 3 waves; 1000 B up + 1000 B down.
+    transfers = [(200, 200)] * 5
+    assert link.flight_time(transfers, parallel=2) == pytest.approx(
+        3 * 1.0 + 1000 / 1000.0 + 1000 / 500.0)
